@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablation: the FRTL budget vs MBI pipeline depth (paper §3.3(ii)).
+ *
+ * The paper's timing-closure war story: the processor caps the
+ * tolerable frame round-trip latency, so the team cut the CRC from
+ * four stages to two and captured receive data without the clock-
+ * crossing FIFO. This ablation sweeps the MBI RX pipeline depth and
+ * shows where training starts failing, and what each extra stage
+ * costs in end-to-end latency (8 memory-bus cycles per FPGA stage,
+ * as the paper notes).
+ */
+
+#include "bench_util.hh"
+
+using namespace contutto;
+
+int
+main()
+{
+    bench::header("Ablation: MBI pipeline depth vs FRTL and "
+                  "latency");
+    std::printf("%-26s %10s %10s %14s\n", "MBI RX pipeline (cycles)",
+                "FRTL (ns)", "trains?", "latency (ns)");
+    bench::rule();
+
+    // The POWER8-side FRTL ceiling for this sweep.
+    const Tick max_frtl = nanoseconds(45);
+
+    for (unsigned rx = 2; rx <= 12; rx += 2) {
+        auto params = bench::contuttoSystem();
+        params.cardParams.mbi.rxProcCycles = rx;
+        params.training.maxFrtl = max_frtl;
+        bench::Power8System sys(params);
+        bool ok = sys.train();
+        double lat = ok ? sys.measureReadLatencyNs() : 0.0;
+        std::printf("%-26u %10.1f %10s %14s\n", rx,
+                    ticksToNs(sys.trainingResult().frtl),
+                    ok ? "yes" : "NO",
+                    ok ? std::to_string(int(lat + 0.5)).c_str()
+                       : "-");
+    }
+    std::printf("\nConTutto ships rxProcCycles=3: FIFO-less capture "
+                "+ 2-stage CRC (paper: the 4-stage CRC and the RX "
+                "FIFO had to go to fit under the processor's FRTL "
+                "ceiling).\n");
+    std::printf("Each extra FPGA pipeline stage adds 4 ns = 8 cycles "
+                "on the 2 GHz memory bus, exactly the paper's "
+                "arithmetic.\n");
+
+    bench::header("Ablation: link-to-fabric gearbox ratio (3.3(i))");
+    std::printf("%-12s %10s %12s %12s %14s\n", "mux ratio",
+                "fabric", "FRTL (ns)", "knob step", "latency (ns)");
+    bench::rule();
+    struct Gear
+    {
+        const char *ratio;
+        Tick period;
+    };
+    for (const Gear &g : {Gear{"16:1", 2000}, Gear{"32:1", 4000},
+                          Gear{"64:1", 8000}}) {
+        auto params = bench::contuttoSystem();
+        params.fabricPeriod = g.period;
+        bench::Power8System sys(params);
+        if (!sys.train())
+            return 1;
+        double base = sys.measureReadLatencyNs();
+        sys.card()->mbs().setKnobPosition(1);
+        double k1 = sys.measureReadLatencyNs();
+        sys.card()->mbs().setKnobPosition(0);
+        std::printf("%-12s %7.0f MHz %12.1f %9.0f ns %14.0f\n",
+                    g.ratio, 1e6 / double(g.period), 
+                    ticksToNs(sys.trainingResult().frtl), k1 - base,
+                    base);
+    }
+    std::printf("\nA wider gearbox (slower fabric) stretches every "
+                "pipeline stage: FRTL, the 6-cycle knob step, and "
+                "the end-to-end latency all scale with the fabric "
+                "period — the paper's reason the 32:1 ratio 'adds "
+                "substantial latency' yet was required to close "
+                "timing at a fabric speed the FPGA could run.\n");
+
+    bench::header("Ablation: replay freeze depth vs error recovery "
+                  "(1% frame error rate, 300 reads)");
+    std::printf("%-18s %12s %10s %14s %14s\n", "freezeRepeats",
+                "recovered?", "replays", "seq drops",
+                "ns/op (piped)");
+    bench::rule();
+    for (unsigned freeze : {0u, 2u, 4u, 8u}) {
+        auto params = bench::contuttoSystem();
+        params.cardParams.mbi.freezeRepeats = freeze;
+        params.channelErrorRate = 0.01;
+        bench::Power8System sys(params);
+        if (!sys.train())
+            return 1;
+        int done = 0;
+        Tick t0 = sys.eventq().curTick();
+        for (int i = 0; i < 300; ++i)
+            sys.port().read(Addr(i) * 4096,
+                            [&](const cpu::HostOpResult &) {
+                                ++done;
+                            });
+        bool idle = sys.runUntilIdle(milliseconds(200));
+        double ns_per =
+            ticksToNs(sys.eventq().curTick() - t0) / 300.0;
+        std::printf("%-18u %12s %10.0f %14.0f %14.0f\n", freeze,
+                    (idle && done == 300) ? "yes" : "NO",
+                    sys.card()->mbi().linkStats()
+                        .replaysTriggered.value(),
+                    sys.hostLink().linkStats().rxSeqDrops.value(),
+                    ns_per);
+    }
+    std::printf("\nEvery depth recovers (the link layer guarantees "
+                "exactly-once in-order delivery); deeper freezes "
+                "just cost more dropped duplicates at the host. On "
+                "the real FPGA the freeze was mandatory: without it "
+                "the processor misidentified the replay start "
+                "(paper 3.3(ii)).\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Microbenchmarks of the DMI link building blocks (google-benchmark)
+ * plus a simulated link-saturation measurement against the paper's
+ * 35 GB/s aggregate channel figure (§2.1).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dmi/channel.hh"
+#include "dmi/codec.hh"
+#include "dmi/crc.hh"
+#include "dmi/link.hh"
+#include "dmi/scrambler.hh"
+#include "sim/random.hh"
+
+using namespace contutto;
+using namespace contutto::dmi;
+
+namespace
+{
+
+void
+BM_Crc16Frame(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buf(upFrameBytes);
+    Rng r(1);
+    for (auto &b : buf)
+        b = std::uint8_t(r.next());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc16(buf.data(), buf.size()));
+    state.SetBytesProcessed(std::int64_t(state.iterations())
+                            * std::int64_t(buf.size()));
+}
+BENCHMARK(BM_Crc16Frame);
+
+void
+BM_ScramblerFrame(benchmark::State &state)
+{
+    Scrambler s;
+    std::vector<std::uint8_t> buf(upFrameBytes, 0x5A);
+    for (auto _ : state) {
+        s.apply(buf.data(), buf.size());
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations())
+                            * std::int64_t(buf.size()));
+}
+BENCHMARK(BM_ScramblerFrame);
+
+void
+BM_FrameSerializeDeserialize(benchmark::State &state)
+{
+    DownFrame f;
+    f.type = FrameType::writeData;
+    f.tag = 7;
+    f.subIndex = 3;
+    for (auto &b : f.data)
+        b = 0xA5;
+    for (auto _ : state) {
+        WireFrame w = f.serialize();
+        DownFrame g;
+        benchmark::DoNotOptimize(DownFrame::deserialize(w, g));
+    }
+}
+BENCHMARK(BM_FrameSerializeDeserialize);
+
+void
+BM_CommandEncode(benchmark::State &state)
+{
+    MemCommand cmd;
+    cmd.type = CmdType::write128;
+    cmd.addr = 0x10000;
+    cmd.tag = 5;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(encodeCommand(cmd));
+}
+BENCHMARK(BM_CommandEncode);
+
+/**
+ * Simulated saturation of the downstream/upstream lanes: back-to-
+ * back frames at the ConTutto 8 Gb/s lane rate. The aggregate
+ * should approach 14 + 21 = 35 GB/s, the paper's headline channel
+ * figure.
+ */
+void
+BM_LinkSaturation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        ClockDomain fabric("fabric", 4000);
+        stats::StatGroup root("root");
+        DmiChannel down("down", eq, fabric, &root,
+                        DmiChannel::Params{14, 125, 0, 0.0, 1});
+        DmiChannel up("up", eq, fabric, &root,
+                      DmiChannel::Params{21, 125, 0, 0.0, 2});
+        int delivered = 0;
+        down.setSink([&](const WireFrame &) { ++delivered; });
+        up.setSink([&](const WireFrame &) { ++delivered; });
+
+        const int frames = 1000;
+        DownFrame df;
+        df.type = FrameType::idle;
+        UpFrame uf;
+        uf.type = FrameType::idle;
+        for (int i = 0; i < frames; ++i) {
+            down.send(df.serialize());
+            up.send(uf.serialize());
+        }
+        eq.run();
+        double secs = ticksToSeconds(eq.curTick());
+        double bytes = double(frames)
+            * (downFrameBytes + upFrameBytes);
+        state.counters["simGBps"] = bytes / secs / 1e9;
+        benchmark::DoNotOptimize(delivered);
+    }
+}
+BENCHMARK(BM_LinkSaturation)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

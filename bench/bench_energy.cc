@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Quantifies the §4.3 energy-efficiency claim: the same min/max
+ * reduction done near memory vs in software, broken down by where
+ * the energy goes. Near-memory execution keeps the operands off the
+ * DMI serdes and out of the host core entirely — the data-movement
+ * energy is what disappears.
+ */
+
+#include "accel/driver.hh"
+#include "bench_util.hh"
+#include "cpu/energy.hh"
+#include "workloads/sw_kernels.hh"
+
+using namespace contutto;
+using namespace contutto::accel;
+using namespace contutto::cpu;
+
+int
+main()
+{
+    const std::uint64_t bytes = 8 * MiB;
+    bench::header("Energy: min/max over 8 MiB, near memory vs "
+                  "software (first-order coefficients)");
+
+    EnergyReport near_r, sw_r;
+    double near_ms = 0, sw_ms = 0;
+
+    // Near-memory.
+    {
+        bench::Power8System sys(bench::contuttoSystem());
+        if (!sys.train())
+            return 1;
+        AccelComplex complex("accel", sys.eventq(),
+                             sys.fabricDomain(), &sys, {},
+                             *sys.card(), 2ull * GiB);
+        AccelDriver driver(sys, complex,
+                           AccelDriver::Params{256 * MiB,
+                                               microseconds(1)});
+        EnergyMeter meter(sys);
+        meter.attach(complex.accessProcessor());
+        Tick t0 = sys.eventq().curTick();
+        bool done = false;
+        driver.minMaxAsync(0, bytes, [&](const ControlBlock &) {
+            done = true;
+        });
+        while (!done && sys.eventq().step()) {
+        }
+        near_ms = ticksToNs(sys.eventq().curTick() - t0) / 1e6;
+        near_r = meter.report();
+    }
+
+    // Software on the Centaur/CDIMM system.
+    {
+        bench::Power8System sys(bench::centaurSystem(
+            contutto::centaur::CentaurModel::optimized()));
+        if (!sys.train())
+            return 1;
+        EnergyMeter meter(sys);
+        Tick t0 = sys.eventq().curTick();
+        workloads::swMinMax(sys, bytes);
+        sw_ms = ticksToNs(sys.eventq().curTick() - t0) / 1e6;
+        sw_r = meter.report();
+    }
+
+    std::printf("%-14s %10s %10s %10s %10s %10s %12s %10s\n",
+                "approach", "link uJ", "dram uJ", "host uJ",
+                "buffer uJ", "ap uJ", "total uJ", "time ms");
+    bench::rule();
+    std::printf("%-14s %10.1f %10.1f %10.1f %10.1f %10.1f %12.1f "
+                "%10.2f\n", "near-memory", near_r.linkPj / 1e6,
+                near_r.dramPj / 1e6, near_r.hostPj / 1e6,
+                near_r.bufferPj / 1e6, near_r.apPj / 1e6,
+                near_r.totalUj(), near_ms);
+    std::printf("%-14s %10.1f %10.1f %10.1f %10.1f %10.1f %12.1f "
+                "%10.2f\n", "software", sw_r.linkPj / 1e6,
+                sw_r.dramPj / 1e6, sw_r.hostPj / 1e6,
+                sw_r.bufferPj / 1e6, sw_r.apPj / 1e6, sw_r.totalUj(),
+                sw_ms);
+    std::printf("\n%.1fx less energy near memory (and %.0fx "
+                "faster). The DRAM column is identical — the 8 MiB "
+                "must be read either way — so everything saved is "
+                "data movement: the serdes energy of shipping the "
+                "operands across the DMI link and the host core's "
+                "handling of every line, exactly the efficiency "
+                "mechanism 4.3 points at.\n",
+                sw_r.totalUj() / near_r.totalUj(), sw_ms / near_ms);
+    return 0;
+}

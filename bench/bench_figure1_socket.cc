@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces the §2.1 / Figure 1 socket organization numbers: eight
+ * DMI channels, four DDR ports each, up to 1 TB per socket, and the
+ * aggregate bandwidth story — plus the paper's validated mixed
+ * ConTutto/CDIMM configurations (§3.1).
+ */
+
+#include "bench_util.hh"
+#include "cpu/multi_slot.hh"
+
+using namespace contutto;
+using namespace contutto::cpu;
+
+namespace
+{
+
+ChannelParams
+channelWith(std::uint64_t dimm_bytes)
+{
+    ChannelParams p;
+    p.dimms = {DimmSpec{mem::MemTech::dram, dimm_bytes, {}, {}},
+               DimmSpec{mem::MemTech::dram, dimm_bytes, {}, {}}};
+    return p;
+}
+
+MultiSlotSystem::Params
+config(unsigned contutto_cards, unsigned cdimms,
+       std::uint64_t dimm_bytes = 64 * MiB)
+{
+    MultiSlotSystem::Params p;
+    unsigned slot = 0;
+    for (unsigned c = 0; c < contutto_cards; ++c) {
+        p.slots[slot].kind = SlotKind::contutto;
+        p.slots[slot].channel = channelWith(dimm_bytes);
+        p.slots[slot + 1].kind = SlotKind::empty;
+        slot += 2;
+    }
+    for (unsigned c = 0; c < cdimms && slot < 8; ++c, ++slot) {
+        p.slots[slot].kind = SlotKind::cdimm;
+        p.slots[slot].channel = channelWith(dimm_bytes);
+    }
+    while (slot < 8)
+        p.slots[slot++].kind = SlotKind::empty;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 1 / section 2.1: socket capacity");
+    {
+        MultiSlotSystem::Params p;
+        for (unsigned s = 0; s < 8; ++s) {
+            p.slots[s].kind = SlotKind::cdimm;
+            p.slots[s].channel = channelWith(64 * GiB);
+        }
+        MultiSlotSystem socket(p);
+        std::printf("8 channels x 4 DDR ports = 32 ports; "
+                    "capacity %.0f GiB (paper: up to 1 TB)\n",
+                    double(socket.totalCapacity()) / double(GiB));
+    }
+
+    bench::header("Aggregate read bandwidth vs channel count");
+    std::printf("%-10s %18s %14s\n", "channels", "payload (GB/s)",
+                "per channel");
+    bench::rule();
+    double bw8 = 0;
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        MultiSlotSystem socket(config(0, n));
+        if (!socket.trainAll())
+            return 1;
+        double bw = socket.measureAggregateReadBandwidth();
+        if (n == 8)
+            bw8 = bw;
+        std::printf("%-10u %18.1f %14.1f\n", n, bw, bw / n);
+    }
+    std::printf("\npaper: 410 GB/s peak (32 DDR ports at the media "
+                "rate), 230 GB/s sustained at 9.6 Gb/s links.\n"
+                "model: %.0f GB/s sustained read payload. The binding "
+                "constraint is the DMI protocol's 32 command tags "
+                "(2.3): 32 in-flight lines x 128 B over a ~320 ns "
+                "loaded round trip is ~12.8 GB/s per channel. The "
+                "paper's 230 GB/s implies a loaded RTT near 140 ns "
+                "from the deeper ASIC pipelining; the *organizational* "
+                "claim — linear scaling across channels — holds "
+                "exactly. This is also the paper's own warning: a "
+                "slow buffer makes the processor cycle through all "
+                "its tags and throughput, not just latency, "
+                "suffers.\n",
+                bw8);
+
+    bench::header("Mixed configurations the paper validated (3.1)");
+    std::printf("%-26s %10s %14s %16s\n", "configuration",
+                "channels", "trained", "capacity (MiB)");
+    bench::rule();
+    struct Case
+    {
+        const char *name;
+        unsigned cards, cdimms;
+    };
+    for (const Case &c : {Case{"8 CDIMMs (stock)", 0, 8},
+                          Case{"1 ConTutto + 6 CDIMMs", 1, 6},
+                          Case{"2 ConTutto + 4 CDIMMs", 2, 4}}) {
+        MultiSlotSystem socket(config(c.cards, c.cdimms));
+        bool ok = socket.trainAll();
+        std::printf("%-26s %10u %14s %16.0f\n", c.name,
+                    socket.populatedChannels(), ok ? "yes" : "NO",
+                    double(socket.totalCapacity()) / double(MiB));
+    }
+    std::printf("\nPlugging a ConTutto costs two slots (it blocks "
+                "its neighbour), so each card trades 2 CDIMMs of "
+                "capacity for programmability — the paper's stated "
+                "trade.\n");
+    return 0;
+}

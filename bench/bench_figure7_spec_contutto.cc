@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Figure 7: SPEC CINT2006 ratios with variable memory
+ * latency on ConTutto, with Centaur as the baseline.
+ *
+ * Paper shape at ~6x latency (97 ns Centaur -> 558 ns ConTutto
+ * knob@7): about half the applications lose < 2%, two-thirds stay
+ * under 10%, the rest land at 15-35%, and one exceeds 50%.
+ */
+
+#include "bench_util.hh"
+#include "workloads/spec.hh"
+
+using namespace contutto;
+using namespace contutto::centaur;
+using namespace contutto::workloads;
+
+int
+main()
+{
+    bench::header("Figure 7: SPEC ratios on ConTutto (Centaur "
+                  "baseline = 1.0)");
+
+    auto profiles = specCint2006();
+    constexpr std::uint64_t instructions = 250000;
+    const unsigned knobs[] = {0, 2, 6, 7};
+
+    std::printf("%-16s %9s", "benchmark", "centaur");
+    for (unsigned k : knobs)
+        std::printf("   knob@%u", k);
+    std::printf("\n");
+    bench::rule();
+
+    int under2 = 0, under10 = 0, over15 = 0, over50 = 0;
+    for (const auto &prof : profiles) {
+        bench::Power8System base(
+            bench::centaurSystem(CentaurModel::table3Baseline()));
+        if (!base.train())
+            return 1;
+        double base_runtime =
+            runSpecProfile(base, prof, instructions).runtimeSeconds;
+
+        std::printf("%-16s %9.3f", prof.name.c_str(), 1.0);
+        double worst = 1.0;
+        for (unsigned k : knobs) {
+            bench::Power8System sys(bench::contuttoSystem());
+            if (!sys.train())
+                return 1;
+            sys.card()->mbs().setKnobPosition(k);
+            double runtime =
+                runSpecProfile(sys, prof, instructions)
+                    .runtimeSeconds;
+            double ratio = base_runtime / runtime;
+            worst = std::min(worst, ratio);
+            std::printf(" %8.3f", ratio);
+        }
+        std::printf("\n");
+        double deg = 1.0 - worst;
+        if (deg < 0.02)
+            ++under2;
+        if (deg < 0.10)
+            ++under10;
+        if (deg >= 0.15 && deg < 0.50)
+            ++over15;
+        if (deg >= 0.50)
+            ++over50;
+    }
+    bench::rule();
+    std::printf("degradation at ~6x latency: <2%%: %d of 12 (paper: "
+                "~half)   <10%%: %d of 12 (paper: ~two-thirds)\n",
+                under2, under10);
+    std::printf("                            15-35%%: %d   >50%%: %d "
+                "(paper: one benchmark)\n", over15, over50);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Figure 9: FIO 4 KiB random IOPS for non-volatile
+ * technologies across attach points.
+ *
+ * Paper reference ratios (MRAM on ConTutto vs X): 4.5x/6.2x higher
+ * read/write IOPS than NVRAM on PCIe; 1.5x/2.2x higher than the
+ * MRAM PCIe card. NVDIMM on ConTutto: 6.5x/7.5x over NVRAM on PCIe.
+ */
+
+#include "fio_configs.hh"
+
+int
+main()
+{
+    bench::header("Figure 9: FIO IOPS (4 KiB random, QD1)");
+    auto results = bench::runFioMatrix();
+    if (results.size() != 5) {
+        std::printf("setup failed\n");
+        return 1;
+    }
+
+    std::printf("%-28s %12s %12s\n", "configuration", "read IOPS",
+                "write IOPS");
+    bench::rule();
+    for (const auto &r : results)
+        std::printf("%-28s %12.0f %12.0f\n", r.name.c_str(),
+                    r.readIops, r.writeIops);
+
+    const auto &mram_dmi = results[0];
+    const auto &nvdimm_dmi = results[1];
+    const auto &mram_pcie = results[2];
+    const auto &nvram_pcie = results[3];
+
+    bench::header("Ratios vs paper");
+    std::printf("MRAM-ConTutto vs NVRAM-PCIe:  read %.1fx (paper "
+                "4.5x)   write %.1fx (paper 6.2x)\n",
+                mram_dmi.readIops / nvram_pcie.readIops,
+                mram_dmi.writeIops / nvram_pcie.writeIops);
+    std::printf("MRAM-ConTutto vs MRAM-PCIe:   read %.1fx (paper "
+                "1.5x)   write %.1fx (paper 2.2x)\n",
+                mram_dmi.readIops / mram_pcie.readIops,
+                mram_dmi.writeIops / mram_pcie.writeIops);
+    std::printf("NVDIMM-ConTutto vs NVRAM-PCIe: read %.1fx (paper "
+                "6.5x)   write %.1fx (paper 7.5x)\n",
+                nvdimm_dmi.readIops / nvram_pcie.readIops,
+                nvdimm_dmi.writeIops / nvram_pcie.writeIops);
+    return 0;
+}

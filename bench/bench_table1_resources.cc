@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Table 1: FPGA resource utilization of the base
+ * ConTutto system on the Stratix V A9.
+ */
+
+#include "bench_util.hh"
+#include "contutto/resources.hh"
+
+using namespace contutto::fpga;
+
+int
+main()
+{
+    bench::header("Table 1: FPGA resource utilization (base "
+                  "ConTutto system)");
+
+    ResourceModel base;
+    base.addBaseDesign();
+    std::printf("%s", base.report().c_str());
+    std::printf("paper:     ALMs 136,856 (43%%)  registers 191,403 "
+                "(30%%)  M20K 244 (9%%)\n");
+
+    bench::header("Per-block split (modelled apportioning)");
+    std::printf("%-32s %10s %10s %6s\n", "block", "ALMs", "FFs",
+                "M20K");
+    bench::rule();
+    for (const auto &b : base.blocks())
+        std::printf("%-32s %10llu %10llu %6llu\n", b.block.c_str(),
+                    (unsigned long long)b.alms,
+                    (unsigned long long)b.registers,
+                    (unsigned long long)b.m20k);
+
+    bench::header("Headroom with every optional block enabled");
+    ResourceModel full;
+    full.addBaseDesign();
+    full.addLatencyKnob();
+    full.addInlineAccelEngines();
+    full.addAccessProcessor(6);
+    full.addPcie();
+    full.addTcam();
+    std::printf("%s", full.report().c_str());
+    std::printf("fits: %s (the paper's point: plenty of room for "
+                "architectural exploration)\n",
+                full.fits() ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction binaries.
+ *
+ * Each bench binary regenerates one table or figure from the paper
+ * and prints the modelled numbers next to the paper's reference
+ * values so the shape comparison is immediate.
+ */
+
+#ifndef CONTUTTO_BENCH_BENCH_UTIL_HH
+#define CONTUTTO_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "cpu/system.hh"
+
+namespace bench
+{
+
+using namespace contutto;
+using namespace contutto::cpu;
+
+/** Two DRAM DIMMs behind a ConTutto card (the Figure 7 setup). */
+inline Power8System::Params
+contuttoSystem(std::uint64_t dimm_bytes = 512 * MiB)
+{
+    Power8System::Params p;
+    p.buffer = BufferKind::contutto;
+    p.dimms = {DimmSpec{mem::MemTech::dram, dimm_bytes, {}, {}},
+               DimmSpec{mem::MemTech::dram, dimm_bytes, {}, {}}};
+    return p;
+}
+
+/** Two MRAM DIMMs behind a ConTutto card (the §4.2 setup). */
+inline Power8System::Params
+mramSystem(std::uint64_t dimm_bytes = 256 * MiB)
+{
+    Power8System::Params p;
+    p.buffer = BufferKind::contutto;
+    p.dimms = {DimmSpec{mem::MemTech::sttMram, dimm_bytes,
+                        mem::MramDevice::Junction::pMTJ, {}},
+               DimmSpec{mem::MemTech::sttMram, dimm_bytes,
+                        mem::MramDevice::Junction::pMTJ, {}}};
+    return p;
+}
+
+/** A Centaur baseline system. */
+inline Power8System::Params
+centaurSystem(centaur::CentaurModel::Config cfg,
+              std::uint64_t total_bytes = 1 * GiB)
+{
+    Power8System::Params p;
+    p.buffer = BufferKind::centaur;
+    p.centaurConfig = cfg;
+    p.dimms = {DimmSpec{mem::MemTech::dram, total_bytes, {}, {}}};
+    return p;
+}
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+rule()
+{
+    std::printf("--------------------------------------------------"
+                "----------------------\n");
+}
+
+} // namespace bench
+
+#endif // CONTUTTO_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's headline use case (§4.1): characterize an application
+ * under varying memory latency using ConTutto's software-controlled
+ * latency knob — here with a scan-heavy analytics profile and a
+ * pointer-chasing profile side by side, the two poles of Figure 7.
+ */
+
+#include <cstdio>
+
+#include "cpu/system.hh"
+#include "workloads/spec.hh"
+
+using namespace contutto;
+using namespace contutto::cpu;
+using namespace contutto::workloads;
+
+namespace
+{
+
+Power8System::Params
+systemParams()
+{
+    Power8System::Params p;
+    p.dimms = {DimmSpec{mem::MemTech::dram, 512 * MiB, {}, {}},
+               DimmSpec{mem::MemTech::dram, 512 * MiB, {}, {}}};
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Two applications with opposite memory behaviour.
+    auto profiles = specCint2006();
+    const WorkloadProfile &streaming = profiles[7]; // libquantum
+    const WorkloadProfile &chasing = profiles[3];   // mcf
+
+    std::printf("%-6s %14s | %-16s %-16s\n", "knob", "latency (ns)",
+                streaming.name.c_str(), chasing.name.c_str());
+    std::printf("------------------------------------------------"
+                "---------\n");
+
+    double base_stream = 0, base_chase = 0;
+    for (unsigned knob = 0; knob <= 7; ++knob) {
+        Power8System sys(systemParams());
+        if (!sys.train())
+            return 1;
+        sys.card()->mbs().setKnobPosition(knob);
+        double latency = sys.measureReadLatencyNs();
+
+        auto rs = runSpecProfile(sys, streaming, 150000);
+        auto rc = runSpecProfile(sys, chasing, 150000);
+        if (knob == 0) {
+            base_stream = rs.runtimeSeconds;
+            base_chase = rc.runtimeSeconds;
+        }
+        std::printf("%-6u %14.0f | %+14.1f%%  %+14.1f%%\n", knob,
+                    latency,
+                    (rs.runtimeSeconds / base_stream - 1) * 100,
+                    (rc.runtimeSeconds / base_chase - 1) * 100);
+    }
+    std::printf("\nThe streaming application shrugs the latency off "
+                "(prefetchable misses overlap); the pointer chaser "
+                "pays nearly the full increase on every dependent "
+                "miss — the paper's disaggregated-memory viability "
+                "argument in one table.\n");
+    return 0;
+}

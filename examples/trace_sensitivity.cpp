@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Capture once, evaluate everywhere: replay one memory-reference
+ * trace — filtered by a POWER8-style cache hierarchy — against four
+ * memory subsystems (Centaur, ConTutto, ConTutto at knob 7, and
+ * STT-MRAM behind ConTutto), reporting runtime and memory-subsystem
+ * energy for each. This is the ConTutto workflow in miniature:
+ * §4.1's latency sensitivity study and §4.2's technology swap, run
+ * from one artifact.
+ */
+
+#include <cstdio>
+
+#include "cpu/energy.hh"
+#include "cpu/system.hh"
+#include "cpu/trace_replay.hh"
+
+using namespace contutto;
+using namespace contutto::cpu;
+
+namespace
+{
+
+struct Config
+{
+    const char *name;
+    Power8System::Params params;
+    unsigned knob;
+};
+
+} // namespace
+
+int
+main()
+{
+    // One trace: mixed working set with a dependent component.
+    auto trace = MemTrace::synthesize(/*records=*/3000,
+                                      nanoseconds(20), 32 * MiB,
+                                      0.3, 0.35, 2026);
+
+    std::vector<Config> configs;
+    {
+        Power8System::Params p;
+        p.buffer = BufferKind::centaur;
+        p.dimms = {DimmSpec{mem::MemTech::dram, 512 * MiB, {}, {}}};
+        configs.push_back({"Centaur (CDIMM)", p, 0});
+    }
+    {
+        Power8System::Params p;
+        p.dimms = {DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}},
+                   DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}}};
+        configs.push_back({"ConTutto DRAM", p, 0});
+        configs.push_back({"ConTutto DRAM knob@7", p, 7});
+    }
+    {
+        Power8System::Params p;
+        p.dimms = {DimmSpec{mem::MemTech::sttMram, 256 * MiB,
+                            mem::MramDevice::Junction::pMTJ, {}},
+                   DimmSpec{mem::MemTech::sttMram, 256 * MiB,
+                            mem::MramDevice::Junction::pMTJ, {}}};
+        configs.push_back({"ConTutto STT-MRAM", p, 0});
+    }
+
+    std::printf("%-24s %12s %12s %12s %12s\n", "memory subsystem",
+                "runtime us", "mem trips", "cache hits",
+                "energy uJ");
+    printf("---------------------------------------------------"
+           "--------------------------\n");
+
+    for (const Config &cfg : configs) {
+        Power8System sys(cfg.params);
+        if (!sys.train()) {
+            std::printf("%-24s training failed\n", cfg.name);
+            continue;
+        }
+        if (sys.card())
+            sys.card()->mbs().setKnobPosition(cfg.knob);
+
+        CacheHierarchy caches("caches", &sys, {});
+        EnergyMeter meter(sys);
+        TraceReplayer::Params rp;
+        rp.caches = &caches;
+        TraceReplayer replayer("replay", sys.eventq(),
+                               sys.nestDomain(), &sys, rp,
+                               sys.port());
+        bool finished = false;
+        TraceReplayer::Result result;
+        replayer.start(trace, [&](const TraceReplayer::Result &r) {
+            result = r;
+            finished = true;
+        });
+        while (!finished && sys.eventq().step()) {
+        }
+
+        std::uint64_t mem_trips =
+            result.reads + result.writes - result.cacheHits;
+        std::printf("%-24s %12.1f %12llu %12llu %12.1f\n", cfg.name,
+                    ticksToNs(result.runtime) / 1000.0,
+                    (unsigned long long)mem_trips,
+                    (unsigned long long)result.cacheHits,
+                    meter.report().totalUj());
+    }
+
+    std::printf("\nSame trace, same caches; only the memory "
+                "subsystem changed. The knob stretches the "
+                "dependent misses and the MRAM write pulse shows "
+                "in runtime; Centaur is fastest but spends *more* "
+                "memory-side energy — its prefetcher fetches lines "
+                "the trace never uses. One artifact, every "
+                "subsystem: the workflow ConTutto exists for.\n");
+    return 0;
+}

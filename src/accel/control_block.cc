@@ -1,0 +1,69 @@
+#include "accel/control_block.hh"
+
+#include <cstring>
+
+namespace contutto::accel
+{
+
+namespace
+{
+
+template <typename T>
+void
+put(dmi::CacheLine &line, std::size_t off, T v)
+{
+    std::memcpy(line.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+T
+get(const dmi::CacheLine &line, std::size_t off)
+{
+    T v;
+    std::memcpy(&v, line.data() + off, sizeof(T));
+    return v;
+}
+
+} // namespace
+
+dmi::CacheLine
+ControlBlock::toLine() const
+{
+    dmi::CacheLine line{};
+    put(line, 0, std::uint32_t(opcode));
+    put(line, 4, std::uint32_t(status));
+    put(line, 8, src);
+    put(line, 16, dst);
+    put(line, 24, lengthBytes);
+    put(line, 32, programAddr);
+    put(line, 40, programBytes);
+    put(line, 48, threads);
+    put(line, 52, std::uint32_t(srcMap));
+    put(line, 56, std::uint32_t(dstMap));
+    put(line, 64, resultMin);
+    put(line, 72, resultMax);
+    put(line, 80, linesProcessed);
+    return line;
+}
+
+ControlBlock
+ControlBlock::fromLine(const dmi::CacheLine &line)
+{
+    ControlBlock cb;
+    cb.opcode = AccelOp(get<std::uint32_t>(line, 0));
+    cb.status = AccelStatus(get<std::uint32_t>(line, 4));
+    cb.src = get<std::uint64_t>(line, 8);
+    cb.dst = get<std::uint64_t>(line, 16);
+    cb.lengthBytes = get<std::uint64_t>(line, 24);
+    cb.programAddr = get<std::uint64_t>(line, 32);
+    cb.programBytes = get<std::uint64_t>(line, 40);
+    cb.threads = get<std::uint32_t>(line, 48);
+    cb.srcMap = MapMode(get<std::uint32_t>(line, 52));
+    cb.dstMap = MapMode(get<std::uint32_t>(line, 56));
+    cb.resultMin = get<std::int64_t>(line, 64);
+    cb.resultMax = get<std::int64_t>(line, 72);
+    cb.linesProcessed = get<std::uint64_t>(line, 80);
+    return cb;
+}
+
+} // namespace contutto::accel

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The control block protocol between host software and the
+ * near-memory accelerators (paper §4.3, Figure 12).
+ *
+ * The accelerator "receives a control block from the processor
+ * describing the acceleration task and a range of data or memory
+ * addresses to operate on"; store instructions targeting a buffer
+ * region inside the acceleration unit deliver it, and "upon task
+ * completion, the accelerator writes processing status and
+ * completion information into specific fields in the control block",
+ * which the host polls with loads. A control block is exactly one
+ * 128-byte cache line.
+ */
+
+#ifndef CONTUTTO_ACCEL_CONTROL_BLOCK_HH
+#define CONTUTTO_ACCEL_CONTROL_BLOCK_HH
+
+#include <cstdint>
+
+#include "dmi/command.hh"
+
+namespace contutto::accel
+{
+
+/** Offloadable operations. */
+enum class AccelOp : std::uint32_t
+{
+    idle = 0,
+    memcpyBlock = 1,
+    minMaxScan = 2,
+    fft1024 = 3,
+};
+
+/** Task status values. */
+enum class AccelStatus : std::uint32_t
+{
+    idle = 0,
+    running = 1,
+    done = 2,
+    error = 3,
+};
+
+/** Address-map modes for the Access processor's mapping unit. */
+enum class MapMode : std::uint32_t
+{
+    /** Lines interleave across DIMM ports (the CPU-visible map). */
+    interleaved = 0,
+    /** Consecutive logical lines on port 0 only. */
+    port0Linear = 1,
+    /** Consecutive logical lines on port 1 only. */
+    port1Linear = 2,
+};
+
+/** The 128-byte control block. */
+struct ControlBlock
+{
+    AccelOp opcode = AccelOp::idle;
+    AccelStatus status = AccelStatus::idle;
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    std::uint64_t lengthBytes = 0;
+    /** Where the pre-compiled program image lives in the DIMMs. */
+    std::uint64_t programAddr = 0;
+    std::uint64_t programBytes = 0;
+    std::uint32_t threads = 4;
+    /** Address-map mode for the source stream. */
+    MapMode srcMap = MapMode::interleaved;
+    /** Address-map mode for the destination stream. */
+    MapMode dstMap = MapMode::interleaved;
+    /** @{ Results (min/max scan). */
+    std::int64_t resultMin = 0;
+    std::int64_t resultMax = 0;
+    /** @} */
+    /** Lines processed, written back at completion. */
+    std::uint64_t linesProcessed = 0;
+
+    dmi::CacheLine toLine() const;
+    static ControlBlock fromLine(const dmi::CacheLine &line);
+};
+
+} // namespace contutto::accel
+
+#endif // CONTUTTO_ACCEL_CONTROL_BLOCK_HH

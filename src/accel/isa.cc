@@ -1,0 +1,313 @@
+#include "accel/isa.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace contutto::accel
+{
+
+namespace
+{
+
+const std::map<std::string, Op> &
+mnemonics()
+{
+    static const std::map<std::string, Op> table = {
+        {"nop", Op::nop},         {"halt", Op::halt},
+        {"li", Op::li},           {"add", Op::add},
+        {"sub", Op::sub},         {"addi", Op::addi},
+        {"shl", Op::shl},         {"shr", Op::shr},
+        {"andi", Op::andi},       {"jmp", Op::jmp},
+        {"beq", Op::beq},         {"bne", Op::bne},
+        {"blt", Op::blt},         {"bge", Op::bge},
+        {"lineread", Op::lineRead},
+        {"linewrite", Op::lineWrite},
+        {"ldscalar", Op::ldScalar},
+        {"stscalar", Op::stScalar},
+        {"setmap", Op::setMap},   {"yield", Op::yield},
+    };
+    return table;
+}
+
+const char *
+opName(Op op)
+{
+    for (const auto &[name, o] : mnemonics())
+        if (o == op)
+            return name.c_str();
+    return "?";
+}
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = char(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Token kinds in an operand list. */
+struct Operand
+{
+    enum Kind
+    {
+        reg,
+        imm,
+        label,
+    } kind;
+    std::uint8_t regno = 0;
+    std::int64_t value = 0;
+    std::string name;
+};
+
+Operand
+parseOperand(const std::string &tok, unsigned lineno)
+{
+    Operand o;
+    if (tok.size() >= 2 && (tok[0] == 'r' || tok[0] == 'R')
+        && std::isdigit(static_cast<unsigned char>(tok[1]))) {
+        o.kind = Operand::reg;
+        int n = std::stoi(tok.substr(1));
+        if (n < 0 || unsigned(n) >= numRegs)
+            fatal("asm line %u: bad register '%s'", lineno,
+                  tok.c_str());
+        o.regno = std::uint8_t(n);
+        return o;
+    }
+    bool negative = tok[0] == '-';
+    std::string body = negative ? tok.substr(1) : tok;
+    bool numeric = !body.empty()
+        && (std::isdigit(static_cast<unsigned char>(body[0])));
+    if (numeric) {
+        o.kind = Operand::imm;
+        o.value = std::stoll(tok, nullptr, 0);
+        return o;
+    }
+    o.kind = Operand::label;
+    o.name = lower(tok);
+    return o;
+}
+
+} // namespace
+
+std::string
+Instr::toString() const
+{
+    std::ostringstream os;
+    os << opName(op) << " rd=" << int(rd) << " ra=" << int(ra)
+       << " rb=" << int(rb) << " imm=" << imm;
+    return os.str();
+}
+
+std::vector<std::uint8_t>
+Program::encode() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(code.size() * 16);
+    for (const Instr &i : code) {
+        out.push_back(std::uint8_t(i.op));
+        out.push_back(i.rd);
+        out.push_back(i.ra);
+        out.push_back(i.rb);
+        for (int b = 0; b < 8; ++b)
+            out.push_back(std::uint8_t(std::uint64_t(i.imm)
+                                       >> (8 * b)));
+        // Pad to 16 bytes for aligned fetch.
+        out.push_back(0);
+        out.push_back(0);
+        out.push_back(0);
+        out.push_back(0);
+    }
+    return out;
+}
+
+Program
+Program::decode(const std::vector<std::uint8_t> &bytes)
+{
+    ct_assert(bytes.size() % 16 == 0);
+    Program p;
+    for (std::size_t off = 0; off < bytes.size(); off += 16) {
+        Instr i;
+        i.op = Op(bytes[off]);
+        i.rd = bytes[off + 1];
+        i.ra = bytes[off + 2];
+        i.rb = bytes[off + 3];
+        std::uint64_t imm = 0;
+        for (int b = 7; b >= 0; --b)
+            imm = (imm << 8) | bytes[off + 4 + b];
+        i.imm = std::int64_t(imm);
+        p.code.push_back(i);
+    }
+    return p;
+}
+
+Program
+assemble(const std::string &source)
+{
+    struct Line
+    {
+        Op op;
+        std::vector<Operand> operands;
+        unsigned lineno;
+    };
+    std::vector<Line> lines;
+    std::map<std::string, std::int64_t> labels;
+
+    std::istringstream in(source);
+    std::string raw;
+    unsigned lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        // Strip comments.
+        auto semi = raw.find(';');
+        if (semi != std::string::npos)
+            raw = raw.substr(0, semi);
+        // Tokenize on whitespace and commas.
+        std::vector<std::string> toks;
+        std::string tok;
+        for (char c : raw) {
+            if (std::isspace(static_cast<unsigned char>(c))
+                || c == ',') {
+                if (!tok.empty()) {
+                    toks.push_back(tok);
+                    tok.clear();
+                }
+            } else {
+                tok.push_back(c);
+            }
+        }
+        if (!tok.empty())
+            toks.push_back(tok);
+        if (toks.empty())
+            continue;
+
+        std::size_t idx = 0;
+        // Leading labels (possibly several).
+        while (idx < toks.size() && toks[idx].back() == ':') {
+            std::string label =
+                lower(toks[idx].substr(0, toks[idx].size() - 1));
+            if (labels.count(label))
+                fatal("asm line %u: duplicate label '%s'", lineno,
+                      label.c_str());
+            labels[label] = std::int64_t(lines.size());
+            ++idx;
+        }
+        if (idx >= toks.size())
+            continue;
+
+        auto it = mnemonics().find(lower(toks[idx]));
+        if (it == mnemonics().end())
+            fatal("asm line %u: unknown mnemonic '%s'", lineno,
+                  toks[idx].c_str());
+        Line line;
+        line.op = it->second;
+        line.lineno = lineno;
+        for (++idx; idx < toks.size(); ++idx)
+            line.operands.push_back(parseOperand(toks[idx], lineno));
+        lines.push_back(std::move(line));
+    }
+
+    // Pass 2: resolve operands per opcode signature.
+    Program prog;
+    for (const Line &line : lines) {
+        Instr i;
+        i.op = line.op;
+        auto expect = [&](std::size_t n) {
+            if (line.operands.size() != n)
+                fatal("asm line %u: %s takes %zu operands",
+                      line.lineno, opName(line.op), n);
+        };
+        auto reg = [&](std::size_t k) {
+            const Operand &o = line.operands[k];
+            if (o.kind != Operand::reg)
+                fatal("asm line %u: operand %zu must be a register",
+                      line.lineno, k + 1);
+            return o.regno;
+        };
+        auto immOrLabel = [&](std::size_t k) {
+            const Operand &o = line.operands[k];
+            if (o.kind == Operand::imm)
+                return o.value;
+            if (o.kind == Operand::label) {
+                auto it = labels.find(o.name);
+                if (it == labels.end())
+                    fatal("asm line %u: undefined label '%s'",
+                          line.lineno, o.name.c_str());
+                return it->second;
+            }
+            fatal("asm line %u: operand %zu must be an immediate "
+                  "or label", line.lineno, k + 1);
+            return std::int64_t(0);
+        };
+
+        switch (line.op) {
+          case Op::nop:
+          case Op::halt:
+          case Op::yield:
+            expect(0);
+            break;
+          case Op::li:
+            expect(2);
+            i.rd = reg(0);
+            i.imm = immOrLabel(1);
+            break;
+          case Op::add:
+          case Op::sub:
+            expect(3);
+            i.rd = reg(0);
+            i.ra = reg(1);
+            i.rb = reg(2);
+            break;
+          case Op::addi:
+          case Op::shl:
+          case Op::shr:
+          case Op::andi:
+            expect(3);
+            i.rd = reg(0);
+            i.ra = reg(1);
+            i.imm = immOrLabel(2);
+            break;
+          case Op::jmp:
+            expect(1);
+            i.imm = immOrLabel(0);
+            break;
+          case Op::beq:
+          case Op::bne:
+          case Op::blt:
+          case Op::bge:
+            expect(3);
+            i.ra = reg(0);
+            i.rb = reg(1);
+            i.imm = immOrLabel(2);
+            break;
+          case Op::lineRead:
+          case Op::lineWrite:
+            expect(1);
+            i.ra = reg(0);
+            break;
+          case Op::ldScalar:
+            expect(3);
+            i.rd = reg(0);
+            i.ra = reg(1);
+            i.imm = immOrLabel(2);
+            break;
+          case Op::stScalar:
+            expect(3);
+            i.ra = reg(0);
+            i.rb = reg(1);
+            i.imm = immOrLabel(2);
+            break;
+          case Op::setMap:
+            expect(1);
+            i.ra = reg(0);
+            break;
+        }
+        prog.code.push_back(i);
+    }
+    return prog;
+}
+
+} // namespace contutto::accel

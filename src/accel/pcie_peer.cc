@@ -1,0 +1,102 @@
+#include "accel/pcie_peer.hh"
+
+namespace contutto::accel
+{
+
+using mem::MemRequest;
+
+PciePeerLink::PciePeerLink(const std::string &name, EventQueue &eq,
+                           const ClockDomain &domain,
+                           stats::StatGroup *parent,
+                           const Params &params,
+                           fpga::ContuttoCard &cardA,
+                           fpga::ContuttoCard &cardB)
+    : SimObject(name, eq, domain, parent), params_(params),
+      portA_(&cardA.avalon().createPort(name + ".dmaA")),
+      portB_(&cardB.avalon().createPort(name + ".dmaB")),
+      stats_{{this, "transfers", "peer transfers completed"},
+             {this, "bytesMoved", "bytes moved card-to-card"}}
+{}
+
+void
+PciePeerLink::transfer(unsigned src_card, Addr src, Addr dst,
+                       std::uint64_t bytes,
+                       std::function<void()> done)
+{
+    ct_assert(!busy_);
+    ct_assert(src_card < 2);
+    ct_assert(bytes % dmi::cacheLineSize == 0);
+    busy_ = true;
+    srcCard_ = src_card;
+    src_ = src;
+    dst_ = dst;
+    totalLines_ = bytes / dmi::cacheLineSize;
+    nextRead_ = 0;
+    writesDone_ = 0;
+    inFlight_ = 0;
+    done_ = std::move(done);
+
+    // Doorbell + descriptor fetch, then the engine starts pulling.
+    OneShotEvent::schedule(eventq(),
+                           curTick() + params_.setupLatency,
+                           [this] {
+                               linkFreeAt_ = curTick();
+                               pump();
+                           });
+}
+
+void
+PciePeerLink::pump()
+{
+    bus::AvalonBus::Port *src_port =
+        srcCard_ == 0 ? portA_ : portB_;
+    while (inFlight_ < params_.window && nextRead_ < totalLines_
+           && src_port->canAccept()) {
+        std::uint64_t index = nextRead_++;
+        ++inFlight_;
+        auto req = std::make_shared<MemRequest>();
+        req->addr = src_ + index * dmi::cacheLineSize;
+        req->isWrite = false;
+        req->onDone = [this, index](MemRequest &r) {
+            // Serialize the line onto the PCIe link.
+            Tick ser = Tick(double(dmi::cacheLineSize)
+                            / params_.bandwidth * 1e12);
+            Tick start = std::max(curTick(), linkFreeAt_);
+            linkFreeAt_ = start + ser;
+            dmi::CacheLine data = r.data;
+            OneShotEvent::schedule(
+                eventq(), linkFreeAt_ + params_.lineLatency,
+                [this, index, data] { lineArrived(index, data); });
+        };
+        src_port->submit(req);
+    }
+}
+
+void
+PciePeerLink::lineArrived(std::uint64_t index,
+                          const dmi::CacheLine &data)
+{
+    bus::AvalonBus::Port *dst_port =
+        srcCard_ == 0 ? portB_ : portA_;
+    auto req = std::make_shared<MemRequest>();
+    req->addr = dst_ + index * dmi::cacheLineSize;
+    req->isWrite = true;
+    req->data = data;
+    req->onDone = [this](MemRequest &) {
+        ct_assert(inFlight_ > 0);
+        --inFlight_;
+        ++writesDone_;
+        stats_.bytesMoved += double(dmi::cacheLineSize);
+        if (writesDone_ == totalLines_) {
+            busy_ = false;
+            ++stats_.transfers;
+            if (done_)
+                done_();
+            return;
+        }
+        pump();
+    };
+    dst_port->submit(req);
+}
+
+} // namespace contutto::accel

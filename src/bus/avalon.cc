@@ -1,0 +1,169 @@
+#include "bus/avalon.hh"
+
+#include "mem/ddr3_controller.hh"
+
+namespace contutto::bus
+{
+
+AvalonBus::AvalonBus(const std::string &name, EventQueue &eq,
+                     const ClockDomain &domain,
+                     stats::StatGroup *parent, const Params &params)
+    : SimObject(name, eq, domain, parent), params_(params),
+      stats_{{this, "transactions", "bus transactions completed"},
+             {this, "bytes", "payload bytes moved"},
+             {this, "unmappedAccesses", "accesses to unmapped space"}}
+{}
+
+void
+AvalonBus::attach(AvalonSlave &slave, const AddressRange &range)
+{
+    ct_assert(range.size > 0);
+    for (const Mapping &m : mappings_) {
+        bool overlap = range.base < m.range.base + m.range.size
+            && m.range.base < range.base + range.size;
+        if (overlap)
+            fatal("bus mapping for %s overlaps %s",
+                  slave.slaveName().c_str(),
+                  m.slave->slaveName().c_str());
+    }
+    mappings_.push_back(Mapping{&slave, range});
+}
+
+AvalonBus::Port &
+AvalonBus::createPort(const std::string &port_name)
+{
+    ports_.emplace_back(
+        std::unique_ptr<Port>(new Port(*this, port_name)));
+    return *ports_.back();
+}
+
+const AddressRange *
+AvalonBus::rangeFor(Addr addr) const
+{
+    for (const Mapping &m : mappings_)
+        if (m.range.contains(addr))
+            return &m.range;
+    return nullptr;
+}
+
+AvalonBus::Port::Port(AvalonBus &bus, std::string name)
+    : bus_(bus), name_(std::move(name)),
+      pumpEvent_(std::make_unique<EventFunctionWrapper>(
+          [this] { pump(); }, name_ + ".pump"))
+{}
+
+AvalonBus::Port::~Port()
+{
+    if (pumpEvent_->scheduled())
+        bus_.eventq().deschedule(pumpEvent_.get());
+}
+
+bool
+AvalonBus::Port::canAccept() const
+{
+    return queue_.size() < bus_.params_.portQueueCapacity;
+}
+
+void
+AvalonBus::Port::submit(const mem::MemRequestPtr &req)
+{
+    ct_assert(req != nullptr);
+    if (!canAccept())
+        panic("bus port %s queue overflow", name_.c_str());
+    queue_.push_back(req);
+    if (!pumpEvent_->scheduled())
+        bus_.eventq().schedule(pumpEvent_.get(),
+                               std::max(bus_.clockEdge(0),
+                                        nextIssueAt_));
+}
+
+void
+AvalonBus::Port::pump()
+{
+    if (queue_.empty())
+        return;
+    mem::MemRequestPtr req = queue_.front();
+    queue_.pop_front();
+    bus_.dispatch(req);
+    nextIssueAt_ =
+        bus_.clockEdge(bus_.params_.portIssueCycles);
+    if (!queue_.empty())
+        bus_.eventq().schedule(pumpEvent_.get(), nextIssueAt_);
+}
+
+void
+AvalonBus::dispatch(const mem::MemRequestPtr &req)
+{
+    const Mapping *hit = nullptr;
+    for (const Mapping &m : mappings_) {
+        if (m.range.contains(req->addr, req->size)) {
+            hit = &m;
+            break;
+        }
+    }
+    if (!hit) {
+        ++stats_.unmappedAccesses;
+        warn("bus access to unmapped address 0x%llx",
+             (unsigned long long)req->addr);
+        // Reads of unmapped space return zeros; completion is still
+        // signalled so the requester does not hang.
+        req->data.fill(0);
+        if (req->onDone)
+            req->onDone(*req);
+        return;
+    }
+
+    // Rewrite to a slave-relative address; masters keep their own
+    // copy of the global address in their command state.
+    req->addr -= hit->range.base;
+
+    // Wrap the completion so the response pays the return CDC hop.
+    // The wrapper keeps the request alive until the deferred call;
+    // it clears onDone before invoking the original to break the
+    // shared_ptr cycle (requests are single-use).
+    auto original = std::move(req->onDone);
+    mem::MemRequestPtr keep = req;
+    req->onDone = [this, original, keep](mem::MemRequest &r) {
+        ++stats_.transactions;
+        stats_.bytes += double(r.size);
+        if (original) {
+            OneShotEvent::schedule(eventq(),
+                                   clockEdge(params_.cdcCycles),
+                                   [original, keep] {
+                                       keep->onDone = nullptr;
+                                       original(*keep);
+                                   });
+        } else {
+            // Defer the clear: we are executing inside keep->onDone
+            // right now and must not destroy it mid-call.
+            OneShotEvent::schedule(eventq(), curTick(),
+                                   [keep] { keep->onDone = nullptr; });
+        }
+    };
+
+    // Request-side CDC hop into the slave's domain.
+    AvalonSlave *slave = hit->slave;
+    mem::MemRequestPtr req_copy = req;
+    OneShotEvent::schedule(eventq(), clockEdge(params_.cdcCycles),
+                           [slave, req_copy] {
+                               slave->access(req_copy);
+                           });
+}
+
+MemControllerSlave::MemControllerSlave(mem::Ddr3Controller &ctrl)
+    : ctrl_(ctrl)
+{}
+
+void
+MemControllerSlave::access(const mem::MemRequestPtr &req)
+{
+    ctrl_.submit(req);
+}
+
+std::string
+MemControllerSlave::slaveName() const
+{
+    return ctrl_.name();
+}
+
+} // namespace contutto::bus

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Centaur memory-buffer ASIC model: the baseline ConTutto
+ * replaces.
+ *
+ * Centaur implements the DMI protocol handling, command processing,
+ * a 16 MB eDRAM cache with prefetching, and four DDR ports
+ * (paper §2.1). It is the latency/throughput baseline for Tables 2
+ * and 3 and Figures 6 and 7. The paper varies "different
+ * performance-related knobs available in it" to sweep memory latency
+ * (Table 2); Config models those knobs: cache enable, prefetch
+ * enable, and a conservative-mode pipeline penalty.
+ */
+
+#ifndef CONTUTTO_CENTAUR_CENTAUR_HH
+#define CONTUTTO_CENTAUR_CENTAUR_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "dmi/codec.hh"
+#include "dmi/link.hh"
+#include "mem/cache_model.hh"
+#include "mem/ddr3_controller.hh"
+#include "mem/line_interleave.hh"
+
+namespace contutto::centaur
+{
+
+/** The Centaur ASIC. */
+class CentaurModel : public SimObject
+{
+  public:
+    struct Config
+    {
+        std::string configName = "optimized";
+        bool cacheEnabled = true;
+        bool prefetchEnabled = true;
+        /** Command-processing pipeline latency (ASIC, 2 GHz). */
+        Tick pipelineLatency = nanoseconds(8);
+        /** Cache hit service latency (eDRAM). */
+        Tick cacheHitLatency = nanoseconds(10);
+        /**
+         * Conservative-mode penalty: the Table 2 performance knobs
+         * (serialized handshakes, speculative access off, ...).
+         */
+        Tick extraLatency = 0;
+        std::uint64_t cacheCapacity = 16 * MiB;
+        unsigned cacheWays = 8;
+    };
+
+    /** @{ The Table 2 knob settings (latency-calibrated presets). */
+    static Config optimized();     ///< cfg 1: 79 ns class.
+    static Config balanced();      ///< cfg 2: 83 ns class.
+    static Config conservative();  ///< cfg 3: 116 ns class.
+    static Config slowest();       ///< cfg 4: 249 ns class.
+    /** @} */
+
+    /** Cache and auxiliary functions disabled, handshakes padded to
+     *  mirror the feature set ConTutto implements (293 ns class). */
+    /** The Table 3 system's latency-optimized Centaur (97 ns). */
+    static Config table3Baseline();
+
+    static Config contuttoMatched();
+
+    CentaurModel(const std::string &name, EventQueue &eq,
+                 const ClockDomain &domain, stats::StatGroup *parent,
+                 const Config &config, dmi::BufferLink &link,
+                 std::vector<mem::Ddr3Controller *> ports);
+
+    const Config &config() const { return config_; }
+
+    /** Cache hit rate so far (reads+writes). */
+    double cacheHitRate() const { return cache_.hitRate(); }
+
+    /** True when no command is in flight. */
+    bool quiescent() const { return activeCommands_ == 0; }
+
+    struct CentaurStats
+    {
+        stats::Scalar reads;
+        stats::Scalar writes;
+        stats::Scalar rmws;
+        stats::Scalar cacheHits;
+        stats::Scalar cacheMisses;
+        stats::Scalar prefetches;
+        stats::Scalar unsupportedCommands;
+    };
+
+    const CentaurStats &centaurStats() const { return stats_; }
+
+  private:
+    void frameArrived(const dmi::DownFrame &frame);
+    void execute(const dmi::MemCommand &cmd);
+    void retryDeferred(Addr addr);
+    void serveRead(const dmi::MemCommand &cmd);
+    void serveWrite(const dmi::MemCommand &cmd);
+    void finishRead(const dmi::MemCommand &cmd);
+    void sendDone(std::uint8_t tag);
+    mem::Ddr3Controller &portFor(Addr addr);
+    Addr localAddr(Addr addr) const
+    {
+        return interleave_.localAddr(addr);
+    }
+
+    Config config_;
+    dmi::BufferLink &link_;
+    std::vector<mem::Ddr3Controller *> ports_;
+    mem::LineInterleave interleave_;
+    dmi::CommandAssembler assembler_;
+    mem::CacheModel cache_;
+    unsigned activeCommands_ = 0;
+    /** Outstanding write counts per line, for read-after-write
+     *  ordering (reads must not pass writes via the cache path). */
+    std::unordered_map<Addr, unsigned> pendingWrites_;
+    std::deque<dmi::MemCommand> deferred_;
+    CentaurStats stats_;
+};
+
+} // namespace contutto::centaur
+
+#endif // CONTUTTO_CENTAUR_CENTAUR_HH

@@ -1,0 +1,479 @@
+#include "contutto/mbs.hh"
+
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace contutto::fpga
+{
+
+using namespace dmi;
+using namespace mem;
+
+namespace
+{
+
+std::int64_t
+laneAt(const CacheLine &line, unsigned lane)
+{
+    std::int64_t v = 0;
+    std::memcpy(&v, line.data() + lane * 8, 8);
+    return v;
+}
+
+void
+setLane(CacheLine &line, unsigned lane, std::int64_t v)
+{
+    std::memcpy(line.data() + lane * 8, &v, 8);
+}
+
+} // namespace
+
+Mbs::Mbs(const std::string &name, EventQueue &eq,
+         const ClockDomain &domain, stats::StatGroup *parent,
+         const Params &params, BufferLink &link, bus::AvalonBus &bus)
+    : SimObject(name, eq, domain, parent), params_(params),
+      link_(link), bus_(bus),
+      writeArbEvent_{
+          EventFunctionWrapper([this] { writeArbPump(0); },
+                               name + ".writeArb0"),
+          EventFunctionWrapper([this] { writeArbPump(1); },
+                               name + ".writeArb1")},
+      upPumpEvent_([this] { upstreamPump(); }, name + ".upPump"),
+      stats_{{this, "reads", "read commands executed"},
+             {this, "writes", "write commands executed"},
+             {this, "rmws", "partial (RMW) writes executed"},
+             {this, "flushes", "flush commands executed"},
+             {this, "inlineOps", "in-line accelerated ops executed"},
+             {this, "writeArbGrants", "write-port arbiter grants"},
+             {this, "addrOrderStalls",
+              "commands deferred for same-line ordering"},
+             {this, "upstreamFrames", "frames sent upstream"},
+             {this, "doneFramesPacked",
+              "done frames carrying multiple tags"},
+             {this, "engineOccupancy",
+              "active command engines at dispatch"}}
+{
+    ct_assert(params_.knobPosition <= 7);
+    readPorts_[0] = &bus_.createPort(name + ".rd0");
+    readPorts_[1] = &bus_.createPort(name + ".rd1");
+    writePorts_[0] = &bus_.createPort(name + ".wr0");
+    writePorts_[1] = &bus_.createPort(name + ".wr1");
+    link_.onFrame = [this](const DownFrame &f) { frameArrived(f); };
+}
+
+Mbs::~Mbs()
+{
+    for (auto &ev : writeArbEvent_)
+        if (ev.scheduled())
+            eventq().deschedule(&ev);
+    if (upPumpEvent_.scheduled())
+        eventq().deschedule(&upPumpEvent_);
+}
+
+void
+Mbs::setKnobPosition(unsigned pos)
+{
+    ct_assert(pos <= 7);
+    params_.knobPosition = pos;
+}
+
+bool
+Mbs::quiescent() const
+{
+    return activeEngines_ == 0 && upQueue_.empty()
+        && pendingFlushes_.empty() && deferred_.empty();
+}
+
+bool
+Mbs::addrConflictsWithActive(const MemCommand &cmd) const
+{
+    if (cmd.type == CmdType::flush)
+        return false; // flush carries no address
+    for (const Engine &e : engines_)
+        if (e.active && e.cmd.type != CmdType::flush
+            && e.cmd.addr == cmd.addr)
+            return true;
+    return false;
+}
+
+void
+Mbs::retryDeferred()
+{
+    // Dispatch deferred commands in arrival order; a command stays
+    // deferred while an active engine or an *earlier* deferred
+    // command targets the same line.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto it = deferred_.begin(); it != deferred_.end();
+             ++it) {
+            if (addrConflictsWithActive(it->cmd))
+                continue;
+            bool older_same_line = false;
+            for (auto jt = deferred_.begin(); jt != it; ++jt) {
+                if (jt->cmd.type != CmdType::flush
+                    && jt->cmd.addr == it->cmd.addr) {
+                    older_same_line = true;
+                    break;
+                }
+            }
+            if (older_same_line)
+                continue;
+            Deferred d = *it;
+            deferred_.erase(it);
+            dispatch(d.cmd, d.decoder);
+            progress = true;
+            break;
+        }
+    }
+}
+
+void
+Mbs::frameArrived(const DownFrame &frame)
+{
+    unsigned decoder = frameCounter_++ & 1;
+    if (auto cmd = assembler_.feed(frame)) {
+        MemCommand c = *cmd;
+        OneShotEvent::schedule(
+            eventq(), clockEdge(params_.decodeCycles),
+            [this, c, decoder] { dispatch(c, decoder); });
+    }
+}
+
+void
+Mbs::dispatch(const MemCommand &cmd, unsigned decoder)
+{
+    // Same-line ordering: a command to a line with an older command
+    // still in flight waits so reads cannot pass writes.
+    if (addrConflictsWithActive(cmd)) {
+        ++stats_.addrOrderStalls;
+        deferred_.push_back(Deferred{cmd, decoder});
+        return;
+    }
+
+    Engine &e = engines_[cmd.tag];
+    if (e.active)
+        panic("MBS: tag %u dispatched while engine busy", cmd.tag);
+    e.active = true;
+    e.cmd = cmd;
+    ++activeEngines_;
+    stats_.engineOccupancy.sample(double(activeEngines_));
+    CT_TRACE("MBS", *this, "dispatch tag %u type %d addr 0x%llx "
+             "(%u engines busy)", cmd.tag, int(cmd.type),
+             (unsigned long long)cmd.addr, activeEngines_);
+
+    switch (cmd.type) {
+      case CmdType::read128:
+        ++stats_.reads;
+        e.phase = Phase::readIssued;
+        issueRead(cmd.tag, decoder);
+        break;
+      case CmdType::write128:
+        ++stats_.writes;
+        e.phase = Phase::writeArb;
+        requestWriteGrant(cmd.tag);
+        break;
+      case CmdType::partialWrite:
+        // Atomic RMW: read, merge in the ALU, write back (§3.3(iii)).
+        ++stats_.rmws;
+        e.phase = Phase::readIssued;
+        issueRead(cmd.tag, decoder);
+        break;
+      case CmdType::flush: {
+        ++stats_.flushes;
+        FlushOp op;
+        op.tag = cmd.tag;
+        for (unsigned t = 0; t < numTags; ++t) {
+            const Engine &other = engines_[t];
+            if (t != cmd.tag && other.active
+                && other.cmd.type != CmdType::read128
+                && other.cmd.type != CmdType::flush)
+                op.waitingOn.push_back(std::uint8_t(t));
+        }
+        // Writes held in the same-line ordering queue are older than
+        // this flush and must drain too.
+        for (const Deferred &d : deferred_)
+            if (d.cmd.type != CmdType::read128
+                && d.cmd.type != CmdType::flush)
+                op.waitingOn.push_back(d.cmd.tag);
+        if (op.waitingOn.empty()) {
+            respondDone(cmd.tag);
+            finishEngine(cmd.tag);
+        } else {
+            pendingFlushes_.push_back(std::move(op));
+        }
+        break;
+      }
+      case CmdType::minStore:
+      case CmdType::maxStore:
+      case CmdType::condSwap:
+        if (!params_.inlineOpsEnabled) {
+            warn("MBS: in-line ops disabled; completing tag %u as "
+                 "no-op", cmd.tag);
+            respondDone(cmd.tag);
+            finishEngine(cmd.tag);
+            break;
+        }
+        ++stats_.inlineOps;
+        e.phase = Phase::readIssued;
+        issueRead(cmd.tag, decoder);
+        break;
+    }
+}
+
+void
+Mbs::issueRead(unsigned tag, unsigned decoder)
+{
+    const Engine &e = engines_[tag];
+    auto req = std::make_shared<MemRequest>();
+    req->addr = e.cmd.addr;
+    req->isWrite = false;
+    req->onDone = [this, tag](MemRequest &r) {
+        CacheLine data = r.data;
+        OneShotEvent::schedule(
+            eventq(), clockEdge(params_.readReturnCycles),
+            [this, tag, data] { readReturned(tag, data); });
+    };
+    issueToBus(*readPorts_[decoder], req);
+}
+
+void
+Mbs::readReturned(unsigned tag, const CacheLine &data)
+{
+    Engine &e = engines_[tag];
+    ct_assert(e.active && e.phase == Phase::readIssued);
+    if (e.cmd.type == CmdType::read128) {
+        respondReadData(tag, data);
+        respondDone(tag);
+        finishEngine(tag);
+        return;
+    }
+    // RMW and in-line ops continue to the write path via the ALU.
+    e.oldData = data;
+    e.phase = Phase::writeArb;
+    requestWriteGrant(tag);
+}
+
+void
+Mbs::requestWriteGrant(unsigned tag)
+{
+    unsigned port = tag / (numTags / 2); // 16 engines per port
+    writeReady_[port].push_back(std::uint8_t(tag));
+    if (!writeArbEvent_[port].scheduled())
+        scheduleClocked(&writeArbEvent_[port], 0);
+}
+
+void
+Mbs::writeArbPump(unsigned port)
+{
+    if (writeReady_[port].empty())
+        return;
+    std::uint8_t tag = writeReady_[port].front();
+    writeReady_[port].pop_front();
+    ++stats_.writeArbGrants;
+
+    Engine &e = engines_[tag];
+    ct_assert(e.active && e.phase == Phase::writeArb);
+    if (e.cmd.type == CmdType::write128) {
+        // The ALU acts as a NOP for plain writes.
+        e.phase = Phase::writeIssued;
+        issueWrite(tag, port);
+    } else {
+        e.phase = Phase::merging;
+        OneShotEvent::schedule(eventq(),
+                               clockEdge(params_.aluCycles),
+                               [this, tag, port] {
+                                   mergeAndWrite(tag, port);
+                               });
+    }
+
+    if (!writeReady_[port].empty())
+        scheduleClocked(&writeArbEvent_[port], 1);
+}
+
+void
+Mbs::mergeAndWrite(unsigned tag, unsigned port)
+{
+    Engine &e = engines_[tag];
+    ct_assert(e.active && e.phase == Phase::merging);
+    switch (e.cmd.type) {
+      case CmdType::partialWrite:
+        for (std::size_t i = 0; i < cacheLineSize; ++i)
+            if (!e.cmd.enables[i])
+                e.cmd.data[i] = e.oldData[i];
+        break;
+      case CmdType::minStore:
+      case CmdType::maxStore:
+        for (unsigned lane = 0; lane < cacheLineSize / 8; ++lane) {
+            std::int64_t oldv = laneAt(e.oldData, lane);
+            std::int64_t newv = laneAt(e.cmd.data, lane);
+            std::int64_t keep = e.cmd.type == CmdType::minStore
+                ? std::min(oldv, newv)
+                : std::max(oldv, newv);
+            setLane(e.cmd.data, lane, keep);
+        }
+        break;
+      case CmdType::condSwap: {
+        std::int64_t expected = laneAt(e.cmd.data, 0);
+        std::int64_t desired = laneAt(e.cmd.data, 1);
+        std::int64_t current = laneAt(e.oldData, 0);
+        if (current != expected) {
+            // Compare failed: no write; report the old value.
+            MemResponse resp;
+            resp.type = RespType::swapOld;
+            resp.tag = std::uint8_t(tag);
+            resp.swapSucceeded = false;
+            std::memcpy(resp.data.data(), e.oldData.data(), 8);
+            enqueueUpstream(encodeResponse(resp));
+            respondDone(tag);
+            finishEngine(tag);
+            noteWriteDrained(std::uint8_t(tag));
+            return;
+        }
+        e.cmd.data = e.oldData;
+        setLane(e.cmd.data, 0, desired);
+        break;
+      }
+      default:
+        panic("MBS: merge for non-RMW command");
+    }
+    e.phase = Phase::writeIssued;
+    issueWrite(tag, port);
+}
+
+void
+Mbs::issueWrite(unsigned tag, unsigned port)
+{
+    Engine &e = engines_[tag];
+    auto req = std::make_shared<MemRequest>();
+    req->addr = e.cmd.addr;
+    req->isWrite = true;
+    req->data = e.cmd.data;
+    req->onDone =
+        [this, tag](MemRequest &) { writeCompleted(tag); };
+    issueToBus(*writePorts_[port], req);
+}
+
+void
+Mbs::writeCompleted(unsigned tag)
+{
+    Engine &e = engines_[tag];
+    ct_assert(e.active && e.phase == Phase::writeIssued);
+    if (e.cmd.type == CmdType::condSwap) {
+        MemResponse resp;
+        resp.type = RespType::swapOld;
+        resp.tag = std::uint8_t(tag);
+        resp.swapSucceeded = true;
+        std::memcpy(resp.data.data(), e.oldData.data(), 8);
+        enqueueUpstream(encodeResponse(resp));
+    }
+    respondDone(tag);
+    finishEngine(tag);
+    noteWriteDrained(std::uint8_t(tag));
+}
+
+void
+Mbs::noteWriteDrained(std::uint8_t tag)
+{
+    for (auto it = pendingFlushes_.begin();
+         it != pendingFlushes_.end();) {
+        auto &waiting = it->waitingOn;
+        waiting.erase(std::remove(waiting.begin(), waiting.end(), tag),
+                      waiting.end());
+        if (waiting.empty()) {
+            respondDone(it->tag);
+            finishEngine(it->tag);
+            it = pendingFlushes_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Mbs::respondReadData(unsigned tag, const CacheLine &data)
+{
+    MemResponse resp;
+    resp.type = RespType::readData;
+    resp.tag = std::uint8_t(tag);
+    resp.data = data;
+    enqueueUpstream(encodeResponse(resp));
+}
+
+void
+Mbs::respondDone(unsigned tag)
+{
+    MemResponse resp;
+    resp.type = RespType::done;
+    resp.tag = std::uint8_t(tag);
+    enqueueUpstream(encodeResponse(resp));
+}
+
+void
+Mbs::enqueueUpstream(std::vector<UpFrame> frames)
+{
+    for (auto &f : frames)
+        upQueue_.push_back(std::move(f));
+    if (!upPumpEvent_.scheduled())
+        scheduleClocked(&upPumpEvent_, params_.respondCycles);
+}
+
+void
+Mbs::upstreamPump()
+{
+    for (unsigned n = 0;
+         n < params_.upstreamFramesPerCycle && !upQueue_.empty();
+         ++n) {
+        UpFrame f = upQueue_.front();
+        upQueue_.pop_front();
+        // Completion packing: adjacent done frames share a frame.
+        if (f.type == FrameType::done) {
+            while (f.doneCount < params_.doneTagsPerFrame
+                   && f.doneCount < 4 && !upQueue_.empty()
+                   && upQueue_.front().type == FrameType::done
+                   && upQueue_.front().doneCount == 1) {
+                f.doneTags[f.doneCount++] =
+                    upQueue_.front().doneTags[0];
+                upQueue_.pop_front();
+            }
+            if (f.doneCount > 1)
+                ++stats_.doneFramesPacked;
+        }
+        link_.sendFrame(f);
+        ++stats_.upstreamFrames;
+    }
+    if (!upQueue_.empty())
+        scheduleClocked(&upPumpEvent_, 1);
+}
+
+void
+Mbs::finishEngine(unsigned tag)
+{
+    Engine &e = engines_[tag];
+    ct_assert(e.active);
+    e = Engine{};
+    ct_assert(activeEngines_ > 0);
+    --activeEngines_;
+    if (!deferred_.empty())
+        retryDeferred();
+}
+
+void
+Mbs::issueToBus(bus::AvalonBus::Port &port,
+                const MemRequestPtr &req)
+{
+    unsigned delay_cycles =
+        params_.knobPosition * params_.knobStepCycles;
+    if (delay_cycles == 0) {
+        port.submit(req);
+        return;
+    }
+    bus::AvalonBus::Port *p = &port;
+    MemRequestPtr r = req;
+    OneShotEvent::schedule(eventq(), clockEdge(delay_cycles),
+                           [p, r] { p->submit(r); });
+}
+
+} // namespace contutto::fpga

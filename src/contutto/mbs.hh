@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The Memory Buffer Synchronous (MBS) logic of ConTutto.
+ *
+ * MBS receives and executes the downstream commands (paper
+ * §3.3(iii)): two parallel frame decoders handle two frames per
+ * 250 MHz cycle; 32 identical command engines own commands from
+ * dispatch to completion; read requests are issued directly by the
+ * frame decoders on dedicated Avalon read ports (no arbitration);
+ * each Avalon write port serves 16 engines through an arbiter, with
+ * the shared RMW ALU on the write path; a single unified arbiter
+ * feeds the upstream channel so read data stays contiguous while
+ * done notifications can pack together.
+ *
+ * Extensions over the Centaur feature set (paper §4.2-4.3):
+ *  - a software-controlled latency knob inserting delay modules
+ *    between MBS and the Avalon bus, 6 fabric cycles (24 ns) per
+ *    position;
+ *  - a flush command that completes only after all outstanding
+ *    writes reached memory (persistent-memory support);
+ *  - in-line accelerated ops (min-store, max-store, conditional
+ *    swap) executed by augmented command engines.
+ */
+
+#ifndef CONTUTTO_CONTUTTO_MBS_HH
+#define CONTUTTO_CONTUTTO_MBS_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "bus/avalon.hh"
+#include "dmi/codec.hh"
+#include "dmi/link.hh"
+
+namespace contutto::fpga
+{
+
+/** The MBS command-processing logic. */
+class Mbs : public SimObject
+{
+  public:
+    struct Params
+    {
+        /** Frame parse + command dispatch pipeline, cycles. */
+        unsigned decodeCycles = 3;
+        /** Read-return handler pipeline, cycles. */
+        unsigned readReturnCycles = 2;
+        /** Upstream arbitration pipeline, cycles. */
+        unsigned respondCycles = 1;
+        /** RMW ALU latency, cycles. */
+        unsigned aluCycles = 1;
+        /** Latency-knob step: 6 cycles = 24 ns (paper §4.1). */
+        unsigned knobStepCycles = 6;
+        /** Initial knob position (0..7). */
+        unsigned knobPosition = 0;
+        /** Upstream frames the arbiter can launch per cycle. */
+        unsigned upstreamFramesPerCycle = 2;
+        /** Done tags that may share one upstream frame. */
+        unsigned doneTagsPerFrame = 2;
+        /** Enable the in-line accelerated ops (§4.3). */
+        bool inlineOpsEnabled = true;
+    };
+
+    Mbs(const std::string &name, EventQueue &eq,
+        const ClockDomain &domain, stats::StatGroup *parent,
+        const Params &params, dmi::BufferLink &link,
+        bus::AvalonBus &bus);
+
+    ~Mbs() override;
+
+    /** Move the latency knob (software controllable, §4.1). */
+    void setKnobPosition(unsigned pos);
+    unsigned knobPosition() const { return params_.knobPosition; }
+
+    /** Added one-way latency of the current knob setting. */
+    Tick
+    knobDelay() const
+    {
+        return clockPeriod() * params_.knobPosition
+            * params_.knobStepCycles;
+    }
+
+    /** True when all 32 engines are idle and nothing is queued. */
+    bool quiescent() const;
+
+    /** Engines currently owning a command. */
+    unsigned activeEngines() const { return activeEngines_; }
+
+    struct MbsStats
+    {
+        stats::Scalar reads;
+        stats::Scalar writes;
+        stats::Scalar rmws;
+        stats::Scalar flushes;
+        stats::Scalar inlineOps;
+        stats::Scalar writeArbGrants;
+        stats::Scalar addrOrderStalls;
+        stats::Scalar upstreamFrames;
+        stats::Scalar doneFramesPacked;
+        stats::Distribution engineOccupancy;
+    };
+
+    const MbsStats &mbsStats() const { return stats_; }
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        idle,
+        readIssued,     ///< Waiting for memory read data.
+        writeArb,       ///< Waiting for a write-port grant.
+        writeIssued,    ///< Waiting for memory write completion.
+        merging,        ///< In the RMW ALU.
+    };
+
+    struct Engine
+    {
+        bool active = false;
+        Phase phase = Phase::idle;
+        dmi::MemCommand cmd;
+        dmi::CacheLine oldData{}; ///< Read data for RMW/inline ops.
+    };
+
+    /** A pending flush: completes when its tag set drains. */
+    struct FlushOp
+    {
+        std::uint8_t tag;
+        std::vector<std::uint8_t> waitingOn;
+    };
+
+    void frameArrived(const dmi::DownFrame &frame);
+    void dispatch(const dmi::MemCommand &cmd, unsigned decoder);
+    bool addrConflictsWithActive(const dmi::MemCommand &cmd) const;
+    void retryDeferred();
+    void issueRead(unsigned tag, unsigned decoder);
+    void readReturned(unsigned tag, const dmi::CacheLine &data);
+    void requestWriteGrant(unsigned tag);
+    void writeArbPump(unsigned port);
+    void issueWrite(unsigned tag, unsigned port);
+    void writeCompleted(unsigned tag);
+    void mergeAndWrite(unsigned tag, unsigned port);
+    void respondReadData(unsigned tag, const dmi::CacheLine &data);
+    void respondDone(unsigned tag);
+    void enqueueUpstream(std::vector<dmi::UpFrame> frames);
+    void upstreamPump();
+    void finishEngine(unsigned tag);
+    void noteWriteDrained(std::uint8_t tag);
+
+    /** Submit to the bus through the latency-knob delay modules. */
+    void issueToBus(bus::AvalonBus::Port &port,
+                    const mem::MemRequestPtr &req);
+
+    Params params_;
+    dmi::BufferLink &link_;
+    bus::AvalonBus &bus_;
+    dmi::CommandAssembler assembler_;
+    std::array<Engine, dmi::numTags> engines_{};
+    unsigned activeEngines_ = 0;
+    unsigned frameCounter_ = 0; ///< Alternates the two decoders.
+
+    bus::AvalonBus::Port *readPorts_[2];
+    bus::AvalonBus::Port *writePorts_[2];
+
+    /** Per-write-port arbitration queue of ready engines. */
+    std::deque<std::uint8_t> writeReady_[2];
+    EventFunctionWrapper writeArbEvent_[2];
+
+    std::deque<dmi::UpFrame> upQueue_;
+    EventFunctionWrapper upPumpEvent_;
+
+    std::vector<FlushOp> pendingFlushes_;
+
+    /** Commands held back by same-line address ordering. */
+    struct Deferred
+    {
+        dmi::MemCommand cmd;
+        unsigned decoder;
+    };
+    std::deque<Deferred> deferred_;
+
+    MbsStats stats_;
+};
+
+} // namespace contutto::fpga
+
+#endif // CONTUTTO_CONTUTTO_MBS_HH

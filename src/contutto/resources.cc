@@ -1,0 +1,135 @@
+#include "contutto/resources.hh"
+
+#include <sstream>
+
+namespace contutto::fpga
+{
+
+ResourceModel::ResourceModel(DeviceCapacity device) : device_(device)
+{}
+
+void
+ResourceModel::add(const ResourceCost &cost)
+{
+    blocks_.push_back(cost);
+}
+
+void
+ResourceModel::addBaseDesign()
+{
+    // Per-block split of the paper's Table 1 totals (the paper
+    // reports only the sums; the split below is a plausible
+    // apportioning that adds up exactly).
+    add({"DMI PHY + 32:1 gearbox", 18432, 36864, 28});
+    add({"MBI (CRC/seq/replay)", 18424, 24539, 36});
+    add({"MBS (decoders + 32 engines)", 52000, 68000, 64});
+    add({"Avalon interconnect + CDC", 12000, 18000, 20});
+    add({"DDR3 soft controllers (x2)", 30000, 38000, 80});
+    add({"Service (FSI/I2C/CSR)", 6000, 6000, 16});
+}
+
+void
+ResourceModel::addLatencyKnob()
+{
+    add({"latency knob delay modules", 850, 2100, 0});
+}
+
+void
+ResourceModel::addInlineAccelEngines()
+{
+    add({"in-line accel command engines", 9200, 11400, 8});
+}
+
+void
+ResourceModel::addAccessProcessor(unsigned num_accelerators)
+{
+    add({"Access processor", 14500, 16800, 40});
+    for (unsigned i = 0; i < num_accelerators; ++i)
+        add({"block accelerator #" + std::to_string(i), 11000, 13000,
+             24});
+}
+
+void
+ResourceModel::addPcie()
+{
+    add({"PCIe endpoint", 21000, 29000, 60});
+}
+
+void
+ResourceModel::addTcam()
+{
+    add({"TCAM", 16000, 12000, 180});
+}
+
+std::uint64_t
+ResourceModel::totalAlms() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : blocks_)
+        sum += b.alms;
+    return sum;
+}
+
+std::uint64_t
+ResourceModel::totalRegisters() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : blocks_)
+        sum += b.registers;
+    return sum;
+}
+
+std::uint64_t
+ResourceModel::totalM20k() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : blocks_)
+        sum += b.m20k;
+    return sum;
+}
+
+double
+ResourceModel::almUtilization() const
+{
+    return double(totalAlms()) / double(device_.alms);
+}
+
+double
+ResourceModel::registerUtilization() const
+{
+    return double(totalRegisters()) / double(device_.registers);
+}
+
+double
+ResourceModel::m20kUtilization() const
+{
+    return double(totalM20k()) / double(device_.m20k);
+}
+
+bool
+ResourceModel::fits() const
+{
+    return totalAlms() <= device_.alms
+        && totalRegisters() <= device_.registers
+        && totalM20k() <= device_.m20k;
+}
+
+std::string
+ResourceModel::report() const
+{
+    std::ostringstream os;
+    os << "Resource   | Available | Utilized\n";
+    os << "-----------+-----------+---------------------\n";
+    auto line = [&os](const char *name, std::uint64_t avail,
+                      std::uint64_t used) {
+        os << name << " | " << avail << " | " << used << " ("
+           << int(100.0 * double(used) / double(avail) + 0.5)
+           << "%)\n";
+    };
+    line("ALMs      ", device_.alms, totalAlms());
+    line("Registers ", device_.registers, totalRegisters());
+    line("M20K      ", device_.m20k, totalM20k());
+    return os.str();
+}
+
+} // namespace contutto::fpga

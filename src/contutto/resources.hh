@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Static FPGA resource accounting for the ConTutto design.
+ *
+ * Synthesis cannot be simulated; instead every block in the design
+ * declares its post-fit resource cost (ALMs, registers, M20K block
+ * RAMs) and the model sums them against the Stratix V A9 device
+ * capacity. The base-configuration totals reproduce Table 1 of the
+ * paper: 136,856 ALMs (43%), 191,403 registers (30%), 244 M20K (9%).
+ * Optional blocks (latency knob, in-line ops, Access processor and
+ * accelerators, PCIe, TCAM) add their costs when enabled, supporting
+ * the paper's point that the base design leaves most of the FPGA
+ * free for architectural exploration.
+ */
+
+#ifndef CONTUTTO_CONTUTTO_RESOURCES_HH
+#define CONTUTTO_CONTUTTO_RESOURCES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace contutto::fpga
+{
+
+/** Resource cost of one logic block. */
+struct ResourceCost
+{
+    std::string block;
+    std::uint64_t alms = 0;
+    std::uint64_t registers = 0;
+    std::uint64_t m20k = 0;
+};
+
+/** The Stratix V GX A9 device capacity (paper Table 1). */
+struct DeviceCapacity
+{
+    std::uint64_t alms = 317000;
+    std::uint64_t registers = 634000;
+    std::uint64_t m20k = 2640;
+};
+
+/** Accumulates block costs and reports utilization. */
+class ResourceModel
+{
+  public:
+    explicit ResourceModel(DeviceCapacity device = {});
+
+    /** Add a block's cost. */
+    void add(const ResourceCost &cost);
+
+    /** Add the fixed base-design blocks (paper Table 1 totals). */
+    void addBaseDesign();
+
+    /** @{ Optional feature blocks. */
+    void addLatencyKnob();
+    void addInlineAccelEngines();
+    void addAccessProcessor(unsigned num_accelerators);
+    void addPcie();
+    void addTcam();
+    /** @} */
+
+    std::uint64_t totalAlms() const;
+    std::uint64_t totalRegisters() const;
+    std::uint64_t totalM20k() const;
+
+    double almUtilization() const;
+    double registerUtilization() const;
+    double m20kUtilization() const;
+
+    /** True when everything fits in the device. */
+    bool fits() const;
+
+    const std::vector<ResourceCost> &blocks() const { return blocks_; }
+    const DeviceCapacity &device() const { return device_; }
+
+    /** Render a Table 1 style report. */
+    std::string report() const;
+
+  private:
+    DeviceCapacity device_;
+    std::vector<ResourceCost> blocks_;
+};
+
+} // namespace contutto::fpga
+
+#endif // CONTUTTO_CONTUTTO_RESOURCES_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * One DMI memory channel: the nest-side port, the channel pair, and
+ * the buffer (Centaur or ConTutto) with its DIMMs.
+ *
+ * A POWER8 socket has eight of these (paper Figure 1); Power8System
+ * wraps a single channel for the common single-channel experiments,
+ * and MultiSlotSystem composes up to eight with the plug rules of
+ * §3.1.
+ */
+
+#ifndef CONTUTTO_CPU_CHANNEL_HH
+#define CONTUTTO_CPU_CHANNEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "centaur/centaur.hh"
+#include "contutto/contutto_card.hh"
+#include "cpu/host_port.hh"
+#include "dmi/training.hh"
+#include "mem/device.hh"
+
+namespace contutto::cpu
+{
+
+/** Which memory buffer sits in the DMI slot. */
+enum class BufferKind
+{
+    centaur,
+    contutto,
+};
+
+/** Description of one DIMM plugged behind the buffer. */
+struct DimmSpec
+{
+    mem::MemTech tech = mem::MemTech::dram;
+    std::uint64_t capacity = 4 * GiB;
+    mem::MramDevice::Junction junction =
+        mem::MramDevice::Junction::pMTJ;
+    mem::NvdimmDevice::Params nvdimm{};
+};
+
+/** Clock domains shared by the channels of a socket. */
+struct SocketClocks
+{
+    ClockDomain nest{"nest", 500};          // 2 GHz
+    ClockDomain fabric{"fabric", 4000};     // 250 MHz
+    ClockDomain centaurClk{"centaurClk", 500};
+    ClockDomain ddr{"ddr", 1500};           // DDR3-1333
+};
+
+/** Parameters of one channel. */
+struct ChannelParams
+{
+    BufferKind buffer = BufferKind::contutto;
+    centaur::CentaurModel::Config centaurConfig =
+        centaur::CentaurModel::optimized();
+    fpga::ContuttoCard::Params cardParams{};
+    std::vector<DimmSpec> dimms{DimmSpec{}, DimmSpec{}};
+    /** Lane unit interval; 0 = pick by buffer kind (125 ps for
+     *  ConTutto, 104 ps ~ 9.6 Gb/s for Centaur). */
+    Tick lanePeriod = 0;
+    double channelErrorRate = 0.0;
+    dmi::LinkTrainer::Params training{};
+    /** Fixed processor-side latency per memory command. */
+    Tick nestOverhead = nanoseconds(44);
+    /**
+     * FPGA fabric clock period, picking the link-to-fabric gearbox
+     * ratio: 4000 ps = 250 MHz = 32:1 at 8 Gb/s (the shipped
+     * design); 2000 ps = 500 MHz = 16:1; 8000 ps = 125 MHz = 64:1.
+     * Honoured by Power8System (single-channel studies); the
+     * multi-slot socket shares one fabric domain across channels.
+     */
+    Tick fabricPeriod = 4000;
+    std::uint64_t seed = 12345;
+};
+
+/** The assembled channel. */
+class MemoryChannel : public stats::StatGroup
+{
+  public:
+    MemoryChannel(const std::string &name, EventQueue &eq,
+                  const SocketClocks &clocks,
+                  stats::StatGroup *parent,
+                  const ChannelParams &params);
+    ~MemoryChannel() override;
+
+    /** Event-driven training; does not step the queue. */
+    void trainAsync(
+        std::function<void(const dmi::TrainingResult &)> cb);
+
+    HostMemPort &port() { return *port_; }
+    dmi::HostLink &hostLink() { return *hostLink_; }
+    const dmi::TrainingResult &trainingResult() const
+    {
+        return trainResult_;
+    }
+
+    fpga::ContuttoCard *card() { return card_.get(); }
+    centaur::CentaurModel *centaurBuffer() { return centaur_.get(); }
+
+    mem::MemoryDevice &dimm(unsigned i) { return *devices_.at(i); }
+    unsigned numDimms() const { return unsigned(devices_.size()); }
+    std::uint64_t memoryCapacity() const;
+
+    dmi::DmiChannel &downChannel() { return *down_; }
+    dmi::DmiChannel &upChannel() { return *up_; }
+
+    /** @{ Functional access honouring the buffer's interleave. */
+    void functionalWrite(Addr addr, std::size_t len,
+                         const std::uint8_t *data);
+    void functionalRead(Addr addr, std::size_t len,
+                        std::uint8_t *data);
+    /** @} */
+
+    /** True when no command or frame is in flight. */
+    bool quiescent() const;
+
+    const ChannelParams &params() const { return params_; }
+
+  private:
+    ChannelParams params_;
+    EventQueue &eq_;
+    std::unique_ptr<dmi::DmiChannel> down_;
+    std::unique_ptr<dmi::DmiChannel> up_;
+    std::unique_ptr<dmi::HostLink> hostLink_;
+    std::unique_ptr<dmi::BufferLink> bufferLink_;
+    std::vector<std::unique_ptr<mem::MemoryDevice>> devices_;
+    std::vector<std::unique_ptr<mem::Ddr3Controller>>
+        centaurControllers_;
+    std::unique_ptr<fpga::ContuttoCard> card_;
+    std::unique_ptr<centaur::CentaurModel> centaur_;
+    std::unique_ptr<HostMemPort> port_;
+    std::unique_ptr<dmi::LinkTrainer> trainer_;
+    dmi::TrainingResult trainResult_;
+};
+
+} // namespace contutto::cpu
+
+#endif // CONTUTTO_CPU_CHANNEL_HH

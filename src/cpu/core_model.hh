@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A simple out-of-order core model for latency-sensitivity studies.
+ *
+ * The paper's Figures 6 and 7 measure how application performance
+ * responds to memory latency. We model each application as a
+ * synthetic instruction stream characterized by its off-chip memory
+ * behaviour: LLC misses per kilo-instruction, the fraction of misses
+ * that are dependent pointer chases (serialized), the fraction that
+ * are prefetch-friendly streams (deeply overlapped), and the
+ * memory-level parallelism available for the rest. Misses are issued
+ * through the *simulated* DMI channel and memory buffer, so the
+ * measured runtime responds to the real modelled latency, including
+ * tag exhaustion effects.
+ */
+
+#ifndef CONTUTTO_CPU_CORE_MODEL_HH
+#define CONTUTTO_CPU_CORE_MODEL_HH
+
+#include <functional>
+#include <string>
+
+#include "cpu/host_port.hh"
+#include "sim/random.hh"
+
+namespace contutto::cpu
+{
+
+/** Memory-behaviour fingerprint of one application. */
+struct WorkloadProfile
+{
+    std::string name;
+    /** Core cycles per instruction with a perfect memory system. */
+    double baseCpi = 0.7;
+    /** LLC (off-chip) misses per kilo-instruction. */
+    double missesPerKiloInstr = 1.0;
+    /** Fraction of misses that are stores (write commands). */
+    double writeFraction = 0.3;
+    /** Fraction of misses that are dependent pointer chases. */
+    double chaseFraction = 0.1;
+    /** Fraction of misses that belong to prefetchable streams. */
+    double streamFraction = 0.3;
+    /** Outstanding-miss limit for ordinary (random) misses. */
+    unsigned mlp = 4;
+    /** Outstanding-miss limit for stream misses (prefetcher depth). */
+    unsigned streamMlp = 24;
+    /** Bytes the application touches (address range of misses). */
+    std::uint64_t workingSet = 64 * MiB;
+};
+
+/** Runs one profile to completion and reports the runtime. */
+class CoreModel : public SimObject
+{
+  public:
+    struct Params
+    {
+        std::uint64_t instructions = 2000000;
+        /** Per-miss processor-side overhead outside the channel. */
+        Tick nestOverhead = nanoseconds(44);
+        std::uint64_t seed = 42;
+        /** Base of the memory region this core may touch. */
+        Addr memoryBase = 0;
+    };
+
+    struct Result
+    {
+        Tick runtime = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t misses = 0;
+        double cpi = 0.0;
+        /** Instructions per second at the modelled clock. */
+        double ips = 0.0;
+    };
+
+    CoreModel(const std::string &name, EventQueue &eq,
+              const ClockDomain &domain, stats::StatGroup *parent,
+              const WorkloadProfile &profile, const Params &params,
+              HostMemPort &port);
+
+    ~CoreModel() override;
+
+    /** Begin execution; @p done fires at completion. */
+    void start(std::function<void(const Result &)> done);
+
+    bool running() const { return running_; }
+    const Result &result() const { return result_; }
+
+  private:
+    enum class MissKind
+    {
+        chase,
+        stream,
+        random,
+    };
+
+    void advance();
+    void missPoint();
+    void issueMiss(MissKind kind);
+    void missCompleted(MissKind kind);
+    void maybeFinish();
+
+    WorkloadProfile profile_;
+    Params params_;
+    HostMemPort &port_;
+    Rng rng_;
+
+    bool running_ = false;
+    std::uint64_t instructionsDone_ = 0;
+    std::uint64_t missesIssued_ = 0;
+    std::uint64_t missesDone_ = 0;
+    unsigned outstandingRandom_ = 0;
+    unsigned outstandingStream_ = 0;
+    bool chaseOutstanding_ = false;
+    bool stalled_ = false;
+    MissKind pendingKind_ = MissKind::random;
+    bool pendingMiss_ = false;
+    Addr streamCursor_ = 0;
+    Tick startedAt_ = 0;
+    std::function<void(const Result &)> done_;
+    Result result_;
+    EventFunctionWrapper advanceEvent_;
+};
+
+} // namespace contutto::cpu
+
+#endif // CONTUTTO_CPU_CORE_MODEL_HH

@@ -1,0 +1,175 @@
+#include "cpu/multi_slot.hh"
+
+namespace contutto::cpu
+{
+
+MultiSlotSystem::Validation
+MultiSlotSystem::validate(const Params &params)
+{
+    Validation v;
+    unsigned populated = 0;
+    for (unsigned s = 0; s < numSlots; ++s) {
+        const SlotSpec &spec = params.slots[s];
+        if (spec.kind == SlotKind::empty)
+            continue;
+        ++populated;
+        if (spec.kind == SlotKind::contutto) {
+            if (s % 2 != 0) {
+                v.ok = false;
+                v.error = "ConTutto cards only plug into specific "
+                          "(even) DMI slots; slot "
+                    + std::to_string(s) + " is not one";
+                return v;
+            }
+            if (s + 1 < numSlots
+                && params.slots[s + 1].kind != SlotKind::empty) {
+                v.ok = false;
+                v.error = "ConTutto in slot " + std::to_string(s)
+                    + " physically blocks slot "
+                    + std::to_string(s + 1)
+                    + ", which must be empty";
+                return v;
+            }
+        }
+    }
+    if (populated == 0) {
+        v.ok = false;
+        v.error = "no populated DMI slots";
+    }
+    return v;
+}
+
+MultiSlotSystem::MultiSlotSystem(const Params &params)
+    : stats::StatGroup("socket"), params_(params)
+{
+    Validation v = validate(params);
+    if (!v.ok)
+        fatal("plug rules: %s", v.error.c_str());
+
+    slotToChannel_.fill(nullptr);
+    for (unsigned s = 0; s < numSlots; ++s) {
+        const SlotSpec &spec = params.slots[s];
+        if (spec.kind == SlotKind::empty)
+            continue;
+        ChannelParams cp = spec.channel;
+        cp.buffer = spec.kind == SlotKind::contutto
+            ? BufferKind::contutto
+            : BufferKind::centaur;
+        cp.seed = spec.channel.seed + s * 101;
+        channels_.push_back(std::make_unique<MemoryChannel>(
+            "slot" + std::to_string(s), eq_, clocks_, this, cp));
+        slotToChannel_[s] = channels_.back().get();
+    }
+}
+
+MultiSlotSystem::~MultiSlotSystem() = default;
+
+bool
+MultiSlotSystem::trainAll()
+{
+    // The FSP trains channels in parallel on real machines; do the
+    // same here.
+    unsigned finished = 0;
+    bool all_ok = true;
+    for (auto &ch : channels_) {
+        ch->trainAsync([&](const dmi::TrainingResult &r) {
+            ++finished;
+            all_ok = all_ok && r.success;
+        });
+    }
+    while (finished < channels_.size() && eq_.step()) {
+    }
+    return all_ok && finished == channels_.size();
+}
+
+std::uint64_t
+MultiSlotSystem::totalCapacity() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_)
+        total += ch->memoryCapacity();
+    return total;
+}
+
+unsigned
+MultiSlotSystem::channelOf(Addr addr) const
+{
+    return unsigned((addr / dmi::cacheLineSize) % channels_.size());
+}
+
+Addr
+MultiSlotSystem::localAddr(Addr addr) const
+{
+    Addr line = addr / dmi::cacheLineSize;
+    return (line / channels_.size()) * dmi::cacheLineSize
+        + addr % dmi::cacheLineSize;
+}
+
+void
+MultiSlotSystem::read(Addr addr, HostMemPort::Callback cb)
+{
+    channels_[channelOf(addr)]->port().read(localAddr(addr),
+                                            std::move(cb));
+}
+
+void
+MultiSlotSystem::write(Addr addr, const dmi::CacheLine &data,
+                       HostMemPort::Callback cb)
+{
+    channels_[channelOf(addr)]->port().write(localAddr(addr), data,
+                                             std::move(cb));
+}
+
+double
+MultiSlotSystem::measureAggregateReadBandwidth(Tick window)
+{
+    // Independent sequential streams per channel, kept at full tag
+    // occupancy; payload bytes delivered inside the window count.
+    Tick start = eq_.curTick();
+    Tick end = start + window;
+    std::uint64_t bytes = 0;
+    struct Stream
+    {
+        Addr next = 0;
+    };
+    std::vector<Stream> streams(channels_.size());
+
+    std::function<void(unsigned)> issue = [&](unsigned ch) {
+        if (eq_.curTick() >= end)
+            return;
+        Addr a = streams[ch].next;
+        streams[ch].next += dmi::cacheLineSize;
+        channels_[ch]->port().read(
+            a, [&, ch](const HostOpResult &r) {
+                if (r.dataAt <= end)
+                    bytes += dmi::cacheLineSize;
+                issue(ch);
+            });
+    };
+    for (unsigned ch = 0; ch < channels_.size(); ++ch)
+        for (int k = 0; k < 40; ++k) // beyond the 32 tags
+            issue(ch);
+    eq_.run(end);
+    runUntilIdle();
+    return double(bytes) / ticksToSeconds(window) / 1e9;
+}
+
+bool
+MultiSlotSystem::runUntilIdle(Tick timeout)
+{
+    Tick deadline = eq_.curTick() + timeout;
+    for (;;) {
+        bool idle = true;
+        for (const auto &ch : channels_)
+            if (!ch->quiescent())
+                idle = false;
+        if (idle)
+            return true;
+        if (eq_.curTick() >= deadline)
+            return false;
+        if (!eq_.step())
+            return true;
+    }
+}
+
+} // namespace contutto::cpu

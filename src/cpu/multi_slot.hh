@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The full POWER8 socket memory organization (paper §2.1, §3.1).
+ *
+ * Eight DMI channels, each ending in a memory buffer: normally a
+ * CDIMM (Centaur), optionally a ConTutto card. The paper's plug
+ * rules apply: a ConTutto card is physically larger than a CDIMM,
+ * so it blocks the adjacent slot, and it may only be plugged into
+ * specific slots (modelled as the even-numbered ones). The paper
+ * validated one-ConTutto + six-CDIMM and two-ConTutto + four-CDIMM
+ * configurations; both are expressible here.
+ *
+ * Consecutive cache lines interleave across the populated channels,
+ * giving the socket-level bandwidth of Figure 1's organization.
+ */
+
+#ifndef CONTUTTO_CPU_MULTI_SLOT_HH
+#define CONTUTTO_CPU_MULTI_SLOT_HH
+
+#include <array>
+#include <optional>
+
+#include "cpu/channel.hh"
+
+namespace contutto::cpu
+{
+
+/** What occupies a DMI slot. */
+enum class SlotKind
+{
+    empty,
+    cdimm,    ///< A standard Centaur buffered DIMM.
+    contutto, ///< A ConTutto card (blocks the next slot).
+};
+
+/** One slot's configuration. */
+struct SlotSpec
+{
+    SlotKind kind = SlotKind::cdimm;
+    /** Channel parameters; buffer kind is forced from @c kind. */
+    ChannelParams channel{};
+};
+
+/** The socket. */
+class MultiSlotSystem : public stats::StatGroup
+{
+  public:
+    static constexpr unsigned numSlots = 8;
+
+    struct Params
+    {
+        std::array<SlotSpec, numSlots> slots{};
+    };
+
+    /** Outcome of plug-rule checking. */
+    struct Validation
+    {
+        bool ok = true;
+        std::string error;
+    };
+
+    /**
+     * Check the paper's plug rules: ConTutto only in even slots,
+     * and the slot next to a ConTutto must be empty.
+     */
+    static Validation validate(const Params &params);
+
+    /** @throw FatalError when the plug rules are violated. */
+    explicit MultiSlotSystem(const Params &params);
+    ~MultiSlotSystem() override;
+
+    /** Train every populated channel; true when all succeed. */
+    bool trainAll();
+
+    EventQueue &eventq() { return eq_; }
+
+    unsigned populatedChannels() const
+    {
+        return unsigned(channels_.size());
+    }
+
+    /** The channel plugged in @p slot; null when empty/blocked. */
+    MemoryChannel *channelInSlot(unsigned slot)
+    {
+        return slotToChannel_.at(slot);
+    }
+
+    /** Populated channels in slot order. */
+    MemoryChannel &channel(unsigned idx)
+    {
+        return *channels_.at(idx);
+    }
+
+    /** Total memory behind all populated channels. */
+    std::uint64_t totalCapacity() const;
+
+    /** @{ Socket-global operations: lines interleave across the
+     *  populated channels. */
+    void read(Addr addr, HostMemPort::Callback cb);
+    void write(Addr addr, const dmi::CacheLine &data,
+               HostMemPort::Callback cb);
+    /** @} */
+
+    /** Which channel index serves a global address. */
+    unsigned channelOf(Addr addr) const;
+    /** The channel-local address for a global address. */
+    Addr localAddr(Addr addr) const;
+
+    /**
+     * Saturate every channel with independent read streams for
+     * @p window simulated time; returns aggregate payload GB/s.
+     */
+    double measureAggregateReadBandwidth(Tick window =
+                                             microseconds(40));
+
+    bool runUntilIdle(Tick timeout = milliseconds(200));
+
+  private:
+    Params params_;
+    EventQueue eq_;
+    SocketClocks clocks_;
+    std::vector<std::unique_ptr<MemoryChannel>> channels_;
+    std::array<MemoryChannel *, numSlots> slotToChannel_{};
+};
+
+} // namespace contutto::cpu
+
+#endif // CONTUTTO_CPU_MULTI_SLOT_HH

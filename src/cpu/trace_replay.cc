@@ -1,0 +1,213 @@
+#include "cpu/trace_replay.hh"
+
+#include <sstream>
+
+namespace contutto::cpu
+{
+
+MemTrace
+MemTrace::parse(const std::string &text)
+{
+    MemTrace trace;
+    std::istringstream in(text);
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        double delay_ns;
+        std::string op;
+        std::string addr_s;
+        if (!(ls >> delay_ns))
+            continue; // blank
+        if (!(ls >> op >> addr_s))
+            fatal("trace line %u: expected '<delay> <r|w|R|W> "
+                  "<hex_addr>'", lineno);
+        if (op.size() != 1
+            || (op[0] != 'r' && op[0] != 'w' && op[0] != 'R'
+                && op[0] != 'W'))
+            fatal("trace line %u: bad op '%s'", lineno, op.c_str());
+        TraceRecord rec;
+        rec.delay = Tick(delay_ns * 1000.0);
+        rec.isWrite = (op[0] == 'w' || op[0] == 'W');
+        rec.dependent = (op[0] == 'R' || op[0] == 'W');
+        rec.addr = std::stoull(addr_s, nullptr, 16)
+            & ~Addr(dmi::cacheLineSize - 1);
+        trace.records.push_back(rec);
+    }
+    return trace;
+}
+
+std::string
+MemTrace::format() const
+{
+    std::ostringstream os;
+    for (const TraceRecord &r : records) {
+        char op = r.isWrite ? (r.dependent ? 'W' : 'w')
+                            : (r.dependent ? 'R' : 'r');
+        os << ticksToNs(r.delay) << " " << op << " " << std::hex
+           << r.addr << std::dec << "\n";
+    }
+    return os.str();
+}
+
+MemTrace
+MemTrace::synthesize(std::size_t n, Tick mean_delay, Addr footprint,
+                     double write_fraction,
+                     double dependent_fraction, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MemTrace trace;
+    trace.records.reserve(n);
+    std::uint64_t lines = footprint / dmi::cacheLineSize;
+    for (std::size_t i = 0; i < n; ++i) {
+        TraceRecord rec;
+        rec.delay = Tick(double(mean_delay)
+                         * (0.5 + rng.uniform()));
+        rec.addr = rng.below(lines) * dmi::cacheLineSize;
+        rec.isWrite = rng.chance(write_fraction);
+        rec.dependent = rng.chance(dependent_fraction);
+        trace.records.push_back(rec);
+    }
+    return trace;
+}
+
+TraceReplayer::TraceReplayer(const std::string &name, EventQueue &eq,
+                             const ClockDomain &domain,
+                             stats::StatGroup *parent,
+                             const Params &params, HostMemPort &port)
+    : SimObject(name, eq, domain, parent), params_(params),
+      port_(port),
+      advanceEvent_([this] { issueCurrent(); }, name + ".advance")
+{
+    ct_assert(params_.window > 0);
+}
+
+TraceReplayer::~TraceReplayer()
+{
+    if (advanceEvent_.scheduled())
+        eventq().deschedule(&advanceEvent_);
+}
+
+void
+TraceReplayer::start(const MemTrace &trace,
+                     std::function<void(const Result &)> done)
+{
+    ct_assert(!running_);
+    running_ = true;
+    trace_ = &trace;
+    next_ = 0;
+    outstanding_ = 0;
+    waitingDrain_ = false;
+    result_ = Result{};
+    startedAt_ = curTick();
+    done_ = std::move(done);
+    advance();
+}
+
+void
+TraceReplayer::advance()
+{
+    if (!running_ || waitingDrain_ || advanceEvent_.scheduled())
+        return;
+    if (next_ >= trace_->records.size()) {
+        maybeFinish();
+        return;
+    }
+    const TraceRecord &rec = trace_->records[next_];
+    result_.computeTime += rec.delay;
+    eventq().schedule(&advanceEvent_, curTick() + rec.delay);
+}
+
+void
+TraceReplayer::issueCurrent()
+{
+    const TraceRecord &rec = trace_->records[next_];
+    if (rec.dependent && outstanding_ > 0) {
+        // Drain before a dependent access.
+        waitingDrain_ = true;
+        return;
+    }
+    if (outstanding_ >= params_.window) {
+        waitingDrain_ = true; // window full: resume on completion
+        return;
+    }
+    ++next_;
+    ++outstanding_;
+    if (rec.isWrite)
+        ++result_.writes;
+    else
+        ++result_.reads;
+
+    if (params_.caches) {
+        auto filtered = params_.caches->access(rec.addr, rec.isWrite);
+        if (filtered.writeback) {
+            // Dirty L3 victim: fire-and-forget to memory, but it
+            // occupies a window slot until it lands.
+            ++outstanding_;
+            ++result_.writebacks;
+            dmi::CacheLine line{};
+            port_.write(*filtered.writeback, line,
+                        [this](const HostOpResult &) {
+                            accessDone();
+                        });
+        }
+        if (filtered.servedBy != CacheHierarchy::Level::memory) {
+            // On-chip hit: completes after the level's latency.
+            ++result_.cacheHits;
+            OneShotEvent::schedule(eventq(),
+                                   curTick() + filtered.delay,
+                                   [this] { accessDone(); });
+            advance();
+            return;
+        }
+    }
+
+    auto completion = [this](const HostOpResult &) {
+        OneShotEvent::schedule(eventq(),
+                               curTick() + params_.nestOverhead,
+                               [this] { accessDone(); });
+    };
+    if (rec.isWrite) {
+        dmi::CacheLine line{};
+        port_.write(rec.addr, line, completion);
+    } else {
+        port_.read(rec.addr, completion);
+    }
+    advance();
+}
+
+void
+TraceReplayer::accessDone()
+{
+    ct_assert(outstanding_ > 0);
+    --outstanding_;
+    if (waitingDrain_) {
+        const TraceRecord &rec = trace_->records[next_];
+        bool can_issue = rec.dependent ? outstanding_ == 0
+                                       : outstanding_
+                                             < params_.window;
+        if (can_issue) {
+            waitingDrain_ = false;
+            issueCurrent();
+        }
+    }
+    maybeFinish();
+}
+
+void
+TraceReplayer::maybeFinish()
+{
+    if (!running_ || next_ < trace_->records.size()
+        || outstanding_ > 0)
+        return;
+    running_ = false;
+    result_.runtime = curTick() - startedAt_;
+    if (done_)
+        done_(result_);
+}
+
+} // namespace contutto::cpu

@@ -1,0 +1,216 @@
+#include "dmi/codec.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace contutto::dmi
+{
+
+std::vector<DownFrame>
+encodeCommand(const MemCommand &cmd)
+{
+    ct_assert(cmd.tag < numTags);
+    ct_assert((cmd.addr & (cacheLineSize - 1)) == 0);
+
+    std::vector<DownFrame> frames;
+    DownFrame header;
+    header.type = FrameType::command;
+    header.cmdType = cmd.type;
+    header.tag = cmd.tag;
+    header.addr = cmd.addr;
+    frames.push_back(header);
+
+    if (cmd.type == CmdType::partialWrite) {
+        // Ship the 128-bit byte-enable map first.
+        DownFrame en;
+        en.type = FrameType::writeData;
+        en.tag = cmd.tag;
+        en.subIndex = enableMapSubIndex;
+        for (std::size_t byte = 0; byte < downDataChunk; ++byte) {
+            std::uint8_t v = 0;
+            for (int bit = 0; bit < 8; ++bit)
+                if (cmd.enables[byte * 8 + bit])
+                    v |= std::uint8_t(1u << bit);
+            en.data[byte] = v;
+        }
+        frames.push_back(en);
+    }
+
+    if (hasWriteData(cmd.type)) {
+        for (unsigned i = 0; i < downFramesPerLine; ++i) {
+            DownFrame d;
+            d.type = FrameType::writeData;
+            d.tag = cmd.tag;
+            d.subIndex = std::uint8_t(i);
+            std::memcpy(d.data.data(),
+                        cmd.data.data() + i * downDataChunk,
+                        downDataChunk);
+            frames.push_back(d);
+        }
+    }
+    return frames;
+}
+
+std::vector<UpFrame>
+encodeResponse(const MemResponse &resp)
+{
+    ct_assert(resp.tag < numTags);
+    std::vector<UpFrame> frames;
+    switch (resp.type) {
+      case RespType::readData:
+        for (unsigned i = 0; i < upFramesPerLine; ++i) {
+            UpFrame u;
+            u.type = FrameType::readData;
+            u.tag = resp.tag;
+            u.subIndex = std::uint8_t(i);
+            std::memcpy(u.data.data(),
+                        resp.data.data() + i * upDataChunk,
+                        upDataChunk);
+            frames.push_back(u);
+        }
+        break;
+      case RespType::done: {
+        UpFrame u;
+        u.type = FrameType::done;
+        u.doneCount = 1;
+        u.doneTags[0] = resp.tag;
+        frames.push_back(u);
+        break;
+      }
+      case RespType::swapOld: {
+        UpFrame u;
+        u.type = FrameType::swapResult;
+        u.tag = resp.tag;
+        u.swapSucceeded = resp.swapSucceeded;
+        std::memcpy(u.data.data(), resp.data.data(), 8);
+        frames.push_back(u);
+        break;
+      }
+    }
+    return frames;
+}
+
+std::optional<MemCommand>
+CommandAssembler::finishIfComplete(Pending &p)
+{
+    if (!p.haveHeader)
+        return std::nullopt;
+    if (hasWriteData(p.cmd.type)) {
+        if (p.chunksSeen != downFramesPerLine)
+            return std::nullopt;
+        if (p.cmd.type == CmdType::partialWrite && !p.haveEnables)
+            return std::nullopt;
+    }
+    MemCommand done = p.cmd;
+    p = Pending{};
+    return done;
+}
+
+std::optional<MemCommand>
+CommandAssembler::feed(const DownFrame &frame)
+{
+    switch (frame.type) {
+      case FrameType::command: {
+        Pending &p = pending_[frame.tag];
+        if (p.haveHeader)
+            panic("tag %u reused before completion", frame.tag);
+        p.active = true;
+        p.haveHeader = true;
+        p.cmd.type = frame.cmdType;
+        p.cmd.addr = frame.addr;
+        p.cmd.tag = frame.tag;
+        return finishIfComplete(p);
+      }
+      case FrameType::writeData: {
+        Pending &p = pending_[frame.tag];
+        p.active = true;
+        if (frame.subIndex == enableMapSubIndex) {
+            for (std::size_t byte = 0; byte < downDataChunk; ++byte)
+                for (int bit = 0; bit < 8; ++bit)
+                    p.cmd.enables[byte * 8 + bit] =
+                        (frame.data[byte] >> bit) & 1;
+            p.haveEnables = true;
+        } else {
+            ct_assert(frame.subIndex < downFramesPerLine);
+            std::memcpy(p.cmd.data.data()
+                            + frame.subIndex * downDataChunk,
+                        frame.data.data(), downDataChunk);
+            ++p.chunksSeen;
+        }
+        return finishIfComplete(p);
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+bool
+CommandAssembler::idle() const
+{
+    for (const Pending &p : pending_)
+        if (p.active)
+            return false;
+    return true;
+}
+
+void
+CommandAssembler::reset()
+{
+    for (Pending &p : pending_)
+        p = Pending{};
+}
+
+std::vector<MemResponse>
+ResponseAssembler::feed(const UpFrame &frame)
+{
+    std::vector<MemResponse> out;
+    switch (frame.type) {
+      case FrameType::readData: {
+        Pending &p = pending_[frame.tag];
+        p.active = true;
+        ct_assert(frame.subIndex < upFramesPerLine);
+        std::memcpy(p.data.data() + frame.subIndex * upDataChunk,
+                    frame.data.data(), upDataChunk);
+        if (++p.chunksSeen == upFramesPerLine) {
+            MemResponse r;
+            r.type = RespType::readData;
+            r.tag = frame.tag;
+            r.data = p.data;
+            p = Pending{};
+            out.push_back(r);
+        }
+        break;
+      }
+      case FrameType::done:
+        ct_assert(frame.doneCount <= 4);
+        for (unsigned i = 0; i < frame.doneCount; ++i) {
+            MemResponse r;
+            r.type = RespType::done;
+            r.tag = frame.doneTags[i];
+            out.push_back(r);
+        }
+        break;
+      case FrameType::swapResult: {
+        MemResponse r;
+        r.type = RespType::swapOld;
+        r.tag = frame.tag;
+        r.swapSucceeded = frame.swapSucceeded;
+        std::memcpy(r.data.data(), frame.data.data(), 8);
+        out.push_back(r);
+        break;
+      }
+      default:
+        break;
+    }
+    return out;
+}
+
+void
+ResponseAssembler::reset()
+{
+    for (Pending &p : pending_)
+        p = Pending{};
+}
+
+} // namespace contutto::dmi

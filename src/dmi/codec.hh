@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Conversion between memory commands/responses and DMI frames.
+ *
+ * A command becomes one command frame plus, for stores, eight 16 B
+ * write-data frames (nine for partial writes, which first ship the
+ * byte-enable map). A read response is four 32 B read-data frames;
+ * completions are done frames carrying up to four tags. Write data
+ * for different commands may be interleaved on the link (paper
+ * §3.3(iii)), so the assemblers track per-tag state.
+ */
+
+#ifndef CONTUTTO_DMI_CODEC_HH
+#define CONTUTTO_DMI_CODEC_HH
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "dmi/frame.hh"
+
+namespace contutto::dmi
+{
+
+/** Expand a command into the downstream frames that carry it. */
+std::vector<DownFrame> encodeCommand(const MemCommand &cmd);
+
+/** Expand a response into the upstream frames that carry it. */
+std::vector<UpFrame> encodeResponse(const MemResponse &resp);
+
+/**
+ * Reassembles downstream frames into complete commands.
+ *
+ * Used by the memory-buffer side (Centaur model and ConTutto MBS).
+ * Commands complete when the header and all expected data chunks for
+ * the tag have arrived, in any interleaving.
+ */
+class CommandAssembler
+{
+  public:
+    /**
+     * Feed one frame.
+     * @return a completed command if this frame finished one.
+     */
+    std::optional<MemCommand> feed(const DownFrame &frame);
+
+    /** True if any tag has partially-assembled state. */
+    bool idle() const;
+
+    /** Drop all partial state (used on channel reset). */
+    void reset();
+
+  private:
+    struct Pending
+    {
+        bool active = false;
+        bool haveHeader = false;
+        MemCommand cmd;
+        unsigned chunksSeen = 0;
+        bool haveEnables = false;
+    };
+
+    std::optional<MemCommand> finishIfComplete(Pending &p);
+
+    std::array<Pending, numTags> pending_{};
+};
+
+/**
+ * Reassembles upstream frames into complete responses.
+ *
+ * Used by the processor side. Read data arrives as four chunks which
+ * must be contiguous per tag (paper §3.3(iii): "upstream data must be
+ * sent in contiguous frames"), but we tolerate interleaving to keep
+ * the assembler general. A done frame may complete several tags; one
+ * MemResponse is produced per tag.
+ */
+class ResponseAssembler
+{
+  public:
+    /** Feed one frame; may complete several responses (done frames). */
+    std::vector<MemResponse> feed(const UpFrame &frame);
+
+    void reset();
+
+  private:
+    struct Pending
+    {
+        bool active = false;
+        CacheLine data{};
+        unsigned chunksSeen = 0;
+    };
+
+    std::array<Pending, numTags> pending_{};
+};
+
+} // namespace contutto::dmi
+
+#endif // CONTUTTO_DMI_CODEC_HH

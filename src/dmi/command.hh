@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Memory commands and responses carried over the DMI link.
+ *
+ * The DMI protocol operates on 128-byte cache lines (paper §2.2).
+ * The processor issues commands with one of 32 tags; the buffer
+ * answers with read data and/or a done indication that frees the tag
+ * (§2.3). ConTutto adds a Flush command for persistent memory
+ * (§4.2(iii)) and in-line accelerated ops (§4.3).
+ */
+
+#ifndef CONTUTTO_DMI_COMMAND_HH
+#define CONTUTTO_DMI_COMMAND_HH
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace contutto::dmi
+{
+
+/** Size of the cache-line granule all DMI operations use. */
+constexpr std::size_t cacheLineSize = 128;
+
+/** Number of command tags the processor maintains (paper §2.3). */
+constexpr unsigned numTags = 32;
+
+/** A 128-byte cache line payload. */
+using CacheLine = std::array<std::uint8_t, cacheLineSize>;
+
+/** Per-byte write enables for partial (read-modify-write) stores. */
+using ByteEnable = std::bitset<cacheLineSize>;
+
+/** Kinds of downstream commands. */
+enum class CmdType : std::uint8_t
+{
+    read128,       ///< Full cache line read.
+    write128,      ///< Full cache line write.
+    partialWrite,  ///< Byte-enabled write (atomic read-modify-write).
+    flush,         ///< ConTutto extension: persist outstanding writes.
+    minStore,      ///< In-line accel: mem[addr] = min(mem[addr], data).
+    maxStore,      ///< In-line accel: mem[addr] = max(mem[addr], data).
+    condSwap,      ///< In-line accel: compare-and-swap on first 8B.
+};
+
+/** True for command types that carry a 128B data payload downstream. */
+constexpr bool
+hasWriteData(CmdType t)
+{
+    return t == CmdType::write128 || t == CmdType::partialWrite
+        || t == CmdType::minStore || t == CmdType::maxStore
+        || t == CmdType::condSwap;
+}
+
+/** A downstream memory command. */
+struct MemCommand
+{
+    CmdType type = CmdType::read128;
+    Addr addr = 0;           ///< 128B-aligned physical address.
+    std::uint8_t tag = 0;    ///< One of the 32 processor tags.
+    CacheLine data{};        ///< Write payload (if hasWriteData).
+    ByteEnable enables;      ///< Used by partialWrite only.
+
+    std::string toString() const;
+};
+
+/** Kinds of upstream responses. */
+enum class RespType : std::uint8_t
+{
+    readData,  ///< 128B of data for a read tag (4 frames).
+    done,      ///< Command with this tag completed; tag reusable.
+    swapOld,   ///< condSwap result: previous 8B value + success flag.
+};
+
+/** An upstream response from the memory buffer. */
+struct MemResponse
+{
+    RespType type = RespType::done;
+    std::uint8_t tag = 0;
+    CacheLine data{};        ///< Valid for readData / swapOld.
+    bool swapSucceeded = false;
+
+    std::string toString() const;
+};
+
+} // namespace contutto::dmi
+
+#endif // CONTUTTO_DMI_COMMAND_HH

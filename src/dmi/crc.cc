@@ -1,0 +1,50 @@
+#include "dmi/crc.hh"
+
+#include <array>
+
+namespace contutto::dmi
+{
+
+namespace
+{
+
+constexpr std::uint16_t poly = 0x1021;
+
+constexpr std::array<std::uint16_t, 256>
+makeTable()
+{
+    std::array<std::uint16_t, 256> table{};
+    for (int b = 0; b < 256; ++b) {
+        std::uint16_t crc = std::uint16_t(b << 8);
+        for (int i = 0; i < 8; ++i) {
+            crc = (crc & 0x8000) ? std::uint16_t((crc << 1) ^ poly)
+                                 : std::uint16_t(crc << 1);
+        }
+        table[b] = crc;
+    }
+    return table;
+}
+
+constexpr auto crcTable = makeTable();
+
+} // namespace
+
+void
+Crc16::update(const std::uint8_t *data, std::size_t len)
+{
+    std::uint16_t crc = state_;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = std::uint16_t((crc << 8)
+                            ^ crcTable[((crc >> 8) ^ data[i]) & 0xFF]);
+    state_ = crc;
+}
+
+std::uint16_t
+crc16(const std::uint8_t *data, std::size_t len)
+{
+    Crc16 c;
+    c.update(data, len);
+    return c.value();
+}
+
+} // namespace contutto::dmi

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synchronous (additive) data scrambler for the DMI lanes.
+ *
+ * High-speed serial links scramble data to guarantee transition
+ * density for clock recovery (paper §3.3(i): "the data gets
+ * descrambled and forwarded 2 frames/cycle to MBI"). We model a
+ * synchronous scrambler using the PCIe/SAS LFSR polynomial
+ * x^16 + x^5 + x^4 + x^3 + 1. Both ends reset the LFSR to a common
+ * seed at the end of link training, so descrambling is XOR with the
+ * identical keystream.
+ */
+
+#ifndef CONTUTTO_DMI_SCRAMBLER_HH
+#define CONTUTTO_DMI_SCRAMBLER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace contutto::dmi
+{
+
+/** LFSR keystream generator; scramble and descramble are the same. */
+class Scrambler
+{
+  public:
+    explicit Scrambler(std::uint16_t seed = 0xFFFF) : lfsr_(seed) {}
+
+    /** Re-seed (both ends do this when training completes). */
+    void reset(std::uint16_t seed = 0xFFFF) { lfsr_ = seed; }
+
+    /** XOR the buffer with the next @p len keystream bytes. */
+    void
+    apply(std::uint8_t *data, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            data[i] ^= nextByte();
+    }
+
+    /** Advance the keystream without data (idle lanes). */
+    void
+    skip(std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            nextByte();
+    }
+
+    /** Current LFSR state, for checking end-to-end sync. */
+    std::uint16_t state() const { return lfsr_; }
+
+  private:
+    std::uint8_t
+    nextByte()
+    {
+        std::uint8_t out = 0;
+        for (int b = 0; b < 8; ++b) {
+            // Galois form of x^16 + x^5 + x^4 + x^3 + 1.
+            std::uint16_t bit = lfsr_ & 1;
+            lfsr_ >>= 1;
+            if (bit)
+                lfsr_ ^= 0xB400;
+            out = std::uint8_t((out << 1) | bit);
+        }
+        return out;
+    }
+
+    std::uint16_t lfsr_;
+};
+
+} // namespace contutto::dmi
+
+#endif // CONTUTTO_DMI_SCRAMBLER_HH

@@ -1,0 +1,95 @@
+#include "firmware/card_control.hh"
+
+namespace contutto::firmware
+{
+
+SystemCardControl::SystemCardControl(cpu::Power8System &sys)
+    : sys_(sys), fwGroup_("firmware", &sys)
+{
+    ct_assert(sys_.card() != nullptr);
+
+    // CSR wiring: identity, version, the latency knob (the
+    // "controllable from software" path of §4.1), training status.
+    regs_.defineHooked(regId, [] { return contuttoIdMagic; },
+                       nullptr);
+    regs_.define(regVersion, 0x00010002);
+    regs_.defineHooked(
+        regKnob,
+        [this] { return sys_.card()->mbs().knobPosition(); },
+        [this](std::uint32_t v) {
+            sys_.card()->mbs().setKnobPosition(v & 7);
+        });
+    regs_.defineHooked(
+        regTrainingStatus,
+        [this] {
+            const auto &r = sys_.trainingResult();
+            return std::uint32_t((r.success ? 1u : 0u)
+                                 | (std::uint32_t(r.attempts) << 8));
+        },
+        nullptr);
+    regs_.define(regResetCtrl, 0);
+    regs_.define(regScratch, 0);
+    regs_.defineHooked(
+        regErrorCount,
+        [this] {
+            return std::uint32_t(
+                sys_.card()->mbi().linkStats().rxCrcErrors.value());
+        },
+        nullptr);
+
+    FsiSlave::Params fsi_params; // indirect I2C path by default
+    fsi_ = std::make_unique<FsiSlave>("fsi", sys_.eventq(),
+                                      sys_.nestDomain(), &fwGroup_,
+                                      fsi_params, regs_);
+    for (unsigned i = 0; i < sys_.numDimms(); ++i)
+        fsi_->installSpd(i, mem::SpdRecord::forDevice(sys_.dimm(i)));
+
+    power_ = std::make_unique<PowerSequencer>(
+        "power", sys_.eventq(), sys_.nestDomain(), &fwGroup_,
+        contuttoRails());
+}
+
+void
+SystemCardControl::configureFpga(std::function<void(bool)> cb)
+{
+    // The bitstream load time itself is accounted by the boot
+    // sequencer; this reports configuration CRC success.
+    cb(true);
+}
+
+void
+SystemCardControl::pulseReset(std::function<void()> cb)
+{
+    // Independent FPGA reset: clears link-layer state so the next
+    // training attempt starts clean, without a host outage.
+    sys_.card()->mbi().resetLink();
+    cb();
+}
+
+void
+SystemCardControl::trainLink(
+    std::function<void(const dmi::TrainingResult &)> cb)
+{
+    sys_.trainAsync(std::move(cb));
+}
+
+bool
+SystemCardControl::contentPreserved(unsigned slot) const
+{
+    const mem::MemoryDevice &dev =
+        const_cast<cpu::Power8System &>(sys_).dimm(slot);
+    switch (dev.tech()) {
+      case mem::MemTech::dram:
+        return false;
+      case mem::MemTech::sttMram:
+        return true;
+      case mem::MemTech::nvdimmN: {
+        const auto &nv = static_cast<const mem::NvdimmDevice &>(dev);
+        return nv.state() == mem::NvdimmDevice::State::normal
+            || nv.state() == mem::NvdimmDevice::State::saved;
+      }
+    }
+    return false;
+}
+
+} // namespace contutto::firmware

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bridges the firmware layer to a simulated Power8System's ConTutto
+ * card: register file wiring (knob, identity, training status), FSI
+ * slave with the DIMM SPDs, and the power sequencer.
+ */
+
+#ifndef CONTUTTO_FIRMWARE_CARD_CONTROL_HH
+#define CONTUTTO_FIRMWARE_CARD_CONTROL_HH
+
+#include <memory>
+
+#include "cpu/system.hh"
+#include "firmware/boot.hh"
+
+namespace contutto::firmware
+{
+
+/** CardControl over a live simulated system. */
+class SystemCardControl : public CardControl
+{
+  public:
+    explicit SystemCardControl(cpu::Power8System &sys);
+
+    FsiSlave &fsi() override { return *fsi_; }
+    PowerSequencer &power() override { return *power_; }
+    unsigned numDimmSlots() const override
+    {
+        return sys_.numDimms();
+    }
+    void configureFpga(std::function<void(bool)> cb) override;
+    void pulseReset(std::function<void()> cb) override;
+    void trainLink(
+        std::function<void(const dmi::TrainingResult &)> cb) override;
+    bool contentPreserved(unsigned slot) const override;
+
+    RegisterFile &registers() { return regs_; }
+
+  private:
+    cpu::Power8System &sys_;
+    RegisterFile regs_;
+    stats::StatGroup fwGroup_;
+    std::unique_ptr<FsiSlave> fsi_;
+    std::unique_ptr<PowerSequencer> power_;
+};
+
+} // namespace contutto::firmware
+
+#endif // CONTUTTO_FIRMWARE_CARD_CONTROL_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The service processor's long-term error log.
+ *
+ * The FSP "maintains long-term logs of faults and errors on each
+ * piece of hardware, and disables hardware that generates too many
+ * errors" (paper §3.2).
+ */
+
+#ifndef CONTUTTO_FIRMWARE_ERROR_LOG_HH
+#define CONTUTTO_FIRMWARE_ERROR_LOG_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace contutto::firmware
+{
+
+/** Fault severity. */
+enum class Severity
+{
+    info,
+    recoverable,
+    unrecoverable,
+};
+
+/** One log entry. */
+struct ErrorEntry
+{
+    Tick when = 0;
+    std::string component;
+    Severity severity = Severity::info;
+    std::string message;
+};
+
+/** The FSP's persistent log with deconfiguration policy. */
+class ErrorLog
+{
+  public:
+    /** @param deconfig_threshold recoverable errors tolerated per
+     *         component before it is disabled. */
+    explicit ErrorLog(unsigned deconfig_threshold = 8)
+        : threshold_(deconfig_threshold)
+    {}
+
+    void
+    record(Tick when, const std::string &component, Severity sev,
+           const std::string &message)
+    {
+        entries_.push_back(ErrorEntry{when, component, sev, message});
+        if (sev == Severity::unrecoverable) {
+            deconfigured_.insert(component);
+        } else if (sev == Severity::recoverable) {
+            if (++recoverableCount_[component] >= threshold_)
+                deconfigured_.insert(component);
+        }
+    }
+
+    bool
+    isDeconfigured(const std::string &component) const
+    {
+        return deconfigured_.count(component) != 0;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    const std::vector<ErrorEntry> &entries() const { return entries_; }
+
+    unsigned
+    recoverableCount(const std::string &component) const
+    {
+        auto it = recoverableCount_.find(component);
+        return it == recoverableCount_.end() ? 0 : it->second;
+    }
+
+  private:
+    unsigned threshold_;
+    std::vector<ErrorEntry> entries_;
+    std::map<std::string, unsigned> recoverableCount_;
+    std::set<std::string> deconfigured_;
+};
+
+} // namespace contutto::firmware
+
+#endif // CONTUTTO_FIRMWARE_ERROR_LOG_HH

@@ -1,0 +1,106 @@
+#include "firmware/memory_map.hh"
+
+#include <algorithm>
+
+namespace contutto::firmware
+{
+
+std::uint64_t
+MemoryMap::dramBytes() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &e : entries)
+        if (e.tech == mem::MemTech::dram)
+            sum += e.osVisibleSize;
+    return sum;
+}
+
+std::uint64_t
+MemoryMap::nonVolatileBytes() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &e : entries)
+        if (e.tech != mem::MemTech::dram)
+            sum += e.osVisibleSize;
+    return sum;
+}
+
+const MemoryMapEntry *
+MemoryMap::entryFor(Addr addr) const
+{
+    for (const auto &e : entries)
+        if (addr >= e.base && addr < e.base + e.osVisibleSize)
+            return &e;
+    return nullptr;
+}
+
+MemoryMap
+buildMemoryMap(const std::vector<ModuleInfo> &modules,
+               std::uint64_t hwGranule, Addr addressSpaceTop)
+{
+    MemoryMap map;
+
+    std::vector<ModuleInfo> dram;
+    std::vector<ModuleInfo> nonvol;
+    for (const ModuleInfo &m : modules) {
+        if (m.actualSize == 0)
+            continue;
+        if (m.tech == mem::MemTech::dram)
+            dram.push_back(m);
+        else
+            nonvol.push_back(m);
+    }
+
+    if (dram.empty()) {
+        map.error = "Linux requires DRAM at the start of the memory "
+                    "map and no DRAM module was found";
+        return map;
+    }
+
+    // DRAM: sorted largest-first into one contiguous block at zero.
+    std::sort(dram.begin(), dram.end(),
+              [](const ModuleInfo &a, const ModuleInfo &b) {
+                  return a.actualSize > b.actualSize;
+              });
+    Addr cursor = 0;
+    for (const ModuleInfo &m : dram) {
+        MemoryMapEntry e;
+        e.base = cursor;
+        e.osVisibleSize = m.actualSize;
+        e.hwWindowSize = std::max(m.actualSize, hwGranule);
+        e.tech = m.tech;
+        e.contentPreserved = false;
+        e.moduleIndex = m.moduleIndex;
+        map.entries.push_back(e);
+        cursor += e.hwWindowSize;
+    }
+
+    // Non-volatile: enforced to the top of the map, growing down.
+    Addr top = addressSpaceTop;
+    for (const ModuleInfo &m : nonvol) {
+        std::uint64_t window = std::max(m.actualSize, hwGranule);
+        if (top < window + cursor) {
+            map.error = "address space exhausted placing "
+                        "non-volatile modules";
+            map.entries.clear();
+            return map;
+        }
+        top -= window;
+        MemoryMapEntry e;
+        e.base = top;
+        // The processor sees a 4 GiB window; the OS only ever
+        // touches the true megabyte-scale capacity (the MRAM size
+        // "lie", paper §3.4).
+        e.osVisibleSize = m.actualSize;
+        e.hwWindowSize = window;
+        e.tech = m.tech;
+        e.contentPreserved = m.contentPreserved;
+        e.moduleIndex = m.moduleIndex;
+        map.entries.push_back(e);
+    }
+
+    map.valid = true;
+    return map;
+}
+
+} // namespace contutto::firmware

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Firmware memory-map construction rules (paper §3.4).
+ *
+ * DRAM is sorted into a contiguous block starting at zero (Linux
+ * requires DRAM at the start of the memory map). Non-volatile
+ * modules are enforced to the top of the map, flagged with their
+ * technology and whether content was preserved, so the OS can route
+ * them to the right drivers. MRAM modules are megabyte-scale but the
+ * processor's smallest size behind a DMI link is 4 GB, so firmware
+ * "lies": the hardware window is 4 GB while the OS-visible size is
+ * the true capacity.
+ */
+
+#ifndef CONTUTTO_FIRMWARE_MEMORY_MAP_HH
+#define CONTUTTO_FIRMWARE_MEMORY_MAP_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/device.hh"
+
+namespace contutto::firmware
+{
+
+/** What firmware learned about one module (from SPD + state). */
+struct ModuleInfo
+{
+    mem::MemTech tech = mem::MemTech::dram;
+    std::uint64_t actualSize = 0;
+    /** NVDIMM restore succeeded / MRAM retained contents. */
+    bool contentPreserved = false;
+    /** Which physical module this is (for the OS handle). */
+    unsigned moduleIndex = 0;
+};
+
+/** One region in the constructed map. */
+struct MemoryMapEntry
+{
+    Addr base = 0;
+    /** Size the OS sees (the true capacity). */
+    std::uint64_t osVisibleSize = 0;
+    /** Size the processor is told (>= 4 GiB granule). */
+    std::uint64_t hwWindowSize = 0;
+    mem::MemTech tech = mem::MemTech::dram;
+    bool contentPreserved = false;
+    unsigned moduleIndex = 0;
+};
+
+/** The constructed map. */
+struct MemoryMap
+{
+    std::vector<MemoryMapEntry> entries;
+    /** True when the layout satisfies the OS's requirements. */
+    bool valid = false;
+    std::string error;
+
+    /** Total OS-visible DRAM. */
+    std::uint64_t dramBytes() const;
+    /** Total OS-visible non-volatile memory. */
+    std::uint64_t nonVolatileBytes() const;
+    /** The entry containing @p addr, or null. */
+    const MemoryMapEntry *entryFor(Addr addr) const;
+};
+
+/**
+ * Build the map.
+ *
+ * @param modules everything firmware detected.
+ * @param hwGranule smallest size the processor supports behind a
+ *        DMI link (4 GiB on POWER8).
+ * @param addressSpaceTop where the non-volatile region grows down
+ *        from.
+ */
+MemoryMap buildMemoryMap(const std::vector<ModuleInfo> &modules,
+                         std::uint64_t hwGranule = 4 * GiB,
+                         Addr addressSpaceTop = 2048 * GiB);
+
+} // namespace contutto::firmware
+
+#endif // CONTUTTO_FIRMWARE_MEMORY_MAP_HH

@@ -1,0 +1,111 @@
+#include "firmware/power_seq.hh"
+
+namespace contutto::firmware
+{
+
+std::vector<Rail>
+contuttoRails()
+{
+    // Stratix V power-up order: core first, then auxiliary, then the
+    // I/O and the quiet transceiver analog rails from LDOs.
+    return {
+        {"VCC_0V85_core", 0.85, microseconds(800), false},
+        {"VCCAUX_2V5", 2.5, microseconds(500), false},
+        {"VCCIO_1V5", 1.5, microseconds(400), false},
+        {"VCCA_GXB_3V0", 3.0, microseconds(600), false},
+        {"VCCT_GXB_1V1", 1.1, microseconds(300), false},
+    };
+}
+
+PowerSequencer::PowerSequencer(const std::string &name, EventQueue &eq,
+                               const ClockDomain &domain,
+                               stats::StatGroup *parent,
+                               std::vector<Rail> rails)
+    : SimObject(name, eq, domain, parent), rails_(std::move(rails)),
+      rampEvent_([this] { rampNext(); }, name + ".ramp"),
+      powerCycles_(this, "powerCycles", "completed power-up cycles"),
+      faults_(this, "faults", "rail faults seen")
+{
+    ct_assert(!rails_.empty());
+}
+
+PowerSequencer::~PowerSequencer()
+{
+    if (rampEvent_.scheduled())
+        eventq().deschedule(&rampEvent_);
+}
+
+void
+PowerSequencer::powerUp(std::function<void(bool)> cb)
+{
+    ct_assert(state_ == State::off || state_ == State::fault);
+    state_ = State::rampingUp;
+    railIndex_ = 0;
+    faultedRail_.clear();
+    upCb_ = std::move(cb);
+    scheduleClocked(&rampEvent_, 0);
+}
+
+void
+PowerSequencer::powerDown(std::function<void()> cb)
+{
+    // Modelled as a single reverse-order ramp; faults cannot occur
+    // on the way down.
+    state_ = State::rampingDown;
+    Tick total = 0;
+    for (const Rail &r : rails_)
+        total += r.rampTime / 4; // discharge is quicker
+    downCb_ = std::move(cb);
+    OneShotEvent::schedule(eventq(), curTick() + total, [this] {
+        state_ = State::off;
+        if (downCb_)
+            downCb_();
+    });
+}
+
+void
+PowerSequencer::rampNext()
+{
+    ct_assert(state_ == State::rampingUp);
+    if (railIndex_ > 0) {
+        // The rail that just finished ramping is checked by the
+        // monitor before the next one starts.
+        const Rail &done = rails_[railIndex_ - 1];
+        if (done.faulty) {
+            state_ = State::fault;
+            faultedRail_ = done.name;
+            ++faults_;
+            if (upCb_)
+                upCb_(false);
+            return;
+        }
+    }
+    if (railIndex_ == rails_.size()) {
+        state_ = State::on;
+        ++powerCycles_;
+        if (upCb_)
+            upCb_(true);
+        return;
+    }
+    const Rail &rail = rails_[railIndex_++];
+    eventq().schedule(&rampEvent_, curTick() + rail.rampTime);
+}
+
+void
+PowerSequencer::injectFault(const std::string &name, bool faulty)
+{
+    for (Rail &r : rails_)
+        if (r.name == name)
+            r.faulty = faulty;
+}
+
+Tick
+PowerSequencer::powerUpTime() const
+{
+    Tick total = 0;
+    for (const Rail &r : rails_)
+        total += r.rampTime;
+    return total;
+}
+
+} // namespace contutto::firmware

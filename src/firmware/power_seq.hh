@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FPGA power sequencing.
+ *
+ * ConTutto derives all local voltages from the 12 V GPU power
+ * connector through switching regulators and LDOs; the service
+ * processor sequences the rails per the FPGA's power-up rules and
+ * monitors them via the FSI slave (paper §3.2). The firmware can
+ * also cycle the FPGA's power/reset independently of the host, which
+ * makes training retries cheap (§3.4).
+ */
+
+#ifndef CONTUTTO_FIRMWARE_POWER_SEQ_HH
+#define CONTUTTO_FIRMWARE_POWER_SEQ_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_object.hh"
+
+namespace contutto::firmware
+{
+
+/** One voltage rail. */
+struct Rail
+{
+    std::string name;
+    double volts;
+    Tick rampTime;
+    /** Set by tests to model a failed regulator. */
+    bool faulty = false;
+};
+
+/** The default ConTutto rail set, in required bring-up order. */
+std::vector<Rail> contuttoRails();
+
+/** Sequences rails up/down and reports state. */
+class PowerSequencer : public SimObject
+{
+  public:
+    enum class State
+    {
+        off,
+        rampingUp,
+        on,
+        rampingDown,
+        fault,
+    };
+
+    PowerSequencer(const std::string &name, EventQueue &eq,
+                   const ClockDomain &domain,
+                   stats::StatGroup *parent, std::vector<Rail> rails);
+
+    ~PowerSequencer() override;
+
+    /** Bring rails up in order; cb(success). */
+    void powerUp(std::function<void(bool)> cb);
+
+    /** Bring rails down in reverse order; cb always succeeds. */
+    void powerDown(std::function<void()> cb);
+
+    State state() const { return state_; }
+    bool isOn() const { return state_ == State::on; }
+
+    /** Name of the rail that faulted, when state() == fault. */
+    const std::string &faultedRail() const { return faultedRail_; }
+
+    /** Inject a regulator fault into rail @p name. */
+    void injectFault(const std::string &name, bool faulty);
+
+    /** Total time a full power-up takes with healthy rails. */
+    Tick powerUpTime() const;
+
+  private:
+    void rampNext();
+
+    std::vector<Rail> rails_;
+    State state_ = State::off;
+    std::size_t railIndex_ = 0;
+    std::string faultedRail_;
+    std::function<void(bool)> upCb_;
+    std::function<void()> downCb_;
+    EventFunctionWrapper rampEvent_;
+    stats::Scalar powerCycles_;
+    stats::Scalar faults_;
+};
+
+} // namespace contutto::firmware
+
+#endif // CONTUTTO_FIRMWARE_POWER_SEQ_HH

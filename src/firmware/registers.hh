@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The FPGA's control/status register space.
+ *
+ * ConTutto's internal registers are reached indirectly: FSI slave to
+ * I2C master to FPGA register (paper §3.4). This file models the
+ * register file itself; the access-path timing lives in fsi.hh.
+ */
+
+#ifndef CONTUTTO_FIRMWARE_REGISTERS_HH
+#define CONTUTTO_FIRMWARE_REGISTERS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace contutto::firmware
+{
+
+/** Well-known ConTutto CSR addresses. */
+enum : std::uint32_t
+{
+    regId = 0x00,           ///< Reads the card identity magic.
+    regVersion = 0x04,
+    regKnob = 0x08,          ///< Latency knob position (§4.1).
+    regTrainingStatus = 0x0C,
+    regResetCtrl = 0x10,
+    regScratch = 0x14,
+    regErrorCount = 0x18,
+};
+
+/** Identity magic a ConTutto card returns from regId. */
+constexpr std::uint32_t contuttoIdMagic = 0xC0417770;
+
+/** A 32-bit CSR file with per-register access hooks. */
+class RegisterFile
+{
+  public:
+    using ReadHook = std::function<std::uint32_t()>;
+    using WriteHook = std::function<void(std::uint32_t)>;
+
+    /** Define a plain storage register with a reset value. */
+    void
+    define(std::uint32_t addr, std::uint32_t reset_value = 0)
+    {
+        regs_[addr] = Reg{reset_value, nullptr, nullptr};
+    }
+
+    /** Define a register backed by hooks (either may be null). */
+    void
+    defineHooked(std::uint32_t addr, ReadHook rd, WriteHook wr)
+    {
+        regs_[addr] = Reg{0, std::move(rd), std::move(wr)};
+    }
+
+    bool exists(std::uint32_t addr) const
+    {
+        return regs_.count(addr) != 0;
+    }
+
+    std::uint32_t
+    read(std::uint32_t addr) const
+    {
+        auto it = regs_.find(addr);
+        if (it == regs_.end())
+            return 0xFFFFFFFF; // bus error pattern
+        if (it->second.rd)
+            return it->second.rd();
+        return it->second.value;
+    }
+
+    void
+    write(std::uint32_t addr, std::uint32_t value)
+    {
+        auto it = regs_.find(addr);
+        if (it == regs_.end())
+            return; // writes to holes are dropped
+        if (it->second.wr)
+            it->second.wr(value);
+        else
+            it->second.value = value;
+    }
+
+  private:
+    struct Reg
+    {
+        std::uint32_t value;
+        ReadHook rd;
+        WriteHook wr;
+    };
+
+    std::map<std::uint32_t, Reg> regs_;
+};
+
+} // namespace contutto::firmware
+
+#endif // CONTUTTO_FIRMWARE_REGISTERS_HH

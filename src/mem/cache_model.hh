@@ -1,0 +1,202 @@
+/**
+ * @file
+ * A tag-only set-associative cache model with LRU replacement.
+ *
+ * Used for the Centaur memory buffer's 16 MB eDRAM cache and for the
+ * processor-side cache hierarchy. Tag-only: functional data always
+ * lives in the MemImage (there is a single coherent requester per
+ * image in this system), so the cache tracks presence and dirtiness
+ * to decide timing, fills and writebacks.
+ */
+
+#ifndef CONTUTTO_MEM_CACHE_MODEL_HH
+#define CONTUTTO_MEM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace contutto::mem
+{
+
+/** Tag-only LRU cache. */
+class CacheModel
+{
+  public:
+    /**
+     * @param capacity total bytes.
+     * @param line_size bytes per line.
+     * @param ways associativity.
+     */
+    CacheModel(std::uint64_t capacity, unsigned line_size,
+               unsigned ways)
+        : lineSize_(line_size), ways_(ways),
+          numSets_(unsigned(capacity / line_size / ways)),
+          sets_(std::size_t(numSets_) * ways)
+    {
+        ct_assert(line_size > 0 && ways > 0);
+        ct_assert(capacity % (std::uint64_t(line_size) * ways) == 0);
+        ct_assert(numSets_ > 0);
+    }
+
+    /** Result of a fill: the evicted dirty victim, if any. */
+    struct Victim
+    {
+        Addr lineAddr;
+        bool dirty;
+    };
+
+    /** True when the line holding @p addr is present; updates LRU. */
+    bool
+    lookup(Addr addr)
+    {
+        Way *w = find(addr);
+        if (w) {
+            touch(*w);
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
+
+    /** Presence check without LRU or stats side effects. */
+    bool
+    probe(Addr addr) const
+    {
+        return const_cast<CacheModel *>(this)->find(addr) != nullptr;
+    }
+
+    /**
+     * Insert the line for @p addr (no-op if present).
+     * @return an evicted victim when one had to make room.
+     */
+    std::optional<Victim>
+    fill(Addr addr, bool dirty = false)
+    {
+        Way *w = find(addr);
+        if (w) {
+            w->dirty = w->dirty || dirty;
+            touch(*w);
+            return std::nullopt;
+        }
+        unsigned set = setOf(addr);
+        Way *victim = nullptr;
+        for (unsigned i = 0; i < ways_; ++i) {
+            Way &cand = sets_[std::size_t(set) * ways_ + i];
+            if (!cand.valid) {
+                victim = &cand;
+                break;
+            }
+            if (!victim || cand.lru < victim->lru)
+                victim = &cand;
+        }
+        std::optional<Victim> out;
+        if (victim->valid) {
+            out = Victim{victim->tag * std::uint64_t(numSets_)
+                                 * lineSize_
+                             + Addr(set) * lineSize_,
+                         victim->dirty};
+            ++evictions_;
+        }
+        victim->valid = true;
+        victim->tag = tagOf(addr);
+        victim->dirty = dirty;
+        touch(*victim);
+        return out;
+    }
+
+    /** Mark the line dirty (write hit); returns false on miss. */
+    bool
+    writeHit(Addr addr)
+    {
+        Way *w = find(addr);
+        if (!w) {
+            ++misses_;
+            return false;
+        }
+        w->dirty = true;
+        touch(*w);
+        ++hits_;
+        return true;
+    }
+
+    /** Drop a line if present (invalidation). */
+    void
+    invalidate(Addr addr)
+    {
+        Way *w = find(addr);
+        if (w)
+            w->valid = false;
+    }
+
+    /** Drop everything. */
+    void
+    invalidateAll()
+    {
+        for (Way &w : sets_)
+            w.valid = false;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    unsigned lineSize() const { return lineSize_; }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits_ + misses_;
+        return total ? double(hits_) / double(total) : 0.0;
+    }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+    };
+
+    unsigned setOf(Addr addr) const
+    {
+        return unsigned((addr / lineSize_) % numSets_);
+    }
+
+    std::uint64_t tagOf(Addr addr) const
+    {
+        return addr / lineSize_ / numSets_;
+    }
+
+    Way *
+    find(Addr addr)
+    {
+        unsigned set = setOf(addr);
+        std::uint64_t tag = tagOf(addr);
+        for (unsigned i = 0; i < ways_; ++i) {
+            Way &w = sets_[std::size_t(set) * ways_ + i];
+            if (w.valid && w.tag == tag)
+                return &w;
+        }
+        return nullptr;
+    }
+
+    void touch(Way &w) { w.lru = ++lruClock_; }
+
+    unsigned lineSize_;
+    unsigned ways_;
+    unsigned numSets_;
+    std::vector<Way> sets_;
+    std::uint64_t lruClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace contutto::mem
+
+#endif // CONTUTTO_MEM_CACHE_MODEL_HH

@@ -1,0 +1,160 @@
+#include "mem/ddr3_controller.hh"
+
+namespace contutto::mem
+{
+
+namespace
+{
+/** Bytes per bank row (column span): 8 KiB, a typical DDR3 page. */
+constexpr std::uint64_t rowBytes = 8192;
+} // namespace
+
+Ddr3Controller::Ddr3Controller(const std::string &name, EventQueue &eq,
+                               const ClockDomain &domain,
+                               stats::StatGroup *parent,
+                               const Params &params,
+                               MemoryDevice &device)
+    : SimObject(name, eq, domain, parent), params_(params),
+      device_(device), banks_(params.numBanks),
+      issueEvent_([this] { tryIssue(); }, name + ".issue"),
+      refreshEvent_([this] { refreshTick(); }, name + ".refresh"),
+      stats_{{this, "reads", "read requests served"},
+             {this, "writes", "write requests served"},
+             {this, "rowHits", "column accesses hitting an open row"},
+             {this, "rowMisses", "accesses needing activate"},
+             {this, "refreshes", "all-bank refreshes performed"},
+             {this, "accessLatency", "submit-to-done latency (ns)"}}
+{
+    ct_assert(params_.numBanks > 0);
+    if (device_.needsRefresh())
+        eventq().schedule(&refreshEvent_,
+                          curTick() + params_.timing.tREFI);
+}
+
+Ddr3Controller::~Ddr3Controller()
+{
+    if (issueEvent_.scheduled())
+        eventq().deschedule(&issueEvent_);
+    if (refreshEvent_.scheduled())
+        eventq().deschedule(&refreshEvent_);
+}
+
+unsigned
+Ddr3Controller::bankOf(Addr addr) const
+{
+    return unsigned((addr >> params_.bankInterleaveShift)
+                    % params_.numBanks);
+}
+
+std::uint64_t
+Ddr3Controller::rowOf(Addr addr) const
+{
+    return addr / (rowBytes * params_.numBanks);
+}
+
+void
+Ddr3Controller::submit(const MemRequestPtr &req)
+{
+    ct_assert(req != nullptr);
+    ct_assert(req->size > 0 && req->size <= dmi::cacheLineSize);
+    if (!canAccept())
+        panic("%s: request queue overflow", name().c_str());
+    queue_.emplace_back(req, curTick());
+    if (!issueEvent_.scheduled())
+        eventq().schedule(&issueEvent_, curTick());
+}
+
+void
+Ddr3Controller::tryIssue()
+{
+    const DramTiming &t = params_.timing;
+    while (!queue_.empty()) {
+        auto [req, submitted] = queue_.front();
+        queue_.pop_front();
+        ++inFlight_;
+
+        // Command reaches the bank scheduler after the controller's
+        // frontend pipeline, and never during an all-bank refresh.
+        Tick start = std::max({curTick() + params_.frontendLatency,
+                               refreshUntil_});
+        Bank &bank = banks_[bankOf(req->addr)];
+        start = std::max(start, bank.readyAt);
+
+        std::uint64_t row = rowOf(req->addr);
+        if (bank.open && bank.row == row) {
+            ++stats_.rowHits;
+        } else {
+            ++stats_.rowMisses;
+            if (bank.open)
+                start += t.tRP; // close the loser row first
+            start += t.tRCD;
+            bank.open = true;
+            bank.row = row;
+        }
+
+        // Column access latency, then burst(s) on the shared bus.
+        Tick col = req->isWrite ? (t.tCL > t.tCK ? t.tCL - t.tCK
+                                                 : t.tCL)
+                                : t.tCL;
+        unsigned bursts =
+            unsigned((req->size + t.burstBytes() - 1) / t.burstBytes());
+        Tick bus_ready = busFreeAt_;
+        if (anyTransfer_ && req->isWrite != lastWasWrite_)
+            bus_ready += params_.busTurnaround;
+        Tick data_start = std::max(start + col, bus_ready);
+        Tick extra = req->isWrite ? device_.extraWriteLatency()
+                                  : device_.extraReadLatency();
+        Tick data_end =
+            data_start + Tick(bursts) * t.burstTime() + extra;
+        busFreeAt_ = data_end;
+        lastWasWrite_ = req->isWrite;
+        anyTransfer_ = true;
+        bank.readyAt = data_end + (req->isWrite ? t.tWR : 0);
+
+        Tick done_at = data_end + params_.frontendLatency;
+        MemRequestPtr r = req;
+        Tick sub = submitted;
+        OneShotEvent::schedule(eventq(), done_at,
+                               [this, r, sub] { complete(r, sub); });
+    }
+}
+
+void
+Ddr3Controller::complete(const MemRequestPtr &req, Tick submitted)
+{
+    --inFlight_;
+    if (req->isWrite) {
+        if (req->masked)
+            device_.image().writeMasked(req->addr, req->data,
+                                        req->enables);
+        else
+            device_.image().write(req->addr, req->size,
+                                  req->data.data());
+        device_.noteWrite(req->addr, req->size);
+        ++stats_.writes;
+    } else {
+        device_.image().read(req->addr, req->size, req->data.data());
+        device_.noteRead(req->size);
+        ++stats_.reads;
+    }
+    req->completedAt = curTick();
+    stats_.accessLatency.sample(ticksToNs(curTick() - submitted));
+    if (req->onDone)
+        req->onDone(*req);
+}
+
+void
+Ddr3Controller::refreshTick()
+{
+    const DramTiming &t = params_.timing;
+    // All-bank refresh: banks close and the device is busy for tRFC.
+    for (Bank &b : banks_) {
+        b.open = false;
+        b.readyAt = std::max(b.readyAt, curTick() + t.tRFC);
+    }
+    refreshUntil_ = std::max(busFreeAt_, curTick()) + t.tRFC;
+    ++stats_.refreshes;
+    eventq().schedule(&refreshEvent_, curTick() + t.tREFI);
+}
+
+} // namespace contutto::mem

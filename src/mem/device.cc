@@ -1,0 +1,163 @@
+#include "mem/device.hh"
+
+namespace contutto::mem
+{
+
+const char *
+memTechName(MemTech t)
+{
+    switch (t) {
+      case MemTech::dram: return "DRAM";
+      case MemTech::sttMram: return "STT-MRAM";
+      case MemTech::nvdimmN: return "NVDIMM-N";
+    }
+    return "?";
+}
+
+MemoryDevice::MemoryDevice(const std::string &name, EventQueue &eq,
+                           const ClockDomain &domain,
+                           stats::StatGroup *parent,
+                           std::uint64_t capacity, MemTech tech)
+    : SimObject(name, eq, domain, parent), image_(capacity),
+      devStats_{{this, "bytesRead", "bytes read from the device"},
+                {this, "bytesWritten", "bytes written to the device"},
+                {this, "powerLossEvents", "power loss events seen"}},
+      tech_(tech)
+{}
+
+void
+MemoryDevice::noteWrite(Addr addr, std::size_t len)
+{
+    devStats_.bytesWritten += double(len);
+    Addr first = addr / dmi::cacheLineSize;
+    Addr last = (addr + len - 1) / dmi::cacheLineSize;
+    std::uint64_t limit = enduranceLimit();
+    for (Addr blk = first; blk <= last; ++blk) {
+        std::uint64_t &count = blockWrites_[blk];
+        ++count;
+        if (count > maxBlockWrites_)
+            maxBlockWrites_ = count;
+        if (limit && count == limit + 1)
+            ++wornBlocks_;
+    }
+}
+
+DramDevice::DramDevice(const std::string &name, EventQueue &eq,
+                       const ClockDomain &domain,
+                       stats::StatGroup *parent, std::uint64_t capacity)
+    : MemoryDevice(name, eq, domain, parent, capacity, MemTech::dram)
+{}
+
+void
+DramDevice::powerLoss()
+{
+    ++devStats_.powerLossEvents;
+    image_.clear(); // volatile: contents are gone
+}
+
+MramDevice::MramDevice(const std::string &name, EventQueue &eq,
+                       const ClockDomain &domain,
+                       stats::StatGroup *parent, std::uint64_t capacity,
+                       Junction junction)
+    : MemoryDevice(name, eq, domain, parent, capacity,
+                   MemTech::sttMram),
+      junction_(junction)
+{}
+
+void
+MramDevice::powerLoss()
+{
+    ++devStats_.powerLossEvents;
+    // Magnetic tunnel junctions retain state: nothing to do.
+}
+
+NvdimmDevice::NvdimmDevice(const std::string &name, EventQueue &eq,
+                           const ClockDomain &domain,
+                           stats::StatGroup *parent,
+                           std::uint64_t capacity, const Params &params)
+    : MemoryDevice(name, eq, domain, parent, capacity,
+                   MemTech::nvdimmN),
+      params_(params), flash_(capacity),
+      transferDone_([this] {
+          if (state_ == State::saving)
+              saveComplete();
+          else if (state_ == State::restoring)
+              restoreComplete();
+      }, name + ".transferDone"),
+      saves_(this, "saves", "completed DRAM-to-flash saves"),
+      restores_(this, "restores", "completed flash-to-DRAM restores"),
+      dataLossEvents_(this, "dataLossEvents",
+                      "saves aborted by supercap exhaustion")
+{}
+
+Tick
+NvdimmDevice::saveDuration() const
+{
+    double secs = double(capacity()) / params_.flashBandwidth;
+    return Tick(secs * 1e12);
+}
+
+void
+NvdimmDevice::powerLoss()
+{
+    ++devStats_.powerLossEvents;
+    if (state_ != State::normal)
+        return;
+    double needed = params_.joulesPerGiB
+        * (double(capacity()) / double(GiB));
+    if (!params_.charged || params_.supercapJoules < needed) {
+        // The save cannot complete: contents are lost, as on a real
+        // module with a failed backup power source.
+        image_.clear();
+        state_ = State::lost;
+        ++dataLossEvents_;
+        return;
+    }
+    state_ = State::saving;
+    params_.supercapJoules -= needed;
+    eventq().schedule(&transferDone_, curTick() + saveDuration());
+}
+
+void
+NvdimmDevice::saveComplete()
+{
+    flash_.copyFrom(image_);
+    image_.clear(); // DRAM array loses power after the copy
+    state_ = State::saved;
+    ++saves_;
+}
+
+void
+NvdimmDevice::powerRestore()
+{
+    switch (state_) {
+      case State::saved:
+        state_ = State::restoring;
+        eventq().schedule(&transferDone_, curTick() + saveDuration());
+        break;
+      case State::lost:
+      case State::normal:
+        state_ = State::normal;
+        break;
+      case State::saving:
+        // Power returned mid-save; the module finishes the save and
+        // will restore afterwards. Modelled as restore after the
+        // in-flight save completes; keep it simple: let the save
+        // complete, firmware polls state.
+        break;
+      case State::restoring:
+        break;
+    }
+}
+
+void
+NvdimmDevice::restoreComplete()
+{
+    image_.copyFrom(flash_);
+    state_ = State::normal;
+    ++restores_;
+    // The supercap recharges from mains once power is back.
+    params_.charged = true;
+}
+
+} // namespace contutto::mem

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Memory device models: DDR3 DRAM, STT-MRAM, and NVDIMM-N.
+ *
+ * ConTutto is memory-technology agnostic as long as the module talks
+ * DDR3 (paper §4.2): the same memory-controller structure drives all
+ * three device types, differing in timing adjustments, persistence
+ * and endurance. Devices own the functional MemImage and the traits
+ * the controller and firmware consult.
+ */
+
+#ifndef CONTUTTO_MEM_DEVICE_HH
+#define CONTUTTO_MEM_DEVICE_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "mem/dram_timing.hh"
+#include "mem/mem_image.hh"
+#include "sim/sim_object.hh"
+
+namespace contutto::mem
+{
+
+/** Memory module technology, as reported in the SPD. */
+enum class MemTech : std::uint8_t
+{
+    dram,
+    sttMram,
+    nvdimmN,
+};
+
+const char *memTechName(MemTech t);
+
+/**
+ * A memory module (one DIMM) plugged into a ConTutto DDR3 port.
+ */
+class MemoryDevice : public SimObject
+{
+  public:
+    MemoryDevice(const std::string &name, EventQueue &eq,
+                 const ClockDomain &domain, stats::StatGroup *parent,
+                 std::uint64_t capacity, MemTech tech);
+
+    MemImage &image() { return image_; }
+    const MemImage &image() const { return image_; }
+
+    std::uint64_t capacity() const { return image_.capacity(); }
+    MemTech tech() const { return tech_; }
+
+    /** True when contents survive power loss. */
+    virtual bool isNonVolatile() const = 0;
+
+    /** Extra device latency added to each write burst. */
+    virtual Tick extraWriteLatency() const { return 0; }
+
+    /** Extra device latency added to each read burst. */
+    virtual Tick extraReadLatency() const { return 0; }
+
+    /** True when the controller must issue periodic refresh. */
+    virtual bool needsRefresh() const { return true; }
+
+    /** Write-endurance limit per cell block; 0 means unlimited. */
+    virtual std::uint64_t enduranceLimit() const { return 0; }
+
+    /** Record a write for endurance tracking. */
+    void noteWrite(Addr addr, std::size_t len);
+
+    /** Record a read (traffic/energy accounting). */
+    void noteRead(std::size_t len)
+    {
+        devStats_.bytesRead += double(len);
+    }
+
+    /** @{ Device traffic so far, bytes. */
+    double bytesRead() const { return devStats_.bytesRead.value(); }
+    double bytesWritten() const
+    {
+        return devStats_.bytesWritten.value();
+    }
+    /** @} */
+
+    /** Highest write count seen on any 128 B block. */
+    std::uint64_t maxBlockWrites() const { return maxBlockWrites_; }
+
+    /** Number of blocks worn past the endurance limit. */
+    std::uint64_t wornBlocks() const { return wornBlocks_; }
+
+    /** @{ Power events; see subclasses for semantics. */
+    virtual void powerLoss() = 0;
+    virtual void powerRestore() = 0;
+    /** @} */
+
+  protected:
+    MemImage image_;
+
+    struct DeviceStats
+    {
+        stats::Scalar bytesRead;
+        stats::Scalar bytesWritten;
+        stats::Scalar powerLossEvents;
+    } devStats_;
+
+  private:
+    MemTech tech_;
+    std::unordered_map<Addr, std::uint64_t> blockWrites_;
+    std::uint64_t maxBlockWrites_ = 0;
+    std::uint64_t wornBlocks_ = 0;
+};
+
+/** A plain volatile DDR3 DRAM module. */
+class DramDevice : public MemoryDevice
+{
+  public:
+    DramDevice(const std::string &name, EventQueue &eq,
+               const ClockDomain &domain, stats::StatGroup *parent,
+               std::uint64_t capacity);
+
+    bool isNonVolatile() const override { return false; }
+
+    void powerLoss() override;
+    void powerRestore() override {}
+};
+
+/**
+ * An STT-MRAM module. Non-volatile, no refresh, slightly slower
+ * writes (the magnetic tunnel junction write pulse), enormous but
+ * finite endurance. The pMTJ generation improves the write pulse
+ * over the initial iMTJ parts (paper §4.2(ii)).
+ */
+class MramDevice : public MemoryDevice
+{
+  public:
+    enum class Junction
+    {
+        iMTJ, ///< In-plane MTJ: first ConTutto MRAM demo.
+        pMTJ, ///< Perpendicular MTJ: improved power/performance.
+    };
+
+    MramDevice(const std::string &name, EventQueue &eq,
+               const ClockDomain &domain, stats::StatGroup *parent,
+               std::uint64_t capacity, Junction junction);
+
+    bool isNonVolatile() const override { return true; }
+    bool needsRefresh() const override { return false; }
+
+    Tick
+    extraWriteLatency() const override
+    {
+        return junction_ == Junction::iMTJ ? nanoseconds(20)
+                                           : nanoseconds(10);
+    }
+
+    Tick extraReadLatency() const override { return nanoseconds(2); }
+
+    /** ~1e15 cycles: the Figure 8 endurance story. */
+    std::uint64_t
+    enduranceLimit() const override
+    {
+        return 1000000000000000ull;
+    }
+
+    Junction junction() const { return junction_; }
+
+    void powerLoss() override;
+    void powerRestore() override {}
+
+  private:
+    Junction junction_;
+};
+
+/**
+ * An NVDIMM-N module: DRAM timing in normal operation; on power loss
+ * the module itself copies DRAM to on-module flash powered by a
+ * supercap, then restores on power return (paper §4.2(iii)). Neither
+ * the FPGA nor the CPU participates in the copy.
+ */
+class NvdimmDevice : public MemoryDevice
+{
+  public:
+    struct Params
+    {
+        /** Flash save/restore streaming bandwidth, bytes/second. */
+        double flashBandwidth = 200e6;
+        /** Supercap energy budget in joules. */
+        double supercapJoules = 50.0;
+        /** Energy needed to save one GiB. */
+        double joulesPerGiB = 8.0;
+        /** Whether the supercap starts charged. */
+        bool charged = true;
+    };
+
+    NvdimmDevice(const std::string &name, EventQueue &eq,
+                 const ClockDomain &domain, stats::StatGroup *parent,
+                 std::uint64_t capacity, const Params &params);
+
+    ~NvdimmDevice() override
+    {
+        if (transferDone_.scheduled())
+            eventq().deschedule(&transferDone_);
+    }
+
+    bool isNonVolatile() const override { return true; }
+
+    enum class State
+    {
+        normal,
+        saving,
+        saved,     ///< Image parked in flash, DRAM dark.
+        restoring,
+        lost,      ///< Supercap could not complete the save.
+    };
+
+    State state() const { return state_; }
+
+    /** True while the DRAM array is usable for accesses. */
+    bool accessible() const { return state_ == State::normal; }
+
+    /** Time a full save to flash takes. */
+    Tick saveDuration() const;
+
+    void powerLoss() override;
+    void powerRestore() override;
+
+  private:
+    void saveComplete();
+    void restoreComplete();
+
+    Params params_;
+    State state_ = State::normal;
+    MemImage flash_;
+    EventFunctionWrapper transferDone_;
+    stats::Scalar saves_;
+    stats::Scalar restores_;
+    stats::Scalar dataLossEvents_;
+};
+
+} // namespace contutto::mem
+
+#endif // CONTUTTO_MEM_DEVICE_HH

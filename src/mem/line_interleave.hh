@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cache-line interleaving across multiple memory ports.
+ *
+ * Both Centaur (4 DDR ports) and ConTutto (2 DIMM ports) stripe
+ * consecutive cache lines across their ports for bandwidth. This
+ * helper maps a buffer-global address to (port, port-local address).
+ */
+
+#ifndef CONTUTTO_MEM_LINE_INTERLEAVE_HH
+#define CONTUTTO_MEM_LINE_INTERLEAVE_HH
+
+#include "dmi/command.hh"
+#include "sim/types.hh"
+
+namespace contutto::mem
+{
+
+/** Line-granule port striping. */
+struct LineInterleave
+{
+    unsigned numPorts = 1;
+    unsigned granule = dmi::cacheLineSize;
+
+    unsigned
+    portOf(Addr addr) const
+    {
+        return unsigned((addr / granule) % numPorts);
+    }
+
+    /** The address within the owning port's device. */
+    Addr
+    localAddr(Addr addr) const
+    {
+        Addr line = addr / granule;
+        return (line / numPorts) * granule + addr % granule;
+    }
+};
+
+} // namespace contutto::mem
+
+#endif // CONTUTTO_MEM_LINE_INTERLEAVE_HH

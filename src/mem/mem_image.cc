@@ -1,0 +1,137 @@
+#include "mem/mem_image.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace contutto::mem
+{
+
+MemImage::MemImage(std::uint64_t capacity) : capacity_(capacity)
+{
+    ct_assert(capacity > 0);
+}
+
+std::uint8_t *
+MemImage::pageFor(Addr addr, bool create)
+{
+    std::uint64_t pageno = addr / pageSize;
+    auto it = pages_.find(pageno);
+    if (it == pages_.end()) {
+        if (!create)
+            return nullptr;
+        auto page = std::make_unique<std::uint8_t[]>(pageSize);
+        std::memset(page.get(), 0, pageSize);
+        it = pages_.emplace(pageno, std::move(page)).first;
+    }
+    return it->second.get();
+}
+
+const std::uint8_t *
+MemImage::pageFor(Addr addr) const
+{
+    auto it = pages_.find(addr / pageSize);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void
+MemImage::read(Addr addr, std::size_t len, std::uint8_t *out) const
+{
+    if (addr + len > capacity_)
+        panic("MemImage read past capacity (addr=%llx len=%zu)",
+              (unsigned long long)addr, len);
+    while (len > 0) {
+        std::size_t off = addr % pageSize;
+        std::size_t chunk = std::min(len, pageSize - off);
+        const std::uint8_t *page = pageFor(addr);
+        if (page)
+            std::memcpy(out, page + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemImage::write(Addr addr, std::size_t len, const std::uint8_t *in)
+{
+    if (addr + len > capacity_)
+        panic("MemImage write past capacity (addr=%llx len=%zu)",
+              (unsigned long long)addr, len);
+    while (len > 0) {
+        std::size_t off = addr % pageSize;
+        std::size_t chunk = std::min(len, pageSize - off);
+        std::memcpy(pageFor(addr, true) + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemImage::writeMasked(Addr addr, const dmi::CacheLine &data,
+                      const dmi::ByteEnable &enables)
+{
+    for (std::size_t i = 0; i < dmi::cacheLineSize; ++i)
+        if (enables[i])
+            write(addr + i, 1, &data[i]);
+}
+
+std::uint64_t
+MemImage::read64(Addr addr) const
+{
+    std::uint8_t buf[8];
+    read(addr, 8, buf);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | buf[i];
+    return v;
+}
+
+void
+MemImage::write64(Addr addr, std::uint64_t value)
+{
+    std::uint8_t buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = std::uint8_t(value >> (8 * i));
+    write(addr, 8, buf);
+}
+
+std::uint32_t
+MemImage::read32(Addr addr) const
+{
+    std::uint8_t buf[4];
+    read(addr, 4, buf);
+    return std::uint32_t(buf[0]) | (std::uint32_t(buf[1]) << 8)
+        | (std::uint32_t(buf[2]) << 16) | (std::uint32_t(buf[3]) << 24);
+}
+
+void
+MemImage::write32(Addr addr, std::uint32_t value)
+{
+    std::uint8_t buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = std::uint8_t(value >> (8 * i));
+    write(addr, 4, buf);
+}
+
+void
+MemImage::clear()
+{
+    pages_.clear();
+}
+
+void
+MemImage::copyFrom(const MemImage &other)
+{
+    pages_.clear();
+    for (const auto &[pageno, page] : other.pages_) {
+        auto copy = std::make_unique<std::uint8_t[]>(pageSize);
+        std::memcpy(copy.get(), page.get(), pageSize);
+        pages_.emplace(pageno, std::move(copy));
+    }
+}
+
+} // namespace contutto::mem

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sparse functional memory image.
+ *
+ * Every memory device owns a MemImage holding its actual contents so
+ * experiments operate on real data (accelerators compute on it, the
+ * NVDIMM saves and restores it). Pages materialize on first touch;
+ * untouched memory reads as zero.
+ */
+
+#ifndef CONTUTTO_MEM_MEM_IMAGE_HH
+#define CONTUTTO_MEM_MEM_IMAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dmi/command.hh"
+#include "sim/types.hh"
+
+namespace contutto::mem
+{
+
+/** Byte-addressable sparse memory contents. */
+class MemImage
+{
+  public:
+    explicit MemImage(std::uint64_t capacity);
+
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Read @p len bytes at @p addr into @p out. */
+    void read(Addr addr, std::size_t len, std::uint8_t *out) const;
+
+    /** Write @p len bytes from @p in at @p addr. */
+    void write(Addr addr, std::size_t len, const std::uint8_t *in);
+
+    /**
+     * Byte-enabled write of one cache line (the RMW merge the
+     * buffer's ALU performs).
+     */
+    void writeMasked(Addr addr, const dmi::CacheLine &data,
+                     const dmi::ByteEnable &enables);
+
+    /** @{ Typed convenience accessors (little-endian). */
+    std::uint64_t read64(Addr addr) const;
+    void write64(Addr addr, std::uint64_t value);
+    std::uint32_t read32(Addr addr) const;
+    void write32(Addr addr, std::uint32_t value);
+    /** @} */
+
+    /** Drop all contents (models volatile memory losing power). */
+    void clear();
+
+    /** Copy the full contents of @p other (NVDIMM restore). */
+    void copyFrom(const MemImage &other);
+
+    /** Number of materialized pages (footprint checks in tests). */
+    std::size_t pagesTouched() const { return pages_.size(); }
+
+    static constexpr std::size_t pageSize = 4096;
+
+  private:
+    std::uint8_t *pageFor(Addr addr, bool create);
+    const std::uint8_t *pageFor(Addr addr) const;
+
+    std::uint64_t capacity_;
+    std::unordered_map<std::uint64_t,
+                       std::unique_ptr<std::uint8_t[]>> pages_;
+};
+
+} // namespace contutto::mem
+
+#endif // CONTUTTO_MEM_MEM_IMAGE_HH

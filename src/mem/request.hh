@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The memory request passed from the buffer logic (via the on-chip
+ * bus) to a memory controller.
+ */
+
+#ifndef CONTUTTO_MEM_REQUEST_HH
+#define CONTUTTO_MEM_REQUEST_HH
+
+#include <functional>
+#include <memory>
+
+#include "dmi/command.hh"
+#include "sim/types.hh"
+
+namespace contutto::mem
+{
+
+/** A cache-line-granule access to a memory controller. */
+struct MemRequest
+{
+    Addr addr = 0;           ///< Byte address, line aligned.
+    std::size_t size = dmi::cacheLineSize;
+    bool isWrite = false;
+    dmi::CacheLine data{};   ///< Write payload in; read data out.
+    bool masked = false;     ///< Use @c enables for the write.
+    dmi::ByteEnable enables; ///< Byte enables when masked.
+
+    /** Filled by the controller: when the access finished. */
+    Tick completedAt = 0;
+
+    /** Completion callback; data is valid for reads. */
+    std::function<void(MemRequest &)> onDone;
+};
+
+using MemRequestPtr = std::shared_ptr<MemRequest>;
+
+} // namespace contutto::mem
+
+#endif // CONTUTTO_MEM_REQUEST_HH

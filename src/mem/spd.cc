@@ -1,0 +1,78 @@
+#include "mem/spd.hh"
+
+#include <cstring>
+
+namespace contutto::mem
+{
+
+namespace
+{
+
+std::uint8_t
+checksum(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < len; ++i)
+        sum += data[i];
+    return std::uint8_t(sum & 0xFF);
+}
+
+} // namespace
+
+std::array<std::uint8_t, spdBytes>
+SpdRecord::encode() const
+{
+    std::array<std::uint8_t, spdBytes> rom{};
+    rom[0] = 0xB3; // modelled-SPD magic
+    rom[1] = std::uint8_t(tech);
+    for (int i = 0; i < 8; ++i)
+        rom[2 + i] = std::uint8_t(capacity >> (8 * i));
+    rom[10] = std::uint8_t(speedGrade & 0xFF);
+    rom[11] = std::uint8_t(speedGrade >> 8);
+    rom[12] = hasBackup ? 1 : 0;
+    std::size_t vlen = std::min<std::size_t>(vendor.size(), 32);
+    rom[13] = std::uint8_t(vlen);
+    std::memcpy(rom.data() + 14, vendor.data(), vlen);
+    rom[spdBytes - 1] = checksum(rom.data(), spdBytes - 1);
+    return rom;
+}
+
+bool
+SpdRecord::decode(const std::array<std::uint8_t, spdBytes> &rom,
+                  SpdRecord &out)
+{
+    if (rom[0] != 0xB3)
+        return false;
+    if (rom[spdBytes - 1] != checksum(rom.data(), spdBytes - 1))
+        return false;
+    out = SpdRecord{};
+    out.tech = MemTech(rom[1]);
+    out.capacity = 0;
+    for (int i = 7; i >= 0; --i)
+        out.capacity = (out.capacity << 8) | rom[2 + i];
+    out.speedGrade =
+        std::uint16_t(rom[10]) | (std::uint16_t(rom[11]) << 8);
+    out.hasBackup = rom[12] != 0;
+    std::size_t vlen = std::min<std::size_t>(rom[13], 32);
+    out.vendor.assign(reinterpret_cast<const char *>(rom.data() + 14),
+                      vlen);
+    return true;
+}
+
+SpdRecord
+SpdRecord::forDevice(const MemoryDevice &dev, std::uint16_t speed_grade)
+{
+    SpdRecord r;
+    r.tech = dev.tech();
+    r.capacity = dev.capacity();
+    r.speedGrade = speed_grade;
+    r.hasBackup = dev.tech() == MemTech::nvdimmN;
+    switch (dev.tech()) {
+      case MemTech::dram: r.vendor = "GenericDDR3"; break;
+      case MemTech::sttMram: r.vendor = "EverspinSTT"; break;
+      case MemTech::nvdimmN: r.vendor = "AgigaNVDIMM"; break;
+    }
+    return r;
+}
+
+} // namespace contutto::mem

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SPD (serial presence detect) ROM contents.
+ *
+ * Every DIMM carries an SPD EEPROM describing the module. ConTutto's
+ * external FSI slave reads the SPD of the DIMMs plugged into the
+ * card, "critical for detecting and controlling the NVDIMMs"
+ * (paper §3.4). We model a compact SPD record with the fields the
+ * firmware actually needs.
+ */
+
+#ifndef CONTUTTO_MEM_SPD_HH
+#define CONTUTTO_MEM_SPD_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "mem/device.hh"
+
+namespace contutto::mem
+{
+
+/** Size of the modelled SPD EEPROM. */
+constexpr std::size_t spdBytes = 128;
+
+/** Decoded module description. */
+struct SpdRecord
+{
+    MemTech tech = MemTech::dram;
+    std::uint64_t capacity = 0;
+    /** DDR3 speed grade in MT/s (1066/1333/1600). */
+    std::uint16_t speedGrade = 1333;
+    /** Module has backup power / save logic (NVDIMM-N). */
+    bool hasBackup = false;
+    std::string vendor;
+
+    /** Serialize to EEPROM bytes with a checksum byte at the end. */
+    std::array<std::uint8_t, spdBytes> encode() const;
+
+    /**
+     * Parse EEPROM bytes.
+     * @return false when the checksum is wrong.
+     */
+    static bool decode(const std::array<std::uint8_t, spdBytes> &rom,
+                       SpdRecord &out);
+
+    /** The SPD a given device model would carry. */
+    static SpdRecord forDevice(const MemoryDevice &dev,
+                               std::uint16_t speed_grade = 1333);
+};
+
+} // namespace contutto::mem
+
+#endif // CONTUTTO_MEM_SPD_HH

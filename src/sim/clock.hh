@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Clock domains and clocked components.
+ *
+ * The modelled system has several clocks: 8 GHz DMI lanes, a 2 GHz
+ * POWER8 nest, the 250 MHz FPGA fabric, and DDR3 device clocks.
+ * ClockDomain converts between cycles and ticks; Clocked is a mixin
+ * for components operating in one domain.
+ */
+
+#ifndef CONTUTTO_SIM_CLOCK_HH
+#define CONTUTTO_SIM_CLOCK_HH
+
+#include <string>
+
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace contutto
+{
+
+/** A named clock with a fixed period. */
+class ClockDomain
+{
+  public:
+    ClockDomain(std::string name, Tick period)
+        : name_(std::move(name)), period_(period)
+    {
+        ct_assert(period > 0);
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Clock period in ticks. */
+    Tick period() const { return period_; }
+
+    /** Frequency in Hz (reporting only). */
+    double frequency() const { return 1e12 / double(period_); }
+
+    /** The cycle number containing tick @p t (edges start cycles). */
+    Cycle cycleAt(Tick t) const { return t / period_; }
+
+    /** Tick of the first clock edge at or after @p t. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        return ((t + period_ - 1) / period_) * period_;
+    }
+
+    /**
+     * Tick of the clock edge @p cycles after the first edge at or
+     * after @p t. With cycles == 0 this is the next edge itself.
+     */
+    Tick
+    edgeAfter(Tick t, Cycle cycles) const
+    {
+        return nextEdge(t) + cycles * period_;
+    }
+
+    /** Convert a cycle count to a duration in ticks. */
+    Tick cyclesToTicks(Cycle c) const { return c * period_; }
+
+    /** Cycles (rounded up) needed to cover @p d ticks. */
+    Cycle
+    ticksToCycles(Tick d) const
+    {
+        return (d + period_ - 1) / period_;
+    }
+
+  private:
+    std::string name_;
+    Tick period_;
+};
+
+/**
+ * Mixin for a component that lives in a clock domain and schedules
+ * work on its own clock edges.
+ */
+class Clocked
+{
+  public:
+    Clocked(EventQueue &eq, const ClockDomain &domain)
+        : eventq_(eq), domain_(domain)
+    {}
+
+    EventQueue &eventq() const { return eventq_; }
+    const ClockDomain &clockDomain() const { return domain_; }
+    Tick clockPeriod() const { return domain_.period(); }
+
+    /** Current cycle in this component's domain. */
+    Cycle curCycle() const { return domain_.cycleAt(eventq_.curTick()); }
+
+    /** Tick of the clock edge @p cycles after now (0 = next edge). */
+    Tick
+    clockEdge(Cycle cycles = 0) const
+    {
+        return domain_.edgeAfter(eventq_.curTick(), cycles);
+    }
+
+    /** Schedule @p ev on the clock edge @p cycles after now. */
+    void
+    scheduleClocked(Event *ev, Cycle cycles = 0) const
+    {
+        eventq_.schedule(ev, clockEdge(cycles));
+    }
+
+  private:
+    EventQueue &eventq_;
+    const ClockDomain &domain_;
+};
+
+} // namespace contutto
+
+#endif // CONTUTTO_SIM_CLOCK_HH

@@ -1,0 +1,122 @@
+#include "sim/event.hh"
+
+namespace contutto
+{
+
+Event::~Event()
+{
+    // Destroying a still-scheduled event would leave a dangling
+    // pointer in the queue; models must deschedule first (the
+    // generation counter protects reschedules, not destruction).
+    if (_scheduled)
+        panic("event destroyed while scheduled");
+}
+
+void
+OneShotEvent::schedule(EventQueue &eq, Tick when,
+                       std::function<void()> fn, int priority)
+{
+    ct_assert(fn != nullptr);
+    eq.schedule(new OneShotEvent(std::move(fn), priority), when);
+}
+
+void
+OneShotEvent::process()
+{
+    // Move the callback out so the event can be freed before user
+    // code runs (the callback may schedule new events).
+    std::function<void()> fn = std::move(fn_);
+    delete this;
+    fn();
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    ct_assert(ev != nullptr);
+    if (ev->_scheduled)
+        panic("event '%s' scheduled twice", ev->name().c_str());
+    if (when < _curTick)
+        panic("event '%s' scheduled in the past (%llu < %llu)",
+              ev->name().c_str(),
+              (unsigned long long)when,
+              (unsigned long long)_curTick);
+
+    ev->_when = when;
+    ev->_order = _nextOrder++;
+    ev->_scheduled = true;
+    ++ev->_generation;
+    _queue.push(Entry{when, ev->priority(), ev->_order, ev,
+                      ev->_generation});
+    ++_live;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    ct_assert(ev != nullptr);
+    if (!ev->_scheduled)
+        panic("deschedule of unscheduled event '%s'",
+              ev->name().c_str());
+    // Lazy deletion: bump the generation so the queued entry is
+    // recognized as stale when popped.
+    ev->_scheduled = false;
+    ++ev->_generation;
+    --_live;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled())
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::skipStale()
+{
+    while (!_queue.empty()) {
+        const Entry &top = _queue.top();
+        if (top.ev->_generation == top.generation && top.ev->_scheduled)
+            return;
+        _queue.pop();
+    }
+}
+
+bool
+EventQueue::step()
+{
+    skipStale();
+    if (_queue.empty())
+        return false;
+
+    Entry e = _queue.top();
+    _queue.pop();
+    ct_assert(e.when >= _curTick);
+    _curTick = e.when;
+    e.ev->_scheduled = false;
+    --_live;
+    ++_processed;
+    e.ev->process();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    for (;;) {
+        skipStale();
+        if (_queue.empty())
+            return _curTick;
+        if (_queue.top().when > limit) {
+            // Leave future events queued; advance time to the limit
+            // so a subsequent run() continues from a known point.
+            _curTick = limit;
+            return _curTick;
+        }
+        step();
+    }
+}
+
+} // namespace contutto

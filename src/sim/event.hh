@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Discrete-event simulation core: events and the event queue.
+ *
+ * Events are scheduled at absolute ticks; ties are broken first by a
+ * small integer priority and then by insertion order, so simulations
+ * are fully deterministic.
+ */
+
+#ifndef CONTUTTO_SIM_EVENT_HH
+#define CONTUTTO_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace contutto
+{
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled to happen at a simulated instant.
+ *
+ * Subclasses override process(). An event object is owned by its
+ * creator (typically a model holds it by value) and may be scheduled
+ * at most once at a time; it can be rescheduled after it fires.
+ */
+class Event
+{
+  public:
+    /** Scheduling priority; lower values fire first within a tick. */
+    enum Priority : int
+    {
+        /** Clock edges that produce data for same-tick consumers. */
+        clockPriority = 10,
+        /** Ordinary model activity. */
+        defaultPriority = 50,
+        /** Statistics / bookkeeping that must observe the tick. */
+        statPriority = 90,
+    };
+
+    explicit Event(int priority = defaultPriority)
+        : _priority(priority)
+    {}
+
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called by the event queue when simulated time reaches when(). */
+    virtual void process() = 0;
+
+    /** Debug name for tracing. */
+    virtual std::string name() const { return "event"; }
+
+    /** True while the event sits in an event queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** The tick this event will fire at (valid while scheduled). */
+    Tick when() const { return _when; }
+
+    int priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    std::uint64_t _order = 0;
+    int _priority;
+    bool _scheduled = false;
+    /** Generation counter invalidating stale queue entries. */
+    std::uint64_t _generation = 0;
+};
+
+/** An Event that invokes a bound callable; the common case. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback,
+                         std::string name,
+                         int priority = defaultPriority)
+        : Event(priority), callback_(std::move(callback)),
+          name_(std::move(name))
+    {
+        ct_assert(callback_ != nullptr);
+    }
+
+    void process() override { callback_(); }
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> callback_;
+    std::string name_;
+};
+
+/**
+ * A self-deleting event for one-off deferred work; created via
+ * OneShotEvent::schedule and destroyed after firing. Cannot be
+ * descheduled by the caller (it owns itself).
+ */
+class OneShotEvent : public Event
+{
+  public:
+    /** Allocate and schedule a one-shot callback at @p when. */
+    static void schedule(EventQueue &eq, Tick when,
+                         std::function<void()> fn,
+                         int priority = defaultPriority);
+
+    void process() override;
+    std::string name() const override { return "oneShot"; }
+
+  private:
+    OneShotEvent(std::function<void()> fn, int priority)
+        : Event(priority), fn_(std::move(fn))
+    {}
+
+    std::function<void()> fn_;
+};
+
+/**
+ * A deterministic priority queue of events ordered by
+ * (tick, priority, insertion order).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p ev to fire at absolute tick @p when.
+     * @pre when >= curTick() and ev is not already scheduled.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event before it fires. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if needed) and schedule again at @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    /** True when no events remain. */
+    bool empty() const { return _live == 0; }
+
+    /** Number of scheduled (live) events. */
+    std::size_t size() const { return _live; }
+
+    /**
+     * Run until the queue drains or simulated time would exceed
+     * @p limit; returns the tick reached.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Fire exactly one event, if any; returns false if empty. */
+    bool step();
+
+    /** Total number of events processed since construction. */
+    std::uint64_t eventsProcessed() const { return _processed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t order;
+        Event *ev;
+        std::uint64_t generation;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return order > o.order;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _queue;
+    Tick _curTick = 0;
+    std::uint64_t _nextOrder = 0;
+    std::uint64_t _processed = 0;
+    std::size_t _live = 0;
+
+    /** Pop entries invalidated by deschedule/reschedule. */
+    void skipStale();
+};
+
+} // namespace contutto
+
+#endif // CONTUTTO_SIM_EVENT_HH

@@ -1,0 +1,97 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace contutto
+{
+
+namespace log_detail
+{
+
+static std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n <= 0)
+        return std::string(fmt);
+    std::vector<char> buf(n + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), n);
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+} // namespace log_detail
+
+bool &
+LogControl::verbose()
+{
+    static bool v = false;
+    return v;
+}
+
+bool &
+LogControl::warnings()
+{
+    static bool w = true;
+    return w;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = log_detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = log_detail::vformat(fmt, ap);
+    va_end(ap);
+    throw FatalError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (!LogControl::warnings())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = log_detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!LogControl::verbose())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = log_detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace contutto

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error and status reporting, in the gem5 tradition.
+ *
+ * panic() is for internal simulator bugs (aborts); fatal() is for
+ * user configuration errors (throws FatalError so library embedders
+ * and tests can recover); warn()/inform() report status without
+ * stopping the simulation.
+ */
+
+#ifndef CONTUTTO_SIM_LOGGING_HH
+#define CONTUTTO_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace contutto
+{
+
+/** Thrown by fatal(): a condition caused by bad configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace log_detail
+{
+
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace log_detail
+
+/** Global verbosity control for warn()/inform() output. */
+class LogControl
+{
+  public:
+    /** Suppress inform() output when false. */
+    static bool &verbose();
+    /** Suppress warn() output when false. */
+    static bool &warnings();
+};
+
+/**
+ * Report an unrecoverable internal error (a simulator bug) and abort.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error.
+ * @throw FatalError always.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report questionable-but-survivable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal status to the user. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Abort if @p cond is false; used for internal invariants. */
+#define ct_assert(cond)                                                 \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::contutto::panic("assertion '%s' failed at %s:%d", #cond,  \
+                              __FILE__, __LINE__);                      \
+    } while (0)
+
+} // namespace contutto
+
+#endif // CONTUTTO_SIM_LOGGING_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and
+ * error injection. xoshiro256** — fast, seedable, reproducible across
+ * platforms (unlike std::default_random_engine distributions).
+ */
+
+#ifndef CONTUTTO_SIM_RANDOM_HH
+#define CONTUTTO_SIM_RANDOM_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace contutto
+{
+
+/** A seedable xoshiro256** generator with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : s_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        ct_assert(bound != 0);
+        // Rejection sampling to avoid modulo bias.
+        std::uint64_t threshold = (~bound + 1) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        ct_assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace contutto
+
+#endif // CONTUTTO_SIM_RANDOM_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Base class for named, clocked, statistic-bearing model components.
+ */
+
+#ifndef CONTUTTO_SIM_SIM_OBJECT_HH
+#define CONTUTTO_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/clock.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+
+namespace contutto
+{
+
+/**
+ * A named component in the simulated system.
+ *
+ * Every model derives from SimObject: it gets a hierarchical name, a
+ * statistics group registered under its parent's, and access to the
+ * event queue and its clock domain via the Clocked mixin.
+ */
+class SimObject : public Clocked, public stats::StatGroup
+{
+  public:
+    SimObject(std::string name, EventQueue &eq, const ClockDomain &domain,
+              stats::StatGroup *parent)
+        : Clocked(eq, domain), stats::StatGroup(name, parent),
+          name_(std::move(name))
+    {}
+
+    ~SimObject() override = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Current simulated time, for convenience. */
+    Tick curTick() const { return eventq().curTick(); }
+
+  private:
+    std::string name_;
+};
+
+} // namespace contutto
+
+#endif // CONTUTTO_SIM_SIM_OBJECT_HH

@@ -1,0 +1,113 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace contutto::stats
+{
+
+StatBase::StatBase(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    ct_assert(group != nullptr);
+    group->stats_.push_back(this);
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value_ << "  # " << description()
+       << "\n";
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " count=" << count_ << " mean=" << mean()
+       << " min=" << minimum() << " max=" << maximum()
+       << " stddev=" << stddev() << "  # " << description() << "\n";
+}
+
+double
+Histogram::quantile(double q) const
+{
+    ct_assert(q >= 0.0 && q <= 1.0);
+    std::uint64_t total = dist_.count();
+    if (total == 0)
+        return 0.0;
+    // ceil(q * total) samples must lie at or below the answer.
+    std::uint64_t target = std::uint64_t(std::ceil(q * double(total)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (cum >= target) {
+            if (i == buckets_.size() - 1)
+                return dist_.maximum(); // overflow bucket
+            return double(i + 1) * width_; // upper edge of bucket
+        }
+    }
+    return dist_.maximum();
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " count=" << dist_.count()
+       << " mean=" << dist_.mean() << " p50=" << quantile(0.5)
+       << " p99=" << quantile(0.99) << " max=" << dist_.maximum()
+       << "  # " << description() << "\n";
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_) {
+        auto &sibs = parent_->children_;
+        sibs.erase(std::remove(sibs.begin(), sibs.end(), this),
+                   sibs.end());
+    }
+}
+
+void
+StatGroup::printStats(std::ostream &os, const std::string &prefix) const
+{
+    // Components carry their full hierarchical debug name (e.g.
+    // "chan0.contutto.mbi"); the tree walk supplies the ancestry, so
+    // only the leaf segment goes into the printed path.
+    auto dot = name_.rfind('.');
+    std::string leaf =
+        dot == std::string::npos ? name_ : name_.substr(dot + 1);
+    std::string p = prefix + leaf + ".";
+    for (const StatBase *s : stats_)
+        s->print(os, p);
+    for (const StatGroup *g : children_)
+        g->printStats(os, p);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+    for (StatGroup *g : children_)
+        g->resetStats();
+}
+
+const StatBase *
+StatGroup::findStat(const std::string &name) const
+{
+    for (const StatBase *s : stats_)
+        if (s->name() == name)
+            return s;
+    return nullptr;
+}
+
+} // namespace contutto::stats

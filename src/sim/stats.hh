@@ -1,0 +1,238 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's.
+ *
+ * Models expose Scalar counters, Distributions (running
+ * min/max/mean/stddev) and Histograms. Stats register themselves with
+ * a StatGroup so a whole model tree can be dumped uniformly.
+ */
+
+#ifndef CONTUTTO_SIM_STATS_HH
+#define CONTUTTO_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace contutto::stats
+{
+
+class StatGroup;
+
+/** Base class for all statistics; handles naming and registration. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+
+    /** Write a one-or-more-line textual report. */
+    virtual void print(std::ostream &os,
+                       const std::string &prefix) const = 0;
+
+    /** Restore the statistic to its just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically adjustable counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Running min/max/mean/stddev over samples. */
+class Distribution : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        sumSq_ += v * v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double minimum() const { return count_ ? min_ : 0.0; }
+    double maximum() const { return count_ ? max_ : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        double m = mean();
+        double var = (sumSq_ - double(count_) * m * m)
+            / double(count_ - 1);
+        return var > 0 ? std::sqrt(var) : 0.0;
+    }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+    void
+    reset() override
+    {
+        count_ = 0;
+        sum_ = sumSq_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double sumSq_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width bucketed histogram with overflow bucket. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *group, std::string name, std::string desc,
+              double bucket_width, std::size_t num_buckets)
+        : StatBase(group, std::move(name), std::move(desc)),
+          width_(bucket_width), buckets_(num_buckets + 1, 0)
+    {
+        ct_assert(bucket_width > 0);
+        ct_assert(num_buckets > 0);
+    }
+
+    void
+    sample(double v)
+    {
+        dist_.sample(v);
+        std::size_t idx = v < 0 ? 0 : std::size_t(v / width_);
+        if (idx >= buckets_.size() - 1)
+            idx = buckets_.size() - 1; // overflow bucket
+        ++buckets_[idx];
+    }
+
+    std::uint64_t count() const { return dist_.count(); }
+    double mean() const { return dist_.mean(); }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    /** Smallest value v such that at least q of the mass is <= v. */
+    double quantile(double q) const;
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+    void
+    reset() override
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        dist_.reset();
+    }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    /** Anonymous distribution for the moment summary. */
+    class AnonDist
+    {
+      public:
+        void
+        sample(double v)
+        {
+            ++count_;
+            sum_ += v;
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        std::uint64_t count() const { return count_; }
+        double mean() const
+        {
+            return count_ ? sum_ / double(count_) : 0.0;
+        }
+        double minimum() const { return count_ ? min_ : 0.0; }
+        double maximum() const { return count_ ? max_ : 0.0; }
+        void
+        reset()
+        {
+            count_ = 0;
+            sum_ = 0;
+            min_ = std::numeric_limits<double>::infinity();
+            max_ = -std::numeric_limits<double>::infinity();
+        }
+
+      private:
+        std::uint64_t count_ = 0;
+        double sum_ = 0;
+        double min_ = std::numeric_limits<double>::infinity();
+        double max_ = -std::numeric_limits<double>::infinity();
+    } dist_;
+};
+
+/**
+ * A named collection of statistics; groups nest to form the model
+ * tree.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &groupName() const { return name_; }
+
+    /** Dump this group and all children to @p os. */
+    void printStats(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset this group's stats and all children's. */
+    void resetStats();
+
+    /** Find a stat by name in this group only; null if absent. */
+    const StatBase *findStat(const std::string &name) const;
+
+  private:
+    friend class StatBase;
+
+    std::string name_;
+    StatGroup *parent_ = nullptr;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace contutto::stats
+
+#endif // CONTUTTO_SIM_STATS_HH

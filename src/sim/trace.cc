@@ -1,0 +1,98 @@
+#include "sim/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <iostream>
+#include <set>
+#include <vector>
+
+namespace contutto::trace
+{
+
+namespace
+{
+
+std::set<std::string> &
+flags()
+{
+    static std::set<std::string> f;
+    return f;
+}
+
+std::ostream *&
+output()
+{
+    static std::ostream *os = &std::cerr;
+    return os;
+}
+
+std::uint64_t &
+counter()
+{
+    static std::uint64_t n = 0;
+    return n;
+}
+
+} // namespace
+
+void
+enable(const std::string &flag)
+{
+    flags().insert(flag);
+}
+
+void
+disable(const std::string &flag)
+{
+    flags().erase(flag);
+}
+
+void
+disableAll()
+{
+    flags().clear();
+}
+
+bool
+enabled(const std::string &flag)
+{
+    return flags().count(flag) != 0 || flags().count("all") != 0;
+}
+
+bool
+anyEnabled()
+{
+    return !flags().empty();
+}
+
+void
+setOutput(std::ostream *os)
+{
+    output() = os ? os : &std::cerr;
+}
+
+void
+print(Tick tick, const std::string &name, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    std::vector<char> buf(n > 0 ? n + 1 : 2);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    va_end(ap);
+
+    (*output()) << tick << ": " << name << ": " << buf.data()
+                << "\n";
+    ++counter();
+}
+
+std::uint64_t
+linesEmitted()
+{
+    return counter();
+}
+
+} // namespace contutto::trace

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Flag-gated debug tracing, in the gem5 DPRINTF tradition.
+ *
+ * Each trace line carries the simulated tick and the emitting
+ * component's name. Flags are free-form strings ("DMI", "MBS",
+ * "Boot", ...) enabled at runtime:
+ *
+ *     trace::enable("DMI");
+ *     trace::setOutput(&std::cerr);
+ *     CT_TRACE("DMI", *this, "replay from seq %u", seq);
+ *
+ * Tracing is off by default and the flag check is a single hash
+ * lookup, so instrumented code costs nothing in normal runs.
+ */
+
+#ifndef CONTUTTO_SIM_TRACE_HH
+#define CONTUTTO_SIM_TRACE_HH
+
+#include <ostream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace contutto::trace
+{
+
+/** Enable a flag ("all" enables everything). */
+void enable(const std::string &flag);
+
+/** Disable a flag previously enabled. */
+void disable(const std::string &flag);
+
+/** Disable everything. */
+void disableAll();
+
+/** True when @p flag (or "all") is enabled. */
+bool enabled(const std::string &flag);
+
+/** True when any flag at all is enabled (the cheap outer check). */
+bool anyEnabled();
+
+/** Redirect trace output (default: std::cerr). */
+void setOutput(std::ostream *os);
+
+/** Emit one line: "<tick>: <name>: <message>". */
+void print(Tick tick, const std::string &name, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Number of lines emitted since process start (for tests). */
+std::uint64_t linesEmitted();
+
+} // namespace contutto::trace
+
+/**
+ * Trace from inside a SimObject member function: @p obj must have
+ * curTick() and name().
+ */
+#define CT_TRACE(flag, obj, ...)                                      \
+    do {                                                              \
+        if (::contutto::trace::anyEnabled()                           \
+            && ::contutto::trace::enabled(flag))                     \
+            ::contutto::trace::print((obj).curTick(), (obj).name(),   \
+                                     __VA_ARGS__);                    \
+    } while (0)
+
+#endif // CONTUTTO_SIM_TRACE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental simulation types and time constants.
+ *
+ * The simulation measures time in integer ticks of one picosecond,
+ * which lets us represent every clock in the modelled system exactly:
+ * the 8 GHz DMI lane clock (125 ps), the 2 GHz POWER8 nest clock
+ * (500 ps), the 250 MHz FPGA fabric clock (4000 ps) and DDR3 device
+ * clocks.
+ */
+
+#ifndef CONTUTTO_SIM_TYPES_HH
+#define CONTUTTO_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace contutto
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A physical (real) address on the memory bus. */
+using Addr = std::uint64_t;
+
+/** Clock-domain-local cycle count. */
+using Cycle = std::uint64_t;
+
+/** The largest representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** @{ Time unit helpers (all convert to ticks). */
+constexpr Tick picoseconds(std::uint64_t n) { return n; }
+constexpr Tick nanoseconds(std::uint64_t n) { return n * 1000; }
+constexpr Tick microseconds(std::uint64_t n) { return n * 1000 * 1000; }
+constexpr Tick milliseconds(std::uint64_t n)
+{
+    return n * 1000 * 1000 * 1000;
+}
+constexpr Tick seconds(std::uint64_t n)
+{
+    return n * 1000ull * 1000 * 1000 * 1000;
+}
+/** @} */
+
+/** Convert ticks to double-precision seconds (reporting only). */
+constexpr double ticksToSeconds(Tick t) { return double(t) * 1e-12; }
+
+/** Convert ticks to double-precision nanoseconds (reporting only). */
+constexpr double ticksToNs(Tick t) { return double(t) * 1e-3; }
+
+/** Convert a frequency in Hz to a clock period in ticks. */
+constexpr Tick periodFromFreq(double hz)
+{
+    return Tick(1e12 / hz + 0.5);
+}
+
+/** @{ Size helpers. */
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+/** @} */
+
+} // namespace contutto
+
+#endif // CONTUTTO_SIM_TYPES_HH

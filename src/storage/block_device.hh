@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The block-device abstraction the storage experiments run against.
+ *
+ * The paper's storage results (Table 4, Figures 9 and 10) compare
+ * persistent stores across technologies *and* attach points: SAS
+ * HDD/SSD, PCIe-attached NVRAM/Flash/MRAM, and MRAM/NVDIMM on the
+ * DMI memory link through ConTutto. Each of those is a BlockDevice
+ * here; the FIO engine and the GPFS write cache drive them
+ * uniformly.
+ */
+
+#ifndef CONTUTTO_STORAGE_BLOCK_DEVICE_HH
+#define CONTUTTO_STORAGE_BLOCK_DEVICE_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/sim_object.hh"
+
+namespace contutto::storage
+{
+
+/** Fixed logical block size used by the experiments. */
+constexpr std::size_t blockSize = 4096;
+
+/** One block I/O. */
+struct BlockRequest
+{
+    std::uint64_t lba = 0;   ///< Logical block address.
+    unsigned blocks = 1;     ///< Length in blocks.
+    bool isWrite = false;
+    Tick issuedAt = 0;
+    Tick completedAt = 0;
+    std::function<void(const BlockRequest &)> onDone;
+};
+
+/** Abstract persistent store. */
+class BlockDevice : public SimObject
+{
+  public:
+    BlockDevice(const std::string &name, EventQueue &eq,
+                const ClockDomain &domain, stats::StatGroup *parent,
+                std::uint64_t capacity_blocks)
+        : SimObject(name, eq, domain, parent),
+          capacityBlocks_(capacity_blocks),
+          ioStats_{{this, "readOps", "read requests completed"},
+                   {this, "writeOps", "write requests completed"},
+                   {this, "readLatency", "read latency (us)"},
+                   {this, "writeLatency", "write latency (us)"}}
+    {}
+
+    virtual ~BlockDevice() = default;
+
+    /** Queue a block request; completion via req.onDone. */
+    virtual void submit(BlockRequest req) = 0;
+
+    /** Short technology/attach description for reports. */
+    virtual std::string describe() const = 0;
+
+    std::uint64_t capacityBlocks() const { return capacityBlocks_; }
+
+    struct IoStats
+    {
+        stats::Scalar readOps;
+        stats::Scalar writeOps;
+        stats::Distribution readLatency;
+        stats::Distribution writeLatency;
+    };
+
+    const IoStats &ioStats() const { return ioStats_; }
+
+  protected:
+    /** Subclasses call this when a request finishes. */
+    void
+    complete(BlockRequest &req)
+    {
+        req.completedAt = curTick();
+        double us = ticksToNs(req.completedAt - req.issuedAt) / 1000.0;
+        if (req.isWrite) {
+            ++ioStats_.writeOps;
+            ioStats_.writeLatency.sample(us);
+        } else {
+            ++ioStats_.readOps;
+            ioStats_.readLatency.sample(us);
+        }
+        if (req.onDone)
+            req.onDone(req);
+    }
+
+    std::uint64_t capacityBlocks_;
+    IoStats ioStats_;
+};
+
+} // namespace contutto::storage
+
+#endif // CONTUTTO_STORAGE_BLOCK_DEVICE_HH

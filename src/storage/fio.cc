@@ -1,0 +1,69 @@
+#include "storage/fio.hh"
+
+namespace contutto::storage
+{
+
+FioEngine::Report
+FioEngine::run(EventQueue &eq, BlockDevice &dev)
+{
+    Rng rng(params_.seed);
+    Report report;
+    unsigned issued = 0;
+    unsigned done = 0;
+    double read_lat_sum = 0;
+    double write_lat_sum = 0;
+    Tick started = eq.curTick();
+    Tick last_done = started;
+
+    // QD workers: each worker loops software-overhead -> I/O.
+    std::function<void()> issue_one = [&]() {
+        if (issued >= params_.ops)
+            return;
+        ++issued;
+        bool is_read = rng.chance(params_.readFraction);
+        std::uint64_t lba = rng.below(dev.capacityBlocks());
+        OneShotEvent::schedule(
+            eq, eq.curTick() + params_.softwareOverhead, [&, is_read,
+                                                          lba] {
+                BlockRequest req;
+                req.lba = lba;
+                req.isWrite = !is_read;
+                req.onDone = [&](const BlockRequest &r) {
+                    double us =
+                        ticksToNs(r.completedAt - r.issuedAt)
+                        / 1000.0;
+                    if (r.isWrite) {
+                        ++report.writesDone;
+                        write_lat_sum += us;
+                    } else {
+                        ++report.readsDone;
+                        read_lat_sum += us;
+                    }
+                    ++done;
+                    last_done = eq.curTick();
+                    issue_one();
+                };
+                dev.submit(std::move(req));
+            });
+    };
+
+    for (unsigned q = 0; q < params_.queueDepth; ++q)
+        issue_one();
+    while (done < params_.ops && eq.step()) {
+    }
+
+    double secs = ticksToSeconds(last_done - started);
+    if (secs > 0) {
+        report.readIops = report.readsDone / secs;
+        report.writeIops = report.writesDone / secs;
+        report.totalIops = done / secs;
+    }
+    if (report.readsDone)
+        report.meanReadLatencyUs = read_lat_sum / report.readsDone;
+    if (report.writesDone)
+        report.meanWriteLatencyUs = write_lat_sum / report.writesDone;
+    report.elapsedSeconds = secs;
+    return report;
+}
+
+} // namespace contutto::storage

@@ -1,0 +1,84 @@
+#include "storage/pcie_devices.hh"
+
+namespace contutto::storage
+{
+
+PcieDevice::Params
+PcieDevice::nvramOnPcie()
+{
+    Params p;
+    p.mediaReadLatency = microseconds(13);
+    p.mediaWriteLatency = microseconds(23);
+    p.protocolOverhead = microseconds(5);
+    p.dmaBandwidth = 3.2e9;
+    p.description = "NVRAM (PCIe)";
+    return p;
+}
+
+PcieDevice::Params
+PcieDevice::flashOnPcie()
+{
+    Params p;
+    p.mediaReadLatency = microseconds(78);
+    p.mediaWriteLatency = microseconds(48);
+    p.protocolOverhead = microseconds(5);
+    p.dmaBandwidth = 3.2e9;
+    p.description = "Flash (x4 PCIe)";
+    return p;
+}
+
+PcieDevice::Params
+PcieDevice::mramOnPcie()
+{
+    Params p;
+    p.capacityBlocks = 256ull * 1024 * 1024 / blockSize;
+    p.mediaReadLatency = microseconds(2);
+    p.mediaWriteLatency = microseconds(4) + nanoseconds(800);
+    // The MRAM vendor card uses a lean polled driver.
+    p.protocolOverhead = microseconds(4);
+    p.dmaBandwidth = 3.2e9;
+    p.description = "STT-MRAM (PCIe)";
+    return p;
+}
+
+PcieDevice::PcieDevice(const std::string &name, EventQueue &eq,
+                       const ClockDomain &domain,
+                       stats::StatGroup *parent, const Params &params)
+    : BlockDevice(name, eq, domain, parent, params.capacityBlocks),
+      params_(params)
+{}
+
+void
+PcieDevice::submit(BlockRequest req)
+{
+    req.issuedAt = curTick();
+    if (inFlight_ >= params_.parallelism) {
+        queue_.push_back(std::move(req));
+        return;
+    }
+    startOne(std::move(req));
+}
+
+void
+PcieDevice::startOne(BlockRequest req)
+{
+    ++inFlight_;
+    Tick media = req.isWrite ? params_.mediaWriteLatency
+                             : params_.mediaReadLatency;
+    double bytes = double(req.blocks) * blockSize;
+    Tick dma = Tick(bytes / params_.dmaBandwidth * 1e12);
+    Tick service = params_.protocolOverhead + media + dma;
+    BlockRequest r = std::move(req);
+    OneShotEvent::schedule(
+        eventq(), curTick() + service, [this, r]() mutable {
+            complete(r);
+            --inFlight_;
+            if (!queue_.empty()) {
+                BlockRequest next = std::move(queue_.front());
+                queue_.pop_front();
+                startOne(std::move(next));
+            }
+        });
+}
+
+} // namespace contutto::storage

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PCIe-attached persistent stores: the comparison points of
+ * Figures 9 and 10.
+ *
+ * A PCIe block device pays the transaction protocol each operation:
+ * doorbell MMIO, command fetch DMA, media access, payload DMA and a
+ * completion interrupt. That protocol floor — microseconds even
+ * with NVMe — is exactly what the DMI attach point avoids, which is
+ * the paper's core storage claim. MRAM-on-PCIe numbers are the
+ * vendor's (the paper took them from the datasheet as well).
+ */
+
+#ifndef CONTUTTO_STORAGE_PCIE_DEVICES_HH
+#define CONTUTTO_STORAGE_PCIE_DEVICES_HH
+
+#include <deque>
+
+#include "storage/block_device.hh"
+
+namespace contutto::storage
+{
+
+/** A generic PCIe/NVMe block device. */
+class PcieDevice : public BlockDevice
+{
+  public:
+    struct Params
+    {
+        std::uint64_t capacityBlocks =
+            256ull * 1024 * 1024 * 1024 / blockSize;
+        /** Media access time. */
+        Tick mediaReadLatency = microseconds(10);
+        Tick mediaWriteLatency = microseconds(20);
+        /** Effective payload DMA bandwidth (Gen3 x4 ~ 3.2 GB/s). */
+        double dmaBandwidth = 3.2e9;
+        /** Doorbell + SQ fetch + CQ write + MSI-X + host ISR. */
+        Tick protocolOverhead = microseconds(5);
+        /** Internal parallelism (queue pairs x channels). */
+        unsigned parallelism = 16;
+        std::string description = "PCIe device";
+    };
+
+    /** @{ The paper's comparison configurations. */
+    /** NVRAM: flash-backed DRAM behind an NVMe controller. */
+    static Params nvramOnPcie();
+    /** NVMe NAND flash on x4 PCIe. */
+    static Params flashOnPcie();
+    /** The vendor's MRAM PCIe card (datasheet numbers). */
+    static Params mramOnPcie();
+    /** @} */
+
+    PcieDevice(const std::string &name, EventQueue &eq,
+               const ClockDomain &domain, stats::StatGroup *parent,
+               const Params &params);
+
+    void submit(BlockRequest req) override;
+    std::string describe() const override
+    {
+        return params_.description;
+    }
+
+    const Params &params() const { return params_; }
+
+  private:
+    void startOne(BlockRequest req);
+
+    Params params_;
+    unsigned inFlight_ = 0;
+    std::deque<BlockRequest> queue_;
+};
+
+} // namespace contutto::storage
+
+#endif // CONTUTTO_STORAGE_PCIE_DEVICES_HH

@@ -1,0 +1,86 @@
+#include "storage/pmem.hh"
+
+namespace contutto::storage
+{
+
+PmemBlockDevice::PmemBlockDevice(const std::string &name,
+                                 cpu::Power8System &sys,
+                                 stats::StatGroup *parent,
+                                 const Params &params)
+    : BlockDevice(name, sys.eventq(), sys.nestDomain(), parent,
+                  params.capacityBlocks),
+      sys_(sys), params_(params),
+      flushesIssued_(this, "flushesIssued",
+                     "flush commands for persistence")
+{}
+
+void
+PmemBlockDevice::submit(BlockRequest req)
+{
+    req.issuedAt = curTick();
+    queue_.push_back(std::move(req));
+    if (!busy_)
+        startNext();
+}
+
+void
+PmemBlockDevice::startNext()
+{
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+
+    Tick driver = current_.isWrite ? params_.driverWriteCost
+                                   : params_.driverReadCost;
+    OneShotEvent::schedule(eventq(), curTick() + driver,
+                           [this] { issueLines(current_); });
+}
+
+void
+PmemBlockDevice::issueLines(const BlockRequest &req)
+{
+    unsigned lines_per_block =
+        unsigned(blockSize / dmi::cacheLineSize);
+    unsigned total = req.blocks * lines_per_block;
+    linesOutstanding_ = total;
+    flushOutstanding_ = false;
+
+    Addr base = params_.regionBase + req.lba * blockSize;
+    for (unsigned i = 0; i < total; ++i) {
+        Addr addr = base + Addr(i) * dmi::cacheLineSize;
+        auto line_done = [this](const cpu::HostOpResult &) {
+            ct_assert(linesOutstanding_ > 0);
+            if (--linesOutstanding_ > 0)
+                return;
+            if (current_.isWrite && params_.flushOnWrite) {
+                // Persistence: the ConTutto flush drains the line
+                // writes to the media before we report completion.
+                ++flushesIssued_;
+                flushOutstanding_ = true;
+                sys_.port().flush([this](const cpu::HostOpResult &) {
+                    flushOutstanding_ = false;
+                    complete(current_);
+                    startNext();
+                });
+            } else {
+                complete(current_);
+                startNext();
+            }
+        };
+        if (req.isWrite) {
+            dmi::CacheLine line{};
+            // The payload content is irrelevant to timing; the
+            // region's functional image is owned by the filesystem
+            // model above us.
+            sys_.port().write(addr, line, line_done);
+        } else {
+            sys_.port().read(addr, line_done);
+        }
+    }
+}
+
+} // namespace contutto::storage

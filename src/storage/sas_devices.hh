@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SAS-attached devices: the rotating disk and the enterprise SSD.
+ *
+ * Table 4's comparison points: a 1.1 TB SAS HDD (~75 IOPS on small
+ * random writes) and a 400 GB SAS SSD (~15K IOPS).
+ */
+
+#ifndef CONTUTTO_STORAGE_SAS_DEVICES_HH
+#define CONTUTTO_STORAGE_SAS_DEVICES_HH
+
+#include <deque>
+
+#include "storage/block_device.hh"
+
+namespace contutto::storage
+{
+
+/** A 7.2K RPM SAS hard disk with a seek/rotate/transfer model. */
+class HddDevice : public BlockDevice
+{
+  public:
+    struct Params
+    {
+        std::uint64_t capacityBlocks = 1100ull * 1000 * 1000 * 1000
+            / blockSize; // 1.1 TB
+        double rpm = 7200;
+        Tick avgSeek = microseconds(12000);
+        Tick trackToTrackSeek = microseconds(700);
+        /** Media transfer rate, bytes/second. */
+        double mediaRate = 150e6;
+        /** SAS link + controller overhead per command. */
+        Tick commandOverhead = microseconds(60);
+        /** LBA distance still counted as "sequential". */
+        std::uint64_t sequentialWindow = 256;
+    };
+
+    HddDevice(const std::string &name, EventQueue &eq,
+              const ClockDomain &domain, stats::StatGroup *parent,
+              const Params &params);
+
+    ~HddDevice() override;
+
+    void submit(BlockRequest req) override;
+    std::string describe() const override
+    {
+        return "Hard Disk Drive (SAS)";
+    }
+
+  private:
+    void startNext();
+    Tick serviceTime(const BlockRequest &req) const;
+
+    Params params_;
+    std::deque<BlockRequest> queue_;
+    bool busy_ = false;
+    std::uint64_t headLba_ = 0;
+    EventFunctionWrapper doneEvent_;
+    BlockRequest current_;
+    stats::Scalar seeks_;
+    stats::Scalar sequentialHits_;
+};
+
+/** An enterprise SAS SSD with a flat latency profile. */
+class SsdDevice : public BlockDevice
+{
+  public:
+    struct Params
+    {
+        std::uint64_t capacityBlocks =
+            400ull * 1000 * 1000 * 1000 / blockSize; // 400 GB
+        Tick readLatency = microseconds(95);
+        /** Writes land in the drive's capacitor-backed cache. */
+        Tick writeLatency = microseconds(43);
+        /** SAS link + controller overhead per command. */
+        Tick commandOverhead = microseconds(10);
+        /** Interface transfer rate, bytes/second (SAS 6G). */
+        double linkRate = 550e6;
+        /** Concurrent internal operations (channels). */
+        unsigned parallelism = 8;
+    };
+
+    SsdDevice(const std::string &name, EventQueue &eq,
+              const ClockDomain &domain, stats::StatGroup *parent,
+              const Params &params);
+
+    void submit(BlockRequest req) override;
+    std::string describe() const override { return "SSD (SAS)"; }
+
+  private:
+    Params params_;
+    unsigned inFlight_ = 0;
+    std::deque<BlockRequest> queue_;
+    void startOne(BlockRequest req);
+};
+
+} // namespace contutto::storage
+
+#endif // CONTUTTO_STORAGE_SAS_DEVICES_HH

@@ -1,0 +1,68 @@
+#include "storage/slram.hh"
+
+namespace contutto::storage
+{
+
+SlramBlockDevice::SlramBlockDevice(const std::string &name,
+                                   cpu::Power8System &sys,
+                                   stats::StatGroup *parent,
+                                   const Params &params)
+    : BlockDevice(name, sys.eventq(), sys.nestDomain(), parent,
+                  params.capacityBlocks),
+      sys_(sys), params_(params)
+{}
+
+void
+SlramBlockDevice::submit(BlockRequest req)
+{
+    req.issuedAt = curTick();
+    queue_.push_back(std::move(req));
+    if (!busy_)
+        startNext();
+}
+
+void
+SlramBlockDevice::startNext()
+{
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+    OneShotEvent::schedule(eventq(),
+                           curTick() + params_.driverCost,
+                           [this] { issueLines(current_); });
+}
+
+void
+SlramBlockDevice::issueLines(const BlockRequest &req)
+{
+    unsigned lines_per_block =
+        unsigned(blockSize / dmi::cacheLineSize);
+    unsigned total = req.blocks * lines_per_block;
+    linesOutstanding_ = total;
+
+    Addr base = params_.regionBase + req.lba * blockSize;
+    for (unsigned i = 0; i < total; ++i) {
+        Addr addr = base + Addr(i) * dmi::cacheLineSize;
+        auto line_done = [this](const cpu::HostOpResult &) {
+            ct_assert(linesOutstanding_ > 0);
+            if (--linesOutstanding_ > 0)
+                return;
+            // No flush: acknowledged as soon as the line commands
+            // complete at the buffer — the raw-RAM semantics.
+            complete(current_);
+            startNext();
+        };
+        if (req.isWrite) {
+            dmi::CacheLine line{};
+            sys_.port().write(addr, line, line_done);
+        } else {
+            sys_.port().read(addr, line_done);
+        }
+    }
+}
+
+} // namespace contutto::storage

@@ -1,0 +1,42 @@
+#include "workloads/db2.hh"
+
+#include "workloads/spec.hh"
+
+namespace contutto::workloads
+{
+
+cpu::WorkloadProfile
+db2BluProfile()
+{
+    cpu::WorkloadProfile p;
+    p.name = "db2blu-29q";
+    p.baseCpi = 0.75;
+    // Scan-dominated: high miss traffic but almost all of it
+    // prefetchable column streams; joins contribute a small
+    // dependent component.
+    p.missesPerKiloInstr = 6.0;
+    p.writeFraction = 0.15;
+    p.chaseFraction = 0.012;
+    p.streamFraction = 0.90;
+    p.mlp = 8;
+    p.streamMlp = 24;
+    p.workingSet = 192 * MiB;
+    return p;
+}
+
+Db2RunResult
+runDb2Blu(cpu::Power8System &sys, double baseline_synthetic,
+          std::uint64_t instructions)
+{
+    auto r = runSpecProfile(sys, db2BluProfile(), instructions);
+    Db2RunResult out;
+    out.syntheticSeconds = r.runtimeSeconds;
+    out.cpi = r.cpi;
+    double base = baseline_synthetic > 0 ? baseline_synthetic
+                                         : r.runtimeSeconds;
+    out.scaledSeconds =
+        db2BaselineSeconds * (r.runtimeSeconds / base);
+    return out;
+}
+
+} // namespace contutto::workloads

@@ -1,0 +1,78 @@
+#include "workloads/spec.hh"
+
+namespace contutto::workloads
+{
+
+using cpu::WorkloadProfile;
+
+std::vector<WorkloadProfile>
+specCint2006()
+{
+    // {name, baseCpi, MPKI, writeFrac, chaseFrac, streamFrac, mlp,
+    //  streamMlp, workingSet}
+    // MPKI follows published CINT2006 LLC characterizations; the
+    // chase fraction is the *exposed, serialized* share of misses
+    // after the OoO window, the L3, the Centaur eDRAM cache and the
+    // prefetchers have hidden what they can — small in absolute
+    // terms even for mcf, but an order of magnitude apart between
+    // the latency-tolerant and latency-bound applications, which is
+    // what separates the flat curves from the collapsing ones in
+    // Figures 6 and 7.
+    std::vector<WorkloadProfile> v;
+    v.push_back({"400.perlbench", 0.70, 0.6, 0.30, 0.010, 0.45, 4, 24,
+                 48 * MiB});
+    v.push_back({"401.bzip2", 0.85, 2.4, 0.35, 0.002, 0.55, 6, 24,
+                 96 * MiB});
+    v.push_back({"403.gcc", 0.90, 1.2, 0.30, 0.020, 0.40, 6, 24,
+                 64 * MiB});
+    v.push_back({"429.mcf", 1.10, 32.0, 0.20, 0.013, 0.05, 8, 24,
+                 160 * MiB});
+    v.push_back({"445.gobmk", 0.80, 0.4, 0.30, 0.010, 0.30, 4, 24,
+                 32 * MiB});
+    v.push_back({"456.hmmer", 0.60, 0.7, 0.25, 0.002, 0.85, 6, 24,
+                 48 * MiB});
+    v.push_back({"458.sjeng", 0.80, 0.4, 0.30, 0.012, 0.25, 4, 24,
+                 64 * MiB});
+    v.push_back({"462.libquantum", 0.65, 10.0, 0.25, 0.002, 0.97, 8,
+                 48, 128 * MiB});
+    v.push_back({"464.h264ref", 0.60, 0.9, 0.30, 0.004, 0.65, 6, 24,
+                 48 * MiB});
+    v.push_back({"471.omnetpp", 1.00, 8.5, 0.30, 0.014, 0.45, 12, 32,
+                 128 * MiB});
+    v.push_back({"473.astar", 0.95, 3.6, 0.25, 0.020, 0.20, 6, 24,
+                 96 * MiB});
+    v.push_back({"483.xalancbmk", 0.90, 2.6, 0.30, 0.028, 0.30, 6, 24,
+                 96 * MiB});
+    return v;
+}
+
+SpecRunResult
+runSpecProfile(cpu::Power8System &sys,
+               const cpu::WorkloadProfile &profile,
+               std::uint64_t instructions)
+{
+    ClockDomain core("core", 250); // 4 GHz POWER8 core
+    cpu::CoreModel::Params params;
+    params.instructions = instructions;
+    params.nestOverhead = sys.params().nestOverhead;
+    cpu::CoreModel model("core." + profile.name, sys.eventq(), core,
+                         &sys, profile, params, sys.port());
+
+    bool finished = false;
+    cpu::CoreModel::Result result;
+    model.start([&](const cpu::CoreModel::Result &r) {
+        result = r;
+        finished = true;
+    });
+    while (!finished && sys.eventq().step()) {
+    }
+
+    SpecRunResult out;
+    out.benchmark = profile.name;
+    out.runtimeSeconds = ticksToSeconds(result.runtime);
+    out.cpi = result.cpi;
+    out.misses = result.misses;
+    return out;
+}
+
+} // namespace contutto::workloads

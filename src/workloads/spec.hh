@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SPEC CINT2006 memory-behaviour profiles (Figures 6 and 7).
+ *
+ * We cannot run the licensed SPEC binaries; instead each benchmark
+ * is characterized by the memory-behaviour parameters that determine
+ * its latency sensitivity, taken from published characterization
+ * studies of CINT2006 (LLC MPKI, memory-level parallelism,
+ * pointer-chasing vs streaming nature). The profiles drive the
+ * CoreModel through the *simulated* memory system, so the figures'
+ * shape — which applications tolerate a 6x memory-latency increase
+ * and which collapse — emerges from the interaction of these
+ * parameters with the modelled channel.
+ */
+
+#ifndef CONTUTTO_WORKLOADS_SPEC_HH
+#define CONTUTTO_WORKLOADS_SPEC_HH
+
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "cpu/system.hh"
+
+namespace contutto::workloads
+{
+
+/** The twelve CINT2006 benchmarks. */
+std::vector<cpu::WorkloadProfile> specCint2006();
+
+/** Result of one benchmark at one latency setting. */
+struct SpecRunResult
+{
+    std::string benchmark;
+    double runtimeSeconds = 0;
+    double cpi = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * Run one profile on a live (trained) system.
+ *
+ * @param instructions synthetic instruction budget; runtimes scale
+ *        linearly, ratios are budget-independent.
+ */
+SpecRunResult runSpecProfile(cpu::Power8System &sys,
+                             const cpu::WorkloadProfile &profile,
+                             std::uint64_t instructions = 400000);
+
+} // namespace contutto::workloads
+
+#endif // CONTUTTO_WORKLOADS_SPEC_HH

@@ -1,0 +1,159 @@
+#include "workloads/sw_kernels.hh"
+
+#include <cmath>
+
+namespace contutto::workloads
+{
+
+using cpu::HostOpResult;
+using dmi::cacheLineSize;
+
+KernelResult
+swMemcpy(cpu::Power8System &sys, std::uint64_t bytes, Addr src,
+         Addr dst, unsigned window, Tick cpuPerLine)
+{
+    ct_assert(bytes % cacheLineSize == 0);
+    std::uint64_t lines = bytes / cacheLineSize;
+    std::uint64_t next_line = 0;
+    std::uint64_t done_lines = 0;
+    EventQueue &eq = sys.eventq();
+    Tick started = eq.curTick();
+    Tick finished = started;
+
+    // Each window slot cycles read -> cpu -> write -> next line.
+    std::function<void()> start_line = [&]() {
+        if (next_line >= lines)
+            return;
+        std::uint64_t line = next_line++;
+        sys.port().read(
+            src + line * cacheLineSize,
+            [&, line](const HostOpResult &r) {
+                OneShotEvent::schedule(
+                    eq, eq.curTick() + cpuPerLine, [&, line, r] {
+                        sys.port().write(
+                            dst + line * cacheLineSize, r.data,
+                            [&](const HostOpResult &) {
+                                ++done_lines;
+                                finished = eq.curTick();
+                                start_line();
+                            });
+                    });
+            });
+    };
+    for (unsigned w = 0; w < window; ++w)
+        start_line();
+    while (done_lines < lines && eq.step()) {
+    }
+
+    KernelResult result;
+    result.runtime = finished - started;
+    result.bytesProcessed = bytes;
+    result.bytesPerSecond =
+        double(bytes) / ticksToSeconds(result.runtime);
+    return result;
+}
+
+KernelResult
+swMinMax(cpu::Power8System &sys, std::uint64_t bytes, Addr base,
+         Tick cpuPerLine)
+{
+    ct_assert(bytes % cacheLineSize == 0);
+    std::uint64_t lines = bytes / cacheLineSize;
+    std::uint64_t line = 0;
+    bool done = false;
+    EventQueue &eq = sys.eventq();
+    Tick started = eq.curTick();
+    Tick finished = started;
+
+    // Dependent walk: each line's comparison must retire before the
+    // next load issues (the unoptimized scalar loop of the paper's
+    // software baseline).
+    std::function<void()> step_line = [&]() {
+        if (line >= lines) {
+            done = true;
+            finished = eq.curTick();
+            return;
+        }
+        Addr addr = base + (line++) * cacheLineSize;
+        sys.port().read(addr, [&](const HostOpResult &) {
+            OneShotEvent::schedule(eq, eq.curTick() + cpuPerLine,
+                                   step_line);
+        });
+    };
+    step_line();
+    while (!done && eq.step()) {
+    }
+
+    KernelResult result;
+    result.runtime = finished - started;
+    result.bytesProcessed = bytes;
+    result.bytesPerSecond =
+        double(bytes) / ticksToSeconds(result.runtime);
+    return result;
+}
+
+KernelResult
+swFft(cpu::Power8System &sys, unsigned points, unsigned batches,
+      double core_gflops)
+{
+    // Radix-2 complex FFT: ~5 N log2(N) real FLOPs.
+    double flops_per_fft =
+        5.0 * double(points) * std::log2(double(points));
+    Tick compute_per_fft =
+        Tick(flops_per_fft / (core_gflops * 1e9) * 1e12);
+
+    std::uint64_t lines_per_fft =
+        std::uint64_t(points) * 8 / cacheLineSize;
+    EventQueue &eq = sys.eventq();
+    Tick started = eq.curTick();
+    Tick finished = started;
+    unsigned batch = 0;
+    bool done = false;
+
+    // Per batch: stream the samples in (overlapped reads) while the
+    // butterflies compute; the batch ends when both finish.
+    std::function<void()> run_batch = [&]() {
+        if (batch >= batches) {
+            done = true;
+            finished = eq.curTick();
+            return;
+        }
+        ++batch;
+        auto remaining =
+            std::make_shared<std::uint64_t>(lines_per_fft);
+        auto compute_done = std::make_shared<bool>(false);
+        auto maybe_next = [&, remaining, compute_done] {
+            if (*remaining == 0 && *compute_done)
+                run_batch();
+        };
+        OneShotEvent::schedule(eq, eq.curTick() + compute_per_fft,
+                               [compute_done, maybe_next] {
+                                   *compute_done = true;
+                                   maybe_next();
+                               });
+        Addr base = Addr(batch % 64) * points * 8;
+        for (std::uint64_t i = 0; i < lines_per_fft; ++i) {
+            sys.port().read(base + i * cacheLineSize,
+                            [remaining,
+                             maybe_next](const HostOpResult &) {
+                                --*remaining;
+                                maybe_next();
+                            });
+        }
+    };
+    run_batch();
+    while (!done && eq.step()) {
+    }
+
+    KernelResult result;
+    result.runtime = finished - started;
+    result.bytesProcessed =
+        std::uint64_t(batches) * points * 8;
+    result.bytesPerSecond =
+        double(result.bytesProcessed) / ticksToSeconds(result.runtime);
+    result.samplesPerSecond = double(batches) * points
+        / ticksToSeconds(result.runtime);
+    return result;
+}
+
+} // namespace contutto::workloads

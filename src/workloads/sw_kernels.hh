@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Software baselines for the Table 5 acceleration comparison.
+ *
+ * The paper compares ConTutto's near-memory accelerators against
+ * software running on the POWER8 with CDIMMs: memory copy
+ * (3.2 GB/s), min/max search (0.5 GB/s) and 1024-point FFT
+ * (0.68 Gsamples/s, from the DATE'15 measurement it cites). These
+ * kernels run through the *simulated* Centaur memory path:
+ *  - memcpy: a windowed copy loop (read, small CPU cost, write);
+ *  - min/max: a dependent scan — the measured software was
+ *    latency-bound, not bandwidth-bound, hence 0.5 GB/s;
+ *  - FFT: compute-bound at the core's FLOP rate, with the sample
+ *    streams checked against memory bandwidth.
+ */
+
+#ifndef CONTUTTO_WORKLOADS_SW_KERNELS_HH
+#define CONTUTTO_WORKLOADS_SW_KERNELS_HH
+
+#include "cpu/system.hh"
+
+namespace contutto::workloads
+{
+
+/** Outcome of one software kernel run. */
+struct KernelResult
+{
+    Tick runtime = 0;
+    std::uint64_t bytesProcessed = 0;
+    double bytesPerSecond = 0;
+    double samplesPerSecond = 0; ///< FFT only.
+};
+
+/** Software block copy through the memory channel. */
+KernelResult swMemcpy(cpu::Power8System &sys, std::uint64_t bytes,
+                      Addr src = 0, Addr dst = 1 * GiB / 4,
+                      unsigned window = 5,
+                      Tick cpuPerLine = nanoseconds(14));
+
+/** Software min/max scan (dependent line walk). */
+KernelResult swMinMax(cpu::Power8System &sys, std::uint64_t bytes,
+                      Addr base = 0,
+                      Tick cpuPerLine = nanoseconds(220));
+
+/**
+ * Software 1024-point FFT batches.
+ * @param core_gflops sustained complex-FP rate of one POWER8 core.
+ */
+KernelResult swFft(cpu::Power8System &sys, unsigned points,
+                   unsigned batches, double core_gflops = 34.5);
+
+} // namespace contutto::workloads
+
+#endif // CONTUTTO_WORKLOADS_SW_KERNELS_HH

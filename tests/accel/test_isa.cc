@@ -1,0 +1,100 @@
+/** @file Access-processor ISA and assembler tests. */
+
+#include <gtest/gtest.h>
+
+#include "accel/isa.hh"
+#include "sim/logging.hh"
+
+using namespace contutto;
+using namespace contutto::accel;
+
+namespace
+{
+
+TEST(Assembler, BasicProgram)
+{
+    auto prog = assemble(R"(
+        li r1, 0x100
+        addi r2, r1, 28
+        halt
+    )");
+    ASSERT_EQ(prog.code.size(), 3u);
+    EXPECT_EQ(prog.code[0].op, Op::li);
+    EXPECT_EQ(prog.code[0].rd, 1);
+    EXPECT_EQ(prog.code[0].imm, 0x100);
+    EXPECT_EQ(prog.code[1].op, Op::addi);
+    EXPECT_EQ(prog.code[1].imm, 28);
+    EXPECT_EQ(prog.code[2].op, Op::halt);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward)
+{
+    auto prog = assemble(R"(
+start:  addi r1, r1, 1
+        blt r1, r2, start
+        jmp end
+        nop
+end:    halt
+    )");
+    ASSERT_EQ(prog.code.size(), 5u);
+    EXPECT_EQ(prog.code[1].imm, 0); // back to start
+    EXPECT_EQ(prog.code[2].imm, 4); // forward to end
+}
+
+TEST(Assembler, CommentsAndCommasIgnored)
+{
+    auto prog = assemble(R"(
+        add r1, r2, r3   ; sum
+        ; a full-line comment
+        halt
+    )");
+    ASSERT_EQ(prog.code.size(), 2u);
+    EXPECT_EQ(prog.code[0].op, Op::add);
+    EXPECT_EQ(prog.code[0].rb, 3);
+}
+
+TEST(Assembler, ErrorsAreFatal)
+{
+    EXPECT_THROW(assemble("bogus r1, r2"), FatalError);
+    EXPECT_THROW(assemble("jmp nowhere"), FatalError);
+    EXPECT_THROW(assemble("li r99, 5"), FatalError);
+    EXPECT_THROW(assemble("dup: nop\ndup: nop"), FatalError);
+    EXPECT_THROW(assemble("add r1, r2"), FatalError); // arity
+}
+
+TEST(Program, EncodeDecodeRoundTrip)
+{
+    auto prog = assemble(R"(
+        li r5, -12345
+        shl r6, r5, 7
+loop:   lineRead r6
+        bge r5, r3, loop
+        halt
+    )");
+    auto image = prog.encode();
+    EXPECT_EQ(image.size(), prog.code.size() * 16);
+    auto back = Program::decode(image);
+    ASSERT_EQ(back.code.size(), prog.code.size());
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        EXPECT_EQ(back.code[i].op, prog.code[i].op);
+        EXPECT_EQ(back.code[i].rd, prog.code[i].rd);
+        EXPECT_EQ(back.code[i].ra, prog.code[i].ra);
+        EXPECT_EQ(back.code[i].imm, prog.code[i].imm);
+    }
+}
+
+TEST(Assembler, DriverProgramsAssemble)
+{
+    // The shipped kernels must stay valid.
+    EXPECT_NO_THROW(assemble(R"(
+        add r5, r0, r14
+        shl r6, r4, 7
+loop:   bge r5, r3, end
+        lineRead r8
+        add r5, r5, r4
+        jmp loop
+end:    halt
+    )"));
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/** @file ConTutto card tests: knob, resources, MBS behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "contutto/resources.hh"
+#include "cpu/system.hh"
+
+using namespace contutto;
+using namespace contutto::cpu;
+using namespace contutto::fpga;
+
+namespace
+{
+
+Power8System::Params
+cardSystem()
+{
+    Power8System::Params p;
+    p.buffer = BufferKind::contutto;
+    p.dimms = {DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}},
+               DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}}};
+    return p;
+}
+
+TEST(Resources, BaseDesignReproducesTable1)
+{
+    ResourceModel m;
+    m.addBaseDesign();
+    // Paper Table 1: 136,856 ALMs (43%), 191,403 registers (30%),
+    // 244 M20K (9%).
+    EXPECT_EQ(m.totalAlms(), 136856u);
+    EXPECT_EQ(m.totalRegisters(), 191403u);
+    EXPECT_EQ(m.totalM20k(), 244u);
+    EXPECT_NEAR(m.almUtilization(), 0.43, 0.005);
+    EXPECT_NEAR(m.registerUtilization(), 0.30, 0.005);
+    EXPECT_NEAR(m.m20kUtilization(), 0.09, 0.005);
+    EXPECT_TRUE(m.fits());
+}
+
+TEST(Resources, OptionalBlocksLeaveRoom)
+{
+    // The paper's headroom claim: even with knob, inline ops, the
+    // Access processor with accelerators, PCIe and TCAM, the design
+    // still fits comfortably.
+    ResourceModel m;
+    m.addBaseDesign();
+    m.addLatencyKnob();
+    m.addInlineAccelEngines();
+    m.addAccessProcessor(4);
+    m.addPcie();
+    m.addTcam();
+    EXPECT_TRUE(m.fits());
+    EXPECT_LT(m.almUtilization(), 0.85);
+}
+
+TEST(Resources, ReportMentionsEveryResource)
+{
+    ResourceModel m;
+    m.addBaseDesign();
+    std::string r = m.report();
+    EXPECT_NE(r.find("ALMs"), std::string::npos);
+    EXPECT_NE(r.find("136856"), std::string::npos);
+    EXPECT_NE(r.find("43%"), std::string::npos);
+}
+
+TEST(Card, KnobAddsTwentyFourNanosecondsPerStep)
+{
+    Power8System sys(cardSystem());
+    ASSERT_TRUE(sys.train());
+    auto &mbs = sys.card()->mbs();
+
+    // knobDelay is the designed one-way delta: 6 cycles * 4 ns.
+    mbs.setKnobPosition(1);
+    EXPECT_EQ(mbs.knobDelay(), nanoseconds(24));
+    mbs.setKnobPosition(7);
+    EXPECT_EQ(mbs.knobDelay(), nanoseconds(168));
+
+    // And it shows up in end-to-end measured latency.
+    mbs.setKnobPosition(0);
+    double base = sys.measureReadLatencyNs();
+    mbs.setKnobPosition(2);
+    double knob2 = sys.measureReadLatencyNs();
+    mbs.setKnobPosition(6);
+    double knob6 = sys.measureReadLatencyNs();
+
+    EXPECT_NEAR(knob2 - base, 48.0, 6.0);
+    EXPECT_NEAR(knob6 - base, 144.0, 8.0);
+}
+
+TEST(Card, QuiescentAfterTraffic)
+{
+    Power8System sys(cardSystem());
+    ASSERT_TRUE(sys.train());
+    EXPECT_TRUE(sys.card()->quiescent());
+    dmi::CacheLine line;
+    line.fill(1);
+    for (int i = 0; i < 20; ++i)
+        sys.port().write(Addr(i) * 128, line, nullptr);
+    EXPECT_FALSE(sys.port().idle());
+    // Step until the card has actually accepted work.
+    while (sys.card()->quiescent() && sys.eventq().step()) {
+    }
+    EXPECT_FALSE(sys.card()->quiescent());
+    ASSERT_TRUE(sys.runUntilIdle());
+    EXPECT_TRUE(sys.card()->quiescent());
+}
+
+TEST(Card, EngineOccupancyTracksParallelism)
+{
+    Power8System sys(cardSystem());
+    ASSERT_TRUE(sys.train());
+    for (int i = 0; i < 64; ++i)
+        sys.port().read(Addr(i) * 4096, nullptr);
+    ASSERT_TRUE(sys.runUntilIdle());
+    const auto &occ = sys.card()->mbs().mbsStats().engineOccupancy;
+    EXPECT_GT(occ.maximum(), 4.0); // real overlap happened
+    EXPECT_LE(occ.maximum(), 32.0);
+}
+
+TEST(Card, SameLineOrderingPreserved)
+{
+    Power8System sys(cardSystem());
+    ASSERT_TRUE(sys.train());
+
+    // Write then read the same line back-to-back, repeatedly with
+    // different values: the read must always see its predecessor.
+    for (int round = 0; round < 10; ++round) {
+        dmi::CacheLine line;
+        line.fill(std::uint8_t(round + 1));
+        sys.port().write(0x7000, line, nullptr);
+        std::uint8_t expect = std::uint8_t(round + 1);
+        sys.port().read(0x7000, [expect](const HostOpResult &r) {
+            ASSERT_EQ(r.data[64], expect);
+        });
+    }
+    ASSERT_TRUE(sys.runUntilIdle());
+    EXPECT_GT(sys.card()->mbs().mbsStats().addrOrderStalls.value(),
+              0.0);
+}
+
+TEST(Card, MbsStatsCountCommandTypes)
+{
+    Power8System sys(cardSystem());
+    ASSERT_TRUE(sys.train());
+    dmi::CacheLine line{};
+    sys.port().read(0, nullptr);
+    sys.port().write(128, line, nullptr);
+    dmi::ByteEnable en;
+    en.set(0);
+    sys.port().partialWrite(256, line, en, nullptr);
+    sys.port().flush(nullptr);
+    sys.port().minStore(384, line, nullptr);
+    ASSERT_TRUE(sys.runUntilIdle());
+    const auto &s = sys.card()->mbs().mbsStats();
+    EXPECT_EQ(s.reads.value(), 1.0);
+    EXPECT_EQ(s.writes.value(), 1.0);
+    EXPECT_EQ(s.rmws.value(), 1.0);
+    EXPECT_EQ(s.flushes.value(), 1.0);
+    EXPECT_EQ(s.inlineOps.value(), 1.0);
+}
+
+} // namespace

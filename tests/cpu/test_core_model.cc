@@ -1,0 +1,134 @@
+/** @file Core model latency-sensitivity tests. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+#include "cpu/system.hh"
+
+using namespace contutto;
+using namespace contutto::cpu;
+
+namespace
+{
+
+Power8System::Params
+smallCard()
+{
+    Power8System::Params p;
+    p.dimms = {DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}},
+               DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}}};
+    return p;
+}
+
+CoreModel::Result
+runProfile(Power8System &sys, const WorkloadProfile &prof,
+           std::uint64_t instructions = 300000)
+{
+    ClockDomain core("core", 250); // 4 GHz
+    CoreModel::Params cp;
+    cp.instructions = instructions;
+    CoreModel model("core", sys.eventq(), core, &sys, prof, cp,
+                    sys.port());
+    bool finished = false;
+    CoreModel::Result result;
+    model.start([&](const CoreModel::Result &r) {
+        result = r;
+        finished = true;
+    });
+    while (!finished && sys.eventq().step()) {
+    }
+    EXPECT_TRUE(finished);
+    return result;
+}
+
+TEST(CoreModel, ComputeBoundWorkloadIgnoresMemoryLatency)
+{
+    WorkloadProfile prof;
+    prof.name = "computeBound";
+    prof.baseCpi = 0.8;
+    prof.missesPerKiloInstr = 0.05;
+
+    Power8System a(smallCard());
+    ASSERT_TRUE(a.train());
+    auto r0 = runProfile(a, prof);
+
+    Power8System b(smallCard());
+    ASSERT_TRUE(b.train());
+    b.card()->mbs().setKnobPosition(7); // +168 ns to memory
+    auto r7 = runProfile(b, prof);
+
+    double slowdown = double(r7.runtime) / double(r0.runtime);
+    EXPECT_LT(slowdown, 1.03);
+    // CPI should be near the base CPI.
+    EXPECT_NEAR(r0.cpi, prof.baseCpi, 0.25);
+}
+
+TEST(CoreModel, PointerChaseWorkloadDegradesSteeply)
+{
+    WorkloadProfile prof;
+    prof.name = "chaseHeavy";
+    prof.baseCpi = 0.9;
+    prof.missesPerKiloInstr = 30;
+    prof.chaseFraction = 0.7;
+    prof.streamFraction = 0.05;
+    prof.mlp = 4;
+
+    Power8System a(smallCard());
+    ASSERT_TRUE(a.train());
+    auto r0 = runProfile(a, prof, 100000);
+
+    Power8System b(smallCard());
+    ASSERT_TRUE(b.train());
+    b.card()->mbs().setKnobPosition(7);
+    auto r7 = runProfile(b, prof, 100000);
+
+    double slowdown = double(r7.runtime) / double(r0.runtime);
+    EXPECT_GT(slowdown, 1.15);
+}
+
+TEST(CoreModel, StreamingHidesLatencyBetterThanChasing)
+{
+    WorkloadProfile stream;
+    stream.name = "streaming";
+    stream.missesPerKiloInstr = 12;
+    stream.chaseFraction = 0.0;
+    stream.streamFraction = 0.95;
+
+    WorkloadProfile chase = stream;
+    chase.name = "chasing";
+    chase.chaseFraction = 0.8;
+    chase.streamFraction = 0.05;
+
+    auto slowdown_of = [&](const WorkloadProfile &prof) {
+        Power8System a(smallCard());
+        EXPECT_TRUE(a.train());
+        auto r0 = runProfile(a, prof, 100000);
+        Power8System b(smallCard());
+        EXPECT_TRUE(b.train());
+        b.card()->mbs().setKnobPosition(7);
+        auto r7 = runProfile(b, prof, 100000);
+        return double(r7.runtime) / double(r0.runtime);
+    };
+
+    double s_stream = slowdown_of(stream);
+    double s_chase = slowdown_of(chase);
+    EXPECT_LT(s_stream, s_chase);
+}
+
+TEST(CoreModel, ReportsPlausibleCounts)
+{
+    WorkloadProfile prof;
+    prof.name = "counter";
+    prof.missesPerKiloInstr = 10;
+
+    Power8System sys(smallCard());
+    ASSERT_TRUE(sys.train());
+    auto r = runProfile(sys, prof, 200000);
+    EXPECT_EQ(r.instructions, 200000u);
+    // ~10 MPKI over 200k instructions = ~2000 misses (jittered).
+    EXPECT_GT(r.misses, 1000u);
+    EXPECT_LT(r.misses, 4000u);
+    EXPECT_GT(r.cpi, prof.baseCpi); // memory cost shows up
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/** @file Multi-slot socket tests: plug rules, interleave, scaling. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/multi_slot.hh"
+
+using namespace contutto;
+using namespace contutto::cpu;
+
+namespace
+{
+
+ChannelParams
+smallChannel(std::uint64_t dimm = 64 * MiB)
+{
+    ChannelParams p;
+    p.dimms = {DimmSpec{mem::MemTech::dram, dimm, {}, {}},
+               DimmSpec{mem::MemTech::dram, dimm, {}, {}}};
+    return p;
+}
+
+MultiSlotSystem::Params
+allCdimm(unsigned n = 8)
+{
+    MultiSlotSystem::Params p;
+    for (unsigned s = 0; s < MultiSlotSystem::numSlots; ++s) {
+        p.slots[s].kind =
+            s < n ? SlotKind::cdimm : SlotKind::empty;
+        p.slots[s].channel = smallChannel();
+    }
+    return p;
+}
+
+TEST(PlugRules, ContuttoOnlyInEvenSlots)
+{
+    auto p = allCdimm(8);
+    p.slots[3].kind = SlotKind::contutto;
+    auto v = MultiSlotSystem::validate(p);
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.error.find("even"), std::string::npos);
+}
+
+TEST(PlugRules, ContuttoBlocksAdjacentSlot)
+{
+    auto p = allCdimm(8);
+    p.slots[2].kind = SlotKind::contutto;
+    // slot 3 still holds a CDIMM: violates the blocking rule.
+    auto v = MultiSlotSystem::validate(p);
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.error.find("blocks"), std::string::npos);
+
+    p.slots[3].kind = SlotKind::empty;
+    EXPECT_TRUE(MultiSlotSystem::validate(p).ok);
+}
+
+TEST(PlugRules, PaperConfigurationsAreLegal)
+{
+    // One ConTutto + six CDIMMs (paper §3.1).
+    auto one = allCdimm(8);
+    one.slots[0].kind = SlotKind::contutto;
+    one.slots[1].kind = SlotKind::empty;
+    EXPECT_TRUE(MultiSlotSystem::validate(one).ok);
+
+    // Two ConTutto + four CDIMMs.
+    auto two = allCdimm(8);
+    two.slots[0].kind = SlotKind::contutto;
+    two.slots[1].kind = SlotKind::empty;
+    two.slots[2].kind = SlotKind::contutto;
+    two.slots[3].kind = SlotKind::empty;
+    EXPECT_TRUE(MultiSlotSystem::validate(two).ok);
+
+    // The validator is also what the constructor enforces.
+    auto bad = allCdimm(8);
+    bad.slots[1].kind = SlotKind::contutto;
+    EXPECT_THROW(MultiSlotSystem{bad}, FatalError);
+}
+
+TEST(MultiSlot, MixedConfigTrainsAndServes)
+{
+    auto p = allCdimm(4);
+    p.slots[0].kind = SlotKind::contutto;
+    p.slots[1].kind = SlotKind::empty;
+    MultiSlotSystem socket(p);
+    ASSERT_EQ(socket.populatedChannels(), 3u);
+    ASSERT_TRUE(socket.trainAll());
+
+    // The ConTutto channel and the CDIMM channels all serve global
+    // interleaved traffic.
+    dmi::CacheLine line;
+    int done = 0;
+    for (int i = 0; i < 30; ++i) {
+        line.fill(std::uint8_t(i + 1));
+        socket.write(Addr(i) * 128, line,
+                     [&](const HostOpResult &) { ++done; });
+    }
+    ASSERT_TRUE(socket.runUntilIdle());
+    EXPECT_EQ(done, 30);
+
+    int verified = 0;
+    for (int i = 0; i < 30; ++i) {
+        std::uint8_t expect = std::uint8_t(i + 1);
+        socket.read(Addr(i) * 128,
+                    [&, expect](const HostOpResult &r) {
+                        if (r.data[0] == expect)
+                            ++verified;
+                    });
+    }
+    ASSERT_TRUE(socket.runUntilIdle());
+    EXPECT_EQ(verified, 30);
+}
+
+TEST(MultiSlot, InterleaveCoversAllChannels)
+{
+    auto p = allCdimm(4);
+    MultiSlotSystem socket(p);
+    std::vector<unsigned> counts(4, 0);
+    for (Addr a = 0; a < 4096 * 128; a += 128)
+        ++counts[socket.channelOf(a)];
+    for (unsigned c : counts)
+        EXPECT_EQ(c, 1024u);
+    // Local addresses are dense per channel.
+    EXPECT_EQ(socket.localAddr(0), 0u);
+    EXPECT_EQ(socket.localAddr(4 * 128), 128u);
+    EXPECT_EQ(socket.localAddr(4 * 128 + 5), 133u);
+}
+
+TEST(MultiSlot, BandwidthScalesWithChannels)
+{
+    double bw2, bw8;
+    {
+        MultiSlotSystem socket(allCdimm(2));
+        ASSERT_TRUE(socket.trainAll());
+        bw2 = socket.measureAggregateReadBandwidth();
+    }
+    {
+        MultiSlotSystem socket(allCdimm(8));
+        ASSERT_TRUE(socket.trainAll());
+        bw8 = socket.measureAggregateReadBandwidth();
+    }
+    // Near-linear channel scaling (the Figure 1 organization).
+    EXPECT_GT(bw8, bw2 * 3.2);
+    // And each Centaur channel sustains double-digit GB/s.
+    EXPECT_GT(bw2, 20.0);
+}
+
+TEST(MultiSlot, OneTerabyteSocket)
+{
+    // Paper §2.1: up to 1 TB per fully configured socket.
+    MultiSlotSystem::Params p;
+    for (unsigned s = 0; s < 8; ++s) {
+        p.slots[s].kind = SlotKind::cdimm;
+        p.slots[s].channel = smallChannel(64 * GiB);
+    }
+    MultiSlotSystem socket(p);
+    EXPECT_EQ(socket.totalCapacity(), 1024 * GiB);
+}
+
+} // namespace

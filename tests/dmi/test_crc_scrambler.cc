@@ -1,0 +1,145 @@
+/** @file CRC and scrambler unit + property tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dmi/crc.hh"
+#include "dmi/frame.hh"
+#include "dmi/scrambler.hh"
+#include "sim/random.hh"
+
+using namespace contutto;
+using namespace contutto::dmi;
+
+namespace
+{
+
+TEST(Crc16, KnownVector)
+{
+    // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+    const char *s = "123456789";
+    EXPECT_EQ(crc16(reinterpret_cast<const std::uint8_t *>(s), 9),
+              0x29B1);
+}
+
+TEST(Crc16, IncrementalMatchesOneShot)
+{
+    std::vector<std::uint8_t> buf(100);
+    Rng r(3);
+    for (auto &b : buf)
+        b = std::uint8_t(r.next());
+    Crc16 inc;
+    inc.update(buf.data(), 40);
+    inc.update(buf.data() + 40, 60);
+    EXPECT_EQ(inc.value(), crc16(buf.data(), buf.size()));
+}
+
+// Property: every single-bit error in a frame-sized block is caught.
+TEST(Crc16, DetectsAllSingleBitErrors)
+{
+    std::vector<std::uint8_t> buf(upFrameBytes);
+    Rng r(4);
+    for (auto &b : buf)
+        b = std::uint8_t(r.next());
+    std::uint16_t good = crc16(buf.data(), buf.size());
+    for (std::size_t bit = 0; bit < buf.size() * 8; ++bit) {
+        buf[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+        EXPECT_NE(crc16(buf.data(), buf.size()), good)
+            << "missed flip at bit " << bit;
+        buf[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    }
+}
+
+// Property: all double-bit errors in a frame are caught (sampled
+// exhaustively for one byte pair stride, randomly otherwise).
+TEST(Crc16, DetectsDoubleBitErrors)
+{
+    std::vector<std::uint8_t> buf(downFrameBytes);
+    Rng r(5);
+    for (auto &b : buf)
+        b = std::uint8_t(r.next());
+    std::uint16_t good = crc16(buf.data(), buf.size());
+    const std::size_t nbits = buf.size() * 8;
+    for (int trial = 0; trial < 5000; ++trial) {
+        std::size_t b1 = r.below(nbits);
+        std::size_t b2 = r.below(nbits);
+        if (b1 == b2)
+            continue;
+        buf[b1 / 8] ^= std::uint8_t(1u << (b1 % 8));
+        buf[b2 / 8] ^= std::uint8_t(1u << (b2 % 8));
+        EXPECT_NE(crc16(buf.data(), buf.size()), good);
+        buf[b1 / 8] ^= std::uint8_t(1u << (b1 % 8));
+        buf[b2 / 8] ^= std::uint8_t(1u << (b2 % 8));
+    }
+}
+
+// Property: odd-weight errors are always caught (poly divisible by
+// x+1).
+TEST(Crc16, DetectsTripleBitErrors)
+{
+    std::vector<std::uint8_t> buf(downFrameBytes);
+    Rng r(6);
+    for (auto &b : buf)
+        b = std::uint8_t(r.next());
+    std::uint16_t good = crc16(buf.data(), buf.size());
+    const std::size_t nbits = buf.size() * 8;
+    for (int trial = 0; trial < 5000; ++trial) {
+        std::size_t bits[3];
+        bits[0] = r.below(nbits);
+        bits[1] = r.below(nbits);
+        bits[2] = r.below(nbits);
+        if (bits[0] == bits[1] || bits[1] == bits[2]
+            || bits[0] == bits[2])
+            continue;
+        for (auto b : bits)
+            buf[b / 8] ^= std::uint8_t(1u << (b % 8));
+        EXPECT_NE(crc16(buf.data(), buf.size()), good);
+        for (auto b : bits)
+            buf[b / 8] ^= std::uint8_t(1u << (b % 8));
+    }
+}
+
+TEST(Scrambler, RoundTripsWithSyncedPeers)
+{
+    Scrambler tx(0x1234), rx(0x1234);
+    std::vector<std::uint8_t> data(200);
+    Rng r(7);
+    for (auto &b : data)
+        b = std::uint8_t(r.next());
+    auto orig = data;
+    tx.apply(data.data(), data.size());
+    EXPECT_NE(data, orig); // scrambling changed the bytes
+    rx.apply(data.data(), data.size());
+    EXPECT_EQ(data, orig);
+}
+
+TEST(Scrambler, DesyncCorrupts)
+{
+    Scrambler tx(0xFFFF), rx(0xFFFF);
+    rx.skip(1); // one byte of keystream slip
+    std::vector<std::uint8_t> data(64, 0xAB);
+    auto orig = data;
+    tx.apply(data.data(), data.size());
+    rx.apply(data.data(), data.size());
+    EXPECT_NE(data, orig);
+}
+
+TEST(Scrambler, KeystreamHasTransitions)
+{
+    // The whole point of scrambling: long runs of identical payload
+    // bytes must produce varied wire bytes.
+    Scrambler s(0xFFFF);
+    std::vector<std::uint8_t> data(256, 0x00);
+    s.apply(data.data(), data.size());
+    int distinct = 0;
+    std::vector<bool> seen(256, false);
+    for (auto b : data)
+        if (!seen[b]) {
+            seen[b] = true;
+            ++distinct;
+        }
+    EXPECT_GT(distinct, 100);
+}
+
+} // namespace

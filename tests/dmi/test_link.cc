@@ -1,0 +1,292 @@
+/** @file Channel and link-layer tests: timing, ACKs, replay. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dmi/channel.hh"
+#include "dmi/codec.hh"
+#include "dmi/link.hh"
+#include "sim/random.hh"
+
+using namespace contutto;
+using namespace contutto::dmi;
+
+namespace
+{
+
+/** A host and buffer endpoint wired through two channels. */
+struct LinkPair
+{
+    EventQueue eq;
+    ClockDomain nest{"nest", 500};     // 2 GHz
+    ClockDomain fabric{"fabric", 4000}; // 250 MHz
+    stats::StatGroup root{"root"};
+    DmiChannel down;
+    DmiChannel up;
+    HostLink host;
+    BufferLink buffer;
+
+    explicit LinkPair(double error_rate = 0.0,
+                      HostLink::Params host_params = {},
+                      BufferLink::Params buffer_params = {})
+        : down("down", eq, fabric, &root,
+               DmiChannel::Params{14, 125, nanoseconds(1), error_rate,
+                                  101}),
+          up("up", eq, fabric, &root,
+             DmiChannel::Params{21, 125, nanoseconds(1), error_rate,
+                                202}),
+          host("host", eq, nest, &root, host_params, down, up),
+          buffer("buffer", eq, fabric, &root, buffer_params, up, down)
+    {}
+};
+
+TEST(Channel, SerializationTimeMatchesLaneMath)
+{
+    LinkPair lp;
+    // 224 bits on 14 lanes = 16 UI at 125 ps = 2 ns.
+    EXPECT_EQ(lp.down.serializationTime(downFrameBytes), 2000u);
+    // 336 bits on 21 lanes = 16 UI = 2 ns.
+    EXPECT_EQ(lp.up.serializationTime(upFrameBytes), 2000u);
+}
+
+TEST(Channel, RawBandwidthMatchesPaperAggregate)
+{
+    LinkPair lp;
+    // 14 lanes at 8 Gb/s = 14 GB/s down; 21 lanes = 21 GB/s up.
+    // Aggregate 35 GB/s per channel: the paper's headline number.
+    EXPECT_NEAR(lp.down.rawBandwidth(), 14e9, 1e6);
+    EXPECT_NEAR(lp.up.rawBandwidth(), 21e9, 1e6);
+    EXPECT_NEAR(lp.down.rawBandwidth() + lp.up.rawBandwidth(), 35e9,
+                2e6);
+}
+
+TEST(Link, DeliversCommandFrameDownstream)
+{
+    LinkPair lp;
+    std::vector<DownFrame> got;
+    lp.buffer.onFrame = [&](const DownFrame &f) { got.push_back(f); };
+
+    DownFrame f;
+    f.type = FrameType::command;
+    f.cmdType = CmdType::read128;
+    f.tag = 4;
+    f.addr = 0x1000;
+    lp.host.sendFrame(f);
+    lp.eq.run(microseconds(10));
+
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].tag, 4);
+    EXPECT_EQ(got[0].addr, 0x1000u);
+    EXPECT_EQ(lp.host.unackedFrames(), 0u) << "idle ACK should return";
+}
+
+TEST(Link, DeliversResponseFramesUpstream)
+{
+    LinkPair lp;
+    std::vector<UpFrame> got;
+    lp.host.onFrame = [&](const UpFrame &f) { got.push_back(f); };
+
+    MemResponse resp;
+    resp.type = RespType::readData;
+    resp.tag = 7;
+    for (auto &b : resp.data)
+        b = 0x5A;
+    for (auto &f : encodeResponse(resp))
+        lp.buffer.sendFrame(f);
+    lp.eq.run(microseconds(10));
+
+    ASSERT_EQ(got.size(), upFramesPerLine);
+    EXPECT_EQ(lp.buffer.unackedFrames(), 0u);
+}
+
+TEST(Link, PiggybacksAcksOnReversePayload)
+{
+    LinkPair lp;
+    lp.buffer.onFrame = [&](const DownFrame &) {
+        UpFrame u;
+        u.type = FrameType::done;
+        u.doneCount = 1;
+        u.doneTags[0] = 1;
+        lp.buffer.sendFrame(u);
+    };
+    int host_got = 0;
+    lp.host.onFrame = [&](const UpFrame &) { ++host_got; };
+
+    DownFrame f;
+    f.type = FrameType::command;
+    f.cmdType = CmdType::read128;
+    f.tag = 1;
+    lp.host.sendFrame(f);
+    lp.eq.run(microseconds(10));
+
+    EXPECT_EQ(host_got, 1);
+    EXPECT_EQ(lp.host.unackedFrames(), 0u);
+    EXPECT_EQ(lp.buffer.unackedFrames(), 0u);
+}
+
+TEST(Link, SingleCorruptionRecoversViaReplay)
+{
+    LinkPair lp;
+    std::vector<std::uint8_t> tags;
+    lp.buffer.onFrame =
+        [&](const DownFrame &f) { tags.push_back(f.tag); };
+
+    lp.down.corruptNext(1);
+    for (std::uint8_t t = 0; t < 5; ++t) {
+        DownFrame f;
+        f.type = FrameType::command;
+        f.cmdType = CmdType::read128;
+        f.tag = t;
+        f.addr = Addr(t) * 128;
+        lp.host.sendFrame(f);
+    }
+    lp.eq.run(microseconds(20));
+
+    // All five frames delivered exactly once, in order.
+    ASSERT_EQ(tags.size(), 5u);
+    for (std::uint8_t t = 0; t < 5; ++t)
+        EXPECT_EQ(tags[t], t);
+    EXPECT_GE(lp.host.linkStats().replaysTriggered.value(), 1.0);
+    EXPECT_GE(lp.buffer.linkStats().rxCrcErrors.value(), 1.0);
+    EXPECT_EQ(lp.host.unackedFrames(), 0u);
+}
+
+TEST(Link, CorruptedReplayRetriesAgain)
+{
+    LinkPair lp;
+    std::vector<std::uint8_t> tags;
+    lp.buffer.onFrame =
+        [&](const DownFrame &f) { tags.push_back(f.tag); };
+
+    // Corrupt the original and the first replayed copy too.
+    lp.down.corruptNext(2);
+    DownFrame f;
+    f.type = FrameType::command;
+    f.cmdType = CmdType::read128;
+    f.tag = 21;
+    lp.host.sendFrame(f);
+    lp.eq.run(microseconds(50));
+
+    ASSERT_EQ(tags.size(), 1u);
+    EXPECT_EQ(tags[0], 21);
+    EXPECT_GE(lp.host.linkStats().replaysTriggered.value(), 2.0);
+}
+
+TEST(Link, FreezeWorkaroundRepeatsLastFrameBeforeReplay)
+{
+    BufferLink::Params bp;
+    bp.freezeRepeats = 4; // ConTutto's replay-switch cover frames
+    LinkPair lp(0.0, {}, bp);
+
+    int host_frames = 0;
+    lp.host.onFrame = [&](const UpFrame &) { ++host_frames; };
+
+    // Buffer sends 6 upstream frames; corrupt the second so the host
+    // stalls and the buffer must replay.
+    lp.up.corruptNext(0); // no-op, keep explicit
+    bool first = true;
+    for (int i = 0; i < 6; ++i) {
+        UpFrame u;
+        u.type = FrameType::done;
+        u.doneCount = 1;
+        u.doneTags[0] = std::uint8_t(i);
+        lp.buffer.sendFrame(u);
+        if (first) {
+            lp.up.corruptNext(1); // corrupt frame #2 on the wire
+            first = false;
+        }
+    }
+    lp.eq.run(microseconds(50));
+
+    EXPECT_EQ(host_frames, 6);
+    EXPECT_GE(lp.buffer.linkStats().replaysTriggered.value(), 1.0);
+    // The freeze duplicates must have been dropped by seq check.
+    EXPECT_GE(lp.host.linkStats().rxSeqDrops.value(), 4.0);
+    EXPECT_EQ(lp.buffer.unackedFrames(), 0u);
+}
+
+TEST(Link, InOrderExactlyOnceUnderRandomErrors)
+{
+    // Property: whatever the error pattern, payload frames are
+    // delivered to the upper layer exactly once and in order.
+    LinkPair lp(0.02); // 2% frame error rate on both channels
+    std::vector<std::uint8_t> down_tags;
+    std::vector<std::uint8_t> up_tags;
+    lp.buffer.onFrame =
+        [&](const DownFrame &f) { down_tags.push_back(f.tag); };
+    lp.host.onFrame =
+        [&](const UpFrame &f) { up_tags.push_back(f.doneTags[0]); };
+
+    const int n = 400;
+    for (int i = 0; i < n; ++i) {
+        DownFrame f;
+        f.type = FrameType::command;
+        f.cmdType = CmdType::read128;
+        f.tag = std::uint8_t(i % 32);
+        f.addr = Addr(i) * 128;
+        lp.host.sendFrame(f);
+        UpFrame u;
+        u.type = FrameType::done;
+        u.doneCount = 1;
+        u.doneTags[0] = std::uint8_t(i % 32);
+        lp.buffer.sendFrame(u);
+    }
+    lp.eq.run(milliseconds(20));
+
+    ASSERT_EQ(down_tags.size(), std::size_t(n));
+    ASSERT_EQ(up_tags.size(), std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(down_tags[i], i % 32);
+        EXPECT_EQ(up_tags[i], i % 32);
+    }
+    EXPECT_EQ(lp.host.unackedFrames(), 0u);
+    EXPECT_EQ(lp.buffer.unackedFrames(), 0u);
+    EXPECT_GE(lp.host.linkStats().replaysTriggered.value()
+                  + lp.buffer.linkStats().replaysTriggered.value(),
+              1.0);
+}
+
+TEST(Link, WindowLimitQueuesWithoutLoss)
+{
+    HostLink::Params hp;
+    hp.windowLimit = 8; // tiny window forces internal queueing
+    LinkPair lp(0.0, hp);
+    std::vector<std::uint8_t> tags;
+    lp.buffer.onFrame =
+        [&](const DownFrame &f) { tags.push_back(f.tag); };
+
+    for (int i = 0; i < 100; ++i) {
+        DownFrame f;
+        f.type = FrameType::command;
+        f.cmdType = CmdType::read128;
+        f.tag = std::uint8_t(i % 32);
+        lp.host.sendFrame(f);
+    }
+    lp.eq.run(milliseconds(1));
+    ASSERT_EQ(tags.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(tags[i], i % 32);
+}
+
+TEST(Link, ScramblerDesyncIsDetectedByCrc)
+{
+    LinkPair lp;
+    int delivered = 0;
+    lp.buffer.onFrame = [&](const DownFrame &) { ++delivered; };
+
+    lp.down.desyncRxScrambler();
+    DownFrame f;
+    f.type = FrameType::command;
+    f.cmdType = CmdType::read128;
+    lp.host.sendFrame(f);
+    lp.eq.run(microseconds(5));
+
+    // Every frame is mangled by the desynced descrambler; CRC drops
+    // them all (replays keep failing too: a desynced scrambler kills
+    // the link, as on real hardware, until retraining).
+    EXPECT_EQ(delivered, 0);
+    EXPECT_GE(lp.buffer.linkStats().rxCrcErrors.value(), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+/** @file Firmware layer tests: registers, FSI, power, memory map. */
+
+#include <gtest/gtest.h>
+
+#include "firmware/card_control.hh"
+#include "firmware/error_log.hh"
+
+using namespace contutto;
+using namespace contutto::firmware;
+using namespace contutto::mem;
+
+namespace
+{
+
+TEST(RegisterFile, PlainAndHookedRegisters)
+{
+    RegisterFile rf;
+    rf.define(regScratch, 0xAB);
+    EXPECT_EQ(rf.read(regScratch), 0xABu);
+    rf.write(regScratch, 7);
+    EXPECT_EQ(rf.read(regScratch), 7u);
+
+    std::uint32_t captured = 0;
+    rf.defineHooked(regKnob, [] { return 3u; },
+                    [&](std::uint32_t v) { captured = v; });
+    EXPECT_EQ(rf.read(regKnob), 3u);
+    rf.write(regKnob, 5);
+    EXPECT_EQ(captured, 5u);
+
+    // Holes read all-ones, writes dropped.
+    EXPECT_EQ(rf.read(0xDEAD), 0xFFFFFFFFu);
+    rf.write(0xDEAD, 1);
+}
+
+TEST(Fsi, IndirectPathIsSlowerThanDirect)
+{
+    EventQueue eq;
+    ClockDomain d("d", 500);
+    stats::StatGroup root("root");
+    RegisterFile regs;
+    regs.define(regScratch, 0x99);
+
+    FsiSlave::Params direct;
+    direct.i2cLatency = 0; // Centaur-style direct FSI
+    FsiSlave fsiDirect("fsiDirect", eq, d, &root, direct, regs);
+
+    FsiSlave::Params indirect; // ConTutto default: via I2C
+    FsiSlave fsiIndirect("fsiIndirect", eq, d, &root, indirect, regs);
+
+    Tick t_direct = 0, t_indirect = 0;
+    Tick t0 = eq.curTick();
+    fsiDirect.readReg(regScratch, [&](std::uint32_t v) {
+        EXPECT_EQ(v, 0x99u);
+        t_direct = eq.curTick() - t0;
+    });
+    eq.run();
+    t0 = eq.curTick();
+    fsiIndirect.readReg(regScratch, [&](std::uint32_t v) {
+        EXPECT_EQ(v, 0x99u);
+        t_indirect = eq.curTick() - t0;
+    });
+    eq.run();
+
+    EXPECT_GT(t_indirect, t_direct * 10);
+    EXPECT_GE(t_indirect, microseconds(100));
+}
+
+TEST(Power, SequencesRailsInOrder)
+{
+    EventQueue eq;
+    ClockDomain d("d", 500);
+    stats::StatGroup root("root");
+    PowerSequencer seq("pwr", eq, d, &root, contuttoRails());
+
+    bool ok = false;
+    Tick t0 = eq.curTick();
+    seq.powerUp([&](bool success) { ok = success; });
+    eq.run();
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(seq.isOn());
+    EXPECT_GE(eq.curTick() - t0, seq.powerUpTime());
+}
+
+TEST(Power, FaultedRailStopsSequence)
+{
+    EventQueue eq;
+    ClockDomain d("d", 500);
+    stats::StatGroup root("root");
+    PowerSequencer seq("pwr", eq, d, &root, contuttoRails());
+    seq.injectFault("VCCIO_1V5", true);
+
+    bool result = true;
+    seq.powerUp([&](bool success) { result = success; });
+    eq.run();
+    EXPECT_FALSE(result);
+    EXPECT_EQ(seq.state(), PowerSequencer::State::fault);
+    EXPECT_EQ(seq.faultedRail(), "VCCIO_1V5");
+
+    // Clear the fault and recover.
+    seq.injectFault("VCCIO_1V5", false);
+    bool ok = false;
+    seq.powerUp([&](bool success) { ok = success; });
+    eq.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(MemoryMap, DramContiguousFromZero)
+{
+    std::vector<ModuleInfo> mods = {
+        {MemTech::dram, 4 * GiB, false, 0},
+        {MemTech::dram, 8 * GiB, false, 1},
+    };
+    auto map = buildMemoryMap(mods);
+    ASSERT_TRUE(map.valid);
+    ASSERT_EQ(map.entries.size(), 2u);
+    // Largest first, starting at zero, contiguous.
+    EXPECT_EQ(map.entries[0].base, 0u);
+    EXPECT_EQ(map.entries[0].osVisibleSize, 8 * GiB);
+    EXPECT_EQ(map.entries[1].base, 8 * GiB);
+    EXPECT_EQ(map.dramBytes(), 12 * GiB);
+}
+
+TEST(MemoryMap, NonVolatileAtTopWithFlags)
+{
+    std::vector<ModuleInfo> mods = {
+        {MemTech::dram, 4 * GiB, false, 0},
+        {MemTech::sttMram, 256 * MiB, true, 1},
+        {MemTech::nvdimmN, 8 * GiB, true, 2},
+    };
+    auto map = buildMemoryMap(mods);
+    ASSERT_TRUE(map.valid);
+
+    const MemoryMapEntry *mram = nullptr;
+    const MemoryMapEntry *nvdimm = nullptr;
+    for (const auto &e : map.entries) {
+        if (e.tech == MemTech::sttMram)
+            mram = &e;
+        if (e.tech == MemTech::nvdimmN)
+            nvdimm = &e;
+    }
+    ASSERT_NE(mram, nullptr);
+    ASSERT_NE(nvdimm, nullptr);
+    // Non-volatile regions sit above all DRAM.
+    EXPECT_GT(mram->base, map.dramBytes());
+    EXPECT_GT(nvdimm->base, map.dramBytes());
+    EXPECT_TRUE(mram->contentPreserved);
+    EXPECT_TRUE(nvdimm->contentPreserved);
+}
+
+TEST(MemoryMap, MramSizeLie)
+{
+    std::vector<ModuleInfo> mods = {
+        {MemTech::dram, 4 * GiB, false, 0},
+        {MemTech::sttMram, 256 * MiB, true, 1},
+    };
+    auto map = buildMemoryMap(mods);
+    ASSERT_TRUE(map.valid);
+    const auto *mram = &map.entries.back();
+    // Hardware sees the 4 GiB minimum window; the OS only the true
+    // 256 MiB.
+    EXPECT_EQ(mram->hwWindowSize, 4 * GiB);
+    EXPECT_EQ(mram->osVisibleSize, 256 * MiB);
+}
+
+TEST(MemoryMap, RequiresDramAtZero)
+{
+    std::vector<ModuleInfo> mods = {
+        {MemTech::sttMram, 256 * MiB, true, 0},
+    };
+    auto map = buildMemoryMap(mods);
+    EXPECT_FALSE(map.valid);
+    EXPECT_NE(map.error.find("DRAM"), std::string::npos);
+}
+
+TEST(MemoryMap, EntryLookup)
+{
+    std::vector<ModuleInfo> mods = {
+        {MemTech::dram, 4 * GiB, false, 0},
+        {MemTech::sttMram, 256 * MiB, true, 1},
+    };
+    auto map = buildMemoryMap(mods);
+    ASSERT_TRUE(map.valid);
+    EXPECT_EQ(map.entryFor(0)->tech, MemTech::dram);
+    EXPECT_EQ(map.entryFor(4 * GiB), nullptr); // hole above DRAM
+    const auto *mram = &map.entries.back();
+    EXPECT_EQ(map.entryFor(mram->base)->tech, MemTech::sttMram);
+}
+
+TEST(ErrorLog, DeconfiguresAfterThreshold)
+{
+    ErrorLog log(3);
+    log.record(0, "contutto.link", Severity::recoverable, "x");
+    log.record(1, "contutto.link", Severity::recoverable, "x");
+    EXPECT_FALSE(log.isDeconfigured("contutto.link"));
+    log.record(2, "contutto.link", Severity::recoverable, "x");
+    EXPECT_TRUE(log.isDeconfigured("contutto.link"));
+    EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(ErrorLog, UnrecoverableDeconfiguresImmediately)
+{
+    ErrorLog log;
+    log.record(0, "contutto.power", Severity::unrecoverable, "rail");
+    EXPECT_TRUE(log.isDeconfigured("contutto.power"));
+    EXPECT_FALSE(log.isDeconfigured("contutto.link"));
+}
+
+} // namespace

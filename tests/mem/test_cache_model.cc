@@ -1,0 +1,171 @@
+/** @file Cache model tests: LRU semantics vs a reference model. */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "mem/cache_model.hh"
+#include "sim/random.hh"
+
+using namespace contutto;
+using namespace contutto::mem;
+
+namespace
+{
+
+TEST(CacheModel, HitAfterFill)
+{
+    CacheModel c(8 * 1024, 128, 4);
+    EXPECT_FALSE(c.lookup(0x1000));
+    c.fill(0x1000);
+    EXPECT_TRUE(c.lookup(0x1000));
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_FALSE(c.probe(0x1080));
+}
+
+TEST(CacheModel, LruEvictsColdestWay)
+{
+    // 4-way, 2 sets (1 KiB / 128 B lines): same-set addresses are
+    // 256 B apart.
+    CacheModel c(1024, 128, 4);
+    Addr base = 0;
+    // Fill the 4 ways of set 0.
+    for (int i = 0; i < 4; ++i)
+        c.fill(base + Addr(i) * 256);
+    // Touch way 0 so way 1 becomes LRU.
+    EXPECT_TRUE(c.lookup(base));
+    auto victim = c.fill(base + 4 * 256);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->lineAddr, base + 1 * 256);
+    EXPECT_TRUE(c.probe(base));              // recently used stays
+    EXPECT_FALSE(c.probe(base + 1 * 256));   // LRU evicted
+}
+
+TEST(CacheModel, DirtyVictimsReported)
+{
+    CacheModel c(1024, 128, 2);
+    c.fill(0x0, /*dirty=*/true);
+    c.fill(0x200);
+    auto victim = c.fill(0x400); // evicts the dirty 0x0
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty);
+    EXPECT_EQ(victim->lineAddr, 0x0u);
+}
+
+TEST(CacheModel, WriteHitMarksDirty)
+{
+    CacheModel c(1024, 128, 2);
+    c.fill(0x0);
+    EXPECT_TRUE(c.writeHit(0x0));
+    c.fill(0x200);
+    auto victim = c.fill(0x400);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty);
+    EXPECT_FALSE(c.writeHit(0x9000)); // miss
+}
+
+TEST(CacheModel, InvalidateAndStats)
+{
+    CacheModel c(1024, 128, 2);
+    c.fill(0x0);
+    c.invalidate(0x0);
+    EXPECT_FALSE(c.probe(0x0));
+    c.fill(0x0);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_FALSE(c.lookup(0x0)); // counted as a miss
+    EXPECT_GT(c.misses(), 0u);
+}
+
+/** Reference model: per-set LRU lists. */
+class RefCache
+{
+  public:
+    RefCache(unsigned sets, unsigned ways, unsigned line)
+        : sets_(sets), ways_(ways), line_(line), lru_(sets)
+    {}
+
+    bool
+    access(Addr addr, bool is_write, std::optional<Addr> &victim,
+           bool &victim_dirty)
+    {
+        victim.reset();
+        unsigned set = unsigned((addr / line_) % sets_);
+        Addr tag = addr / line_ / sets_;
+        auto &list = lru_[set];
+        for (auto it = list.begin(); it != list.end(); ++it) {
+            if (it->tag == tag) {
+                Way w = *it;
+                w.dirty = w.dirty || is_write;
+                list.erase(it);
+                list.push_front(w);
+                return true;
+            }
+        }
+        // Miss: fill, evicting LRU if full.
+        if (list.size() == ways_) {
+            victim = (list.back().tag * sets_ + set) * line_;
+            victim_dirty = list.back().dirty;
+            list.pop_back();
+        }
+        list.push_front(Way{tag, is_write});
+        return false;
+    }
+
+  private:
+    struct Way
+    {
+        Addr tag;
+        bool dirty;
+    };
+    unsigned sets_, ways_, line_;
+    std::vector<std::list<Way>> lru_;
+};
+
+class CacheFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CacheFuzz, MatchesReferenceLru)
+{
+    constexpr unsigned line = 128, ways = 4, sets = 16;
+    CacheModel c(std::uint64_t(line) * ways * sets, line, ways);
+    RefCache ref(sets, ways, line);
+    Rng rng(GetParam());
+
+    for (int op = 0; op < 5000; ++op) {
+        Addr addr = rng.below(sets * ways * 4) * line;
+        bool is_write = rng.chance(0.3);
+
+        std::optional<Addr> ref_victim;
+        bool ref_dirty = false;
+        bool ref_hit =
+            ref.access(addr, is_write, ref_victim, ref_dirty);
+
+        bool hit;
+        std::optional<CacheModel::Victim> victim;
+        if (is_write) {
+            hit = c.writeHit(addr);
+            if (!hit)
+                victim = c.fill(addr, /*dirty=*/true);
+        } else {
+            hit = c.lookup(addr);
+            if (!hit)
+                victim = c.fill(addr);
+        }
+
+        ASSERT_EQ(hit, ref_hit) << "op " << op;
+        ASSERT_EQ(victim.has_value(), ref_victim.has_value())
+            << "op " << op;
+        if (victim) {
+            ASSERT_EQ(victim->lineAddr, *ref_victim) << "op " << op;
+            ASSERT_EQ(victim->dirty, ref_dirty) << "op " << op;
+        }
+    }
+    EXPECT_GT(c.hitRate(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz,
+                         ::testing::Values(21, 42, 63, 84));
+
+} // namespace

@@ -1,0 +1,138 @@
+/** @file NVDIMM-N save/restore and SPD tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/device.hh"
+#include "mem/spd.hh"
+
+using namespace contutto;
+using namespace contutto::mem;
+
+namespace
+{
+
+struct NvRig
+{
+    EventQueue eq;
+    ClockDomain ddr{"ddr", 1500};
+    stats::StatGroup root{"root"};
+    NvdimmDevice nv;
+
+    explicit NvRig(NvdimmDevice::Params p = {})
+        : nv("nvdimm", eq, ddr, &root, 64 * MiB, p)
+    {}
+};
+
+TEST(Nvdimm, SavesAndRestoresAcrossPowerLoss)
+{
+    NvRig rig;
+    rig.nv.image().write64(0x1000, 0x0123456789ABCDEFull);
+    rig.nv.image().write64(0x3FFF000, 0x42);
+
+    rig.nv.powerLoss();
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::saving);
+    EXPECT_FALSE(rig.nv.accessible());
+    rig.eq.run(rig.eq.curTick() + rig.nv.saveDuration() + 1000);
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::saved);
+    // DRAM array is dark; data lives in flash only.
+    EXPECT_EQ(rig.nv.image().read64(0x1000), 0u);
+
+    rig.nv.powerRestore();
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::restoring);
+    rig.eq.run(rig.eq.curTick() + rig.nv.saveDuration() + 1000);
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::normal);
+    EXPECT_EQ(rig.nv.image().read64(0x1000), 0x0123456789ABCDEFull);
+    EXPECT_EQ(rig.nv.image().read64(0x3FFF000), 0x42u);
+}
+
+TEST(Nvdimm, SaveDurationScalesWithCapacity)
+{
+    NvdimmDevice::Params p;
+    p.flashBandwidth = 100e6; // 100 MB/s
+    NvRig rig(p);
+    // 64 MiB at 100 MB/s ~ 0.67 s.
+    double secs = ticksToSeconds(rig.nv.saveDuration());
+    EXPECT_NEAR(secs, double(64 * MiB) / 100e6, 0.01);
+}
+
+TEST(Nvdimm, DeadSupercapLosesData)
+{
+    NvdimmDevice::Params p;
+    p.charged = false;
+    NvRig rig(p);
+    rig.nv.image().write64(0x2000, 77);
+    rig.nv.powerLoss();
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::lost);
+    rig.nv.powerRestore();
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::normal);
+    EXPECT_EQ(rig.nv.image().read64(0x2000), 0u);
+}
+
+TEST(Nvdimm, InsufficientEnergyLosesData)
+{
+    NvdimmDevice::Params p;
+    p.supercapJoules = 0.01; // not enough for 64 MiB
+    NvRig rig(p);
+    rig.nv.image().write64(0x2000, 77);
+    rig.nv.powerLoss();
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::lost);
+}
+
+TEST(Nvdimm, SecondPowerCycleWorksAfterRecharge)
+{
+    NvRig rig;
+    rig.nv.image().write64(0x10, 1);
+    rig.nv.powerLoss();
+    rig.eq.run(rig.eq.curTick() + rig.nv.saveDuration() + 1000);
+    rig.nv.powerRestore();
+    rig.eq.run(rig.eq.curTick() + rig.nv.saveDuration() + 1000);
+    ASSERT_EQ(rig.nv.state(), NvdimmDevice::State::normal);
+
+    rig.nv.image().write64(0x10, 2);
+    rig.nv.powerLoss();
+    rig.eq.run(rig.eq.curTick() + rig.nv.saveDuration() + 1000);
+    rig.nv.powerRestore();
+    rig.eq.run(rig.eq.curTick() + rig.nv.saveDuration() + 1000);
+    EXPECT_EQ(rig.nv.image().read64(0x10), 2u);
+}
+
+TEST(Spd, EncodeDecodeRoundTrip)
+{
+    SpdRecord r;
+    r.tech = MemTech::sttMram;
+    r.capacity = 256 * MiB;
+    r.speedGrade = 1066;
+    r.hasBackup = false;
+    r.vendor = "EverspinSTT";
+    auto rom = r.encode();
+    SpdRecord out;
+    ASSERT_TRUE(SpdRecord::decode(rom, out));
+    EXPECT_EQ(out.tech, MemTech::sttMram);
+    EXPECT_EQ(out.capacity, 256 * MiB);
+    EXPECT_EQ(out.speedGrade, 1066);
+    EXPECT_EQ(out.vendor, "EverspinSTT");
+}
+
+TEST(Spd, ChecksumCatchesCorruption)
+{
+    SpdRecord r;
+    r.capacity = 4 * GiB;
+    auto rom = r.encode();
+    rom[5] ^= 0x10;
+    SpdRecord out;
+    EXPECT_FALSE(SpdRecord::decode(rom, out));
+}
+
+TEST(Spd, ForDeviceDescribesModule)
+{
+    EventQueue eq;
+    ClockDomain ddr("ddr", 1500);
+    stats::StatGroup root("root");
+    NvdimmDevice nv("nv", eq, ddr, &root, 8 * GiB, {});
+    auto spd = SpdRecord::forDevice(nv);
+    EXPECT_EQ(spd.tech, MemTech::nvdimmN);
+    EXPECT_TRUE(spd.hasBackup);
+    EXPECT_EQ(spd.capacity, 8 * GiB);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+/** @file Unit tests for clock domains. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+#include "sim/types.hh"
+
+using namespace contutto;
+
+namespace
+{
+
+TEST(ClockDomain, PeriodAndFrequency)
+{
+    ClockDomain fabric("fabric", picoseconds(4000)); // 250 MHz
+    EXPECT_EQ(fabric.period(), 4000u);
+    EXPECT_NEAR(fabric.frequency(), 250e6, 1.0);
+}
+
+TEST(ClockDomain, NextEdgeRoundsUp)
+{
+    ClockDomain d("d", 100);
+    EXPECT_EQ(d.nextEdge(0), 0u);
+    EXPECT_EQ(d.nextEdge(1), 100u);
+    EXPECT_EQ(d.nextEdge(99), 100u);
+    EXPECT_EQ(d.nextEdge(100), 100u);
+    EXPECT_EQ(d.nextEdge(101), 200u);
+}
+
+TEST(ClockDomain, EdgeAfterAddsCycles)
+{
+    ClockDomain d("d", 100);
+    EXPECT_EQ(d.edgeAfter(50, 0), 100u);
+    EXPECT_EQ(d.edgeAfter(50, 3), 400u);
+    EXPECT_EQ(d.edgeAfter(100, 2), 300u);
+}
+
+TEST(ClockDomain, CycleConversions)
+{
+    ClockDomain d("d", 250);
+    EXPECT_EQ(d.cyclesToTicks(4), 1000u);
+    EXPECT_EQ(d.ticksToCycles(1000), 4u);
+    EXPECT_EQ(d.ticksToCycles(1001), 5u);
+    EXPECT_EQ(d.cycleAt(0), 0u);
+    EXPECT_EQ(d.cycleAt(249), 0u);
+    EXPECT_EQ(d.cycleAt(250), 1u);
+}
+
+TEST(Clocked, SchedulesOnOwnEdges)
+{
+    EventQueue eq;
+    ClockDomain d("d", 1000);
+    Clocked c(eq, d);
+
+    int fired_at = -1;
+    EventFunctionWrapper ev(
+        [&] { fired_at = int(eq.curTick()); }, "ev");
+
+    // Advance time to a non-edge tick via a dummy event.
+    EventFunctionWrapper dummy([] {}, "dummy");
+    eq.schedule(&dummy, 1500);
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 1500u);
+
+    c.scheduleClocked(&ev, 2); // next edge 2000, +2 cycles -> 4000
+    eq.run();
+    EXPECT_EQ(fired_at, 4000);
+    EXPECT_EQ(c.curCycle(), 4u);
+}
+
+TEST(ClockDomain, ModelledSystemClocksAreExact)
+{
+    // All the clocks in the modelled system must be exactly
+    // representable in 1 ps ticks.
+    EXPECT_EQ(periodFromFreq(8e9), 125u);    // DMI lane bit clock
+    EXPECT_EQ(periodFromFreq(2e9), 500u);    // POWER8 nest
+    EXPECT_EQ(periodFromFreq(250e6), 4000u); // FPGA fabric
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+/** @file Unit tests for the event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+
+using namespace contutto;
+
+namespace
+{
+
+EventFunctionWrapper
+record(std::vector<int> &log, int id)
+{
+    return EventFunctionWrapper([&log, id] { log.push_back(id); },
+                                "record");
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    auto c = record(log, 3);
+    eq.schedule(&b, 200);
+    eq.schedule(&a, 100);
+    eq.schedule(&c, 300);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickUsesInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    auto c = record(log, 3);
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    eq.schedule(&c, 50);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTiesBeforeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    EventFunctionWrapper low([&] { log.push_back(1); }, "low",
+                             Event::statPriority);
+    EventFunctionWrapper high([&] { log.push_back(2); }, "high",
+                              Event::clockPriority);
+    eq.schedule(&low, 10);
+    eq.schedule(&high, 10);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, RunLimitStopsBeforeFutureEvents)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 1000);
+    Tick reached = eq.run(500);
+    EXPECT_EQ(reached, 500u);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsCanRescheduleThemselves)
+{
+    EventQueue eq;
+    int count = 0;
+    EventFunctionWrapper *tickp = nullptr;
+    EventFunctionWrapper tick(
+        [&] {
+            if (++count < 5)
+                eq.schedule(tickp, eq.curTick() + 10);
+        },
+        "tick");
+    tickp = &tick;
+    eq.schedule(&tick, 0);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.curTick(), 40u);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    EXPECT_TRUE(eq.empty());
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    EXPECT_EQ(eq.size(), 2u);
+    eq.deschedule(&b);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.eventsProcessed(), 1u);
+}
+
+TEST(EventQueue, StepFiresExactlyOne)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 10);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueDeath, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    eq.schedule(&a, 100);
+    eq.run();
+    EXPECT_DEATH(eq.schedule(&b, 50), "in the past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    eq.schedule(&a, 100);
+    EXPECT_DEATH(eq.schedule(&a, 200), "twice");
+    eq.deschedule(&a);
+}
+
+} // namespace

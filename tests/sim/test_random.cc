@@ -1,0 +1,94 @@
+/** @file Unit and property tests for the RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+using namespace contutto;
+
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        if (r.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RngBoundSweep, MeanNearHalfBound)
+{
+    std::uint64_t bound = GetParam();
+    Rng r(bound);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += double(r.below(bound));
+    double expected = (double(bound) - 1) / 2.0;
+    EXPECT_NEAR(sum / n, expected, double(bound) * 0.02 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 10, 100, 4096, 1000000));
+
+} // namespace

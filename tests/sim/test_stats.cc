@@ -1,0 +1,109 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace contutto::stats;
+
+namespace
+{
+
+TEST(Scalar, CountsAndResets)
+{
+    StatGroup g("g");
+    Scalar s(&g, "reads", "number of reads");
+    ++s;
+    s += 4;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Distribution, Moments)
+{
+    StatGroup g("g");
+    Distribution d(&g, "lat", "latency");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.minimum(), 2.0);
+    EXPECT_DOUBLE_EQ(d.maximum(), 9.0);
+    // Sample stddev of this classic set is ~2.138.
+    EXPECT_NEAR(d.stddev(), 2.138, 0.01);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    StatGroup g("g");
+    Distribution d(&g, "lat", "latency");
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minimum(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "test", 10.0, 4); // buckets [0,10) ... [30,40)
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    h.sample(35);
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(4), 1u); // overflow bucket
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, Quantiles)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "test", 1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(double(i) + 0.5);
+    // p50: 50 samples lie at or below bucket 49's upper edge (50.0).
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(StatGroup, HierarchicalPrint)
+{
+    StatGroup root("system");
+    StatGroup child("dmi", &root);
+    Scalar s(&child, "frames", "frames sent");
+    s += 3;
+    std::ostringstream os;
+    root.printStats(os);
+    EXPECT_NE(os.str().find("system.dmi.frames 3"), std::string::npos);
+}
+
+TEST(StatGroup, ResetRecurses)
+{
+    StatGroup root("system");
+    StatGroup child("dmi", &root);
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(StatGroup, FindStat)
+{
+    StatGroup g("g");
+    Scalar s(&g, "hits", "");
+    EXPECT_EQ(g.findStat("hits"), &s);
+    EXPECT_EQ(g.findStat("misses"), nullptr);
+}
+
+} // namespace

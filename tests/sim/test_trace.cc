@@ -1,0 +1,87 @@
+/** @file Trace facility tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu/system.hh"
+#include "sim/trace.hh"
+
+using namespace contutto;
+
+namespace
+{
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        trace::disableAll();
+        trace::setOutput(nullptr); // back to std::cerr
+    }
+};
+
+TEST_F(TraceTest, FlagsGateOutput)
+{
+    std::ostringstream os;
+    trace::setOutput(&os);
+    auto before = trace::linesEmitted();
+
+    trace::print(100, "obj", "not gated, always prints");
+    EXPECT_EQ(trace::linesEmitted(), before + 1);
+
+    EXPECT_FALSE(trace::anyEnabled());
+    EXPECT_FALSE(trace::enabled("DMI"));
+    trace::enable("DMI");
+    EXPECT_TRUE(trace::anyEnabled());
+    EXPECT_TRUE(trace::enabled("DMI"));
+    EXPECT_FALSE(trace::enabled("MBS"));
+    trace::enable("all");
+    EXPECT_TRUE(trace::enabled("MBS"));
+}
+
+TEST_F(TraceTest, LineFormatCarriesTickAndName)
+{
+    std::ostringstream os;
+    trace::setOutput(&os);
+    trace::print(12345, "contutto.mbi", "replay from seq %u", 7u);
+    EXPECT_EQ(os.str(), "12345: contutto.mbi: replay from seq 7\n");
+}
+
+TEST_F(TraceTest, InstrumentedComponentsEmitWhenEnabled)
+{
+    std::ostringstream os;
+    trace::setOutput(&os);
+    trace::enable("Training");
+    trace::enable("MBS");
+
+    cpu::Power8System::Params p;
+    p.dimms = {cpu::DimmSpec{mem::MemTech::dram, 128 * MiB, {}, {}},
+               cpu::DimmSpec{mem::MemTech::dram, 128 * MiB, {}, {}}};
+    cpu::Power8System sys(p);
+    ASSERT_TRUE(sys.train());
+    sys.port().read(0x1000, nullptr);
+    ASSERT_TRUE(sys.runUntilIdle());
+
+    std::string log = os.str();
+    EXPECT_NE(log.find("trained"), std::string::npos);
+    EXPECT_NE(log.find("dispatch tag"), std::string::npos);
+    // DMI flag was not enabled: no replay/CRC lines.
+    EXPECT_EQ(log.find("CRC drop"), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledMeansSilent)
+{
+    std::ostringstream os;
+    trace::setOutput(&os);
+    // No flags enabled: an instrumented run emits nothing.
+    cpu::Power8System::Params p;
+    p.dimms = {cpu::DimmSpec{mem::MemTech::dram, 128 * MiB, {}, {}},
+               cpu::DimmSpec{mem::MemTech::dram, 128 * MiB, {}, {}}};
+    cpu::Power8System sys(p);
+    ASSERT_TRUE(sys.train());
+    EXPECT_TRUE(os.str().empty());
+}
+
+} // namespace
