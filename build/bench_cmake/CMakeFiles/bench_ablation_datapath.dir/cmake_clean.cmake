@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_datapath"
+  "../bench/bench_ablation_datapath.pdb"
+  "CMakeFiles/bench_ablation_datapath.dir/bench_ablation_datapath.cc.o"
+  "CMakeFiles/bench_ablation_datapath.dir/bench_ablation_datapath.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pipeline"
+  "../bench/bench_ablation_pipeline.pdb"
+  "CMakeFiles/bench_ablation_pipeline.dir/bench_ablation_pipeline.cc.o"
+  "CMakeFiles/bench_ablation_pipeline.dir/bench_ablation_pipeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

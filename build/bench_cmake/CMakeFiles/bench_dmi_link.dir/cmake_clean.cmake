@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dmi_link"
+  "../bench/bench_dmi_link.pdb"
+  "CMakeFiles/bench_dmi_link.dir/bench_dmi_link.cc.o"
+  "CMakeFiles/bench_dmi_link.dir/bench_dmi_link.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dmi_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

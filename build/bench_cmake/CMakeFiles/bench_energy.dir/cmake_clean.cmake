@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_energy"
+  "../bench/bench_energy.pdb"
+  "CMakeFiles/bench_energy.dir/bench_energy.cc.o"
+  "CMakeFiles/bench_energy.dir/bench_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

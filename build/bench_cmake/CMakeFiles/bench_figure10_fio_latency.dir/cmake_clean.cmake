@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure10_fio_latency"
+  "../bench/bench_figure10_fio_latency.pdb"
+  "CMakeFiles/bench_figure10_fio_latency.dir/bench_figure10_fio_latency.cc.o"
+  "CMakeFiles/bench_figure10_fio_latency.dir/bench_figure10_fio_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure10_fio_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure1_socket"
+  "../bench/bench_figure1_socket.pdb"
+  "CMakeFiles/bench_figure1_socket.dir/bench_figure1_socket.cc.o"
+  "CMakeFiles/bench_figure1_socket.dir/bench_figure1_socket.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

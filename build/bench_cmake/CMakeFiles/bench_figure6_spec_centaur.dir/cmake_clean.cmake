@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure6_spec_centaur"
+  "../bench/bench_figure6_spec_centaur.pdb"
+  "CMakeFiles/bench_figure6_spec_centaur.dir/bench_figure6_spec_centaur.cc.o"
+  "CMakeFiles/bench_figure6_spec_centaur.dir/bench_figure6_spec_centaur.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_spec_centaur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

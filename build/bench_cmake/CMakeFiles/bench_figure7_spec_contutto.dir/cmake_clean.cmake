@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure7_spec_contutto"
+  "../bench/bench_figure7_spec_contutto.pdb"
+  "CMakeFiles/bench_figure7_spec_contutto.dir/bench_figure7_spec_contutto.cc.o"
+  "CMakeFiles/bench_figure7_spec_contutto.dir/bench_figure7_spec_contutto.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_spec_contutto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure7_spec_contutto.
+# This may be replaced when dependencies are built.

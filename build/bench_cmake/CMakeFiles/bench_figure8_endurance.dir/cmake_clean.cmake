@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure8_endurance"
+  "../bench/bench_figure8_endurance.pdb"
+  "CMakeFiles/bench_figure8_endurance.dir/bench_figure8_endurance.cc.o"
+  "CMakeFiles/bench_figure8_endurance.dir/bench_figure8_endurance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

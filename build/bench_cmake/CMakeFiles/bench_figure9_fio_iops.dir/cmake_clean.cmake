@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure9_fio_iops"
+  "../bench/bench_figure9_fio_iops.pdb"
+  "CMakeFiles/bench_figure9_fio_iops.dir/bench_figure9_fio_iops.cc.o"
+  "CMakeFiles/bench_figure9_fio_iops.dir/bench_figure9_fio_iops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure9_fio_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

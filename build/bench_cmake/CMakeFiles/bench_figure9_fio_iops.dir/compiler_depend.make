@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_figure9_fio_iops.
+# This may be replaced when dependencies are built.

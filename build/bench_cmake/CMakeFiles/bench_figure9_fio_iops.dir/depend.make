@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure9_fio_iops.
+# This may be replaced when dependencies are built.

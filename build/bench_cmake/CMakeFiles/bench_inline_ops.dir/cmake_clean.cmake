@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_inline_ops"
+  "../bench/bench_inline_ops.pdb"
+  "CMakeFiles/bench_inline_ops.dir/bench_inline_ops.cc.o"
+  "CMakeFiles/bench_inline_ops.dir/bench_inline_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inline_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

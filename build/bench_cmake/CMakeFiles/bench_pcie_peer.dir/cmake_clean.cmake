@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pcie_peer"
+  "../bench/bench_pcie_peer.pdb"
+  "CMakeFiles/bench_pcie_peer.dir/bench_pcie_peer.cc.o"
+  "CMakeFiles/bench_pcie_peer.dir/bench_pcie_peer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcie_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_db2_centaur"
+  "../bench/bench_table2_db2_centaur.pdb"
+  "CMakeFiles/bench_table2_db2_centaur.dir/bench_table2_db2_centaur.cc.o"
+  "CMakeFiles/bench_table2_db2_centaur.dir/bench_table2_db2_centaur.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_db2_centaur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

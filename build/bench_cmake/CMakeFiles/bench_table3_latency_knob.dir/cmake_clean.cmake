@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_latency_knob"
+  "../bench/bench_table3_latency_knob.pdb"
+  "CMakeFiles/bench_table3_latency_knob.dir/bench_table3_latency_knob.cc.o"
+  "CMakeFiles/bench_table3_latency_knob.dir/bench_table3_latency_knob.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_latency_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

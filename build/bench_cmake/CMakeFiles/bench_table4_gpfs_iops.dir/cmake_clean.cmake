@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_gpfs_iops"
+  "../bench/bench_table4_gpfs_iops.pdb"
+  "CMakeFiles/bench_table4_gpfs_iops.dir/bench_table4_gpfs_iops.cc.o"
+  "CMakeFiles/bench_table4_gpfs_iops.dir/bench_table4_gpfs_iops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gpfs_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

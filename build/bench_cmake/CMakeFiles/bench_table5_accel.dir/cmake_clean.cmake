@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_accel"
+  "../bench/bench_table5_accel.pdb"
+  "CMakeFiles/bench_table5_accel.dir/bench_table5_accel.cc.o"
+  "CMakeFiles/bench_table5_accel.dir/bench_table5_accel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

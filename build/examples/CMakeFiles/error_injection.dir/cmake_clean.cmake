@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_injection.dir/error_injection.cpp.o"
+  "CMakeFiles/error_injection.dir/error_injection.cpp.o.d"
+  "error_injection"
+  "error_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

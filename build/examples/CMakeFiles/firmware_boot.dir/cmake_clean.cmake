@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_boot.dir/firmware_boot.cpp.o"
+  "CMakeFiles/firmware_boot.dir/firmware_boot.cpp.o.d"
+  "firmware_boot"
+  "firmware_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for firmware_boot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_sweep.dir/latency_sweep.cpp.o"
+  "CMakeFiles/latency_sweep.dir/latency_sweep.cpp.o.d"
+  "latency_sweep"
+  "latency_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_memory_accel.dir/near_memory_accel.cpp.o"
+  "CMakeFiles/near_memory_accel.dir/near_memory_accel.cpp.o.d"
+  "near_memory_accel"
+  "near_memory_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_memory_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmem_journal.dir/pmem_journal.cpp.o"
+  "CMakeFiles/pmem_journal.dir/pmem_journal.cpp.o.d"
+  "pmem_journal"
+  "pmem_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmem_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pmem_journal.
+# This may be replaced when dependencies are built.

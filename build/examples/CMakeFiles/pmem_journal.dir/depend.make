@@ -1,0 +1,2 @@
+# Empty dependencies file for pmem_journal.
+# This may be replaced when dependencies are built.

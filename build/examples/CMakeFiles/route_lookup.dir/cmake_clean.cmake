@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_lookup.dir/route_lookup.cpp.o"
+  "CMakeFiles/route_lookup.dir/route_lookup.cpp.o.d"
+  "route_lookup"
+  "route_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for route_lookup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_sensitivity.dir/trace_sensitivity.cpp.o"
+  "CMakeFiles/trace_sensitivity.dir/trace_sensitivity.cpp.o.d"
+  "trace_sensitivity"
+  "trace_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

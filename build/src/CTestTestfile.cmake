@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("dmi")
+subdirs("bus")
+subdirs("mem")
+subdirs("centaur")
+subdirs("contutto")
+subdirs("cpu")
+subdirs("firmware")
+subdirs("storage")
+subdirs("workloads")
+subdirs("accel")

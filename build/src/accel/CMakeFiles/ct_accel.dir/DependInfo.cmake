@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerators.cc" "src/accel/CMakeFiles/ct_accel.dir/accelerators.cc.o" "gcc" "src/accel/CMakeFiles/ct_accel.dir/accelerators.cc.o.d"
+  "/root/repo/src/accel/access_processor.cc" "src/accel/CMakeFiles/ct_accel.dir/access_processor.cc.o" "gcc" "src/accel/CMakeFiles/ct_accel.dir/access_processor.cc.o.d"
+  "/root/repo/src/accel/complex.cc" "src/accel/CMakeFiles/ct_accel.dir/complex.cc.o" "gcc" "src/accel/CMakeFiles/ct_accel.dir/complex.cc.o.d"
+  "/root/repo/src/accel/control_block.cc" "src/accel/CMakeFiles/ct_accel.dir/control_block.cc.o" "gcc" "src/accel/CMakeFiles/ct_accel.dir/control_block.cc.o.d"
+  "/root/repo/src/accel/driver.cc" "src/accel/CMakeFiles/ct_accel.dir/driver.cc.o" "gcc" "src/accel/CMakeFiles/ct_accel.dir/driver.cc.o.d"
+  "/root/repo/src/accel/isa.cc" "src/accel/CMakeFiles/ct_accel.dir/isa.cc.o" "gcc" "src/accel/CMakeFiles/ct_accel.dir/isa.cc.o.d"
+  "/root/repo/src/accel/pcie_peer.cc" "src/accel/CMakeFiles/ct_accel.dir/pcie_peer.cc.o" "gcc" "src/accel/CMakeFiles/ct_accel.dir/pcie_peer.cc.o.d"
+  "/root/repo/src/accel/tcam.cc" "src/accel/CMakeFiles/ct_accel.dir/tcam.cc.o" "gcc" "src/accel/CMakeFiles/ct_accel.dir/tcam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/contutto/CMakeFiles/ct_contutto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ct_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/centaur/CMakeFiles/ct_centaur.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmi/CMakeFiles/ct_dmi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_accel.dir/accelerators.cc.o"
+  "CMakeFiles/ct_accel.dir/accelerators.cc.o.d"
+  "CMakeFiles/ct_accel.dir/access_processor.cc.o"
+  "CMakeFiles/ct_accel.dir/access_processor.cc.o.d"
+  "CMakeFiles/ct_accel.dir/complex.cc.o"
+  "CMakeFiles/ct_accel.dir/complex.cc.o.d"
+  "CMakeFiles/ct_accel.dir/control_block.cc.o"
+  "CMakeFiles/ct_accel.dir/control_block.cc.o.d"
+  "CMakeFiles/ct_accel.dir/driver.cc.o"
+  "CMakeFiles/ct_accel.dir/driver.cc.o.d"
+  "CMakeFiles/ct_accel.dir/isa.cc.o"
+  "CMakeFiles/ct_accel.dir/isa.cc.o.d"
+  "CMakeFiles/ct_accel.dir/pcie_peer.cc.o"
+  "CMakeFiles/ct_accel.dir/pcie_peer.cc.o.d"
+  "CMakeFiles/ct_accel.dir/tcam.cc.o"
+  "CMakeFiles/ct_accel.dir/tcam.cc.o.d"
+  "libct_accel.a"
+  "libct_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

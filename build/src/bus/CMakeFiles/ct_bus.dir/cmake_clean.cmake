@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_bus.dir/avalon.cc.o"
+  "CMakeFiles/ct_bus.dir/avalon.cc.o.d"
+  "libct_bus.a"
+  "libct_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libct_bus.a"
+)

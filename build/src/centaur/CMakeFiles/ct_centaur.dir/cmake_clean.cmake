@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_centaur.dir/centaur.cc.o"
+  "CMakeFiles/ct_centaur.dir/centaur.cc.o.d"
+  "libct_centaur.a"
+  "libct_centaur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_centaur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

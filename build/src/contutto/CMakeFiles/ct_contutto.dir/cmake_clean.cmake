@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_contutto.dir/contutto_card.cc.o"
+  "CMakeFiles/ct_contutto.dir/contutto_card.cc.o.d"
+  "CMakeFiles/ct_contutto.dir/mbs.cc.o"
+  "CMakeFiles/ct_contutto.dir/mbs.cc.o.d"
+  "CMakeFiles/ct_contutto.dir/resources.cc.o"
+  "CMakeFiles/ct_contutto.dir/resources.cc.o.d"
+  "libct_contutto.a"
+  "libct_contutto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_contutto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ct_contutto.
+# This may be replaced when dependencies are built.

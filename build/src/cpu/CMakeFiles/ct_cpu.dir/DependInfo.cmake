@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache_hierarchy.cc" "src/cpu/CMakeFiles/ct_cpu.dir/cache_hierarchy.cc.o" "gcc" "src/cpu/CMakeFiles/ct_cpu.dir/cache_hierarchy.cc.o.d"
+  "/root/repo/src/cpu/channel.cc" "src/cpu/CMakeFiles/ct_cpu.dir/channel.cc.o" "gcc" "src/cpu/CMakeFiles/ct_cpu.dir/channel.cc.o.d"
+  "/root/repo/src/cpu/core_model.cc" "src/cpu/CMakeFiles/ct_cpu.dir/core_model.cc.o" "gcc" "src/cpu/CMakeFiles/ct_cpu.dir/core_model.cc.o.d"
+  "/root/repo/src/cpu/energy.cc" "src/cpu/CMakeFiles/ct_cpu.dir/energy.cc.o" "gcc" "src/cpu/CMakeFiles/ct_cpu.dir/energy.cc.o.d"
+  "/root/repo/src/cpu/host_port.cc" "src/cpu/CMakeFiles/ct_cpu.dir/host_port.cc.o" "gcc" "src/cpu/CMakeFiles/ct_cpu.dir/host_port.cc.o.d"
+  "/root/repo/src/cpu/multi_slot.cc" "src/cpu/CMakeFiles/ct_cpu.dir/multi_slot.cc.o" "gcc" "src/cpu/CMakeFiles/ct_cpu.dir/multi_slot.cc.o.d"
+  "/root/repo/src/cpu/system.cc" "src/cpu/CMakeFiles/ct_cpu.dir/system.cc.o" "gcc" "src/cpu/CMakeFiles/ct_cpu.dir/system.cc.o.d"
+  "/root/repo/src/cpu/trace_replay.cc" "src/cpu/CMakeFiles/ct_cpu.dir/trace_replay.cc.o" "gcc" "src/cpu/CMakeFiles/ct_cpu.dir/trace_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmi/CMakeFiles/ct_dmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/centaur/CMakeFiles/ct_centaur.dir/DependInfo.cmake"
+  "/root/repo/build/src/contutto/CMakeFiles/ct_contutto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

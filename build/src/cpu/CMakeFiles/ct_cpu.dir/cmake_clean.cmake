@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_cpu.dir/cache_hierarchy.cc.o"
+  "CMakeFiles/ct_cpu.dir/cache_hierarchy.cc.o.d"
+  "CMakeFiles/ct_cpu.dir/channel.cc.o"
+  "CMakeFiles/ct_cpu.dir/channel.cc.o.d"
+  "CMakeFiles/ct_cpu.dir/core_model.cc.o"
+  "CMakeFiles/ct_cpu.dir/core_model.cc.o.d"
+  "CMakeFiles/ct_cpu.dir/energy.cc.o"
+  "CMakeFiles/ct_cpu.dir/energy.cc.o.d"
+  "CMakeFiles/ct_cpu.dir/host_port.cc.o"
+  "CMakeFiles/ct_cpu.dir/host_port.cc.o.d"
+  "CMakeFiles/ct_cpu.dir/multi_slot.cc.o"
+  "CMakeFiles/ct_cpu.dir/multi_slot.cc.o.d"
+  "CMakeFiles/ct_cpu.dir/system.cc.o"
+  "CMakeFiles/ct_cpu.dir/system.cc.o.d"
+  "CMakeFiles/ct_cpu.dir/trace_replay.cc.o"
+  "CMakeFiles/ct_cpu.dir/trace_replay.cc.o.d"
+  "libct_cpu.a"
+  "libct_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dmi/channel.cc" "src/dmi/CMakeFiles/ct_dmi.dir/channel.cc.o" "gcc" "src/dmi/CMakeFiles/ct_dmi.dir/channel.cc.o.d"
+  "/root/repo/src/dmi/codec.cc" "src/dmi/CMakeFiles/ct_dmi.dir/codec.cc.o" "gcc" "src/dmi/CMakeFiles/ct_dmi.dir/codec.cc.o.d"
+  "/root/repo/src/dmi/crc.cc" "src/dmi/CMakeFiles/ct_dmi.dir/crc.cc.o" "gcc" "src/dmi/CMakeFiles/ct_dmi.dir/crc.cc.o.d"
+  "/root/repo/src/dmi/frame.cc" "src/dmi/CMakeFiles/ct_dmi.dir/frame.cc.o" "gcc" "src/dmi/CMakeFiles/ct_dmi.dir/frame.cc.o.d"
+  "/root/repo/src/dmi/link.cc" "src/dmi/CMakeFiles/ct_dmi.dir/link.cc.o" "gcc" "src/dmi/CMakeFiles/ct_dmi.dir/link.cc.o.d"
+  "/root/repo/src/dmi/training.cc" "src/dmi/CMakeFiles/ct_dmi.dir/training.cc.o" "gcc" "src/dmi/CMakeFiles/ct_dmi.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_dmi.dir/channel.cc.o"
+  "CMakeFiles/ct_dmi.dir/channel.cc.o.d"
+  "CMakeFiles/ct_dmi.dir/codec.cc.o"
+  "CMakeFiles/ct_dmi.dir/codec.cc.o.d"
+  "CMakeFiles/ct_dmi.dir/crc.cc.o"
+  "CMakeFiles/ct_dmi.dir/crc.cc.o.d"
+  "CMakeFiles/ct_dmi.dir/frame.cc.o"
+  "CMakeFiles/ct_dmi.dir/frame.cc.o.d"
+  "CMakeFiles/ct_dmi.dir/link.cc.o"
+  "CMakeFiles/ct_dmi.dir/link.cc.o.d"
+  "CMakeFiles/ct_dmi.dir/training.cc.o"
+  "CMakeFiles/ct_dmi.dir/training.cc.o.d"
+  "libct_dmi.a"
+  "libct_dmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_dmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/boot.cc" "src/firmware/CMakeFiles/ct_firmware.dir/boot.cc.o" "gcc" "src/firmware/CMakeFiles/ct_firmware.dir/boot.cc.o.d"
+  "/root/repo/src/firmware/card_control.cc" "src/firmware/CMakeFiles/ct_firmware.dir/card_control.cc.o" "gcc" "src/firmware/CMakeFiles/ct_firmware.dir/card_control.cc.o.d"
+  "/root/repo/src/firmware/memory_map.cc" "src/firmware/CMakeFiles/ct_firmware.dir/memory_map.cc.o" "gcc" "src/firmware/CMakeFiles/ct_firmware.dir/memory_map.cc.o.d"
+  "/root/repo/src/firmware/power_seq.cc" "src/firmware/CMakeFiles/ct_firmware.dir/power_seq.cc.o" "gcc" "src/firmware/CMakeFiles/ct_firmware.dir/power_seq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmi/CMakeFiles/ct_dmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ct_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/centaur/CMakeFiles/ct_centaur.dir/DependInfo.cmake"
+  "/root/repo/build/src/contutto/CMakeFiles/ct_contutto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ct_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

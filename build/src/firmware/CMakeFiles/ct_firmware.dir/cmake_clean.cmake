@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_firmware.dir/boot.cc.o"
+  "CMakeFiles/ct_firmware.dir/boot.cc.o.d"
+  "CMakeFiles/ct_firmware.dir/card_control.cc.o"
+  "CMakeFiles/ct_firmware.dir/card_control.cc.o.d"
+  "CMakeFiles/ct_firmware.dir/memory_map.cc.o"
+  "CMakeFiles/ct_firmware.dir/memory_map.cc.o.d"
+  "CMakeFiles/ct_firmware.dir/power_seq.cc.o"
+  "CMakeFiles/ct_firmware.dir/power_seq.cc.o.d"
+  "libct_firmware.a"
+  "libct_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/ddr3_controller.cc" "src/mem/CMakeFiles/ct_mem.dir/ddr3_controller.cc.o" "gcc" "src/mem/CMakeFiles/ct_mem.dir/ddr3_controller.cc.o.d"
+  "/root/repo/src/mem/device.cc" "src/mem/CMakeFiles/ct_mem.dir/device.cc.o" "gcc" "src/mem/CMakeFiles/ct_mem.dir/device.cc.o.d"
+  "/root/repo/src/mem/mem_image.cc" "src/mem/CMakeFiles/ct_mem.dir/mem_image.cc.o" "gcc" "src/mem/CMakeFiles/ct_mem.dir/mem_image.cc.o.d"
+  "/root/repo/src/mem/spd.cc" "src/mem/CMakeFiles/ct_mem.dir/spd.cc.o" "gcc" "src/mem/CMakeFiles/ct_mem.dir/spd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmi/CMakeFiles/ct_dmi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_mem.dir/ddr3_controller.cc.o"
+  "CMakeFiles/ct_mem.dir/ddr3_controller.cc.o.d"
+  "CMakeFiles/ct_mem.dir/device.cc.o"
+  "CMakeFiles/ct_mem.dir/device.cc.o.d"
+  "CMakeFiles/ct_mem.dir/mem_image.cc.o"
+  "CMakeFiles/ct_mem.dir/mem_image.cc.o.d"
+  "CMakeFiles/ct_mem.dir/spd.cc.o"
+  "CMakeFiles/ct_mem.dir/spd.cc.o.d"
+  "libct_mem.a"
+  "libct_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

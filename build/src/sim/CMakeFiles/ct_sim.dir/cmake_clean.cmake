@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_sim.dir/event.cc.o"
+  "CMakeFiles/ct_sim.dir/event.cc.o.d"
+  "CMakeFiles/ct_sim.dir/logging.cc.o"
+  "CMakeFiles/ct_sim.dir/logging.cc.o.d"
+  "CMakeFiles/ct_sim.dir/stats.cc.o"
+  "CMakeFiles/ct_sim.dir/stats.cc.o.d"
+  "CMakeFiles/ct_sim.dir/trace.cc.o"
+  "CMakeFiles/ct_sim.dir/trace.cc.o.d"
+  "libct_sim.a"
+  "libct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/fio.cc" "src/storage/CMakeFiles/ct_storage.dir/fio.cc.o" "gcc" "src/storage/CMakeFiles/ct_storage.dir/fio.cc.o.d"
+  "/root/repo/src/storage/gpfs.cc" "src/storage/CMakeFiles/ct_storage.dir/gpfs.cc.o" "gcc" "src/storage/CMakeFiles/ct_storage.dir/gpfs.cc.o.d"
+  "/root/repo/src/storage/pcie_devices.cc" "src/storage/CMakeFiles/ct_storage.dir/pcie_devices.cc.o" "gcc" "src/storage/CMakeFiles/ct_storage.dir/pcie_devices.cc.o.d"
+  "/root/repo/src/storage/pmem.cc" "src/storage/CMakeFiles/ct_storage.dir/pmem.cc.o" "gcc" "src/storage/CMakeFiles/ct_storage.dir/pmem.cc.o.d"
+  "/root/repo/src/storage/sas_devices.cc" "src/storage/CMakeFiles/ct_storage.dir/sas_devices.cc.o" "gcc" "src/storage/CMakeFiles/ct_storage.dir/sas_devices.cc.o.d"
+  "/root/repo/src/storage/slram.cc" "src/storage/CMakeFiles/ct_storage.dir/slram.cc.o" "gcc" "src/storage/CMakeFiles/ct_storage.dir/slram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ct_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/centaur/CMakeFiles/ct_centaur.dir/DependInfo.cmake"
+  "/root/repo/build/src/contutto/CMakeFiles/ct_contutto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmi/CMakeFiles/ct_dmi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

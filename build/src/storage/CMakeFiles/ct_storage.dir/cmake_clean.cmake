@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_storage.dir/fio.cc.o"
+  "CMakeFiles/ct_storage.dir/fio.cc.o.d"
+  "CMakeFiles/ct_storage.dir/gpfs.cc.o"
+  "CMakeFiles/ct_storage.dir/gpfs.cc.o.d"
+  "CMakeFiles/ct_storage.dir/pcie_devices.cc.o"
+  "CMakeFiles/ct_storage.dir/pcie_devices.cc.o.d"
+  "CMakeFiles/ct_storage.dir/pmem.cc.o"
+  "CMakeFiles/ct_storage.dir/pmem.cc.o.d"
+  "CMakeFiles/ct_storage.dir/sas_devices.cc.o"
+  "CMakeFiles/ct_storage.dir/sas_devices.cc.o.d"
+  "CMakeFiles/ct_storage.dir/slram.cc.o"
+  "CMakeFiles/ct_storage.dir/slram.cc.o.d"
+  "libct_storage.a"
+  "libct_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

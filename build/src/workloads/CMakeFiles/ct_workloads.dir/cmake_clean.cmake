@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_workloads.dir/db2.cc.o"
+  "CMakeFiles/ct_workloads.dir/db2.cc.o.d"
+  "CMakeFiles/ct_workloads.dir/spec.cc.o"
+  "CMakeFiles/ct_workloads.dir/spec.cc.o.d"
+  "CMakeFiles/ct_workloads.dir/sw_kernels.cc.o"
+  "CMakeFiles/ct_workloads.dir/sw_kernels.cc.o.d"
+  "libct_workloads.a"
+  "libct_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("dmi")
+subdirs("bus")
+subdirs("mem")
+subdirs("centaur")
+subdirs("contutto")
+subdirs("cpu")
+subdirs("firmware")
+subdirs("storage")
+subdirs("workloads")
+subdirs("accel")
+subdirs("integration")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel.dir/test_accel.cc.o"
+  "CMakeFiles/test_accel.dir/test_accel.cc.o.d"
+  "CMakeFiles/test_accel.dir/test_access_processor.cc.o"
+  "CMakeFiles/test_accel.dir/test_access_processor.cc.o.d"
+  "CMakeFiles/test_accel.dir/test_isa.cc.o"
+  "CMakeFiles/test_accel.dir/test_isa.cc.o.d"
+  "CMakeFiles/test_accel.dir/test_pcie_peer.cc.o"
+  "CMakeFiles/test_accel.dir/test_pcie_peer.cc.o.d"
+  "CMakeFiles/test_accel.dir/test_tcam.cc.o"
+  "CMakeFiles/test_accel.dir/test_tcam.cc.o.d"
+  "test_accel"
+  "test_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/accel
+# Build directory: /root/repo/build/tests/accel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_accel "/root/repo/build/tests/accel/test_accel")
+set_tests_properties(test_accel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/accel/CMakeLists.txt;1;ct_add_test;/root/repo/tests/accel/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus.dir/test_avalon.cc.o"
+  "CMakeFiles/test_bus.dir/test_avalon.cc.o.d"
+  "test_bus"
+  "test_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/bus
+# Build directory: /root/repo/build/tests/bus
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_bus "/root/repo/build/tests/bus/test_bus")
+set_tests_properties(test_bus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/bus/CMakeLists.txt;1;ct_add_test;/root/repo/tests/bus/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_centaur.dir/test_centaur.cc.o"
+  "CMakeFiles/test_centaur.dir/test_centaur.cc.o.d"
+  "test_centaur"
+  "test_centaur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_centaur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/centaur
+# Build directory: /root/repo/build/tests/centaur
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_centaur "/root/repo/build/tests/centaur/test_centaur")
+set_tests_properties(test_centaur PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/centaur/CMakeLists.txt;1;ct_add_test;/root/repo/tests/centaur/CMakeLists.txt;0;")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/contutto/test_card.cc" "tests/contutto/CMakeFiles/test_contutto.dir/test_card.cc.o" "gcc" "tests/contutto/CMakeFiles/test_contutto.dir/test_card.cc.o.d"
+  "/root/repo/tests/contutto/test_mbs_protocol.cc" "tests/contutto/CMakeFiles/test_contutto.dir/test_mbs_protocol.cc.o" "gcc" "tests/contutto/CMakeFiles/test_contutto.dir/test_mbs_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/firmware/CMakeFiles/ct_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ct_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ct_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/ct_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ct_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/centaur/CMakeFiles/ct_centaur.dir/DependInfo.cmake"
+  "/root/repo/build/src/contutto/CMakeFiles/ct_contutto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ct_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmi/CMakeFiles/ct_dmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contutto.dir/test_card.cc.o"
+  "CMakeFiles/test_contutto.dir/test_card.cc.o.d"
+  "CMakeFiles/test_contutto.dir/test_mbs_protocol.cc.o"
+  "CMakeFiles/test_contutto.dir/test_mbs_protocol.cc.o.d"
+  "test_contutto"
+  "test_contutto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contutto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

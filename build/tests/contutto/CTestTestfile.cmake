@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/contutto
+# Build directory: /root/repo/build/tests/contutto
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_contutto "/root/repo/build/tests/contutto/test_contutto")
+set_tests_properties(test_contutto PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/contutto/CMakeLists.txt;1;ct_add_test;/root/repo/tests/contutto/CMakeLists.txt;0;")

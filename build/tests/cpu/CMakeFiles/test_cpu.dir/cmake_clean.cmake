@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/test_cache_hierarchy.cc.o"
+  "CMakeFiles/test_cpu.dir/test_cache_hierarchy.cc.o.d"
+  "CMakeFiles/test_cpu.dir/test_core_model.cc.o"
+  "CMakeFiles/test_cpu.dir/test_core_model.cc.o.d"
+  "CMakeFiles/test_cpu.dir/test_multi_slot.cc.o"
+  "CMakeFiles/test_cpu.dir/test_multi_slot.cc.o.d"
+  "CMakeFiles/test_cpu.dir/test_system.cc.o"
+  "CMakeFiles/test_cpu.dir/test_system.cc.o.d"
+  "CMakeFiles/test_cpu.dir/test_trace_replay.cc.o"
+  "CMakeFiles/test_cpu.dir/test_trace_replay.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cpu
+# Build directory: /root/repo/build/tests/cpu
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_cpu "/root/repo/build/tests/cpu/test_cpu")
+set_tests_properties(test_cpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/cpu/CMakeLists.txt;1;ct_add_test;/root/repo/tests/cpu/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmi.dir/test_crc_scrambler.cc.o"
+  "CMakeFiles/test_dmi.dir/test_crc_scrambler.cc.o.d"
+  "CMakeFiles/test_dmi.dir/test_frame_codec.cc.o"
+  "CMakeFiles/test_dmi.dir/test_frame_codec.cc.o.d"
+  "CMakeFiles/test_dmi.dir/test_lane_sparing.cc.o"
+  "CMakeFiles/test_dmi.dir/test_lane_sparing.cc.o.d"
+  "CMakeFiles/test_dmi.dir/test_link.cc.o"
+  "CMakeFiles/test_dmi.dir/test_link.cc.o.d"
+  "CMakeFiles/test_dmi.dir/test_training.cc.o"
+  "CMakeFiles/test_dmi.dir/test_training.cc.o.d"
+  "test_dmi"
+  "test_dmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

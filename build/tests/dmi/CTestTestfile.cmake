@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dmi
+# Build directory: /root/repo/build/tests/dmi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_dmi "/root/repo/build/tests/dmi/test_dmi")
+set_tests_properties(test_dmi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/dmi/CMakeLists.txt;1;ct_add_test;/root/repo/tests/dmi/CMakeLists.txt;0;")

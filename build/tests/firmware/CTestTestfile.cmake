@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/firmware
+# Build directory: /root/repo/build/tests/firmware
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_firmware "/root/repo/build/tests/firmware/test_firmware")
+set_tests_properties(test_firmware PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/firmware/CMakeLists.txt;1;ct_add_test;/root/repo/tests/firmware/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/test_cache_model.cc.o"
+  "CMakeFiles/test_mem.dir/test_cache_model.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_controller.cc.o"
+  "CMakeFiles/test_mem.dir/test_controller.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_mem_image.cc.o"
+  "CMakeFiles/test_mem.dir/test_mem_image.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_nvdimm_spd.cc.o"
+  "CMakeFiles/test_mem.dir/test_nvdimm_spd.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

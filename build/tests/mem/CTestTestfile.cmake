@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mem
+# Build directory: /root/repo/build/tests/mem
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_mem "/root/repo/build/tests/mem/test_mem")
+set_tests_properties(test_mem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/mem/CMakeLists.txt;1;ct_add_test;/root/repo/tests/mem/CMakeLists.txt;0;")

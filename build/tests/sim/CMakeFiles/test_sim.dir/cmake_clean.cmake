@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_clock.cc.o"
+  "CMakeFiles/test_sim.dir/test_clock.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_event.cc.o"
+  "CMakeFiles/test_sim.dir/test_event.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_random.cc.o"
+  "CMakeFiles/test_sim.dir/test_random.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_stats.cc.o"
+  "CMakeFiles/test_sim.dir/test_stats.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_trace.cc.o"
+  "CMakeFiles/test_sim.dir/test_trace.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage.dir/test_storage.cc.o"
+  "CMakeFiles/test_storage.dir/test_storage.cc.o.d"
+  "test_storage"
+  "test_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/storage
+# Build directory: /root/repo/build/tests/storage
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_storage "/root/repo/build/tests/storage/test_storage")
+set_tests_properties(test_storage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/storage/CMakeLists.txt;1;ct_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")
