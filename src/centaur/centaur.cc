@@ -84,7 +84,14 @@ CentaurModel::CentaurModel(const std::string &name, EventQueue &eq,
              {this, "cacheMisses", "buffer cache misses"},
              {this, "prefetches", "prefetch fills issued"},
              {this, "unsupportedCommands",
-              "commands the ASIC has no engine for"}}
+              "commands the ASIC has no engine for"},
+             {this, "cmdTimeouts", "command watchdog expirations"},
+             {this, "cmdRetries", "DDR accesses re-issued"},
+             {this, "tagsReclaimed", "stuck tags forcibly freed"},
+             {this, "droppedCompletions",
+              "DDR completions lost to injected stalls"},
+             {this, "poisonedReads",
+              "reads returned poisoned (uncorrectable ECC)"}}
 {
     ct_assert(!ports_.empty());
     link_.onFrame = [this](const DownFrame &f) { frameArrived(f); };
@@ -140,6 +147,91 @@ CentaurModel::execute(const MemCommand &cmd)
     }
 }
 
+bool
+CentaurModel::consumeStall()
+{
+    if (stallBudget_ == 0)
+        return false;
+    --stallBudget_;
+    ++stats_.droppedCompletions;
+    return true;
+}
+
+std::uint32_t
+CentaurModel::armTagOp(std::uint8_t tag)
+{
+    TagOp &op = tagOps_[tag];
+    op.seq = ++seqCounter_;
+    if (config_.cmdTimeout != 0) {
+        std::uint32_t seq = op.seq;
+        Tick wait = config_.cmdTimeout << op.retries;
+        OneShotEvent::schedule(eventq(), curTick() + wait,
+                               [this, tag, seq] {
+                                   tagTimeout(tag, seq);
+                               });
+    }
+    return op.seq;
+}
+
+void
+CentaurModel::tagTimeout(std::uint8_t tag, std::uint32_t seq)
+{
+    TagOp &op = tagOps_[tag];
+    if (!op.active || op.seq != seq)
+        return; // the access completed; watchdog is stale
+    ++stats_.cmdTimeouts;
+    if (op.retries >= config_.maxCmdRetries) {
+        reclaimTag(tag);
+        return;
+    }
+    ++op.retries;
+    ++stats_.cmdRetries;
+    if (op.cmd.type == CmdType::read128)
+        issueReadAccess(tag);
+    else
+        issueWriteAccess(tag);
+}
+
+void
+CentaurModel::reclaimTag(std::uint8_t tag)
+{
+    TagOp &op = tagOps_[tag];
+    ++stats_.tagsReclaimed;
+    warn("Centaur: reclaiming tag %u after %u retries", unsigned(tag),
+         op.retries);
+    if (errorLog_)
+        errorLog_->record(curTick(), name(),
+                          firmware::Severity::unrecoverable,
+                          "command tag " + std::to_string(tag)
+                              + " reclaimed after retry exhaustion");
+    MemCommand cmd = op.cmd;
+    op = TagOp{};
+    if (cmd.type == CmdType::read128) {
+        // The host is owed data; poison it rather than hang the tag.
+        ++stats_.poisonedReads;
+        MemResponse resp;
+        resp.type = RespType::readData;
+        resp.tag = tag;
+        resp.poisoned = true;
+        for (auto &f : encodeResponse(resp))
+            link_.sendFrame(f);
+        sendDone(tag);
+    } else {
+        sendDone(tag);
+        releaseWrite(cmd.addr);
+    }
+}
+
+void
+CentaurModel::releaseWrite(Addr line)
+{
+    auto pit = pendingWrites_.find(line);
+    ct_assert(pit != pendingWrites_.end() && pit->second > 0);
+    if (--pit->second == 0)
+        pendingWrites_.erase(pit);
+    retryDeferred(line);
+}
+
 void
 CentaurModel::serveRead(const MemCommand &cmd)
 {
@@ -149,17 +241,44 @@ CentaurModel::serveRead(const MemCommand &cmd)
         MemCommand c = cmd;
         OneShotEvent::schedule(eventq(),
                                curTick() + config_.cacheHitLatency,
-                               [this, c] { finishRead(c); });
+                               [this, c] {
+                                   // Even cache hits re-verify the
+                                   // backing line: the tag-only cache
+                                   // serves data from the image.
+                                   EccScan scan =
+                                       portFor(c.addr).device().image()
+                                           .verify(localAddr(c.addr),
+                                                   cacheLineSize);
+                                   finishRead(c,
+                                              scan.uncorrectable != 0);
+                               });
         return;
     }
     if (config_.cacheEnabled)
         ++stats_.cacheMisses;
 
+    TagOp &op = tagOps_[cmd.tag];
+    op.active = true;
+    op.retries = 0;
+    op.cmd = cmd;
+    issueReadAccess(cmd.tag);
+}
+
+void
+CentaurModel::issueReadAccess(std::uint8_t tag)
+{
+    std::uint32_t seq = armTagOp(tag);
+    MemCommand c = tagOps_[tag].cmd;
     auto req = std::make_shared<MemRequest>();
-    req->addr = localAddr(cmd.addr);
+    req->addr = localAddr(c.addr);
     req->isWrite = false;
-    MemCommand c = cmd;
-    req->onDone = [this, c](MemRequest &) {
+    req->onDone = [this, c, tag, seq](MemRequest &r) {
+        TagOp &op = tagOps_[tag];
+        if (!op.active || op.seq != seq)
+            return; // superseded by a retry or reclaim
+        if (consumeStall())
+            return;
+        op = TagOp{};
         if (config_.cacheEnabled) {
             // Write-through cache: fills are never dirty.
             cache_.fill(c.addr);
@@ -178,20 +297,29 @@ CentaurModel::serveRead(const MemCommand &cmd)
                 }
             }
         }
-        finishRead(c);
+        finishRead(c, r.poisoned);
     };
-    portFor(cmd.addr).submit(req);
+    portFor(c.addr).submit(req);
 }
 
 void
-CentaurModel::finishRead(const MemCommand &cmd)
+CentaurModel::finishRead(const MemCommand &cmd, bool poisoned)
 {
     // Serve the data functionally from the owning device image (the
     // cache is tag-only; contents are always current because writes
     // are write-through).
+    if (poisoned) {
+        ++stats_.poisonedReads;
+        if (errorLog_)
+            errorLog_->record(curTick(), name(),
+                              firmware::Severity::recoverable,
+                              "uncorrectable ECC on read tag "
+                                  + std::to_string(cmd.tag));
+    }
     MemResponse resp;
     resp.type = RespType::readData;
     resp.tag = cmd.tag;
+    resp.poisoned = poisoned;
     portFor(cmd.addr).device().image().read(localAddr(cmd.addr),
                                             cacheLineSize,
                                             resp.data.data());
@@ -215,25 +343,38 @@ CentaurModel::serveWrite(const MemCommand &cmd)
             cache_.writeHit(cmd.addr);
     }
 
+    TagOp &op = tagOps_[cmd.tag];
+    op.active = true;
+    op.retries = 0;
+    op.cmd = cmd;
+    issueWriteAccess(cmd.tag);
+}
+
+void
+CentaurModel::issueWriteAccess(std::uint8_t tag)
+{
+    std::uint32_t seq = armTagOp(tag);
+    const MemCommand &c = tagOps_[tag].cmd;
     auto req = std::make_shared<MemRequest>();
-    req->addr = localAddr(cmd.addr);
+    req->addr = localAddr(c.addr);
     req->isWrite = true;
-    req->data = cmd.data;
-    if (cmd.type == CmdType::partialWrite) {
+    req->data = c.data;
+    if (c.type == CmdType::partialWrite) {
         req->masked = true;
-        req->enables = cmd.enables;
+        req->enables = c.enables;
     }
-    std::uint8_t tag = cmd.tag;
-    Addr line = cmd.addr;
-    req->onDone = [this, tag, line](MemRequest &) {
-        auto pit = pendingWrites_.find(line);
-        ct_assert(pit != pendingWrites_.end() && pit->second > 0);
-        if (--pit->second == 0)
-            pendingWrites_.erase(pit);
+    Addr line = c.addr;
+    req->onDone = [this, tag, line, seq](MemRequest &) {
+        TagOp &op = tagOps_[tag];
+        if (!op.active || op.seq != seq)
+            return; // superseded by a retry or reclaim
+        if (consumeStall())
+            return;
+        op = TagOp{};
         sendDone(tag);
-        retryDeferred(line);
+        releaseWrite(line);
     };
-    portFor(cmd.addr).submit(req);
+    portFor(c.addr).submit(req);
 }
 
 void

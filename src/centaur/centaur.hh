@@ -15,12 +15,14 @@
 #ifndef CONTUTTO_CENTAUR_CENTAUR_HH
 #define CONTUTTO_CENTAUR_CENTAUR_HH
 
+#include <array>
 #include <deque>
 #include <unordered_map>
 #include <vector>
 
 #include "dmi/codec.hh"
 #include "dmi/link.hh"
+#include "firmware/error_log.hh"
 #include "mem/cache_model.hh"
 #include "mem/ddr3_controller.hh"
 #include "mem/line_interleave.hh"
@@ -48,6 +50,14 @@ class CentaurModel : public SimObject
         Tick extraLatency = 0;
         std::uint64_t cacheCapacity = 16 * MiB;
         unsigned cacheWays = 8;
+        /**
+         * Per-command watchdog for DDR accesses (0 disables): lost
+         * completions are re-issued with exponential backoff, then
+         * the tag is reclaimed so the host never hangs.
+         */
+        Tick cmdTimeout = microseconds(20);
+        /** Re-issues before a stuck tag is reclaimed. */
+        unsigned maxCmdRetries = 3;
     };
 
     /** @{ The Table 2 knob settings (latency-calibrated presets). */
@@ -77,6 +87,15 @@ class CentaurModel : public SimObject
     /** True when no command is in flight. */
     bool quiescent() const { return activeCommands_ == 0; }
 
+    /** Route RAS events (reclaimed tags, poison) to the FSP log. */
+    void attachErrorLog(firmware::ErrorLog *log) { errorLog_ = log; }
+
+    /**
+     * Fault injection: swallow the next @p n DDR completions as if
+     * the controller lost them, exercising the tag watchdogs.
+     */
+    void dropNextCompletions(unsigned n) { stallBudget_ += n; }
+
     struct CentaurStats
     {
         stats::Scalar reads;
@@ -86,18 +105,39 @@ class CentaurModel : public SimObject
         stats::Scalar cacheMisses;
         stats::Scalar prefetches;
         stats::Scalar unsupportedCommands;
+        stats::Scalar cmdTimeouts;        ///< Watchdog expirations.
+        stats::Scalar cmdRetries;         ///< DDR accesses re-issued.
+        stats::Scalar tagsReclaimed;      ///< Tags freed by force.
+        stats::Scalar droppedCompletions; ///< Injected stalls consumed.
+        stats::Scalar poisonedReads;      ///< Reads returned poisoned.
     };
 
     const CentaurStats &centaurStats() const { return stats_; }
 
   private:
+    /** Watchdog state for one in-flight DDR access. */
+    struct TagOp
+    {
+        bool active = false;
+        std::uint32_t seq = 0; ///< Issue generation (staleness gate).
+        unsigned retries = 0;
+        dmi::MemCommand cmd;   ///< Retained for re-issue.
+    };
+
     void frameArrived(const dmi::DownFrame &frame);
     void execute(const dmi::MemCommand &cmd);
     void retryDeferred(Addr addr);
     void serveRead(const dmi::MemCommand &cmd);
     void serveWrite(const dmi::MemCommand &cmd);
-    void finishRead(const dmi::MemCommand &cmd);
+    void issueReadAccess(std::uint8_t tag);
+    void issueWriteAccess(std::uint8_t tag);
+    void finishRead(const dmi::MemCommand &cmd, bool poisoned);
     void sendDone(std::uint8_t tag);
+    std::uint32_t armTagOp(std::uint8_t tag);
+    void tagTimeout(std::uint8_t tag, std::uint32_t seq);
+    void reclaimTag(std::uint8_t tag);
+    bool consumeStall();
+    void releaseWrite(Addr line);
     mem::Ddr3Controller &portFor(Addr addr);
     Addr localAddr(Addr addr) const
     {
@@ -115,6 +155,10 @@ class CentaurModel : public SimObject
      *  ordering (reads must not pass writes via the cache path). */
     std::unordered_map<Addr, unsigned> pendingWrites_;
     std::deque<dmi::MemCommand> deferred_;
+    std::array<TagOp, dmi::numTags> tagOps_{};
+    std::uint32_t seqCounter_ = 0;
+    unsigned stallBudget_ = 0;
+    firmware::ErrorLog *errorLog_ = nullptr;
     CentaurStats stats_;
 };
 

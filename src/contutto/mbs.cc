@@ -52,6 +52,13 @@ Mbs::Mbs(const std::string &name, EventQueue &eq,
              {this, "upstreamFrames", "frames sent upstream"},
              {this, "doneFramesPacked",
               "done frames carrying multiple tags"},
+             {this, "cmdTimeouts", "command watchdog expirations"},
+             {this, "cmdRetries", "memory accesses re-issued"},
+             {this, "tagsReclaimed", "stuck tags forcibly freed"},
+             {this, "droppedCompletions",
+              "memory completions lost to injected stalls"},
+             {this, "poisonedResponses",
+              "read responses sent upstream poisoned"},
              {this, "engineOccupancy",
               "active command engines at dispatch"}}
 {
@@ -223,31 +230,145 @@ Mbs::dispatch(const MemCommand &cmd, unsigned decoder)
     }
 }
 
+bool
+Mbs::consumeStall()
+{
+    if (stallBudget_ == 0)
+        return false;
+    --stallBudget_;
+    ++stats_.droppedCompletions;
+    return true;
+}
+
+void
+Mbs::armCmdTimeout(unsigned tag)
+{
+    if (params_.cmdTimeout == 0)
+        return;
+    Engine &e = engines_[tag];
+    e.issueSeq = ++issueSeqCounter_;
+    std::uint32_t seq = e.issueSeq;
+    // Exponential backoff: each retry waits twice as long, giving a
+    // congested memory system room to drain before giving up.
+    Tick wait = params_.cmdTimeout << e.retries;
+    OneShotEvent::schedule(eventq(), curTick() + wait,
+                           [this, tag, seq] {
+                               engineTimeout(tag, seq);
+                           });
+}
+
+void
+Mbs::engineTimeout(unsigned tag, std::uint32_t seq)
+{
+    Engine &e = engines_[tag];
+    // Stale watchdog: the access completed (or the tag moved on).
+    if (!e.active || e.issueSeq != seq)
+        return;
+    if (e.phase != Phase::readIssued && e.phase != Phase::writeIssued)
+        return;
+
+    ++stats_.cmdTimeouts;
+    if (e.retries >= params_.maxCmdRetries) {
+        reclaimTag(tag);
+        return;
+    }
+    ++e.retries;
+    ++stats_.cmdRetries;
+    CT_TRACE("MBS", *this, "tag %u timed out in phase %d; retry %u",
+             tag, int(e.phase), e.retries);
+    if (e.phase == Phase::readIssued)
+        issueRead(tag, tag & 1);
+    else
+        issueWrite(tag, tag / (numTags / 2));
+}
+
+void
+Mbs::reclaimTag(unsigned tag)
+{
+    Engine &e = engines_[tag];
+    ++stats_.tagsReclaimed;
+    warn("MBS: reclaiming tag %u after %u retries", tag, e.retries);
+    if (errorLog_)
+        errorLog_->record(curTick(), name(),
+                          firmware::Severity::unrecoverable,
+                          "command tag " + std::to_string(tag)
+                              + " reclaimed after retry exhaustion");
+
+    // The host is owed a response for the tag; a read gets poisoned
+    // data so it never consumes garbage, everything else gets a bare
+    // done. Write-class commands must also release any flush
+    // waiting on them.
+    bool write_class = e.cmd.type != CmdType::read128
+        && e.cmd.type != CmdType::flush;
+    if (e.cmd.type == CmdType::read128) {
+        ++stats_.poisonedResponses;
+        respondReadData(tag, CacheLine{}, true);
+    }
+    respondDone(tag);
+    finishEngine(tag);
+    if (write_class)
+        noteWriteDrained(std::uint8_t(tag));
+}
+
 void
 Mbs::issueRead(unsigned tag, unsigned decoder)
 {
-    const Engine &e = engines_[tag];
+    Engine &e = engines_[tag];
+    armCmdTimeout(tag);
+    std::uint32_t seq = e.issueSeq;
     auto req = std::make_shared<MemRequest>();
     req->addr = e.cmd.addr;
     req->isWrite = false;
-    req->onDone = [this, tag](MemRequest &r) {
+    req->onDone = [this, tag, seq](MemRequest &r) {
         CacheLine data = r.data;
+        bool poisoned = r.poisoned;
         OneShotEvent::schedule(
             eventq(), clockEdge(params_.readReturnCycles),
-            [this, tag, data] { readReturned(tag, data); });
+            [this, tag, seq, data, poisoned] {
+                Engine &eng = engines_[tag];
+                if (!eng.active || eng.issueSeq != seq
+                    || eng.phase != Phase::readIssued)
+                    return; // superseded by a retry or reclaim
+                if (consumeStall())
+                    return;
+                readReturned(tag, data, poisoned);
+            });
     };
     issueToBus(*readPorts_[decoder], req);
 }
 
 void
-Mbs::readReturned(unsigned tag, const CacheLine &data)
+Mbs::readReturned(unsigned tag, const CacheLine &data, bool poisoned)
 {
     Engine &e = engines_[tag];
     ct_assert(e.active && e.phase == Phase::readIssued);
     if (e.cmd.type == CmdType::read128) {
-        respondReadData(tag, data);
+        if (poisoned) {
+            ++stats_.poisonedResponses;
+            if (errorLog_)
+                errorLog_->record(curTick(), name(),
+                                  firmware::Severity::recoverable,
+                                  "uncorrectable ECC on read tag "
+                                      + std::to_string(tag));
+        }
+        respondReadData(tag, data, poisoned);
         respondDone(tag);
         finishEngine(tag);
+        return;
+    }
+    if (poisoned) {
+        // Containment: an RMW or in-line op must not fold poisoned
+        // old data into memory. Drop the write, free the tag, and
+        // let firmware know the line is suspect.
+        ++stats_.poisonedResponses;
+        if (errorLog_)
+            errorLog_->record(curTick(), name(),
+                              firmware::Severity::recoverable,
+                              "RMW on poisoned line contained, tag "
+                                  + std::to_string(tag));
+        respondDone(tag);
+        finishEngine(tag);
+        noteWriteDrained(std::uint8_t(tag));
         return;
     }
     // RMW and in-line ops continue to the write path via the ALU.
@@ -347,12 +468,21 @@ void
 Mbs::issueWrite(unsigned tag, unsigned port)
 {
     Engine &e = engines_[tag];
+    armCmdTimeout(tag);
+    std::uint32_t seq = e.issueSeq;
     auto req = std::make_shared<MemRequest>();
     req->addr = e.cmd.addr;
     req->isWrite = true;
     req->data = e.cmd.data;
-    req->onDone =
-        [this, tag](MemRequest &) { writeCompleted(tag); };
+    req->onDone = [this, tag, seq](MemRequest &) {
+        Engine &eng = engines_[tag];
+        if (!eng.active || eng.issueSeq != seq
+            || eng.phase != Phase::writeIssued)
+            return; // superseded by a retry or reclaim
+        if (consumeStall())
+            return;
+        writeCompleted(tag);
+    };
     issueToBus(*writePorts_[port], req);
 }
 
@@ -393,12 +523,14 @@ Mbs::noteWriteDrained(std::uint8_t tag)
 }
 
 void
-Mbs::respondReadData(unsigned tag, const CacheLine &data)
+Mbs::respondReadData(unsigned tag, const CacheLine &data,
+                     bool poisoned)
 {
     MemResponse resp;
     resp.type = RespType::readData;
     resp.tag = std::uint8_t(tag);
     resp.data = data;
+    resp.poisoned = poisoned;
     enqueueUpstream(encodeResponse(resp));
 }
 

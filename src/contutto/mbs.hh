@@ -32,6 +32,7 @@
 #include "bus/avalon.hh"
 #include "dmi/codec.hh"
 #include "dmi/link.hh"
+#include "firmware/error_log.hh"
 
 namespace contutto::fpga
 {
@@ -60,6 +61,17 @@ class Mbs : public SimObject
         unsigned doneTagsPerFrame = 2;
         /** Enable the in-line accelerated ops (§4.3). */
         bool inlineOpsEnabled = true;
+        /**
+         * Per-command watchdog: if a memory access has not completed
+         * this long after issue the engine re-issues it (with
+         * exponential backoff) and eventually reclaims the tag. The
+         * default sits far above any legitimate access latency, even
+         * with a saturated 64-deep controller queue, so only genuine
+         * losses trip it. 0 disables the watchdog.
+         */
+        Tick cmdTimeout = microseconds(20);
+        /** Re-issues before a stuck tag is reclaimed. */
+        unsigned maxCmdRetries = 3;
     };
 
     Mbs(const std::string &name, EventQueue &eq,
@@ -87,6 +99,15 @@ class Mbs : public SimObject
     /** Engines currently owning a command. */
     unsigned activeEngines() const { return activeEngines_; }
 
+    /** Route RAS events (reclaimed tags, poison) to the FSP log. */
+    void attachErrorLog(firmware::ErrorLog *log) { errorLog_ = log; }
+
+    /**
+     * Fault injection: swallow the next @p n memory completions as
+     * if the bus lost them, leaving the engines to their watchdogs.
+     */
+    void stallNextCompletions(unsigned n) { stallBudget_ += n; }
+
     struct MbsStats
     {
         stats::Scalar reads;
@@ -98,6 +119,11 @@ class Mbs : public SimObject
         stats::Scalar addrOrderStalls;
         stats::Scalar upstreamFrames;
         stats::Scalar doneFramesPacked;
+        stats::Scalar cmdTimeouts;        ///< Watchdog expirations.
+        stats::Scalar cmdRetries;         ///< Accesses re-issued.
+        stats::Scalar tagsReclaimed;      ///< Tags freed by force.
+        stats::Scalar droppedCompletions; ///< Injected stalls consumed.
+        stats::Scalar poisonedResponses;  ///< Poison sent upstream.
         stats::Distribution engineOccupancy;
     };
 
@@ -119,6 +145,13 @@ class Mbs : public SimObject
         Phase phase = Phase::idle;
         dmi::MemCommand cmd;
         dmi::CacheLine oldData{}; ///< Read data for RMW/inline ops.
+        unsigned retries = 0;     ///< Watchdog re-issues so far.
+        /**
+         * Generation counter for the outstanding memory access;
+         * completions and timeouts for older issues of this tag
+         * carry a stale value and are ignored.
+         */
+        std::uint32_t issueSeq = 0;
     };
 
     /** A pending flush: completes when its tag set drains. */
@@ -133,13 +166,19 @@ class Mbs : public SimObject
     bool addrConflictsWithActive(const dmi::MemCommand &cmd) const;
     void retryDeferred();
     void issueRead(unsigned tag, unsigned decoder);
-    void readReturned(unsigned tag, const dmi::CacheLine &data);
+    void readReturned(unsigned tag, const dmi::CacheLine &data,
+                      bool poisoned);
     void requestWriteGrant(unsigned tag);
     void writeArbPump(unsigned port);
     void issueWrite(unsigned tag, unsigned port);
     void writeCompleted(unsigned tag);
+    void armCmdTimeout(unsigned tag);
+    void engineTimeout(unsigned tag, std::uint32_t seq);
+    void reclaimTag(unsigned tag);
+    bool consumeStall();
     void mergeAndWrite(unsigned tag, unsigned port);
-    void respondReadData(unsigned tag, const dmi::CacheLine &data);
+    void respondReadData(unsigned tag, const dmi::CacheLine &data,
+                         bool poisoned);
     void respondDone(unsigned tag);
     void enqueueUpstream(std::vector<dmi::UpFrame> frames);
     void upstreamPump();
@@ -177,6 +216,10 @@ class Mbs : public SimObject
         unsigned decoder;
     };
     std::deque<Deferred> deferred_;
+
+    std::uint32_t issueSeqCounter_ = 0;
+    unsigned stallBudget_ = 0;
+    firmware::ErrorLog *errorLog_ = nullptr;
 
     MbsStats stats_;
 };

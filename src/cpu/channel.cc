@@ -101,6 +101,50 @@ MemoryChannel::MemoryChannel(const std::string &name, EventQueue &eq,
     trainer_ = std::make_unique<LinkTrainer>(
         name + ".trainer", eq, clocks.nest, this, params_.training,
         *hostLink_, buffer_link, *down_, *up_);
+
+    // RAS: the FSP error log is always wired into the command
+    // engines; patrol scrub and the link watchdog are opt-in.
+    if (card_)
+        card_->mbs().attachErrorLog(&errorLog_);
+    if (centaur_)
+        centaur_->attachErrorLog(&errorLog_);
+
+    if (params_.ras.scrubEnabled) {
+        for (unsigned i = 0; i < devices_.size(); ++i) {
+            scrubbers_.push_back(std::make_unique<ras::PatrolScrubber>(
+                name + ".scrub" + std::to_string(i), eq, clocks.ddr,
+                this, params_.ras.scrub, devices_[i]->image()));
+            scrubbers_.back()->attachErrorLog(&errorLog_);
+            scrubbers_.back()->start();
+        }
+    }
+
+    if (params_.ras.watchdogEnabled) {
+        watchdog_ = std::make_unique<ras::LinkWatchdog>(
+            name + ".watchdog", eq, clocks.nest, this,
+            params_.ras.watchdog);
+        watchdog_->attachErrorLog(&errorLog_);
+        ras::LinkWatchdog::Actions actions;
+        actions.retrain = [this] {
+            down_->reseedScramblers();
+            up_->reseedScramblers();
+        };
+        actions.spareLane = [this] {
+            // Replacing the marginal lane clears the injected noise.
+            down_->setFrameErrorRate(0);
+            up_->setFrameErrorRate(0);
+            down_->failLane(0);
+            up_->failLane(0);
+        };
+        actions.degrade = [] {
+            // Degraded-width operation; modelled as log-only since
+            // the channel's timing already reflects worst case.
+        };
+        actions.offline = [this] { port_->abortInFlight(); };
+        watchdog_->setActions(std::move(actions));
+        hostLink_->onReplay = [this] { watchdog_->noteReplay(); };
+        buffer_link.onReplay = [this] { watchdog_->noteReplay(); };
+    }
 }
 
 MemoryChannel::~MemoryChannel() = default;

@@ -19,7 +19,10 @@
 #include "contutto/contutto_card.hh"
 #include "cpu/host_port.hh"
 #include "dmi/training.hh"
+#include "firmware/error_log.hh"
 #include "mem/device.hh"
+#include "ras/scrubber.hh"
+#include "ras/watchdog.hh"
 
 namespace contutto::cpu
 {
@@ -74,6 +77,18 @@ struct ChannelParams
      */
     Tick fabricPeriod = 4000;
     std::uint64_t seed = 12345;
+
+    /** Optional RAS machinery layered on the channel. */
+    struct RasParams
+    {
+        /** Patrol-scrub every DIMM image. */
+        bool scrubEnabled = false;
+        ras::PatrolScrubber::Params scrub{};
+        /** Watch both link directions for replay storms. */
+        bool watchdogEnabled = false;
+        ras::LinkWatchdog::Params watchdog{};
+    };
+    RasParams ras{};
 };
 
 /** The assembled channel. */
@@ -107,6 +122,18 @@ class MemoryChannel : public stats::StatGroup
     dmi::DmiChannel &downChannel() { return *down_; }
     dmi::DmiChannel &upChannel() { return *up_; }
 
+    /** The service processor's log for this channel's hardware. */
+    firmware::ErrorLog &errorLog() { return errorLog_; }
+
+    /** Patrol scrubber for DIMM @p i (null unless RAS enabled). */
+    ras::PatrolScrubber *scrubber(unsigned i)
+    {
+        return i < scrubbers_.size() ? scrubbers_[i].get() : nullptr;
+    }
+
+    /** Replay-storm watchdog (null unless RAS enabled). */
+    ras::LinkWatchdog *watchdog() { return watchdog_.get(); }
+
     /** @{ Functional access honouring the buffer's interleave. */
     void functionalWrite(Addr addr, std::size_t len,
                          const std::uint8_t *data);
@@ -134,6 +161,9 @@ class MemoryChannel : public stats::StatGroup
     std::unique_ptr<HostMemPort> port_;
     std::unique_ptr<dmi::LinkTrainer> trainer_;
     dmi::TrainingResult trainResult_;
+    firmware::ErrorLog errorLog_;
+    std::vector<std::unique_ptr<ras::PatrolScrubber>> scrubbers_;
+    std::unique_ptr<ras::LinkWatchdog> watchdog_;
 };
 
 } // namespace contutto::cpu

@@ -17,6 +17,8 @@ HostMemPort::HostMemPort(const std::string &name, EventQueue &eq,
              {this, "flushes", "flush commands issued"},
              {this, "inlineOps", "in-line accel commands issued"},
              {this, "tagStalls", "issues stalled on tag exhaustion"},
+             {this, "poisonedResponses",
+              "responses carrying the ECC poison mark"},
              {this, "readLatency", "issue-to-data latency (ns)"},
              {this, "writeLatency", "issue-to-done latency (ns)"}}
 {
@@ -187,6 +189,10 @@ HostMemPort::responseArrived(const MemResponse &resp)
       case RespType::readData:
         ts.result.data = resp.data;
         ts.result.dataAt = curTick();
+        if (resp.poisoned) {
+            ts.result.poisoned = true;
+            ++stats_.poisonedResponses;
+        }
         break;
       case RespType::swapOld:
         ts.result.data = resp.data;

@@ -29,6 +29,8 @@ struct HostOpResult
     bool swapSucceeded = false;
     /** True when the operation was aborted (channel reset). */
     bool failed = false;
+    /** True when the buffer marked the data uncorrectable (ECC). */
+    bool poisoned = false;
     Tick issuedAt = 0;
     Tick dataAt = 0;         ///< When read data arrived (reads).
     Tick doneAt = 0;         ///< When the done freed the tag.
@@ -80,6 +82,7 @@ class HostMemPort : public SimObject
         stats::Scalar flushes;
         stats::Scalar inlineOps;
         stats::Scalar tagStalls; ///< Ops that had to wait for a tag.
+        stats::Scalar poisonedResponses; ///< Poisoned data received.
         stats::Distribution readLatency;  ///< ns, issue to data.
         stats::Distribution writeLatency; ///< ns, issue to done.
     };

@@ -12,6 +12,7 @@ DmiChannel::DmiChannel(const std::string &name, EventQueue &eq,
       stats_{{this, "framesCarried", "frames fully serialized"},
              {this, "bytesCarried", "payload bytes carried"},
              {this, "framesCorrupted", "frames hit by bit errors"},
+             {this, "framesDropped", "frames lost before the receiver"},
              {this, "spareActivations", "hard failures spared"}}
 {
     ct_assert(params_.lanes > 0 && params_.bitPeriod > 0);
@@ -84,6 +85,20 @@ DmiChannel::startNext()
         ++stats_.framesCorrupted;
     }
 
+    // A pending burst error flips contiguous bits; whatever does not
+    // fit in this frame carries into the next one at bit 0.
+    if (burstBitsLeft_ > 0) {
+        unsigned frameBits = unsigned(inFlight_.len) * 8;
+        unsigned start = std::min(burstStartBit_, frameBits);
+        unsigned here = std::min(burstBitsLeft_, frameBits - start);
+        for (unsigned bit = start; bit < start + here; ++bit)
+            inFlight_.bytes[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+        burstBitsLeft_ -= here;
+        burstStartBit_ = 0; // continuation resumes at the frame start
+        if (here > 0 && !corrupt)
+            ++stats_.framesCorrupted;
+    }
+
     Tick ser = serializationTime(inFlight_.len);
     busyTicks_ += ser;
     eventq().schedule(&serializeDone_, curTick() + ser);
@@ -104,6 +119,15 @@ DmiChannel::deliver()
     busy_ = false;
     if (!queue_.empty())
         startNext();
+
+    // A dropped frame vanishes after the descrambler advanced (the
+    // keystream stays aligned for later frames); the sender's missing
+    // ACK eventually triggers a replay.
+    if (dropBudget_ > 0) {
+        --dropBudget_;
+        ++stats_.framesDropped;
+        return;
+    }
 
     // Flight time is pure wire delay; model it with a deferred
     // delivery so back-to-back frames pipeline correctly.

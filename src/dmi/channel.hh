@@ -74,6 +74,31 @@ class DmiChannel : public SimObject
     void corruptNext(unsigned n) { forcedCorruptions_ += n; }
 
     /**
+     * Force a contiguous burst error of @p nbits starting at bit
+     * @p startBit of the next frame. A burst longer than the frame
+     * carries into the following frame at bit 0, modelling a noise
+     * event spanning a frame boundary; every touched frame counts as
+     * corrupted.
+     */
+    void corruptBurst(unsigned startBit, unsigned nbits)
+    {
+        burstStartBit_ = startBit;
+        burstBitsLeft_ += nbits;
+    }
+
+    /**
+     * Silently drop the next @p n frames at the receiver (a lost
+     * ACK / lost frame fault). The rx descrambler still advances so
+     * the keystream stays aligned, as real per-slot descrambling
+     * hardware would.
+     */
+    void dropNext(unsigned n) { dropBudget_ += n; }
+
+    /** Adjust the random bit-error rate at run time (lane sparing). */
+    void setFrameErrorRate(double rate) { params_.frameErrorRate = rate; }
+    double frameErrorRate() const { return params_.frameErrorRate; }
+
+    /**
      * @{ Lane sparing (paper 2.2: the link carries extra signals
      * for "clocking, sparing and calibration"). The first hard lane
      * failure is absorbed by the spare lane with no functional or
@@ -109,6 +134,7 @@ class DmiChannel : public SimObject
         stats::Scalar framesCarried;
         stats::Scalar bytesCarried;
         stats::Scalar framesCorrupted;
+        stats::Scalar framesDropped;
         stats::Scalar spareActivations;
     };
 
@@ -129,6 +155,9 @@ class DmiChannel : public SimObject
     Scrambler rxScrambler_;
     Rng rng_;
     unsigned forcedCorruptions_ = 0;
+    unsigned burstStartBit_ = 0;
+    unsigned burstBitsLeft_ = 0;
+    unsigned dropBudget_ = 0;
     unsigned lanesFailed_ = 0;
     unsigned spareLanes_ = 1;
     EventFunctionWrapper serializeDone_;

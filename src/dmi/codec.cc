@@ -64,6 +64,7 @@ encodeResponse(const MemResponse &resp)
             u.type = FrameType::readData;
             u.tag = resp.tag;
             u.subIndex = std::uint8_t(i);
+            u.poisoned = resp.poisoned;
             std::memcpy(u.data.data(),
                         resp.data.data() + i * upDataChunk,
                         upDataChunk);
@@ -169,6 +170,7 @@ ResponseAssembler::feed(const UpFrame &frame)
       case FrameType::readData: {
         Pending &p = pending_[frame.tag];
         p.active = true;
+        p.poisoned |= frame.poisoned;
         ct_assert(frame.subIndex < upFramesPerLine);
         std::memcpy(p.data.data() + frame.subIndex * upDataChunk,
                     frame.data.data(), upDataChunk);
@@ -177,6 +179,7 @@ ResponseAssembler::feed(const UpFrame &frame)
             r.type = RespType::readData;
             r.tag = frame.tag;
             r.data = p.data;
+            r.poisoned = p.poisoned;
             p = Pending{};
             out.push_back(r);
         }

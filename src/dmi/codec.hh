@@ -88,6 +88,7 @@ class ResponseAssembler
         bool active = false;
         CacheLine data{};
         unsigned chunksSeen = 0;
+        bool poisoned = false; ///< Any chunk carried the poison flag.
     };
 
     std::array<Pending, numTags> pending_{};

@@ -82,6 +82,11 @@ struct MemResponse
     std::uint8_t tag = 0;
     CacheLine data{};        ///< Valid for readData / swapOld.
     bool swapSucceeded = false;
+    /**
+     * Data marked uncorrectable by ECC; carried on the wire so the
+     * host contains the error instead of consuming garbage.
+     */
+    bool poisoned = false;
 
     std::string toString() const;
 };

@@ -160,7 +160,7 @@ UpFrame::serialize() const
     b[0] = std::uint8_t(type);
     b[1] = seq;
     b[2] = std::uint8_t((ackValid ? 1 : 0) | (swapSucceeded ? 2 : 0)
-                        | (seqValid ? 4 : 0));
+                        | (seqValid ? 4 : 0) | (poisoned ? 8 : 0));
     b[3] = ackSeq;
     switch (type) {
       case FrameType::readData:
@@ -203,6 +203,7 @@ UpFrame::deserialize(const WireFrame &wire, UpFrame &out)
     out.ackValid = (b[2] & 1) != 0;
     out.swapSucceeded = (b[2] & 2) != 0;
     out.seqValid = (b[2] & 4) != 0;
+    out.poisoned = (b[2] & 8) != 0;
     out.ackSeq = b[3];
     switch (out.type) {
       case FrameType::readData:

@@ -134,6 +134,9 @@ struct UpFrame
     // swapResult payload
     bool swapSucceeded = false;
 
+    /** readData payload flagged uncorrectable (flags bit 3). */
+    bool poisoned = false;
+
     // train payload
     std::uint32_t trainSig = 0;
 

@@ -222,6 +222,8 @@ void
 LinkEndpoint<TxF, RxF>::triggerReplay()
 {
     ++stats_.replaysTriggered;
+    if (onReplay)
+        onReplay();
     CT_TRACE("DMI", *this,
              "replay: resending seq %u..%u (freeze %u)",
              unsigned(std::uint8_t(lastAcked_ + 1)),

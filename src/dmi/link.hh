@@ -101,6 +101,12 @@ class LinkEndpoint : public SimObject
     std::function<void(std::uint32_t)> onTrainSig;
 
     /**
+     * Invoked each time a missing ACK triggers a replay; the RAS
+     * link watchdog subscribes here to detect replay storms.
+     */
+    std::function<void()> onReplay;
+
+    /**
      * Clear sequence counters, replay state and assemblers; called
      * when training completes and frames start flowing.
      */

@@ -37,20 +37,34 @@ struct ErrorEntry
     std::string message;
 };
 
-/** The FSP's persistent log with deconfiguration policy. */
+/**
+ * The FSP's persistent log with deconfiguration policy.
+ *
+ * The log is bounded: real service processors have finite NVRAM, so
+ * once @c capacity entries accumulate the oldest entry is dropped and
+ * an overflow counter advances. Deconfiguration state is *not*
+ * forgotten with the dropped entries — the per-component counts are
+ * kept separately and cover the whole boot.
+ */
 class ErrorLog
 {
   public:
     /** @param deconfig_threshold recoverable errors tolerated per
-     *         component before it is disabled. */
-    explicit ErrorLog(unsigned deconfig_threshold = 8)
-        : threshold_(deconfig_threshold)
+     *         component before it is disabled.
+     *  @param capacity entries retained before the oldest is evicted. */
+    explicit ErrorLog(unsigned deconfig_threshold = 8,
+                      std::size_t capacity = 1024)
+        : threshold_(deconfig_threshold), capacity_(capacity)
     {}
 
     void
     record(Tick when, const std::string &component, Severity sev,
            const std::string &message)
     {
+        if (entries_.size() >= capacity_) {
+            entries_.erase(entries_.begin());
+            ++overflowed_;
+        }
         entries_.push_back(ErrorEntry{when, component, sev, message});
         if (sev == Severity::unrecoverable) {
             deconfigured_.insert(component);
@@ -69,6 +83,33 @@ class ErrorLog
     std::size_t size() const { return entries_.size(); }
     const std::vector<ErrorEntry> &entries() const { return entries_; }
 
+    std::size_t capacity() const { return capacity_; }
+
+    /** Entries evicted to make room since boot. */
+    std::uint64_t overflowCount() const { return overflowed_; }
+
+    /** Retained entries at or above @p min_sev, oldest first. */
+    std::vector<ErrorEntry>
+    query(Severity min_sev) const
+    {
+        std::vector<ErrorEntry> out;
+        for (const ErrorEntry &e : entries_)
+            if (e.severity >= min_sev)
+                out.push_back(e);
+        return out;
+    }
+
+    /** Count of retained entries at or above @p min_sev. */
+    std::size_t
+    countAtLeast(Severity min_sev) const
+    {
+        std::size_t n = 0;
+        for (const ErrorEntry &e : entries_)
+            if (e.severity >= min_sev)
+                ++n;
+        return n;
+    }
+
     unsigned
     recoverableCount(const std::string &component) const
     {
@@ -78,6 +119,8 @@ class ErrorLog
 
   private:
     unsigned threshold_;
+    std::size_t capacity_;
+    std::uint64_t overflowed_ = 0;
     std::vector<ErrorEntry> entries_;
     std::map<std::string, unsigned> recoverableCount_;
     std::set<std::string> deconfigured_;

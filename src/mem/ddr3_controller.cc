@@ -23,6 +23,8 @@ Ddr3Controller::Ddr3Controller(const std::string &name, EventQueue &eq,
              {this, "rowHits", "column accesses hitting an open row"},
              {this, "rowMisses", "accesses needing activate"},
              {this, "refreshes", "all-bank refreshes performed"},
+             {this, "eccCorrected", "single-bit errors corrected on read"},
+             {this, "eccUncorrectable", "reads poisoned by multi-bit errors"},
              {this, "accessLatency", "submit-to-done latency (ns)"}}
 {
     ct_assert(params_.numBanks > 0);
@@ -133,6 +135,13 @@ Ddr3Controller::complete(const MemRequestPtr &req, Tick submitted)
         device_.noteWrite(req->addr, req->size);
         ++stats_.writes;
     } else {
+        // ECC check-and-correct before the data leaves the DIMM, the
+        // demand-read half of the scrub story: single-bit faults are
+        // repaired in place, multi-bit faults poison the response.
+        EccScan scan = device_.image().verify(req->addr, req->size);
+        stats_.eccCorrected += scan.corrected;
+        stats_.eccUncorrectable += scan.uncorrectable;
+        req->poisoned = scan.uncorrectable != 0;
         device_.image().read(req->addr, req->size, req->data.data());
         device_.noteRead(req->size);
         ++stats_.reads;

@@ -82,6 +82,8 @@ class Ddr3Controller : public SimObject
         stats::Scalar rowHits;
         stats::Scalar rowMisses;
         stats::Scalar refreshes;
+        stats::Scalar eccCorrected;     ///< Single-bit reads repaired.
+        stats::Scalar eccUncorrectable; ///< Reads returned poisoned.
         stats::Distribution accessLatency; ///< ns, submit to done.
     };
 

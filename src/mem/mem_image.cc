@@ -7,6 +7,31 @@
 namespace contutto::mem
 {
 
+namespace
+{
+
+/** Allocation size of one page: data followed by ECC check bytes. */
+constexpr std::size_t pageAlloc =
+    MemImage::pageSize + MemImage::checkBytesPerPage;
+
+std::uint64_t
+loadWord(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+void
+storeWord(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = std::uint8_t(v >> (8 * i));
+}
+
+} // namespace
+
 MemImage::MemImage(std::uint64_t capacity) : capacity_(capacity)
 {
     ct_assert(capacity > 0);
@@ -20,8 +45,16 @@ MemImage::pageFor(Addr addr, bool create)
     if (it == pages_.end()) {
         if (!create)
             return nullptr;
-        auto page = std::make_unique<std::uint8_t[]>(pageSize);
-        std::memset(page.get(), 0, pageSize);
+        auto page = std::make_unique<std::uint8_t[]>(pageAlloc);
+        std::memset(page.get(), 0, pageAlloc);
+        // An all-zero word still carries a nonzero parity-free code
+        // only if eccEncode(0) == 0, which holds for this geometry;
+        // keep the explicit fill so a future codec change cannot
+        // silently make fresh pages read as corrupted.
+        std::uint8_t zeroCheck = ras::eccEncode(0);
+        if (zeroCheck != 0)
+            std::memset(page.get() + pageSize, zeroCheck,
+                        checkBytesPerPage);
         it = pages_.emplace(pageno, std::move(page)).first;
     }
     return it->second.get();
@@ -60,6 +93,8 @@ MemImage::write(Addr addr, std::size_t len, const std::uint8_t *in)
     if (addr + len > capacity_)
         panic("MemImage write past capacity (addr=%llx len=%zu)",
               (unsigned long long)addr, len);
+    Addr start = addr;
+    std::size_t total = len;
     while (len > 0) {
         std::size_t off = addr % pageSize;
         std::size_t chunk = std::min(len, pageSize - off);
@@ -68,6 +103,7 @@ MemImage::write(Addr addr, std::size_t len, const std::uint8_t *in)
         in += chunk;
         len -= chunk;
     }
+    refreshCheck(start, total);
 }
 
 void
@@ -84,18 +120,14 @@ MemImage::read64(Addr addr) const
 {
     std::uint8_t buf[8];
     read(addr, 8, buf);
-    std::uint64_t v = 0;
-    for (int i = 7; i >= 0; --i)
-        v = (v << 8) | buf[i];
-    return v;
+    return loadWord(buf);
 }
 
 void
 MemImage::write64(Addr addr, std::uint64_t value)
 {
     std::uint8_t buf[8];
-    for (int i = 0; i < 8; ++i)
-        buf[i] = std::uint8_t(value >> (8 * i));
+    storeWord(buf, value);
     write(addr, 8, buf);
 }
 
@@ -128,10 +160,93 @@ MemImage::copyFrom(const MemImage &other)
 {
     pages_.clear();
     for (const auto &[pageno, page] : other.pages_) {
-        auto copy = std::make_unique<std::uint8_t[]>(pageSize);
-        std::memcpy(copy.get(), page.get(), pageSize);
+        auto copy = std::make_unique<std::uint8_t[]>(pageAlloc);
+        std::memcpy(copy.get(), page.get(), pageAlloc);
         pages_.emplace(pageno, std::move(copy));
     }
+}
+
+void
+MemImage::refreshCheck(Addr addr, std::size_t len)
+{
+    // Cover every 8 B word the byte range overlaps.
+    Addr word = addr & ~Addr(7);
+    Addr end = addr + len;
+    for (; word < end; word += 8) {
+        std::uint8_t *page = pageFor(word, false);
+        ct_assert(page != nullptr); // write() materialized it
+        std::size_t off = word % pageSize;
+        page[pageSize + off / 8] =
+            ras::eccEncode(loadWord(page + off));
+    }
+}
+
+EccScan
+MemImage::verify(Addr addr, std::size_t len)
+{
+    if (addr + len > capacity_)
+        panic("MemImage verify past capacity (addr=%llx len=%zu)",
+              (unsigned long long)addr, len);
+    EccScan scan;
+    Addr word = addr & ~Addr(7);
+    Addr end = addr + len;
+    while (word < end) {
+        std::uint8_t *page = pageFor(word, false);
+        if (!page) {
+            // Untouched pages read as zero and are clean by
+            // construction; skip to the next page boundary.
+            word = (word / pageSize + 1) * pageSize;
+            continue;
+        }
+        std::size_t off = word % pageSize;
+        std::uint64_t data = loadWord(page + off);
+        std::uint8_t check = page[pageSize + off / 8];
+        ras::EccDecode dec = ras::eccDecode(data, check);
+        switch (dec.status) {
+          case ras::EccStatus::clean:
+            break;
+          case ras::EccStatus::corrected:
+            storeWord(page + off, dec.data);
+            page[pageSize + off / 8] = dec.check;
+            ++scan.corrected;
+            ++correctedTotal_;
+            break;
+          case ras::EccStatus::uncorrectable:
+            ++scan.uncorrectable;
+            ++uncorrectableTotal_;
+            break;
+        }
+        word += 8;
+    }
+    return scan;
+}
+
+void
+MemImage::injectBitFlip(Addr addr, unsigned bit)
+{
+    ct_assert(bit < 64);
+    Addr word = addr & ~Addr(7);
+    if (word + 8 > capacity_)
+        panic("MemImage fault injection past capacity (addr=%llx)",
+              (unsigned long long)word);
+    std::uint8_t *page = pageFor(word, true);
+    std::size_t off = word % pageSize;
+    std::uint64_t v = loadWord(page + off);
+    storeWord(page + off, v ^ (std::uint64_t(1) << bit));
+    // Deliberately leave the check byte stale: that is the fault.
+}
+
+void
+MemImage::injectCheckBitFlip(Addr addr, unsigned bit)
+{
+    ct_assert(bit < 8);
+    Addr word = addr & ~Addr(7);
+    if (word + 8 > capacity_)
+        panic("MemImage fault injection past capacity (addr=%llx)",
+              (unsigned long long)word);
+    std::uint8_t *page = pageFor(word, true);
+    std::size_t off = word % pageSize;
+    page[pageSize + off / 8] ^= std::uint8_t(1u << bit);
 }
 
 } // namespace contutto::mem

@@ -17,10 +17,18 @@
 #include <vector>
 
 #include "dmi/command.hh"
+#include "ras/ecc.hh"
 #include "sim/types.hh"
 
 namespace contutto::mem
 {
+
+/** Correction summary returned by MemImage::verify. */
+struct EccScan
+{
+    std::uint64_t corrected = 0;     ///< Single-bit faults repaired.
+    std::uint64_t uncorrectable = 0; ///< Multi-bit faults detected.
+};
 
 /** Byte-addressable sparse memory contents. */
 class MemImage
@@ -59,15 +67,55 @@ class MemImage
     /** Number of materialized pages (footprint checks in tests). */
     std::size_t pagesTouched() const { return pages_.size(); }
 
+    /**
+     * @{ SEC-DED ECC sidecar. Every write keeps one Hamming(72,64)
+     * check byte per 8 B word current; verify() re-derives the
+     * syndrome over a range, repairing single-bit faults in place
+     * (data or check bits) and counting multi-bit faults, which are
+     * left untouched for the caller to poison. Untouched pages are
+     * clean by construction and skipped.
+     */
+    EccScan verify(Addr addr, std::size_t len);
+
+    /**
+     * Flip one data bit without updating the check byte: the fault
+     * a later verify() must detect. Bit faults in the check storage
+     * itself are modelled by @c injectCheckBitFlip.
+     */
+    void injectBitFlip(Addr addr, unsigned bit);
+    void injectCheckBitFlip(Addr addr, unsigned bit);
+
+    /** @{ Lifetime ECC accounting (corrections by any caller). */
+    std::uint64_t correctedErrors() const { return correctedTotal_; }
+    std::uint64_t uncorrectableErrors() const
+    {
+        return uncorrectableTotal_;
+    }
+    /** @} */
+    /** @} */
+
     static constexpr std::size_t pageSize = 4096;
+    /** One check byte per 64-bit word. */
+    static constexpr std::size_t checkBytesPerPage =
+        ras::eccCheckBytes(pageSize);
 
   private:
     std::uint8_t *pageFor(Addr addr, bool create);
     const std::uint8_t *pageFor(Addr addr) const;
 
+    /** Recompute check bytes for every word overlapping the range. */
+    void refreshCheck(Addr addr, std::size_t len);
+
     std::uint64_t capacity_;
+    /**
+     * Each page allocation is pageSize data bytes followed by
+     * checkBytesPerPage ECC check bytes, so save/restore paths that
+     * copy pages wholesale keep data and codes consistent.
+     */
     std::unordered_map<std::uint64_t,
                        std::unique_ptr<std::uint8_t[]>> pages_;
+    std::uint64_t correctedTotal_ = 0;
+    std::uint64_t uncorrectableTotal_ = 0;
 };
 
 } // namespace contutto::mem

@@ -29,6 +29,12 @@ struct MemRequest
     /** Filled by the controller: when the access finished. */
     Tick completedAt = 0;
 
+    /**
+     * Set by the controller when ECC flagged the read data
+     * uncorrectable; consumers must contain it instead of using it.
+     */
+    bool poisoned = false;
+
     /** Completion callback; data is valid for reads. */
     std::function<void(MemRequest &)> onDone;
 };

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unified fault-injection campaign driver.
+ *
+ * Every fault hook in the stack — DRAM bit flips (MemImage), frame
+ * corruption/bursts/drops (DmiChannel), engine completion stalls
+ * (Mbs), scrambler desync, lane failure, NVDIMM power loss — is
+ * routed through one registry so integration tests compose faults
+ * declaratively. Randomized campaigns are seeded from sim/random.hh:
+ * the same seed plans the identical fault list, which is what lets
+ * the soak test assert counter-for-counter reproducibility.
+ */
+
+#ifndef CONTUTTO_RAS_FAULT_INJECTOR_HH
+#define CONTUTTO_RAS_FAULT_INJECTOR_HH
+
+#include <vector>
+
+#include "contutto/mbs.hh"
+#include "dmi/channel.hh"
+#include "mem/device.hh"
+#include "sim/random.hh"
+#include "sim/sim_object.hh"
+
+namespace contutto::ras
+{
+
+/** Everything the injector knows how to break. */
+enum class FaultKind : std::uint8_t
+{
+    dramBitFlip,      ///< Flip one data bit under the ECC's nose.
+    checkBitFlip,     ///< Flip one stored ECC check bit.
+    frameCorrupt,     ///< Single-bit corruption of the next frame(s).
+    burstError,       ///< Contiguous multi-bit burst on the wire.
+    frameDrop,        ///< Frame lost before the receiver.
+    engineStall,      ///< Memory completion swallowed in the buffer.
+    scramblerDesync,  ///< RX scrambler slips one frame slot.
+    laneFail,         ///< Hard lane failure (spare or degrade).
+    nvdimmPowerLoss,  ///< Pull power from an NVDIMM.
+    nvdimmPowerRestore, ///< Restore power to an NVDIMM.
+};
+
+const char *faultKindName(FaultKind k);
+
+/** One planned or applied fault. */
+struct FaultEvent
+{
+    Tick when = 0;       ///< Absolute tick (schedule only).
+    FaultKind kind = FaultKind::dramBitFlip;
+    unsigned target = 0; ///< Index in the registry for this kind.
+    Addr addr = 0;       ///< Byte address (memory faults).
+    unsigned bit = 0;    ///< Bit index / start bit / lane number.
+    unsigned count = 1;  ///< Frames, burst bits, or stalls.
+};
+
+/** The single registry + driver for scripted fault campaigns. */
+class FaultInjector : public SimObject
+{
+  public:
+    FaultInjector(const std::string &name, EventQueue &eq,
+                  const ClockDomain &domain, stats::StatGroup *parent,
+                  std::uint64_t seed);
+
+    /** @{ Register targets; returns the index to use in events. */
+    unsigned addMemory(mem::MemImage *image);
+    unsigned addChannel(dmi::DmiChannel *channel);
+    unsigned addMbs(fpga::Mbs *mbs);
+    unsigned addNvdimm(mem::NvdimmDevice *nvdimm);
+    /** @} */
+
+    /** Apply one fault immediately. */
+    void inject(const FaultEvent &ev);
+
+    /** Apply one fault at ev.when (must not be in the past). */
+    void schedule(const FaultEvent &ev);
+
+    /** Shape of a randomized multi-fault campaign. */
+    struct CampaignSpec
+    {
+        Tick start = 0;           ///< First possible injection time.
+        Tick duration = microseconds(100); ///< Injection window.
+        /** DRAM single-bit flips, each in a *distinct* 8 B word of
+         *  [memBase, memBase+memSize) so corrected-error counters
+         *  match the injected count exactly. */
+        unsigned bitFlips = 0;
+        Addr memBase = 0;
+        std::uint64_t memSize = 0;
+        unsigned frameCorruptions = 0; ///< Across all channels.
+        unsigned frameDrops = 0;       ///< Across all channels.
+        unsigned burstErrors = 0;      ///< Across all channels.
+        unsigned burstBits = 24;       ///< Bits per injected burst.
+        unsigned engineStalls = 0;     ///< Across all Mbs targets.
+        unsigned scramblerDesyncs = 0; ///< Across all channels.
+    };
+
+    /**
+     * Deterministically expand a spec into concrete events (same
+     * seed, same spec => identical plan) without applying them.
+     */
+    std::vector<FaultEvent> planCampaign(const CampaignSpec &spec);
+
+    /** Plan and schedule everything; returns the plan. */
+    std::vector<FaultEvent> runCampaign(const CampaignSpec &spec);
+
+    /** Faults applied so far for @p kind. */
+    std::uint64_t injected(FaultKind kind) const;
+
+    /** Every fault applied so far, in application order. */
+    const std::vector<FaultEvent> &history() const { return history_; }
+
+    struct InjectorStats
+    {
+        stats::Scalar bitFlips;
+        stats::Scalar checkFlips;
+        stats::Scalar frameCorruptions;
+        stats::Scalar burstErrors;
+        stats::Scalar frameDrops;
+        stats::Scalar engineStalls;
+        stats::Scalar scramblerDesyncs;
+        stats::Scalar laneFails;
+        stats::Scalar powerLosses;
+        stats::Scalar powerRestores;
+    };
+
+    const InjectorStats &injectorStats() const { return stats_; }
+
+  private:
+    Rng rng_;
+    std::vector<mem::MemImage *> memories_;
+    std::vector<dmi::DmiChannel *> channels_;
+    std::vector<fpga::Mbs *> mbs_;
+    std::vector<mem::NvdimmDevice *> nvdimms_;
+    std::vector<FaultEvent> history_;
+    InjectorStats stats_;
+};
+
+} // namespace contutto::ras
+
+#endif // CONTUTTO_RAS_FAULT_INJECTOR_HH

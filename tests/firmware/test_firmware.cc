@@ -205,4 +205,56 @@ TEST(ErrorLog, UnrecoverableDeconfiguresImmediately)
     EXPECT_FALSE(log.isDeconfigured("contutto.link"));
 }
 
+TEST(ErrorLog, QueryFiltersBySeverity)
+{
+    ErrorLog log;
+    log.record(10, "a", Severity::info, "i1");
+    log.record(20, "b", Severity::recoverable, "r1");
+    log.record(30, "c", Severity::info, "i2");
+    log.record(40, "d", Severity::unrecoverable, "u1");
+
+    EXPECT_EQ(log.query(Severity::info).size(), 4u);
+    auto recov = log.query(Severity::recoverable);
+    ASSERT_EQ(recov.size(), 2u);
+    // Oldest first.
+    EXPECT_EQ(recov[0].component, "b");
+    EXPECT_EQ(recov[1].component, "d");
+    auto unrec = log.query(Severity::unrecoverable);
+    ASSERT_EQ(unrec.size(), 1u);
+    EXPECT_EQ(unrec[0].message, "u1");
+    EXPECT_EQ(log.countAtLeast(Severity::recoverable), 2u);
+    EXPECT_EQ(log.countAtLeast(Severity::unrecoverable), 1u);
+}
+
+TEST(ErrorLog, BoundedCapacityEvictsOldestAndCounts)
+{
+    ErrorLog log(/*deconfig_threshold=*/100, /*capacity=*/4);
+    EXPECT_EQ(log.capacity(), 4u);
+    for (int i = 0; i < 10; ++i)
+        log.record(Tick(i), "comp" + std::to_string(i),
+                   Severity::info, "m");
+
+    EXPECT_EQ(log.size(), 4u) << "log must stay at capacity";
+    EXPECT_EQ(log.overflowCount(), 6u);
+    // The survivors are the newest four, oldest first.
+    ASSERT_EQ(log.entries().size(), 4u);
+    EXPECT_EQ(log.entries().front().component, "comp6");
+    EXPECT_EQ(log.entries().back().component, "comp9");
+}
+
+TEST(ErrorLog, DeconfigurationSurvivesEviction)
+{
+    // Two recoverable errors deconfigure; capacity one means the
+    // first entry is long evicted when the second arrives — the
+    // per-component count must not be forgotten with it.
+    ErrorLog log(/*deconfig_threshold=*/2, /*capacity=*/1);
+    log.record(0, "contutto.link", Severity::recoverable, "x");
+    log.record(1, "other", Severity::info, "y"); // evicts the first
+    EXPECT_EQ(log.overflowCount(), 1u);
+    EXPECT_FALSE(log.isDeconfigured("contutto.link"));
+    log.record(2, "contutto.link", Severity::recoverable, "x");
+    EXPECT_TRUE(log.isDeconfigured("contutto.link"));
+    EXPECT_EQ(log.recoverableCount("contutto.link"), 2u);
+}
+
 } // namespace

@@ -1,0 +1,241 @@
+/** @file SEC-DED codec and MemImage ECC sidecar tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/system.hh"
+#include "mem/mem_image.hh"
+#include "ras/ecc.hh"
+#include "sim/random.hh"
+
+using namespace contutto;
+using namespace contutto::ras;
+
+namespace
+{
+
+TEST(EccCodec, ZeroWordHasZeroCheck)
+{
+    EXPECT_EQ(eccEncode(0), 0u);
+    EccDecode d = eccDecode(0, 0);
+    EXPECT_EQ(d.status, EccStatus::clean);
+}
+
+TEST(EccCodec, CleanRoundTrip)
+{
+    Rng rng(42);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t w = rng.next();
+        EccDecode d = eccDecode(w, eccEncode(w));
+        EXPECT_EQ(d.status, EccStatus::clean);
+        EXPECT_EQ(d.data, w);
+    }
+}
+
+TEST(EccCodec, EverySingleDataBitFlipIsCorrected)
+{
+    Rng rng(7);
+    std::uint64_t w = rng.next();
+    std::uint8_t check = eccEncode(w);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        EccDecode d = eccDecode(w ^ (std::uint64_t(1) << bit), check);
+        EXPECT_EQ(d.status, EccStatus::corrected) << "bit " << bit;
+        EXPECT_EQ(d.data, w) << "bit " << bit;
+        EXPECT_EQ(d.check, check) << "bit " << bit;
+    }
+}
+
+TEST(EccCodec, EverySingleCheckBitFlipIsCorrected)
+{
+    Rng rng(8);
+    std::uint64_t w = rng.next();
+    std::uint8_t check = eccEncode(w);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        EccDecode d =
+            eccDecode(w, std::uint8_t(check ^ (1u << bit)));
+        EXPECT_EQ(d.status, EccStatus::corrected) << "bit " << bit;
+        EXPECT_EQ(d.data, w) << "bit " << bit;
+        EXPECT_EQ(d.check, check) << "bit " << bit;
+    }
+}
+
+TEST(EccCodec, DoubleBitFlipsAreDetectedNotMiscorrected)
+{
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t w = rng.next();
+        std::uint8_t check = eccEncode(w);
+        unsigned a = unsigned(rng.below(64));
+        unsigned b = unsigned(rng.below(64));
+        if (a == b)
+            continue;
+        std::uint64_t bad = w ^ (std::uint64_t(1) << a)
+            ^ (std::uint64_t(1) << b);
+        EccDecode d = eccDecode(bad, check);
+        EXPECT_EQ(d.status, EccStatus::uncorrectable)
+            << "bits " << a << "," << b;
+    }
+}
+
+TEST(EccCodec, DataPlusCheckDoubleFlipIsDetected)
+{
+    std::uint64_t w = 0x0123456789ABCDEFull;
+    std::uint8_t check = eccEncode(w);
+    for (unsigned db = 0; db < 64; db += 13) {
+        for (unsigned cb = 0; cb < 8; ++cb) {
+            EccDecode d =
+                eccDecode(w ^ (std::uint64_t(1) << db),
+                          std::uint8_t(check ^ (1u << cb)));
+            EXPECT_EQ(d.status, EccStatus::uncorrectable)
+                << "data bit " << db << " check bit " << cb;
+        }
+    }
+}
+
+TEST(MemImageEcc, CleanAfterWrites)
+{
+    mem::MemImage img(1 * MiB);
+    std::vector<std::uint8_t> buf(4096);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        buf[i] = std::uint8_t(i * 7 + 3);
+    img.write(0x1000, buf.size(), buf.data());
+    // Partial, unaligned writes must keep the check bytes current.
+    img.write(0x1003, 5, buf.data());
+    img.write64(0x2000, 0xDEADBEEFCAFEF00Dull);
+
+    mem::EccScan scan = img.verify(0, 64 * KiB);
+    EXPECT_EQ(scan.corrected, 0u);
+    EXPECT_EQ(scan.uncorrectable, 0u);
+}
+
+TEST(MemImageEcc, SingleFlipCorrectedInPlace)
+{
+    mem::MemImage img(1 * MiB);
+    img.write64(0x4008, 0x1111222233334444ull);
+    img.injectBitFlip(0x4008, 17);
+    EXPECT_NE(img.read64(0x4008), 0x1111222233334444ull);
+
+    mem::EccScan scan = img.verify(0x4000, 64);
+    EXPECT_EQ(scan.corrected, 1u);
+    EXPECT_EQ(scan.uncorrectable, 0u);
+    EXPECT_EQ(img.read64(0x4008), 0x1111222233334444ull)
+        << "verify must repair the stored word";
+    EXPECT_EQ(img.correctedErrors(), 1u);
+
+    // A second verify of the repaired line is clean.
+    scan = img.verify(0x4000, 64);
+    EXPECT_EQ(scan.corrected, 0u);
+}
+
+TEST(MemImageEcc, CheckBitFlipCorrected)
+{
+    mem::MemImage img(1 * MiB);
+    img.write64(0x8000, 0xAAAA5555AAAA5555ull);
+    img.injectCheckBitFlip(0x8000, 3);
+    mem::EccScan scan = img.verify(0x8000, 8);
+    EXPECT_EQ(scan.corrected, 1u);
+    EXPECT_EQ(img.read64(0x8000), 0xAAAA5555AAAA5555ull);
+    EXPECT_EQ(img.verify(0x8000, 8).corrected, 0u);
+}
+
+TEST(MemImageEcc, DoubleFlipIsUncorrectable)
+{
+    mem::MemImage img(1 * MiB);
+    img.write64(0x6000, 0x123456789ABCDEF0ull);
+    img.injectBitFlip(0x6000, 2);
+    img.injectBitFlip(0x6000, 40);
+    mem::EccScan scan = img.verify(0x6000, 8);
+    EXPECT_EQ(scan.corrected, 0u);
+    EXPECT_EQ(scan.uncorrectable, 1u);
+    EXPECT_EQ(img.uncorrectableErrors(), 1u);
+}
+
+TEST(MemImageEcc, UntouchedPagesAreSkipped)
+{
+    mem::MemImage img(64 * MiB);
+    img.write64(0, 5);
+    // Verifying a huge range must not materialize pages.
+    std::size_t pages = img.pagesTouched();
+    mem::EccScan scan = img.verify(0, 64 * MiB);
+    EXPECT_EQ(scan.corrected, 0u);
+    EXPECT_EQ(scan.uncorrectable, 0u);
+    EXPECT_EQ(img.pagesTouched(), pages);
+}
+
+TEST(MemImageEcc, RewriteClearsStaleFault)
+{
+    mem::MemImage img(1 * MiB);
+    img.write64(0x3000, 1);
+    img.injectBitFlip(0x3000, 0);
+    img.injectBitFlip(0x3000, 1);
+    // Overwriting the word refreshes the check byte: fault gone.
+    img.write64(0x3000, 99);
+    mem::EccScan scan = img.verify(0x3000, 8);
+    EXPECT_EQ(scan.uncorrectable, 0u);
+    EXPECT_EQ(img.read64(0x3000), 99u);
+}
+
+TEST(MemImageEcc, CopyFromPreservesCheckBytes)
+{
+    mem::MemImage a(1 * MiB);
+    a.write64(0x100, 0xFEEDFACEull);
+    a.injectBitFlip(0x100, 5);
+    mem::MemImage b(1 * MiB);
+    b.copyFrom(a);
+    // The fault travels with the copy and is still correctable.
+    mem::EccScan scan = b.verify(0x100, 8);
+    EXPECT_EQ(scan.corrected, 1u);
+    EXPECT_EQ(b.read64(0x100), 0xFEEDFACEull);
+}
+
+/** End to end: an uncorrectable DRAM fault poisons the host read. */
+TEST(MemImageEcc, UncorrectableFaultPoisonsDemandRead)
+{
+    cpu::Power8System::Params p;
+    p.dimms = {cpu::DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}}};
+    cpu::Power8System sys(p);
+    ASSERT_TRUE(sys.train());
+
+    std::uint8_t pattern[dmi::cacheLineSize];
+    for (unsigned i = 0; i < dmi::cacheLineSize; ++i)
+        pattern[i] = std::uint8_t(i);
+    sys.functionalWrite(0x10000, sizeof pattern, pattern);
+
+    // Single-bit fault: corrected transparently, data intact.
+    sys.dimm(0).image().injectBitFlip(0x10000, 9);
+    bool done = false;
+    cpu::HostOpResult got;
+    sys.port().read(0x10000, [&](const cpu::HostOpResult &r) {
+        got = r;
+        done = true;
+    });
+    ASSERT_TRUE(sys.runUntilIdle());
+    ASSERT_TRUE(done);
+    EXPECT_FALSE(got.poisoned);
+    EXPECT_EQ(got.data[0], 0);
+    EXPECT_EQ(got.data[9], 9);
+    EXPECT_GE(sys.dimm(0).image().correctedErrors(), 1u);
+
+    // Double-bit fault in another line: poisoned end to end.
+    sys.dimm(0).image().injectBitFlip(0x20000, 1);
+    sys.dimm(0).image().injectBitFlip(0x20000, 2);
+    done = false;
+    sys.port().read(0x20000, [&](const cpu::HostOpResult &r) {
+        got = r;
+        done = true;
+    });
+    ASSERT_TRUE(sys.runUntilIdle());
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(got.poisoned);
+    EXPECT_EQ(sys.port().portStats().poisonedResponses.value(), 1.0);
+    ASSERT_NE(sys.card(), nullptr);
+    EXPECT_EQ(sys.card()->mbs().mbsStats().poisonedResponses.value(),
+              1.0);
+    // The FSP heard about it too.
+    EXPECT_GE(sys.channel().errorLog().countAtLeast(
+                  firmware::Severity::recoverable),
+              std::size_t(1));
+}
+
+} // namespace
