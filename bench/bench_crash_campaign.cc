@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Seeded power-fault campaign over the pmem block path: crash at
+ * random ticks under a closed-loop write workload, recover through
+ * the power domain + link retrain, audit every block against the
+ * durability ledger. Prints the counters a robustness report needs;
+ * rerunning with the same --seed reproduces them bit for bit.
+ */
+
+#include "bench_util.hh"
+#include "storage/crash_campaign.hh"
+
+using namespace contutto;
+using namespace contutto::storage;
+
+int
+main(int argc, char **argv)
+{
+    CrashRecoveryCampaign::Spec spec;
+    spec.seed = bench::parseSeed(argc, argv, 1);
+    spec.powerCuts = 8;
+    spec.regionBlocks = 64;
+    spec.brownouts = 4;
+
+    bench::header("Power-fault campaign: crash/recover/verify over "
+                  "the NVDIMM-backed pmem device");
+    std::printf("seed %llu, %u cuts, %u brownouts, %u-block region, "
+                "queue depth %u\n",
+                static_cast<unsigned long long>(spec.seed),
+                spec.powerCuts, spec.brownouts, spec.regionBlocks,
+                spec.queueDepth);
+
+    CrashRecoveryCampaign campaign(spec);
+    auto r = campaign.run();
+
+    bench::rule();
+    std::printf("%-28s %12s\n", "counter", "value");
+    bench::rule();
+    std::printf("%-28s %12u\n", "power cuts", r.cuts);
+    std::printf("%-28s %12u\n", "brownouts injected",
+                r.brownoutsInjected);
+    std::printf("%-28s %12u\n", "recoveries", r.recoveries);
+    std::printf("%-28s %12u\n", "failed recoveries",
+                r.failedRecoveries);
+    std::printf("%-28s %12llu\n", "writes submitted",
+                static_cast<unsigned long long>(r.writesSubmitted));
+    std::printf("%-28s %12llu\n", "writes completed",
+                static_cast<unsigned long long>(r.writesCompleted));
+    std::printf("%-28s %12llu\n", "writes failed (power)",
+                static_cast<unsigned long long>(r.writesFailed));
+    std::printf("%-28s %12llu\n", "blocks fenced",
+                static_cast<unsigned long long>(r.blocksFenced));
+    bench::rule();
+    std::printf("%-28s %12llu\n", "audit: intact",
+                static_cast<unsigned long long>(r.intact));
+    std::printf("%-28s %12llu\n", "audit: superseded (newer)",
+                static_cast<unsigned long long>(r.newer));
+    std::printf("%-28s %12llu\n", "audit: torn",
+                static_cast<unsigned long long>(r.torn));
+    std::printf("%-28s %12llu\n", "audit: stale",
+                static_cast<unsigned long long>(r.stale));
+    std::printf("%-28s %12llu\n", "audit: lost",
+                static_cast<unsigned long long>(r.lost));
+    std::printf("%-28s %12llu\n", "audit: unwritten",
+                static_cast<unsigned long long>(r.unwritten));
+    std::printf("%-28s %12u\n", "module loss events",
+                r.moduleLossEvents);
+    std::printf("%-28s %12llu\n", "detected (legal) losses",
+                static_cast<unsigned long long>(r.detectedLosses));
+    std::printf("%-28s %12llu\n", "DURABILITY VIOLATIONS",
+                static_cast<unsigned long long>
+                (r.durabilityViolations));
+    bench::rule();
+
+    if (r.durabilityViolations != 0) {
+        std::printf("FAIL: a fenced block did not survive the "
+                    "power fault\n");
+        return 1;
+    }
+    std::printf("ok: every fenced block survived; every tear was "
+                "detected, none served silently\n");
+    return 0;
+}

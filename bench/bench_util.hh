@@ -11,6 +11,8 @@
 #define CONTUTTO_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "cpu/system.hh"
@@ -55,6 +57,24 @@ centaurSystem(centaur::CentaurModel::Config cfg,
     p.centaurConfig = cfg;
     p.dimms = {DimmSpec{mem::MemTech::dram, total_bytes, {}, {}}};
     return p;
+}
+
+/**
+ * Parse `--seed N` (or `--seed=N`) from argv. Every randomized
+ * experiment binary routes its reproducibility through this one
+ * flag: same seed, same printed numbers.
+ */
+inline std::uint64_t
+parseSeed(int argc, char **argv, std::uint64_t def = 1)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--seed=", 7) == 0)
+            return std::strtoull(arg + 7, nullptr, 0);
+        if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc)
+            return std::strtoull(argv[i + 1], nullptr, 0);
+    }
+    return def;
 }
 
 inline void

@@ -1,5 +1,7 @@
 #include "centaur/centaur.hh"
 
+#include <algorithm>
+
 namespace contutto::centaur
 {
 
@@ -80,6 +82,7 @@ CentaurModel::CentaurModel(const std::string &name, EventQueue &eq,
       stats_{{this, "reads", "read commands served"},
              {this, "writes", "write commands served"},
              {this, "rmws", "read-modify-write commands served"},
+             {this, "flushes", "flush (persist fence) commands"},
              {this, "cacheHits", "buffer cache hits"},
              {this, "cacheMisses", "buffer cache misses"},
              {this, "prefetches", "prefetch fills issued"},
@@ -136,9 +139,15 @@ CentaurModel::execute(const MemCommand &cmd)
       case CmdType::partialWrite:
         serveWrite(cmd);
         break;
+      case CmdType::flush:
+        // The fence must mean the same thing on the baseline as on
+        // ConTutto, or the pmem durability story is apples to
+        // oranges: done only after older writes reach DDR.
+        serveFlush(cmd);
+        break;
       default:
-        // Flush and the in-line accelerated ops exist only in
-        // ConTutto's FPGA logic (paper §4.2/4.3).
+        // The in-line accelerated ops exist only in ConTutto's FPGA
+        // logic (paper §4.3).
         ++stats_.unsupportedCommands;
         warn("Centaur: unsupported command type %d; completing as "
              "no-op", int(cmd.type));
@@ -219,6 +228,7 @@ CentaurModel::reclaimTag(std::uint8_t tag)
     } else {
         sendDone(tag);
         releaseWrite(cmd.addr);
+        noteWriteDrained(tag);
     }
 }
 
@@ -373,8 +383,49 @@ CentaurModel::issueWriteAccess(std::uint8_t tag)
         op = TagOp{};
         sendDone(tag);
         releaseWrite(line);
+        noteWriteDrained(tag);
     };
     portFor(c.addr).submit(req);
+}
+
+void
+CentaurModel::serveFlush(const MemCommand &cmd)
+{
+    ++stats_.flushes;
+    FlushOp op;
+    op.tag = cmd.tag;
+    // Older writes: every write-class command with a live watchdog
+    // plus the ones parked in the same-line ordering queue.
+    for (unsigned t = 0; t < numTags; ++t) {
+        const TagOp &other = tagOps_[t];
+        if (other.active && other.cmd.type != CmdType::read128)
+            op.waitingOn.push_back(std::uint8_t(t));
+    }
+    for (const MemCommand &d : deferred_)
+        if (d.type != CmdType::read128 && d.type != CmdType::flush)
+            op.waitingOn.push_back(d.tag);
+    if (op.waitingOn.empty())
+        sendDone(cmd.tag);
+    else
+        pendingFlushes_.push_back(std::move(op));
+}
+
+void
+CentaurModel::noteWriteDrained(std::uint8_t tag)
+{
+    for (auto it = pendingFlushes_.begin();
+         it != pendingFlushes_.end();) {
+        auto &waiting = it->waitingOn;
+        waiting.erase(std::remove(waiting.begin(), waiting.end(),
+                                  tag),
+                      waiting.end());
+        if (waiting.empty()) {
+            sendDone(it->tag);
+            it = pendingFlushes_.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 void

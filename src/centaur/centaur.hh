@@ -101,6 +101,7 @@ class CentaurModel : public SimObject
         stats::Scalar reads;
         stats::Scalar writes;
         stats::Scalar rmws;
+        stats::Scalar flushes;
         stats::Scalar cacheHits;
         stats::Scalar cacheMisses;
         stats::Scalar prefetches;
@@ -124,11 +125,21 @@ class CentaurModel : public SimObject
         dmi::MemCommand cmd;   ///< Retained for re-issue.
     };
 
+    /** One flush waiting for older writes to drain to DDR. */
+    struct FlushOp
+    {
+        std::uint8_t tag = 0;
+        /** Tags of the write-class commands it must outwait. */
+        std::vector<std::uint8_t> waitingOn;
+    };
+
     void frameArrived(const dmi::DownFrame &frame);
     void execute(const dmi::MemCommand &cmd);
     void retryDeferred(Addr addr);
     void serveRead(const dmi::MemCommand &cmd);
     void serveWrite(const dmi::MemCommand &cmd);
+    void serveFlush(const dmi::MemCommand &cmd);
+    void noteWriteDrained(std::uint8_t tag);
     void issueReadAccess(std::uint8_t tag);
     void issueWriteAccess(std::uint8_t tag);
     void finishRead(const dmi::MemCommand &cmd, bool poisoned);
@@ -155,6 +166,7 @@ class CentaurModel : public SimObject
      *  ordering (reads must not pass writes via the cache path). */
     std::unordered_map<Addr, unsigned> pendingWrites_;
     std::deque<dmi::MemCommand> deferred_;
+    std::vector<FlushOp> pendingFlushes_;
     std::array<TagOp, dmi::numTags> tagOps_{};
     std::uint32_t seqCounter_ = 0;
     unsigned stallBudget_ = 0;

@@ -121,6 +121,18 @@ class ContuttoCard : public SimObject
     /** The MBI link endpoint (for training and link stats). */
     dmi::BufferLink &mbi() { return mbi_; }
 
+    /**
+     * What losing the 12 V input does to the FPGA: link-layer state
+     * and every in-flight command evaporate. The DIMMs' own story
+     * (NVDIMM saves) is the PowerDomain's business, not the card's.
+     */
+    void
+    powerReset()
+    {
+        mbi_.resetLink();
+        mbs_->powerReset();
+    }
+
     /** The MBS command logic (knob control, stats). */
     Mbs &mbs() { return *mbs_; }
 

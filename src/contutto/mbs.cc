@@ -93,6 +93,28 @@ Mbs::quiescent() const
         && pendingFlushes_.empty() && deferred_.empty();
 }
 
+void
+Mbs::powerReset()
+{
+    assembler_.reset();
+    for (Engine &e : engines_) {
+        e.active = false;
+        e.phase = Phase::idle;
+        e.retries = 0;
+    }
+    activeEngines_ = 0;
+    for (unsigned p = 0; p < 2; ++p) {
+        writeReady_[p].clear();
+        if (writeArbEvent_[p].scheduled())
+            eventq().deschedule(&writeArbEvent_[p]);
+    }
+    upQueue_.clear();
+    if (upPumpEvent_.scheduled())
+        eventq().deschedule(&upPumpEvent_);
+    pendingFlushes_.clear();
+    deferred_.clear();
+}
+
 bool
 Mbs::addrConflictsWithActive(const MemCommand &cmd) const
 {

@@ -103,6 +103,15 @@ class Mbs : public SimObject
     void attachErrorLog(firmware::ErrorLog *log) { errorLog_ = log; }
 
     /**
+     * Power-cut reset: drop every engine, partial command assembly,
+     * queued arbitration and upstream frame, exactly as the real
+     * FPGA does when the rails collapse. Stale bus completions that
+     * arrive afterwards are discarded by the per-issue generation
+     * guard; the host port's own abort handles the commands' fate.
+     */
+    void powerReset();
+
+    /**
      * Fault injection: swallow the next @p n memory completions as
      * if the bus lost them, leaving the engines to their watchdogs.
      */

@@ -15,15 +15,43 @@ BootSequencer::BootSequencer(const std::string &name, EventQueue &eq,
 {}
 
 void
-BootSequencer::start(std::function<void(const BootReport &)> done)
+BootSequencer::beginBoot(bool warm,
+                         std::function<void(const BootReport &)> done)
 {
     ct_assert(!busy_);
     busy_ = true;
     done_ = std::move(done);
     report_ = BootReport{};
+    report_.warm = warm;
     modules_.clear();
     startedAt_ = curTick();
+}
+
+void
+BootSequencer::start(std::function<void(const BootReport &)> done)
+{
+    beginBoot(false, std::move(done));
     stepPowerUp();
+}
+
+void
+BootSequencer::warmReboot(PowerDomain &domain,
+                          std::function<void(const BootReport &)> done)
+{
+    beginBoot(true, std::move(done));
+    domain.powerRestore([this](bool ok) {
+        if (!ok) {
+            log_.record(curTick(), "contutto.power",
+                        Severity::unrecoverable,
+                        "warm reboot: power restore failed");
+            finish(false, "power restore failed");
+            return;
+        }
+        // Rails are up and every module reported ready; the FPGA
+        // lost its configuration with the power, so the rest of the
+        // cold flow reruns from configuration onward.
+        stepConfigure();
+    });
 }
 
 void
@@ -100,6 +128,9 @@ BootSequencer::stepReadSpds(unsigned slot)
         stepTrain();
         return;
     }
+    if (report_.slotOutcomes.size() < card_.numDimmSlots())
+        report_.slotOutcomes.resize(card_.numDimmSlots(),
+                                    mem::RestoreOutcome::none);
     card_.fsi().readSpd(
         slot, [this, slot](std::optional<mem::SpdRecord> rec) {
             if (rec) {
@@ -108,7 +139,30 @@ BootSequencer::stepReadSpds(unsigned slot)
                 info.actualSize = rec->capacity;
                 info.contentPreserved =
                     card_.contentPreserved(slot);
+                info.outcome = card_.restoreOutcome(slot);
                 info.moduleIndex = slot;
+                report_.slotOutcomes[slot] = info.outcome;
+                if (info.outcome == mem::RestoreOutcome::torn
+                    || info.outcome == mem::RestoreOutcome::stale
+                    || info.outcome == mem::RestoreOutcome::lost) {
+                    // Data loss is named, not hidden: the OS learns
+                    // through the map, the operator through the log.
+                    ++report_.modulesLost;
+                    log_.record(
+                        curTick(), "dimm" + std::to_string(slot),
+                        Severity::recoverable,
+                        std::string("contents lost across power "
+                                    "fault (")
+                            + mem::restoreOutcomeName(info.outcome)
+                            + " image)");
+                } else if (report_.warm
+                           && info.outcome
+                               == mem::RestoreOutcome::clean) {
+                    log_.record(curTick(),
+                                "dimm" + std::to_string(slot),
+                                Severity::info,
+                                "NVDIMM restore verified clean");
+                }
                 modules_.push_back(info);
             } else {
                 log_.record(curTick(),

@@ -19,6 +19,7 @@
 #include "firmware/error_log.hh"
 #include "firmware/fsi.hh"
 #include "firmware/memory_map.hh"
+#include "firmware/power_domain.hh"
 #include "firmware/power_seq.hh"
 
 namespace contutto::firmware
@@ -48,18 +49,35 @@ class CardControl
     /** Whether slot @p slot's module kept its contents (NVDIMM
      *  restore succeeded / MRAM). */
     virtual bool contentPreserved(unsigned slot) const = 0;
+
+    /** How slot @p slot's module fared across the last power fault
+     *  (warm reboots). The default bridges contentPreserved for
+     *  controls that predate the recovery path. */
+    virtual mem::RestoreOutcome
+    restoreOutcome(unsigned slot) const
+    {
+        return contentPreserved(slot) ? mem::RestoreOutcome::none
+                                      : mem::RestoreOutcome::lost;
+    }
 };
 
 /** Outcome of a boot. */
 struct BootReport
 {
     bool success = false;
+    /** Set on warm reboots (recovery from a power fault). */
+    bool warm = false;
     std::string failReason;
     unsigned trainingAttempts = 0;
     dmi::TrainingResult training;
     MemoryMap map;
     Tick bootTime = 0;
     std::uint32_t cardId = 0;
+    /** Per-slot restore verdicts, indexed by slot (empty slots
+     *  report none). */
+    std::vector<mem::RestoreOutcome> slotOutcomes;
+    /** Modules whose contents did not survive the power fault. */
+    unsigned modulesLost = 0;
 };
 
 /** Drives the boot flow for one slot. */
@@ -84,10 +102,23 @@ class BootSequencer : public SimObject
     /** Run the sequence; @p done fires with the report. */
     void start(std::function<void(const BootReport &)> done);
 
+    /**
+     * Recover from a power fault: restore the domain (rails ramp,
+     * modules stream their NVDIMM restores, readiness is polled),
+     * then rerun configuration, training and map construction. The
+     * per-slot restore verdicts land in the report and data loss is
+     * logged — a torn or stale flash image is *named*, never
+     * silently remapped as preserved content.
+     */
+    void warmReboot(PowerDomain &domain,
+                    std::function<void(const BootReport &)> done);
+
     const BootReport &report() const { return report_; }
     bool busy() const { return busy_; }
 
   private:
+    void beginBoot(bool warm,
+                   std::function<void(const BootReport &)> done);
     void stepPowerUp();
     void stepConfigure();
     void stepPresence();

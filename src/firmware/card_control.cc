@@ -83,13 +83,20 @@ SystemCardControl::contentPreserved(unsigned slot) const
         return false;
       case mem::MemTech::sttMram:
         return true;
-      case mem::MemTech::nvdimmN: {
-        const auto &nv = static_cast<const mem::NvdimmDevice &>(dev);
-        return nv.state() == mem::NvdimmDevice::State::normal
-            || nv.state() == mem::NvdimmDevice::State::saved;
-      }
+      case mem::MemTech::nvdimmN:
+        // The device's own verdict: checksum/generation-validated
+        // restore state, not just "is it powered".
+        return dev.contentIntact();
     }
     return false;
+}
+
+mem::RestoreOutcome
+SystemCardControl::restoreOutcome(unsigned slot) const
+{
+    const mem::MemoryDevice &dev =
+        const_cast<cpu::Power8System &>(sys_).dimm(slot);
+    return dev.restoreOutcome();
 }
 
 } // namespace contutto::firmware

@@ -33,6 +33,7 @@ class SystemCardControl : public CardControl
     void trainLink(
         std::function<void(const dmi::TrainingResult &)> cb) override;
     bool contentPreserved(unsigned slot) const override;
+    mem::RestoreOutcome restoreOutcome(unsigned slot) const override;
 
     RegisterFile &registers() { return regs_; }
 

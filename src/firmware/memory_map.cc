@@ -70,6 +70,7 @@ buildMemoryMap(const std::vector<ModuleInfo> &modules,
         e.hwWindowSize = std::max(m.actualSize, hwGranule);
         e.tech = m.tech;
         e.contentPreserved = false;
+        e.outcome = m.outcome;
         e.moduleIndex = m.moduleIndex;
         map.entries.push_back(e);
         cursor += e.hwWindowSize;
@@ -95,6 +96,7 @@ buildMemoryMap(const std::vector<ModuleInfo> &modules,
         e.hwWindowSize = window;
         e.tech = m.tech;
         e.contentPreserved = m.contentPreserved;
+        e.outcome = m.outcome;
         e.moduleIndex = m.moduleIndex;
         map.entries.push_back(e);
     }

@@ -30,6 +30,9 @@ struct ModuleInfo
     std::uint64_t actualSize = 0;
     /** NVDIMM restore succeeded / MRAM retained contents. */
     bool contentPreserved = false;
+    /** How the module's last restore went (warm reboots): why
+     *  contentPreserved is false when it is. */
+    mem::RestoreOutcome outcome = mem::RestoreOutcome::none;
     /** Which physical module this is (for the OS handle). */
     unsigned moduleIndex = 0;
 };
@@ -44,6 +47,9 @@ struct MemoryMapEntry
     std::uint64_t hwWindowSize = 0;
     mem::MemTech tech = mem::MemTech::dram;
     bool contentPreserved = false;
+    /** Restore verdict behind contentPreserved (lost regions keep
+     *  their mapping but the OS must treat the data as gone). */
+    mem::RestoreOutcome outcome = mem::RestoreOutcome::none;
     unsigned moduleIndex = 0;
 };
 

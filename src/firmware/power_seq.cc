@@ -23,8 +23,11 @@ PowerSequencer::PowerSequencer(const std::string &name, EventQueue &eq,
                                std::vector<Rail> rails)
     : SimObject(name, eq, domain, parent), rails_(std::move(rails)),
       rampEvent_([this] { rampNext(); }, name + ".ramp"),
+      downEvent_([this] { downComplete(); }, name + ".down"),
       powerCycles_(this, "powerCycles", "completed power-up cycles"),
-      faults_(this, "faults", "rail faults seen")
+      faults_(this, "faults", "rail faults seen"),
+      abortedRamps_(this, "abortedRamps",
+                    "up-ramps cancelled by a power-down")
 {
     ct_assert(!rails_.empty());
 }
@@ -33,12 +36,25 @@ PowerSequencer::~PowerSequencer()
 {
     if (rampEvent_.scheduled())
         eventq().deschedule(&rampEvent_);
+    if (downEvent_.scheduled())
+        eventq().deschedule(&downEvent_);
 }
 
 void
 PowerSequencer::powerUp(std::function<void(bool)> cb)
 {
-    ct_assert(state_ == State::off || state_ == State::fault);
+    ct_assert(state_ == State::off || state_ == State::fault
+              || state_ == State::rampingDown);
+    if (state_ == State::rampingDown) {
+        // The discharge is logically completed first: cancel the
+        // pending event, settle at off, then restart from rail 0.
+        eventq().deschedule(&downEvent_);
+        state_ = State::off;
+        if (auto cb_down = std::move(downCb_)) {
+            downCb_ = nullptr;
+            cb_down();
+        }
+    }
     state_ = State::rampingUp;
     railIndex_ = 0;
     faultedRail_.clear();
@@ -49,18 +65,43 @@ PowerSequencer::powerUp(std::function<void(bool)> cb)
 void
 PowerSequencer::powerDown(std::function<void()> cb)
 {
+    if (state_ == State::rampingUp) {
+        // Abort the in-flight bring-up: the monitor never saw a
+        // fault, the input simply went away under us.
+        eventq().deschedule(&rampEvent_);
+        ++abortedRamps_;
+        faultedRail_.clear();
+        if (auto cb_up = std::move(upCb_)) {
+            upCb_ = nullptr;
+            cb_up(false);
+        }
+    } else if (state_ == State::rampingDown) {
+        // Already discharging: fold the new request into the one in
+        // flight by replacing the callback chain.
+        auto prev = std::move(downCb_);
+        downCb_ = [prev = std::move(prev), cb = std::move(cb)] {
+            if (prev)
+                prev();
+            if (cb)
+                cb();
+        };
+        return;
+    }
     // Modelled as a single reverse-order ramp; faults cannot occur
     // on the way down.
     state_ = State::rampingDown;
-    Tick total = 0;
-    for (const Rail &r : rails_)
-        total += r.rampTime / 4; // discharge is quicker
     downCb_ = std::move(cb);
-    OneShotEvent::schedule(eventq(), curTick() + total, [this] {
-        state_ = State::off;
-        if (downCb_)
-            downCb_();
-    });
+    eventq().schedule(&downEvent_, curTick() + powerDownTime());
+}
+
+void
+PowerSequencer::downComplete()
+{
+    state_ = State::off;
+    if (auto cb = std::move(downCb_)) {
+        downCb_ = nullptr;
+        cb();
+    }
 }
 
 void
@@ -75,16 +116,20 @@ PowerSequencer::rampNext()
             state_ = State::fault;
             faultedRail_ = done.name;
             ++faults_;
-            if (upCb_)
-                upCb_(false);
+            if (auto cb = std::move(upCb_)) {
+                upCb_ = nullptr;
+                cb(false);
+            }
             return;
         }
     }
     if (railIndex_ == rails_.size()) {
         state_ = State::on;
         ++powerCycles_;
-        if (upCb_)
-            upCb_(true);
+        if (auto cb = std::move(upCb_)) {
+            upCb_ = nullptr;
+            cb(true);
+        }
         return;
     }
     const Rail &rail = rails_[railIndex_++];
@@ -105,6 +150,15 @@ PowerSequencer::powerUpTime() const
     Tick total = 0;
     for (const Rail &r : rails_)
         total += r.rampTime;
+    return total;
+}
+
+Tick
+PowerSequencer::powerDownTime() const
+{
+    Tick total = 0;
+    for (const Rail &r : rails_)
+        total += r.rampTime / 4; // discharge is quicker
     return total;
 }
 

@@ -14,6 +14,19 @@ memTechName(MemTech t)
     return "?";
 }
 
+const char *
+restoreOutcomeName(RestoreOutcome o)
+{
+    switch (o) {
+      case RestoreOutcome::none: return "none";
+      case RestoreOutcome::clean: return "clean";
+      case RestoreOutcome::torn: return "torn";
+      case RestoreOutcome::stale: return "stale";
+      case RestoreOutcome::lost: return "lost";
+    }
+    return "?";
+}
+
 MemoryDevice::MemoryDevice(const std::string &name, EventQueue &eq,
                            const ClockDomain &domain,
                            stats::StatGroup *parent,
@@ -77,17 +90,24 @@ NvdimmDevice::NvdimmDevice(const std::string &name, EventQueue &eq,
                            std::uint64_t capacity, const Params &params)
     : MemoryDevice(name, eq, domain, parent, capacity,
                    MemTech::nvdimmN),
-      params_(params), flash_(capacity),
+      params_(params), flash_(capacity, params.flash),
+      energy_(params.charged ? params.supercapJoules : 0.0),
       transferDone_([this] {
           if (state_ == State::saving)
-              saveComplete();
+              saveStep();
           else if (state_ == State::restoring)
               restoreComplete();
       }, name + ".transferDone"),
       saves_(this, "saves", "completed DRAM-to-flash saves"),
       restores_(this, "restores", "completed flash-to-DRAM restores"),
       dataLossEvents_(this, "dataLossEvents",
-                      "saves aborted by supercap exhaustion")
+                      "power cycles that lost the DRAM contents"),
+      abortedSaves_(this, "abortedSaves",
+                    "saves aborted by power returning mid-stream"),
+      failedRestores_(this, "failedRestores",
+                      "restores refused on a torn or stale image"),
+      segmentsSaved_(this, "segmentsSaved",
+                     "flash segments programmed by saves")
 {}
 
 Tick
@@ -97,67 +117,182 @@ NvdimmDevice::saveDuration() const
     return Tick(secs * 1e12);
 }
 
+Tick
+NvdimmDevice::segmentDuration() const
+{
+    double secs =
+        double(flash_.segmentSize()) / params_.flashBandwidth;
+    return Tick(secs * 1e12);
+}
+
+double
+NvdimmDevice::segmentJoules() const
+{
+    return params_.joulesPerGiB
+        * (double(flash_.segmentSize()) / double(GiB));
+}
+
+void
+NvdimmDevice::drainSupercap(double joules)
+{
+    energy_ = joules >= energy_ ? 0.0 : energy_ - joules;
+}
+
 void
 NvdimmDevice::powerLoss()
 {
     ++devStats_.powerLossEvents;
-    if (state_ != State::normal)
+    switch (state_) {
+      case State::normal:
+        break;
+      case State::restoring:
+        // Power died mid-restore: the DRAM copy is abandoned but the
+        // flash image is untouched — park it and try again later.
+        eventq().deschedule(&transferDone_);
+        image_.clear();
+        state_ = State::saved;
         return;
-    double needed = params_.joulesPerGiB
-        * (double(capacity()) / double(GiB));
-    if (!params_.charged || params_.supercapJoules < needed) {
-        // The save cannot complete: contents are lost, as on a real
-        // module with a failed backup power source.
+      default:
+        // Already dark or mid-save on supercap energy; a host-side
+        // edge changes nothing for the module.
+        return;
+    }
+    if (!params_.charged || energy_ < segmentJoules()) {
+        // The save cannot even start: contents are lost, as on a
+        // real module with a failed backup power source.
         image_.clear();
         state_ = State::lost;
+        contentIntact_ = false;
         ++dataLossEvents_;
         return;
     }
     state_ = State::saving;
-    params_.supercapJoules -= needed;
-    eventq().schedule(&transferDone_, curTick() + saveDuration());
+    ++generation_;
+    segIndex_ = 0;
+    eventq().schedule(&transferDone_,
+                      curTick() + segmentDuration());
 }
 
 void
-NvdimmDevice::saveComplete()
+NvdimmDevice::saveStep()
 {
-    flash_.copyFrom(image_);
-    image_.clear(); // DRAM array loses power after the copy
-    state_ = State::saved;
-    ++saves_;
+    // One segment just finished streaming to flash.
+    energy_ -= segmentJoules();
+    flash_.programSegment(segIndex_, image_, generation_);
+    ++segmentsSaved_;
+    ++segIndex_;
+
+    if (segIndex_ == flash_.numSegments()) {
+        image_.clear(); // DRAM array loses power after the copy
+        state_ = State::saved;
+        ++saves_;
+        return;
+    }
+    if (energy_ < segmentJoules()) {
+        // Supercap exhausted mid-stream: the in-flight segment is
+        // torn and everything after it never made it. The DRAM
+        // array collapses with the backup rail.
+        flash_.tearSegment(segIndex_, image_, generation_);
+        image_.clear();
+        state_ = State::partial;
+        contentIntact_ = false;
+        ++dataLossEvents_;
+        return;
+    }
+    eventq().schedule(&transferDone_,
+                      curTick() + segmentDuration());
 }
 
 void
 NvdimmDevice::powerRestore()
 {
     switch (state_) {
+      case State::normal:
+        recharge();
+        break;
+      case State::saving: {
+        // Power returned mid-save: abort the stream. The DRAM array
+        // was alive throughout (it is the copy source), so contents
+        // are intact; the flash is left partially programmed with
+        // the in-flight segment torn.
+        eventq().deschedule(&transferDone_);
+        flash_.tearSegment(segIndex_, image_, generation_);
+        state_ = State::normal;
+        ++abortedSaves_;
+        recharge();
+        break;
+      }
       case State::saved:
         state_ = State::restoring;
-        eventq().schedule(&transferDone_, curTick() + saveDuration());
-        break;
-      case State::lost:
-      case State::normal:
-        state_ = State::normal;
-        break;
-      case State::saving:
-        // Power returned mid-save; the module finishes the save and
-        // will restore afterwards. Modelled as restore after the
-        // in-flight save completes; keep it simple: let the save
-        // complete, firmware polls state.
+        recharge();
+        eventq().schedule(&transferDone_,
+                          curTick() + saveDuration());
         break;
       case State::restoring:
         break;
+      case State::partial: {
+        // Boot-time validation of the torn image: classify it so
+        // the refusal is grounded in the segment tags, not in the
+        // state flag. The loss was already counted at save time.
+        lastOutcome_ = classifyFlash();
+        ct_assert(lastOutcome_ != RestoreOutcome::clean);
+        ++failedRestores_;
+        state_ = State::normal;
+        contentIntact_ = false;
+        recharge();
+        break;
+      }
+      case State::lost:
+        lastOutcome_ = RestoreOutcome::lost;
+        state_ = State::normal;
+        contentIntact_ = false;
+        recharge();
+        break;
     }
+}
+
+RestoreOutcome
+NvdimmDevice::classifyFlash() const
+{
+    unsigned clean = 0, torn = 0, stale = 0;
+    for (unsigned s = 0; s < flash_.numSegments(); ++s) {
+        switch (flash_.validateSegment(s, generation_)) {
+          case SegmentState::clean: ++clean; break;
+          case SegmentState::torn: ++torn; break;
+          case SegmentState::stale:
+          case SegmentState::erased: ++stale; break;
+        }
+    }
+    if (torn > 0)
+        return RestoreOutcome::torn;
+    if (stale > 0)
+        return clean > 0 ? RestoreOutcome::torn
+                         : RestoreOutcome::stale;
+    return RestoreOutcome::clean;
 }
 
 void
 NvdimmDevice::restoreComplete()
 {
-    image_.copyFrom(flash_);
+    // Validate before handing the image back: a torn or stale save
+    // must be *detected*, never silently served.
+    RestoreOutcome outcome = classifyFlash();
+    if (outcome != RestoreOutcome::clean) {
+        image_.clear();
+        state_ = State::normal;
+        contentIntact_ = false;
+        lastOutcome_ = outcome;
+        ++failedRestores_;
+        ++dataLossEvents_;
+        return;
+    }
+    image_.clear();
+    for (unsigned s = 0; s < flash_.numSegments(); ++s)
+        flash_.readSegment(s, image_);
     state_ = State::normal;
+    contentIntact_ = true;
+    lastOutcome_ = RestoreOutcome::clean;
     ++restores_;
-    // The supercap recharges from mains once power is back.
-    params_.charged = true;
 }
 
 } // namespace contutto::mem

@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "mem/dram_timing.hh"
+#include "mem/flash_model.hh"
 #include "mem/mem_image.hh"
 #include "sim/sim_object.hh"
 
@@ -31,6 +32,23 @@ enum class MemTech : std::uint8_t
 };
 
 const char *memTechName(MemTech t);
+
+/**
+ * How a module came back from a power cycle, as firmware queries it
+ * per slot at warm-reboot time. Anything other than clean means the
+ * pre-outage contents are not (fully) available — and, critically,
+ * that the module *said so* instead of silently serving stale data.
+ */
+enum class RestoreOutcome : std::uint8_t
+{
+    none,  ///< No power cycle seen (or volatile module: no story).
+    clean, ///< Full image validated and restored.
+    torn,  ///< Save was interrupted: flash image detected partial.
+    stale, ///< Flash held only an older generation's save.
+    lost,  ///< Nothing restorable (backup power failed upfront).
+};
+
+const char *restoreOutcomeName(RestoreOutcome o);
 
 /**
  * A memory module (one DIMM) plugged into a ConTutto DDR3 port.
@@ -90,6 +108,19 @@ class MemoryDevice : public SimObject
     virtual void powerLoss() = 0;
     virtual void powerRestore() = 0;
     /** @} */
+
+    /** True when the module holds its pre-power-cycle contents. */
+    virtual bool contentIntact() const { return isNonVolatile(); }
+
+    /** Outcome of the most recent restore (none for volatile). */
+    virtual RestoreOutcome restoreOutcome() const
+    {
+        return RestoreOutcome::none;
+    }
+
+    /** False while the module is mid save/restore and cannot serve
+     *  accesses; firmware polls this after a power edge. */
+    virtual bool ready() const { return true; }
 
   protected:
     MemImage image_;
@@ -174,6 +205,13 @@ class MramDevice : public MemoryDevice
  * the module itself copies DRAM to on-module flash powered by a
  * supercap, then restores on power return (paper §4.2(iii)). Neither
  * the FPGA nor the CPU participates in the copy.
+ *
+ * The save streams segment by segment against the supercap's energy
+ * budget: energy exhaustion mid-stream leaves a torn flash image
+ * (state partial), and power returning mid-save aborts the save with
+ * DRAM still intact. A restore validates every segment's generation
+ * tag and checksum, and refuses to silently return a torn or stale
+ * image — the per-slot outcome is what firmware reports at boot.
  */
 class NvdimmDevice : public MemoryDevice
 {
@@ -188,6 +226,8 @@ class NvdimmDevice : public MemoryDevice
         double joulesPerGiB = 8.0;
         /** Whether the supercap starts charged. */
         bool charged = true;
+        /** Backup flash geometry and endurance. */
+        FlashModel::Params flash{};
     };
 
     NvdimmDevice(const std::string &name, EventQueue &eq,
@@ -208,7 +248,8 @@ class NvdimmDevice : public MemoryDevice
         saving,
         saved,     ///< Image parked in flash, DRAM dark.
         restoring,
-        lost,      ///< Supercap could not complete the save.
+        partial,   ///< Save interrupted mid-stream; flash torn.
+        lost,      ///< Supercap could not even start the save.
     };
 
     State state() const { return state_; }
@@ -216,23 +257,82 @@ class NvdimmDevice : public MemoryDevice
     /** True while the DRAM array is usable for accesses. */
     bool accessible() const { return state_ == State::normal; }
 
-    /** Time a full save to flash takes. */
+    bool ready() const override { return accessible(); }
+
+    bool contentIntact() const override
+    {
+        return contentIntact_
+            && (state_ == State::normal || state_ == State::saved
+                || state_ == State::saving);
+    }
+
+    RestoreOutcome restoreOutcome() const override
+    {
+        return lastOutcome_;
+    }
+
+    /** Time a full save (or restore) takes. */
     Tick saveDuration() const;
+
+    /** Time one segment takes to stream. */
+    Tick segmentDuration() const;
+
+    /** Supercap energy one segment costs. */
+    double segmentJoules() const;
+
+    /** Remaining supercap energy, joules. */
+    double supercapEnergy() const { return energy_; }
+
+    /** Bleed @p joules off the supercap (campaign/test hook for
+     *  mid-save depletion). */
+    void drainSupercap(double joules);
+
+    /** The backup flash (bad-block/wear inspection + injection). */
+    FlashModel &flash() { return flash_; }
+    const FlashModel &flash() const { return flash_; }
+
+    /** Save generation the current/most recent save used. */
+    std::uint64_t saveGeneration() const { return generation_; }
+
+    /** @{ Lifetime counters mirrored from the stats. */
+    std::uint64_t dataLossEvents() const
+    {
+        return std::uint64_t(dataLossEvents_.value());
+    }
+    std::uint64_t abortedSaves() const
+    {
+        return std::uint64_t(abortedSaves_.value());
+    }
+    std::uint64_t failedRestores() const
+    {
+        return std::uint64_t(failedRestores_.value());
+    }
+    /** @} */
 
     void powerLoss() override;
     void powerRestore() override;
 
   private:
-    void saveComplete();
+    void saveStep();
     void restoreComplete();
+    RestoreOutcome classifyFlash() const;
+    void recharge() { energy_ = params_.supercapJoules; }
 
     Params params_;
     State state_ = State::normal;
-    MemImage flash_;
+    FlashModel flash_;
+    double energy_;
+    std::uint64_t generation_ = 0;
+    unsigned segIndex_ = 0;
+    bool contentIntact_ = true;
+    RestoreOutcome lastOutcome_ = RestoreOutcome::none;
     EventFunctionWrapper transferDone_;
     stats::Scalar saves_;
     stats::Scalar restores_;
     stats::Scalar dataLossEvents_;
+    stats::Scalar abortedSaves_;
+    stats::Scalar failedRestores_;
+    stats::Scalar segmentsSaved_;
 };
 
 } // namespace contutto::mem

@@ -1,0 +1,202 @@
+#include "mem/flash_model.hh"
+
+#include <algorithm>
+
+namespace contutto::mem
+{
+
+const char *
+segmentStateName(SegmentState s)
+{
+    switch (s) {
+      case SegmentState::erased: return "erased";
+      case SegmentState::clean: return "clean";
+      case SegmentState::stale: return "stale";
+      case SegmentState::torn: return "torn";
+    }
+    return "?";
+}
+
+FlashModel::FlashModel(std::uint64_t capacity, const Params &params)
+    : capacity_(capacity), params_(params),
+      numSegments_(unsigned(capacity / params.segmentSize)),
+      cells_(capacity
+             + std::uint64_t(params.spareBlocks)
+                 * params.segmentSize),
+      meta_(numSegments_),
+      wear_(numSegments_ + params.spareBlocks, 0),
+      sparesLeft_(params.spareBlocks), nextSpare_(0)
+{
+    ct_assert(params_.segmentSize > 0
+              && capacity_ % params_.segmentSize == 0);
+    ct_assert(numSegments_ > 0);
+    for (unsigned s = 0; s < numSegments_; ++s)
+        meta_[s].physical = s;
+}
+
+std::uint32_t
+FlashModel::checksum(const MemImage &img, Addr base,
+                     std::uint64_t len)
+{
+    // FNV-1a; sparse pages read as zero, matching the image model.
+    std::uint32_t h = 2166136261u;
+    std::uint8_t buf[4096];
+    for (std::uint64_t off = 0; off < len; off += sizeof(buf)) {
+        std::size_t n =
+            std::size_t(std::min<std::uint64_t>(sizeof(buf),
+                                                len - off));
+        img.read(base + off, n, buf);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= buf[i];
+            h *= 16777619u;
+        }
+    }
+    return h;
+}
+
+bool
+FlashModel::resolvePhysical(unsigned seg)
+{
+    SegmentMeta &m = meta_[seg];
+    if (!m.bad)
+        return true;
+    if (sparesLeft_ == 0)
+        return false;
+    m.physical = numSegments_ + nextSpare_++;
+    --sparesLeft_;
+    ++remapped_;
+    m.bad = false;
+    return true;
+}
+
+bool
+FlashModel::programSegment(unsigned seg, const MemImage &src,
+                           std::uint64_t generation)
+{
+    ct_assert(seg < numSegments_);
+    SegmentMeta &m = meta_[seg];
+    if (!resolvePhysical(seg)) {
+        // No spare left: the program fails partway through the
+        // block, which restore must see as torn.
+        m.generation = generation;
+        m.storedChecksum = 0;
+        m.programmed = SegmentState::torn;
+        return false;
+    }
+    Addr src_base = Addr(seg) * params_.segmentSize;
+    Addr dst_base = Addr(m.physical) * params_.segmentSize;
+    std::uint8_t buf[4096];
+    for (std::uint64_t off = 0; off < params_.segmentSize;
+         off += sizeof(buf)) {
+        src.read(src_base + off, sizeof(buf), buf);
+        cells_.write(dst_base + off, sizeof(buf), buf);
+    }
+    m.generation = generation;
+    m.storedChecksum = checksum(src, src_base, params_.segmentSize);
+    m.programmed = SegmentState::clean;
+    ++wear_[m.physical];
+    if (params_.eraseLimit != 0
+        && wear_[m.physical] >= params_.eraseLimit) {
+        // Worn out: this program still took, the next one won't.
+        m.bad = true;
+    }
+    return true;
+}
+
+void
+FlashModel::tearSegment(unsigned seg, const MemImage &src,
+                        std::uint64_t generation)
+{
+    ct_assert(seg < numSegments_);
+    SegmentMeta &m = meta_[seg];
+    if (!resolvePhysical(seg)) {
+        m.generation = generation;
+        m.storedChecksum = 0;
+        m.programmed = SegmentState::torn;
+        return;
+    }
+    // Half the stream landed before the energy ran out; the stored
+    // checksum covers the whole segment, so validation cannot pass.
+    Addr src_base = Addr(seg) * params_.segmentSize;
+    Addr dst_base = Addr(m.physical) * params_.segmentSize;
+    std::uint8_t buf[4096];
+    std::uint64_t landed = params_.segmentSize / 2;
+    for (std::uint64_t off = 0; off < landed; off += sizeof(buf)) {
+        src.read(src_base + off, sizeof(buf), buf);
+        cells_.write(dst_base + off, sizeof(buf), buf);
+    }
+    ++wear_[m.physical];
+    m.generation = generation;
+    m.storedChecksum = checksum(src, src_base, params_.segmentSize);
+    m.programmed = SegmentState::torn;
+}
+
+void
+FlashModel::readSegment(unsigned seg, MemImage &dst) const
+{
+    ct_assert(seg < numSegments_);
+    const SegmentMeta &m = meta_[seg];
+    Addr src_base = Addr(m.physical) * params_.segmentSize;
+    Addr dst_base = Addr(seg) * params_.segmentSize;
+    std::uint8_t buf[4096];
+    for (std::uint64_t off = 0; off < params_.segmentSize;
+         off += sizeof(buf)) {
+        cells_.read(src_base + off, sizeof(buf), buf);
+        dst.write(dst_base + off, sizeof(buf), buf);
+    }
+}
+
+SegmentState
+FlashModel::validateSegment(unsigned seg,
+                            std::uint64_t generation) const
+{
+    ct_assert(seg < numSegments_);
+    const SegmentMeta &m = meta_[seg];
+    if (m.programmed == SegmentState::erased)
+        return SegmentState::erased;
+    if (m.programmed == SegmentState::torn)
+        return SegmentState::torn;
+    if (m.generation != generation)
+        return SegmentState::stale;
+    // Re-derive the checksum from the cells: catches partial
+    // programs that recorded intact metadata.
+    Addr base = Addr(m.physical) * params_.segmentSize;
+    std::uint32_t actual =
+        checksum(cells_, base, params_.segmentSize);
+    return actual == m.storedChecksum ? SegmentState::clean
+                                      : SegmentState::torn;
+}
+
+void
+FlashModel::markBad(unsigned seg)
+{
+    ct_assert(seg < numSegments_);
+    meta_[seg].bad = true;
+}
+
+std::uint64_t
+FlashModel::programCycles(unsigned seg) const
+{
+    ct_assert(seg < numSegments_);
+    return wear_[meta_[seg].physical];
+}
+
+std::uint64_t
+FlashModel::maxProgramCycles() const
+{
+    return *std::max_element(wear_.begin(), wear_.end());
+}
+
+std::uint64_t
+FlashModel::wornBlocks() const
+{
+    if (params_.eraseLimit == 0)
+        return 0;
+    std::uint64_t n = 0;
+    for (std::uint64_t w : wear_)
+        if (w >= params_.eraseLimit)
+            ++n;
+    return n;
+}
+
+} // namespace contutto::mem

@@ -22,6 +22,9 @@ faultKindName(FaultKind k)
       case FaultKind::laneFail: return "laneFail";
       case FaultKind::nvdimmPowerLoss: return "nvdimmPowerLoss";
       case FaultKind::nvdimmPowerRestore: return "nvdimmPowerRestore";
+      case FaultKind::powerCut: return "powerCut";
+      case FaultKind::powerRestore: return "powerRestore";
+      case FaultKind::brownout: return "brownout";
     }
     return "?";
 }
@@ -40,7 +43,10 @@ FaultInjector::FaultInjector(const std::string &name, EventQueue &eq,
              {this, "scramblerDesyncs", "rx scrambler slips"},
              {this, "laneFails", "hard lane failures"},
              {this, "powerLosses", "NVDIMM power pulls"},
-             {this, "powerRestores", "NVDIMM power restores"}}
+             {this, "powerRestores", "NVDIMM power restores"},
+             {this, "powerCuts", "power-domain cuts"},
+             {this, "domainRestores", "power-domain restores"},
+             {this, "brownouts", "input dips injected"}}
 {
 }
 
@@ -74,6 +80,14 @@ FaultInjector::addNvdimm(mem::NvdimmDevice *nvdimm)
     ct_assert(nvdimm != nullptr);
     nvdimms_.push_back(nvdimm);
     return unsigned(nvdimms_.size() - 1);
+}
+
+unsigned
+FaultInjector::addPowerTarget(PowerTarget *target)
+{
+    ct_assert(target != nullptr);
+    powerTargets_.push_back(target);
+    return unsigned(powerTargets_.size() - 1);
 }
 
 void
@@ -120,6 +134,18 @@ FaultInjector::inject(const FaultEvent &ev)
       case FaultKind::nvdimmPowerRestore:
         nvdimms_.at(ev.target)->powerRestore();
         ++stats_.powerRestores;
+        break;
+      case FaultKind::powerCut:
+        powerTargets_.at(ev.target)->powerCut();
+        ++stats_.powerCuts;
+        break;
+      case FaultKind::powerRestore:
+        powerTargets_.at(ev.target)->powerRestore();
+        ++stats_.domainRestores;
+        break;
+      case FaultKind::brownout:
+        powerTargets_.at(ev.target)->brownout(ev.duration);
+        ++stats_.brownouts;
         break;
     }
     history_.push_back(ev);
@@ -216,6 +242,40 @@ FaultInjector::planCampaign(const CampaignSpec &spec)
         }
     }
 
+    if (spec.powerCuts > 0) {
+        ct_assert(!powerTargets_.empty());
+        ct_assert(spec.outageMin <= spec.outageMax);
+        for (unsigned i = 0; i < spec.powerCuts; ++i) {
+            FaultEvent cut;
+            cut.when = randWhen();
+            cut.kind = FaultKind::powerCut;
+            cut.target = unsigned(rng_.below(powerTargets_.size()));
+            Tick outage =
+                Tick(rng_.range(std::uint64_t(spec.outageMin),
+                                std::uint64_t(spec.outageMax)));
+            FaultEvent restore = cut;
+            restore.kind = FaultKind::powerRestore;
+            restore.when = cut.when + outage;
+            plan.push_back(cut);
+            plan.push_back(restore);
+        }
+    }
+
+    if (spec.brownouts > 0) {
+        ct_assert(!powerTargets_.empty());
+        ct_assert(spec.brownoutMin <= spec.brownoutMax);
+        for (unsigned i = 0; i < spec.brownouts; ++i) {
+            FaultEvent ev;
+            ev.when = randWhen();
+            ev.kind = FaultKind::brownout;
+            ev.target = unsigned(rng_.below(powerTargets_.size()));
+            ev.duration =
+                Tick(rng_.range(std::uint64_t(spec.brownoutMin),
+                                std::uint64_t(spec.brownoutMax)));
+            plan.push_back(ev);
+        }
+    }
+
     // Apply in time order so the schedule below is stable and the
     // history reads chronologically.
     std::stable_sort(plan.begin(), plan.end(),
@@ -255,6 +315,11 @@ FaultInjector::injected(FaultKind kind) const
       case FaultKind::nvdimmPowerRestore:
         s = &stats_.powerRestores;
         break;
+      case FaultKind::powerCut: s = &stats_.powerCuts; break;
+      case FaultKind::powerRestore:
+        s = &stats_.domainRestores;
+        break;
+      case FaultKind::brownout: s = &stats_.brownouts; break;
     }
     return s ? std::uint64_t(s->value()) : 0;
 }

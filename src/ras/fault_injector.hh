@@ -38,6 +38,24 @@ enum class FaultKind : std::uint8_t
     laneFail,         ///< Hard lane failure (spare or degrade).
     nvdimmPowerLoss,  ///< Pull power from an NVDIMM.
     nvdimmPowerRestore, ///< Restore power to an NVDIMM.
+    powerCut,         ///< Kill a whole power domain.
+    powerRestore,     ///< Bring a power domain back.
+    brownout,         ///< Input dip; rides through or cuts power.
+};
+
+/**
+ * A whole power domain the injector can kill and revive — the
+ * firmware::PowerDomain implements this; the indirection keeps the
+ * RAS layer free of a dependency on the firmware stack.
+ */
+class PowerTarget
+{
+  public:
+    virtual ~PowerTarget() = default;
+    virtual void powerCut() = 0;
+    virtual void powerRestore() = 0;
+    /** An input dip of @p dip; may or may not reach the rails. */
+    virtual void brownout(Tick dip) = 0;
 };
 
 const char *faultKindName(FaultKind k);
@@ -51,6 +69,7 @@ struct FaultEvent
     Addr addr = 0;       ///< Byte address (memory faults).
     unsigned bit = 0;    ///< Bit index / start bit / lane number.
     unsigned count = 1;  ///< Frames, burst bits, or stalls.
+    Tick duration = 0;   ///< Brownout dip length.
 };
 
 /** The single registry + driver for scripted fault campaigns. */
@@ -66,6 +85,7 @@ class FaultInjector : public SimObject
     unsigned addChannel(dmi::DmiChannel *channel);
     unsigned addMbs(fpga::Mbs *mbs);
     unsigned addNvdimm(mem::NvdimmDevice *nvdimm);
+    unsigned addPowerTarget(PowerTarget *target);
     /** @} */
 
     /** Apply one fault immediately. */
@@ -91,6 +111,19 @@ class FaultInjector : public SimObject
         unsigned burstBits = 24;       ///< Bits per injected burst.
         unsigned engineStalls = 0;     ///< Across all Mbs targets.
         unsigned scramblerDesyncs = 0; ///< Across all channels.
+        /** Power-cut/restore pairs across all power targets; each
+         *  cut is followed by a restore after a seeded outage in
+         *  [outageMin, outageMax]. Restores may land after
+         *  start+duration. */
+        unsigned powerCuts = 0;
+        Tick outageMin = microseconds(50);
+        Tick outageMax = microseconds(500);
+        /** Input dips across all power targets; dip lengths are
+         *  seeded in [brownoutMin, brownoutMax] — whether one rides
+         *  through or turns into an outage is the domain's call. */
+        unsigned brownouts = 0;
+        Tick brownoutMin = microseconds(1);
+        Tick brownoutMax = microseconds(1000);
     };
 
     /**
@@ -120,6 +153,9 @@ class FaultInjector : public SimObject
         stats::Scalar laneFails;
         stats::Scalar powerLosses;
         stats::Scalar powerRestores;
+        stats::Scalar powerCuts;
+        stats::Scalar domainRestores;
+        stats::Scalar brownouts;
     };
 
     const InjectorStats &injectorStats() const { return stats_; }
@@ -130,6 +166,7 @@ class FaultInjector : public SimObject
     std::vector<dmi::DmiChannel *> channels_;
     std::vector<fpga::Mbs *> mbs_;
     std::vector<mem::NvdimmDevice *> nvdimms_;
+    std::vector<PowerTarget *> powerTargets_;
     std::vector<FaultEvent> history_;
     InjectorStats stats_;
 };

@@ -30,6 +30,9 @@ struct BlockRequest
     std::uint64_t lba = 0;   ///< Logical block address.
     unsigned blocks = 1;     ///< Length in blocks.
     bool isWrite = false;
+    /** Set when the device gave up (power cut, channel reset); the
+     *  data made no durability promise. */
+    bool failed = false;
     Tick issuedAt = 0;
     Tick completedAt = 0;
     std::function<void(const BlockRequest &)> onDone;
@@ -46,6 +49,8 @@ class BlockDevice : public SimObject
           capacityBlocks_(capacity_blocks),
           ioStats_{{this, "readOps", "read requests completed"},
                    {this, "writeOps", "write requests completed"},
+                   {this, "failedOps",
+                    "requests failed (power cut, reset)"},
                    {this, "readLatency", "read latency (us)"},
                    {this, "writeLatency", "write latency (us)"}}
     {}
@@ -64,6 +69,7 @@ class BlockDevice : public SimObject
     {
         stats::Scalar readOps;
         stats::Scalar writeOps;
+        stats::Scalar failedOps;
         stats::Distribution readLatency;
         stats::Distribution writeLatency;
     };
@@ -84,6 +90,18 @@ class BlockDevice : public SimObject
             ++ioStats_.readOps;
             ioStats_.readLatency.sample(us);
         }
+        if (req.onDone)
+            req.onDone(req);
+    }
+
+    /** Subclasses call this when a request is abandoned: no
+     *  latency sample, no durability promise. */
+    void
+    fail(BlockRequest &req)
+    {
+        req.failed = true;
+        req.completedAt = curTick();
+        ++ioStats_.failedOps;
         if (req.onDone)
             req.onDone(req);
     }

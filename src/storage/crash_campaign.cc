@@ -1,0 +1,245 @@
+#include "storage/crash_campaign.hh"
+
+namespace contutto::storage
+{
+
+CrashRecoveryCampaign::CrashRecoveryCampaign(const Spec &spec)
+    : spec_(spec), rng_(spec.seed)
+{
+    ct_assert(spec_.powerCuts > 0);
+    ct_assert(spec_.regionBlocks > 0);
+    ct_assert(spec_.queueDepth > 0);
+
+    // A single NVDIMM: the card stripes consecutive 128 B lines
+    // across its DIMM ports, so a second module would split every
+    // 4 KiB block across devices and the durability story would be
+    // about the *weakest* module, not the fence.
+    cpu::Power8System::Params p;
+    p.buffer = cpu::BufferKind::contutto;
+    p.dimms = {cpu::DimmSpec{.tech = mem::MemTech::nvdimmN,
+                             .capacity = spec_.dimmCapacity,
+                             .nvdimm = spec_.nvdimm}};
+    p.seed = spec_.seed;
+    sys_ = std::make_unique<cpu::Power8System>(p);
+    ct_assert(sys_->train());
+
+    nv_ = dynamic_cast<mem::NvdimmDevice *>(&sys_->dimm(0));
+    ct_assert(nv_ != nullptr);
+    ct_assert(spec_.regionBlocks * blockSize <= spec_.dimmCapacity);
+
+    control_ = std::make_unique<firmware::SystemCardControl>(*sys_);
+    domain_ = std::make_unique<firmware::PowerDomain>(
+        "power_domain", sys_->eventq(), sys_->nestDomain(),
+        sys_.get(), control_->power(), firmware::PowerDomain::Params{});
+    domain_->attachDevice(nv_);
+
+    PmemBlockDevice::Params pp = PmemBlockDevice::Params::forNvdimm();
+    pp.capacityBlocks = spec_.dimmCapacity / blockSize;
+    pmem_ = std::make_unique<PmemBlockDevice>("pmem", *sys_,
+                                              sys_.get(), pp);
+
+    // Cut ordering matters: the device must stop accepting work
+    // before the port abort replays its in-flight callbacks (a
+    // completion arriving on a live device would start the next
+    // request onto a dead link), and the link freezes last.
+    domain_->addCutHook([this] { pmem_->powerCut(); });
+    domain_->addCutHook([this] { sys_->port().abortInFlight(); });
+    // The host MC sees the channel drop and freezes its half of the
+    // link — without this it replays unacked frames into the dead
+    // card every ack-timeout for the whole outage.
+    domain_->addCutHook([this] { sys_->hostLink().resetLink(); });
+    domain_->addCutHook([this] { sys_->card()->powerReset(); });
+
+    injector_ = std::make_unique<ras::FaultInjector>(
+        "injector", sys_->eventq(), sys_->nestDomain(), sys_.get(),
+        spec_.seed);
+    injector_->addPowerTarget(domain_.get());
+}
+
+CrashRecoveryCampaign::~CrashRecoveryCampaign() = default;
+
+void
+CrashRecoveryCampaign::submitOne()
+{
+    if (!workloadOn_ || pmem_->offline())
+        return;
+    BlockRequest req;
+    req.lba = rng_.below(spec_.regionBlocks);
+    req.isWrite = true;
+    req.onDone = [this](const BlockRequest &r) {
+        if (r.failed)
+            ++result_.writesFailed;
+        else
+            ++result_.writesCompleted;
+        // Closed loop: keep the queue full until the lights go out.
+        submitOne();
+    };
+    ++result_.writesSubmitted;
+    pmem_->submit(std::move(req));
+}
+
+void
+CrashRecoveryCampaign::runRound(unsigned round)
+{
+    EventQueue &eq = sys_->eventq();
+    const Tick start = eq.curTick();
+    const Tick work_delay =
+        Tick(rng_.range(spec_.workMin, spec_.workMax));
+    const Tick cut_at = start + work_delay;
+
+    // Every Nth outage outlasts the supercap save so the module
+    // parks its image in flash and streams it back; the short ones
+    // interrupt the save with DRAM still alive (abort path).
+    const bool long_outage =
+        spec_.longOutageEvery != 0
+        && (round + 1) % spec_.longOutageEvery == 0;
+    const Tick outage =
+        long_outage ? nv_->saveDuration() + milliseconds(1)
+                    : Tick(rng_.range(spec_.outageMin,
+                                      spec_.outageMax));
+
+    // Seeded input dips inside the workload window. One that turns
+    // into an outage simply moves the blackout earlier: the domain
+    // is already dark when the scheduled cut arrives, and the
+    // restore below waits for the input to come good.
+    for (unsigned b = 0; b < spec_.brownouts; ++b) {
+        if (b % spec_.powerCuts != round)
+            continue;
+        ras::FaultEvent dip;
+        dip.when = start + Tick(rng_.range(1, work_delay));
+        dip.kind = ras::FaultKind::brownout;
+        dip.duration = Tick(
+            rng_.range(spec_.brownoutMin, spec_.brownoutMax));
+        injector_->schedule(dip);
+    }
+    ras::FaultEvent cut;
+    cut.when = cut_at;
+    cut.kind = ras::FaultKind::powerCut;
+    injector_->schedule(cut);
+
+    workloadOn_ = true;
+    for (unsigned i = 0; i < spec_.queueDepth; ++i)
+        submitOne();
+
+    // The abort/stale-response warnings across the cut are the
+    // modeled behaviour under test, not failures worth console
+    // noise on every round.
+    const bool warn = LogControl::warnings();
+    LogControl::warnings() = false;
+    eq.run(cut_at + outage);
+    workloadOn_ = false;
+    recover();
+    LogControl::warnings() = warn;
+}
+
+void
+CrashRecoveryCampaign::recover()
+{
+    EventQueue &eq = sys_->eventq();
+
+    bool done = false;
+    bool power_ok = false;
+    domain_->powerRestore([&](bool ok) {
+        done = true;
+        power_ok = ok;
+    });
+    while (!done && eq.step()) {}
+    if (!power_ok) {
+        ++result_.failedRecoveries;
+        return;
+    }
+
+    // The rails are up and every module reports ready. The FPGA
+    // comes out of configuration with clean state — anything the
+    // wire delivered while the card was dark never happened — and
+    // the link has to retrain before the host can talk to it.
+    sys_->card()->powerReset();
+    sys_->hostLink().resetLink();
+    bool trained = false;
+    bool train_ok = false;
+    sys_->trainAsync([&](const dmi::TrainingResult &r) {
+        trained = true;
+        train_ok = r.success;
+    });
+    while (!trained && eq.step()) {}
+    if (!train_ok) {
+        ++result_.failedRecoveries;
+        return;
+    }
+    ++result_.recoveries;
+
+    // Firmware's per-module question: did your contents survive?
+    const mem::RestoreOutcome oc = nv_->restoreOutcome();
+    const bool module_lost = oc == mem::RestoreOutcome::torn
+        || oc == mem::RestoreOutcome::stale
+        || oc == mem::RestoreOutcome::lost;
+    if (module_lost) {
+        ++result_.moduleLossEvents;
+        errorLog().record(
+            eq.curTick(), "dimm0", firmware::Severity::recoverable,
+            std::string("contents lost across power fault (")
+                + mem::restoreOutcomeName(oc) + " image)");
+    }
+
+    pmem_->powerOn();
+    verifyRegion(module_lost);
+}
+
+void
+CrashRecoveryCampaign::verifyRegion(bool module_lost)
+{
+    for (std::uint64_t lba = 0; lba < spec_.regionBlocks; ++lba) {
+        const BlockCheck check = pmem_->verifyBlock(lba);
+        switch (check) {
+          case BlockCheck::unwritten: ++result_.unwritten; break;
+          case BlockCheck::intact: ++result_.intact; break;
+          case BlockCheck::newer: ++result_.newer; break;
+          case BlockCheck::torn: ++result_.torn; break;
+          case BlockCheck::stale: ++result_.stale; break;
+          case BlockCheck::lost: ++result_.lost; break;
+        }
+
+        const bool damaged = check == BlockCheck::torn
+            || check == BlockCheck::stale
+            || check == BlockCheck::lost;
+        const std::uint64_t durable = pmem_->durableSeq(lba);
+        if (durable == 0) {
+            // Nothing was ever promised for this block; a tear here
+            // is legal as long as it was *detected*, which the
+            // verify just did.
+            if (damaged)
+                ++result_.detectedLosses;
+            continue;
+        }
+        if (check == BlockCheck::intact)
+            continue;
+        if (check == BlockCheck::newer)
+            continue; // A later unfenced write landed whole: legal.
+        if (module_lost || pmem_->issuedSeq(lba) > durable) {
+            // The module owned up to the loss, or the tear belongs
+            // to a write whose fence never completed. Detected,
+            // reported, legal.
+            ++result_.detectedLosses;
+        } else {
+            // A fenced block that did not read back: the one thing
+            // the persist fence guarantees can never happen.
+            ++result_.durabilityViolations;
+        }
+    }
+}
+
+CrashRecoveryCampaign::Result
+CrashRecoveryCampaign::run()
+{
+    for (unsigned round = 0; round < spec_.powerCuts; ++round)
+        runRound(round);
+
+    result_.cuts = unsigned(domain_->domainStats().cuts.value());
+    result_.brownoutsInjected = unsigned(
+        injector_->injected(ras::FaultKind::brownout));
+    result_.blocksFenced = std::uint64_t(
+        pmem_->pmemStats().blocksFenced.value());
+    return result_;
+}
+
+} // namespace contutto::storage

@@ -110,7 +110,11 @@ TEST(Centaur, UnsupportedCommandsCompleteAsNoops)
     ASSERT_TRUE(sys.train());
     LogControl::warnings() = false;
     bool done = false;
-    sys.port().flush([&](const HostOpResult &) { done = true; });
+    // The in-line accelerated ops are ConTutto-only FPGA logic; the
+    // ASIC must still free the tag.
+    CacheLine line{};
+    sys.port().minStore(0x9000, line,
+                        [&](const HostOpResult &) { done = true; });
     ASSERT_TRUE(sys.runUntilIdle());
     LogControl::warnings() = true;
     EXPECT_TRUE(done);
@@ -118,6 +122,39 @@ TEST(Centaur, UnsupportedCommandsCompleteAsNoops)
         sys.centaurBuffer()->centaurStats().unsupportedCommands
             .value(),
         1.0);
+}
+
+TEST(Centaur, FlushDrainsOlderWrites)
+{
+    Power8System sys(
+        centaurSystem(centaur::CentaurModel::optimized()));
+    ASSERT_TRUE(sys.train());
+
+    // Fire a burst of writes and a flush right behind them: the
+    // fence must not complete before every older write has reached
+    // DDR, or the pmem durability story is a lie on the baseline.
+    unsigned writes_done = 0;
+    CacheLine line;
+    line.fill(0x5c);
+    for (unsigned i = 0; i < 8; ++i)
+        sys.port().write(0x10000 + i * 128, line,
+                         [&](const HostOpResult &) {
+                             ++writes_done;
+                         });
+    bool flush_done = false;
+    unsigned writes_at_flush = 0;
+    sys.port().flush([&](const HostOpResult &) {
+        flush_done = true;
+        writes_at_flush = writes_done;
+    });
+    ASSERT_TRUE(sys.runUntilIdle());
+    EXPECT_TRUE(flush_done);
+    EXPECT_EQ(writes_at_flush, 8u);
+    EXPECT_EQ(sys.centaurBuffer()->centaurStats().flushes.value(),
+              1.0);
+    EXPECT_EQ(sys.centaurBuffer()
+                  ->centaurStats().unsupportedCommands.value(),
+              0.0);
 }
 
 TEST(Centaur, ReadAfterWriteSeesNewData)

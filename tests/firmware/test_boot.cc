@@ -133,6 +133,149 @@ TEST(Boot, KnobControllableThroughRegisterPath)
     EXPECT_EQ(readback, 6u);
 }
 
+// ---- Warm reboot across a power fault ------------------------------
+
+Power8System::Params
+nvdimmSystem(mem::NvdimmDevice::Params nv = {})
+{
+    Power8System::Params p;
+    p.buffer = BufferKind::contutto;
+    p.dimms = {
+        DimmSpec{mem::MemTech::dram, 512 * MiB, {}, {}},
+        DimmSpec{.tech = mem::MemTech::nvdimmN,
+                 .capacity = 64 * MiB,
+                 .nvdimm = nv},
+    };
+    return p;
+}
+
+struct WarmRig : BootRig
+{
+    PowerDomain domain;
+
+    explicit WarmRig(Power8System::Params p)
+        : BootRig(p),
+          domain("domain", sys.eventq(), sys.nestDomain(), &sys,
+                 control.power(), PowerDomain::Params{})
+    {
+        domain.attachDevice(&sys.dimm(0));
+        domain.attachDevice(&sys.dimm(1));
+        domain.addCutHook([this] { sys.port().abortInFlight(); });
+        domain.addCutHook([this] { sys.hostLink().resetLink(); });
+        domain.addCutHook([this] { sys.card()->powerReset(); });
+    }
+
+    mem::NvdimmDevice &
+    nv()
+    {
+        auto *d = dynamic_cast<mem::NvdimmDevice *>(&sys.dimm(1));
+        EXPECT_NE(d, nullptr);
+        return *d;
+    }
+
+    /** Cut power and let the module's save (or loss) play out. */
+    void
+    cutAndSettle()
+    {
+        domain.powerCut();
+        sys.eventq().run(sys.eventq().curTick() + nv().saveDuration()
+                         + control.power().powerDownTime()
+                         + milliseconds(10));
+    }
+
+    BootReport
+    warmRun()
+    {
+        BootReport report;
+        bool finished = false;
+        boot.warmReboot(domain, [&](const BootReport &r) {
+            report = r;
+            finished = true;
+        });
+        while (!finished && sys.eventq().step()) {
+        }
+        EXPECT_TRUE(finished);
+        return report;
+    }
+};
+
+TEST(Boot, WarmRebootRestoresCleanNvdimm)
+{
+    WarmRig rig(nvdimmSystem());
+    auto cold = rig.run();
+    ASSERT_TRUE(cold.success) << cold.failReason;
+    EXPECT_FALSE(cold.warm);
+    rig.nv().image().write64(0x4000, 0xC0FFEEu);
+
+    rig.cutAndSettle();
+    EXPECT_EQ(rig.nv().state(), mem::NvdimmDevice::State::saved);
+
+    auto report = rig.warmRun();
+    ASSERT_TRUE(report.success) << report.failReason;
+    EXPECT_TRUE(report.warm);
+    ASSERT_EQ(report.slotOutcomes.size(), 2u);
+    EXPECT_EQ(report.slotOutcomes[0], mem::RestoreOutcome::none);
+    EXPECT_EQ(report.slotOutcomes[1], mem::RestoreOutcome::clean);
+    EXPECT_EQ(report.modulesLost, 0u);
+    EXPECT_EQ(rig.nv().image().read64(0x4000), 0xC0FFEEu);
+    EXPECT_EQ(rig.log.recoverableCount("dimm1"), 0u);
+
+    // The rebuilt map still advertises the NVDIMM's contents.
+    const MemoryMapEntry *nv_entry = nullptr;
+    for (const auto &e : report.map.entries)
+        if (e.tech == mem::MemTech::nvdimmN)
+            nv_entry = &e;
+    ASSERT_NE(nv_entry, nullptr);
+    EXPECT_TRUE(nv_entry->contentPreserved);
+    EXPECT_EQ(nv_entry->outcome, mem::RestoreOutcome::clean);
+}
+
+TEST(Boot, WarmRebootReportsTornSave)
+{
+    // One segment of supercap charge: the save tears mid-stream.
+    mem::NvdimmDevice::Params nv;
+    nv.supercapJoules = 0.01;
+    WarmRig rig(nvdimmSystem(nv));
+    ASSERT_TRUE(rig.run().success);
+
+    rig.cutAndSettle();
+    EXPECT_EQ(rig.nv().state(), mem::NvdimmDevice::State::partial);
+
+    auto report = rig.warmRun();
+    // The machine boots — with the loss on the record, not papered
+    // over as preserved content.
+    ASSERT_TRUE(report.success) << report.failReason;
+    EXPECT_EQ(report.slotOutcomes[1], mem::RestoreOutcome::torn);
+    EXPECT_EQ(report.modulesLost, 1u);
+    EXPECT_GE(rig.log.recoverableCount("dimm1"), 1u);
+
+    const MemoryMapEntry *nv_entry = nullptr;
+    for (const auto &e : report.map.entries)
+        if (e.tech == mem::MemTech::nvdimmN)
+            nv_entry = &e;
+    ASSERT_NE(nv_entry, nullptr);
+    EXPECT_FALSE(nv_entry->contentPreserved);
+    EXPECT_EQ(nv_entry->outcome, mem::RestoreOutcome::torn);
+}
+
+TEST(Boot, WarmRebootReportsSupercapLoss)
+{
+    mem::NvdimmDevice::Params nv;
+    nv.charged = false;
+    WarmRig rig(nvdimmSystem(nv));
+    ASSERT_TRUE(rig.run().success);
+
+    rig.cutAndSettle();
+    EXPECT_EQ(rig.nv().state(), mem::NvdimmDevice::State::lost);
+
+    auto report = rig.warmRun();
+    ASSERT_TRUE(report.success) << report.failReason;
+    EXPECT_EQ(report.slotOutcomes[1], mem::RestoreOutcome::lost);
+    EXPECT_EQ(report.modulesLost, 1u);
+    EXPECT_GE(rig.log.recoverableCount("dimm1"), 1u);
+    EXPECT_FALSE(rig.nv().contentIntact());
+}
+
 TEST(Boot, SpdsIdentifyMixedModules)
 {
     BootRig rig(mixedSystem());

@@ -107,8 +107,10 @@ TEST(Power, FaultedRailStopsSequence)
 TEST(MemoryMap, DramContiguousFromZero)
 {
     std::vector<ModuleInfo> mods = {
-        {MemTech::dram, 4 * GiB, false, 0},
-        {MemTech::dram, 8 * GiB, false, 1},
+        {.tech = MemTech::dram, .actualSize = 4 * GiB,
+         .contentPreserved = false, .moduleIndex = 0},
+        {.tech = MemTech::dram, .actualSize = 8 * GiB,
+         .contentPreserved = false, .moduleIndex = 1},
     };
     auto map = buildMemoryMap(mods);
     ASSERT_TRUE(map.valid);
@@ -123,9 +125,12 @@ TEST(MemoryMap, DramContiguousFromZero)
 TEST(MemoryMap, NonVolatileAtTopWithFlags)
 {
     std::vector<ModuleInfo> mods = {
-        {MemTech::dram, 4 * GiB, false, 0},
-        {MemTech::sttMram, 256 * MiB, true, 1},
-        {MemTech::nvdimmN, 8 * GiB, true, 2},
+        {.tech = MemTech::dram, .actualSize = 4 * GiB,
+         .contentPreserved = false, .moduleIndex = 0},
+        {.tech = MemTech::sttMram, .actualSize = 256 * MiB,
+         .contentPreserved = true, .moduleIndex = 1},
+        {.tech = MemTech::nvdimmN, .actualSize = 8 * GiB,
+         .contentPreserved = true, .moduleIndex = 2},
     };
     auto map = buildMemoryMap(mods);
     ASSERT_TRUE(map.valid);
@@ -150,8 +155,10 @@ TEST(MemoryMap, NonVolatileAtTopWithFlags)
 TEST(MemoryMap, MramSizeLie)
 {
     std::vector<ModuleInfo> mods = {
-        {MemTech::dram, 4 * GiB, false, 0},
-        {MemTech::sttMram, 256 * MiB, true, 1},
+        {.tech = MemTech::dram, .actualSize = 4 * GiB,
+         .contentPreserved = false, .moduleIndex = 0},
+        {.tech = MemTech::sttMram, .actualSize = 256 * MiB,
+         .contentPreserved = true, .moduleIndex = 1},
     };
     auto map = buildMemoryMap(mods);
     ASSERT_TRUE(map.valid);
@@ -165,7 +172,8 @@ TEST(MemoryMap, MramSizeLie)
 TEST(MemoryMap, RequiresDramAtZero)
 {
     std::vector<ModuleInfo> mods = {
-        {MemTech::sttMram, 256 * MiB, true, 0},
+        {.tech = MemTech::sttMram, .actualSize = 256 * MiB,
+         .contentPreserved = true, .moduleIndex = 0},
     };
     auto map = buildMemoryMap(mods);
     EXPECT_FALSE(map.valid);
@@ -175,8 +183,10 @@ TEST(MemoryMap, RequiresDramAtZero)
 TEST(MemoryMap, EntryLookup)
 {
     std::vector<ModuleInfo> mods = {
-        {MemTech::dram, 4 * GiB, false, 0},
-        {MemTech::sttMram, 256 * MiB, true, 1},
+        {.tech = MemTech::dram, .actualSize = 4 * GiB,
+         .contentPreserved = false, .moduleIndex = 0},
+        {.tech = MemTech::sttMram, .actualSize = 256 * MiB,
+         .contentPreserved = true, .moduleIndex = 1},
     };
     auto map = buildMemoryMap(mods);
     ASSERT_TRUE(map.valid);

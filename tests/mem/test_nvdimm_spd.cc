@@ -62,20 +62,54 @@ TEST(Nvdimm, DeadSupercapLosesData)
     NvRig rig(p);
     rig.nv.image().write64(0x2000, 77);
     rig.nv.powerLoss();
+    // The save could not even start: the loss is counted right
+    // here, once, and the module stops claiming its contents.
     EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::lost);
+    EXPECT_FALSE(rig.nv.contentIntact());
+    EXPECT_EQ(rig.nv.dataLossEvents(), 1u);
+
+    // Restoring from lost is explicit: the module comes back
+    // serviceable but empty, reports the lost outcome, and does not
+    // count the same loss again.
     rig.nv.powerRestore();
     EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::normal);
+    EXPECT_EQ(rig.nv.restoreOutcome(), RestoreOutcome::lost);
+    EXPECT_FALSE(rig.nv.contentIntact());
     EXPECT_EQ(rig.nv.image().read64(0x2000), 0u);
+    EXPECT_EQ(rig.nv.dataLossEvents(), 1u);
+
+    // Each subsequent failed cycle is its own event — exactly one
+    // count per loss, never amortized away.
+    rig.nv.image().write64(0x2000, 99);
+    rig.nv.powerLoss();
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::lost);
+    EXPECT_EQ(rig.nv.dataLossEvents(), 2u);
+    rig.nv.powerRestore();
+    EXPECT_EQ(rig.nv.dataLossEvents(), 2u);
 }
 
-TEST(Nvdimm, InsufficientEnergyLosesData)
+TEST(Nvdimm, InsufficientEnergyTearsSaveMidStream)
 {
     NvdimmDevice::Params p;
-    p.supercapJoules = 0.01; // not enough for 64 MiB
+    p.supercapJoules = 0.01; // one segment's worth, not 64 MiB
     NvRig rig(p);
     rig.nv.image().write64(0x2000, 77);
     rig.nv.powerLoss();
-    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::lost);
+    // Enough charge to *start* saving — depletion hits mid-stream.
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::saving);
+    rig.eq.run(rig.eq.curTick() + rig.nv.saveDuration() + 1000);
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::partial);
+    EXPECT_FALSE(rig.nv.contentIntact());
+    EXPECT_EQ(rig.nv.dataLossEvents(), 1u);
+
+    // Restore must detect the torn flash image, never serve it.
+    rig.nv.powerRestore();
+    EXPECT_EQ(rig.nv.state(), NvdimmDevice::State::normal);
+    EXPECT_EQ(rig.nv.restoreOutcome(), RestoreOutcome::torn);
+    EXPECT_FALSE(rig.nv.contentIntact());
+    EXPECT_EQ(rig.nv.image().read64(0x2000), 0u);
+    // The loss was counted at save time, exactly once.
+    EXPECT_EQ(rig.nv.dataLossEvents(), 1u);
 }
 
 TEST(Nvdimm, SecondPowerCycleWorksAfterRecharge)
@@ -94,6 +128,73 @@ TEST(Nvdimm, SecondPowerCycleWorksAfterRecharge)
     rig.nv.powerRestore();
     rig.eq.run(rig.eq.curTick() + rig.nv.saveDuration() + 1000);
     EXPECT_EQ(rig.nv.image().read64(0x10), 2u);
+}
+
+TEST(Flash, BadBlockRemapsToSpare)
+{
+    FlashModel flash(4 * MiB, {});
+    MemImage src(4 * MiB);
+    src.write64(0x100, 0xFEEDu);
+
+    flash.markBad(0);
+    EXPECT_TRUE(flash.programSegment(0, src, 1));
+    EXPECT_EQ(flash.remappedBlocks(), 1u);
+    EXPECT_EQ(flash.sparesLeft(), 3u);
+    // The remapped block holds a valid image.
+    EXPECT_EQ(flash.validateSegment(0, 1), SegmentState::clean);
+    MemImage back(4 * MiB);
+    flash.readSegment(0, back);
+    EXPECT_EQ(back.read64(0x100), 0xFEEDu);
+}
+
+TEST(Flash, ExhaustedSparePoolFailsAsTorn)
+{
+    FlashModel::Params p;
+    p.spareBlocks = 1;
+    FlashModel flash(2 * MiB, p);
+    MemImage src(2 * MiB);
+
+    flash.markBad(0);
+    EXPECT_TRUE(flash.programSegment(0, src, 1)); // uses the spare
+    flash.markBad(1);
+    EXPECT_FALSE(flash.programSegment(1, src, 1)); // pool is dry
+    EXPECT_EQ(flash.validateSegment(1, 1), SegmentState::torn);
+    EXPECT_EQ(flash.sparesLeft(), 0u);
+}
+
+TEST(Flash, WearCountsProgramsAndRetiresWornBlocks)
+{
+    FlashModel::Params p;
+    p.eraseLimit = 2;
+    p.spareBlocks = 2;
+    FlashModel flash(1 * MiB, p);
+    MemImage src(1 * MiB);
+
+    EXPECT_TRUE(flash.programSegment(0, src, 1));
+    EXPECT_EQ(flash.programCycles(0), 1u);
+    EXPECT_TRUE(flash.programSegment(0, src, 2));
+    // The block just hit its erase limit: it is retired, and the
+    // next program transparently lands on a fresh spare.
+    EXPECT_EQ(flash.wornBlocks(), 1u);
+    EXPECT_TRUE(flash.programSegment(0, src, 3));
+    EXPECT_EQ(flash.remappedBlocks(), 1u);
+    EXPECT_EQ(flash.programCycles(0), 1u); // spare's own counter
+    EXPECT_EQ(flash.validateSegment(0, 3), SegmentState::clean);
+    EXPECT_GE(flash.maxProgramCycles(), 2u);
+}
+
+TEST(Flash, StaleGenerationIsNeverServedAsClean)
+{
+    FlashModel flash(1 * MiB, {});
+    MemImage src(1 * MiB);
+    src.write64(0x40, 0x1111u);
+    EXPECT_TRUE(flash.programSegment(0, src, 1));
+    // Asked about a newer save, the old image must read stale.
+    EXPECT_EQ(flash.validateSegment(0, 2), SegmentState::stale);
+    // And a torn program of the newer generation must read torn.
+    src.write64(0x40, 0x2222u);
+    flash.tearSegment(0, src, 2);
+    EXPECT_EQ(flash.validateSegment(0, 2), SegmentState::torn);
 }
 
 TEST(Spd, EncodeDecodeRoundTrip)

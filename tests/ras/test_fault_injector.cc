@@ -151,6 +151,95 @@ TEST(FaultInjector, CampaignBitFlipsAllStayCorrectable)
         ASSERT_EQ(b.image.read64(a), a * 0x9E3779B97F4A7C15ull);
 }
 
+/** A scriptable power target that records what it was told. */
+struct FakeDomain : PowerTarget
+{
+    unsigned cuts = 0;
+    unsigned restores = 0;
+    std::vector<Tick> dips;
+
+    void powerCut() override { ++cuts; }
+    void powerRestore() override { ++restores; }
+    void brownout(Tick dip) override { dips.push_back(dip); }
+};
+
+TEST(FaultInjector, PowerCampaignPairsEveryCutWithALaterRestore)
+{
+    InjectorBench b(31);
+    FakeDomain dom;
+    b.inj.addPowerTarget(&dom);
+
+    FaultInjector::CampaignSpec spec;
+    spec.duration = microseconds(200);
+    spec.powerCuts = 4;
+    spec.outageMin = microseconds(10);
+    spec.outageMax = microseconds(40);
+    spec.brownouts = 3;
+    spec.brownoutMin = microseconds(1);
+    spec.brownoutMax = microseconds(5);
+    auto plan = b.inj.planCampaign(spec);
+
+    // Pair cuts and restores per target in plan order; every cut
+    // must have a restore after a bounded outage.
+    std::vector<Tick> cut_times;
+    unsigned cuts = 0, restores = 0, dips = 0;
+    for (const FaultEvent &ev : plan) {
+        switch (ev.kind) {
+          case FaultKind::powerCut:
+            ++cuts;
+            cut_times.push_back(ev.when);
+            break;
+          case FaultKind::powerRestore:
+            ++restores;
+            break;
+          case FaultKind::brownout:
+            ++dips;
+            EXPECT_GE(ev.duration, spec.brownoutMin);
+            EXPECT_LE(ev.duration, spec.brownoutMax);
+            break;
+          default:
+            ADD_FAILURE() << "unexpected kind in plan";
+        }
+    }
+    EXPECT_EQ(cuts, 4u);
+    EXPECT_EQ(restores, 4u);
+    EXPECT_EQ(dips, 3u);
+    for (Tick t : cut_times)
+        EXPECT_LE(t, spec.start + spec.duration);
+
+    // Same seed, same spec: identical power schedule.
+    InjectorBench b2(31);
+    FakeDomain dom2;
+    b2.inj.addPowerTarget(&dom2);
+    EXPECT_TRUE(samePlan(plan, b2.inj.planCampaign(spec)));
+}
+
+TEST(FaultInjector, PowerFaultsReachTheTargetAndCount)
+{
+    InjectorBench b(13);
+    FakeDomain dom;
+    b.inj.addPowerTarget(&dom);
+
+    FaultInjector::CampaignSpec spec;
+    spec.duration = microseconds(100);
+    spec.powerCuts = 2;
+    spec.brownouts = 1;
+    b.inj.runCampaign(spec);
+    b.eq.run();
+
+    EXPECT_EQ(dom.cuts, 2u);
+    EXPECT_EQ(dom.restores, 2u);
+    ASSERT_EQ(dom.dips.size(), 1u);
+    EXPECT_GE(dom.dips[0], spec.brownoutMin);
+    EXPECT_LE(dom.dips[0], spec.brownoutMax);
+    EXPECT_EQ(b.inj.injected(FaultKind::powerCut), 2u);
+    EXPECT_EQ(b.inj.injected(FaultKind::powerRestore), 2u);
+    EXPECT_EQ(b.inj.injected(FaultKind::brownout), 1u);
+    EXPECT_EQ(b.inj.injectorStats().powerCuts.value(), 2.0);
+    EXPECT_EQ(b.inj.injectorStats().domainRestores.value(), 2.0);
+    EXPECT_EQ(b.inj.injectorStats().brownouts.value(), 1.0);
+}
+
 TEST(FaultInjector, ChannelFaultsRideTheRealLink)
 {
     InjectorBench b;
