@@ -36,8 +36,9 @@ accelThroughput(bench::Power8System &sys, AccelDriver &driver,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Ablation: latency knob linearity (24 ns/step "
                   "design)");
     std::printf("%-8s %14s %14s\n", "knob", "measured (ns)",
@@ -56,6 +57,7 @@ main()
             std::printf("%-8u %14.1f %+14.1f\n", k, lat,
                         lat - base);
         }
+        tm.capture("knob-sweep", sys);
     }
 
     bench::header("Ablation: DRAM bus turnaround vs Table 5 "
@@ -79,6 +81,9 @@ main()
         double scan = accelThroughput(sys, driver, false, 8 * MiB);
         std::printf("%-22.1f %16.2f %16.2f\n", ticksToNs(turn),
                     copy, scan);
+        tm.capture("turnaround-"
+                       + std::to_string(int(ticksToNs(turn))),
+                   sys);
     }
     std::printf("\nRead-only scans never pay turnarounds (10.6 "
                 "GB/s = DIMM rate). At the shipped 7 ns the copy is "

@@ -16,8 +16,9 @@
 using namespace contutto;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Ablation: MBI pipeline depth vs FRTL and "
                   "latency");
     std::printf("%-26s %10s %10s %14s\n", "MBI RX pipeline (cycles)",
@@ -109,6 +110,7 @@ main()
                         .replaysTriggered.value(),
                     sys.hostLink().linkStats().rxSeqDrops.value(),
                     ns_per);
+        tm.capture("freeze-" + std::to_string(freeze), sys);
     }
     std::printf("\nEvery depth recovers (the link layer guarantees "
                 "exactly-once in-order delivery); deeper freezes "

@@ -16,6 +16,7 @@ using namespace contutto::storage;
 int
 main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     CrashRecoveryCampaign::Spec spec;
     spec.seed = bench::parseSeed(argc, argv, 1);
     spec.powerCuts = 8;

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "dmi/channel.hh"
 #include "dmi/codec.hh"
 #include "dmi/crc.hh"
@@ -120,4 +121,43 @@ BENCHMARK(BM_LinkSaturation)->Iterations(3)
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: peel off the uniform telemetry flags (which
+ * google-benchmark would reject as unrecognized) before handing the
+ * rest to the benchmark runner, then — when telemetry was asked
+ * for — run a short traced end-to-end workload so the exported
+ * files carry real link activity, not just microbench numbers.
+ */
+int
+main(int argc, char **argv)
+{
+    bench::Telemetry tm(argc, argv);
+
+    std::vector<char *> kept;
+    kept.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--stats-json=", 13) == 0
+            || std::strncmp(arg, "--trace-out=", 12) == 0
+            || std::strncmp(arg, "--trace-sample=", 15) == 0
+            || std::strncmp(arg, "--stats-interval=", 17) == 0)
+            continue;
+        kept.push_back(argv[i]);
+    }
+    int kept_argc = int(kept.size());
+    benchmark::Initialize(&kept_argc, kept.data());
+    if (benchmark::ReportUnrecognizedArguments(kept_argc,
+                                               kept.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (tm.tracing() || tm.wantStats()) {
+        bench::Power8System sys(bench::contuttoSystem());
+        if (!sys.train())
+            return 1;
+        sys.measureReadLatencyNs();
+        tm.capture("contutto-read-path", sys);
+    }
+    return 0;
+}

@@ -17,8 +17,9 @@ using namespace contutto::accel;
 using namespace contutto::cpu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     const std::uint64_t bytes = 8 * MiB;
     bench::header("Energy: min/max over 8 MiB, near memory vs "
                   "software (first-order coefficients)");
@@ -48,6 +49,7 @@ main()
         }
         near_ms = ticksToNs(sys.eventq().curTick() - t0) / 1e6;
         near_r = meter.report();
+        tm.capture("near-memory", sys);
     }
 
     // Software on the Centaur/CDIMM system.
@@ -61,6 +63,7 @@ main()
         workloads::swMinMax(sys, bytes);
         sw_ms = ticksToNs(sys.eventq().curTick() - t0) / 1e6;
         sw_r = meter.report();
+        tm.capture("software", sys);
     }
 
     std::printf("%-14s %10s %10s %10s %10s %10s %12s %10s\n",

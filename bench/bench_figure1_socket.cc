@@ -48,8 +48,9 @@ config(unsigned contutto_cards, unsigned cdimms,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Figure 1 / section 2.1: socket capacity");
     {
         MultiSlotSystem::Params p;
@@ -73,8 +74,10 @@ main()
         if (!socket.trainAll())
             return 1;
         double bw = socket.measureAggregateReadBandwidth();
-        if (n == 8)
+        if (n == 8) {
             bw8 = bw;
+            tm.capture("socket-8ch", socket);
+        }
         std::printf("%-10u %18.1f %14.1f\n", n, bw, bw / n);
     }
     std::printf("\npaper: 410 GB/s peak (32 DDR ports at the media "

@@ -16,8 +16,9 @@ using namespace contutto::centaur;
 using namespace contutto::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Figure 6: SPEC CINT2006 ratios vs memory latency "
                   "on Centaur");
 
@@ -40,6 +41,7 @@ main()
             return 1;
         latency[c] = sys.measureReadLatencyNs();
         std::printf(" %9.0fns", latency[c]);
+        tm.capture(configs[c].configName, sys);
     }
     std::printf("\n");
     bench::rule();

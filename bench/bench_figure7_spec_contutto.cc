@@ -16,8 +16,9 @@ using namespace contutto::centaur;
 using namespace contutto::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Figure 7: SPEC ratios on ConTutto (Centaur "
                   "baseline = 1.0)");
 
@@ -39,6 +40,8 @@ main()
             return 1;
         double base_runtime =
             runSpecProfile(base, prof, instructions).runtimeSeconds;
+        if (&prof == &profiles.front())
+            tm.capture("centaur-" + prof.name, base);
 
         std::printf("%-16s %9.3f", prof.name.c_str(), 1.0);
         double worst = 1.0;
@@ -53,6 +56,10 @@ main()
             double ratio = base_runtime / runtime;
             worst = std::min(worst, ratio);
             std::printf(" %8.3f", ratio);
+            if (&prof == &profiles.front())
+                tm.capture("contutto-" + prof.name + "-knob"
+                               + std::to_string(k),
+                           sys);
         }
         std::printf("\n");
         double deg = 1.0 - worst;

@@ -15,8 +15,9 @@ using namespace contutto;
 using namespace contutto::mem;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Figure 8: write endurance by technology "
                   "(cycles per cell; sources [13][14] of the paper)");
     struct Row
@@ -82,5 +83,6 @@ main()
                 "block wears out\n",
                 double(mram.enduranceLimit())
                     - double(mram.maxBlockWrites()));
+    tm.capture("mram-endurance", root);
     return 0;
 }

@@ -11,10 +11,11 @@
 #include "fio_configs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Figure 9: FIO IOPS (4 KiB random, QD1)");
-    auto results = bench::runFioMatrix();
+    auto results = bench::runFioMatrix(&tm);
     if (results.size() != 5) {
         std::printf("setup failed\n");
         return 1;

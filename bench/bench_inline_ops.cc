@@ -20,8 +20,9 @@ using namespace contutto;
 using namespace contutto::cpu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("In-line ops (Figure 11): one command at the "
                   "buffer vs read-modify-write from the host");
 
@@ -106,6 +107,7 @@ main()
                 "of the loop, and the RMW is atomic at the memory — "
                 "a host-side read-merge-write is not (4.3).\n",
                 sw_ns / inline_ns, sw_up / inline_up);
+    tm.capture("inline-vs-sw", sys);
 
     bench::header("The flush persistence primitive and the two "
                   "driver stacks (4.2)");
@@ -133,6 +135,7 @@ main()
                     "block — the measurable price of persistence on "
                     "the memory bus.\n",
                     rp.meanWriteLatencyUs - rs.meanWriteLatencyUs);
+        tm.capture("mram-flush", mram);
     }
     return 0;
 }

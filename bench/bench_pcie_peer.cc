@@ -48,8 +48,9 @@ dmiFrames(MultiSlotSystem &socket)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     const std::uint64_t bytes = 8 * MiB;
     bench::header("Card-to-card copy: PCIe peer DMA vs host-"
                   "mediated (8 MiB)");
@@ -78,6 +79,7 @@ main()
             ticksToSeconds(socket.eventq().curTick() - t0);
         std::printf("%-24s %14.2f %20.0f\n", "PCIe peer DMA",
                     bytes / secs / 1e9, dmiFrames(socket) - frames0);
+        tm.capture("pcie-peer-dma", socket);
     }
 
     // Path 2: the host bounces every line over both DMI channels.
@@ -112,6 +114,7 @@ main()
             ticksToSeconds(socket.eventq().curTick() - t0);
         std::printf("%-24s %14.2f %20.0f\n", "host-mediated copy",
                     bytes / secs / 1e9, dmiFrames(socket) - frames0);
+        tm.capture("host-mediated", socket);
     }
 
     std::printf("\nThe peer path moves the same data with zero DMI "

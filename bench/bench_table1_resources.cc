@@ -10,8 +10,11 @@
 using namespace contutto::fpga;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // No simulated system here (the resource model is static), but
+    // the uniform flags are still accepted and produce valid files.
+    bench::Telemetry tm(argc, argv);
     bench::header("Table 1: FPGA resource utilization (base "
                   "ConTutto system)");
 

@@ -15,8 +15,9 @@ using namespace contutto::centaur;
 using namespace contutto::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Table 2: Centaur latency knobs vs DB2 BLU "
                   "query runtime");
 
@@ -53,6 +54,7 @@ main()
                     configs[i].configName.c_str(), latency,
                     paper_latency[i], result.scaledSeconds,
                     paper_runtime[i]);
+        tm.capture(configs[i].configName, sys);
         if (i == 3) {
             double deg = result.scaledSeconds / base_runtime - 1.0;
             std::printf("\n3.2x latency increase costs %.1f%% query "

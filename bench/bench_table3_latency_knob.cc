@@ -15,8 +15,9 @@ using namespace contutto;
 using namespace contutto::centaur;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Table 3: variable latency settings on ConTutto");
     std::printf("%-22s %16s %12s\n", "configuration",
                 "latency (ns)", "paper (ns)");
@@ -29,11 +30,13 @@ main()
             return 1;
         std::printf("%-22s %16.0f %12.0f\n", "Centaur",
                     sys.measureReadLatencyNs(), 97.0);
+        tm.capture("centaur-baseline", sys);
     }
 
     bench::Power8System sys(bench::contuttoSystem());
     if (!sys.train())
         return 1;
+    tm.watch(sys.eventq(), sys);
 
     const unsigned knobs[] = {0, 2, 6, 7};
     const double paper[] = {390, 438, 534, 558};
@@ -51,6 +54,8 @@ main()
                           "ConTutto + knob @ %u", knobs[i]);
         std::printf("%-22s %16.0f %12.0f\n", label, lat, paper[i]);
     }
+    tm.capture("contutto", sys);
+    tm.unwatch();
     std::printf("\nknob step: %.0f ns designed (6 fabric cycles at "
                 "250 MHz = 24 ns per position)\n",
                 ticksToNs(sys.card()->mbs().knobDelay()) / 7.0 * 1.0);
@@ -67,6 +72,7 @@ main()
         double m = matched.measureReadLatencyNs();
         std::printf("modelled Centaur(matched): %.0f ns -> ConTutto "
                     "base is %+.0f%%\n", m, (base / m - 1.0) * 100);
+        tm.capture("centaur-matched", matched);
     }
     return 0;
 }

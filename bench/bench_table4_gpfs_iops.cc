@@ -43,8 +43,9 @@ runWrites(EventQueue &eq, GpfsWriteCache &gpfs,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Table 4: GPFS small-random-write performance");
     std::printf("%-28s %10s %12s %12s\n", "technology", "size",
                 "IOPS", "paper IOPS");
@@ -60,6 +61,7 @@ main()
             runWrites(eq, gpfs, hdd.capacityBlocks(), 60, 1);
         std::printf("%-28s %10s %12.0f %12s\n",
                     "Hard Disk Drive (SAS)", "1.1 TB", iops, "75");
+        tm.capture("hdd-direct", root);
     }
     {
         EventQueue eq;
@@ -71,6 +73,7 @@ main()
         double iops = runWrites(eq, gpfs, 1000000, 4000, 2);
         std::printf("%-28s %10s %12.0f %12s\n", "SSD (SAS)",
                     "400 GB", iops, "15K");
+        tm.capture("ssd-cache", root);
     }
     double mram_iops = 0;
     {
@@ -87,6 +90,7 @@ main()
         std::printf("%-28s %10s %12.0f %12s\n",
                     "STT-MRAM (DMI memory link)", "256 MB",
                     mram_iops, "125K");
+        tm.capture("mram-dmi", sys);
     }
     std::printf("\nSTT-MRAM over SSD: %.1fx (paper: 8.3x)\n",
                 mram_iops / 15000.0);

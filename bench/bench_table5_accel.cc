@@ -47,8 +47,9 @@ runAccel(bench::Power8System &sys, AccelDriver &driver,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tm(argc, argv);
     bench::header("Table 5: accelerated functions, ConTutto "
                   "(2 DIMM ports) vs software (CDIMMs)");
 
@@ -100,5 +101,7 @@ main()
                 accel_fft / sw_fft, "1.3 vs 0.68");
     std::printf("\npaper speedups: 1.9x, 21x, 1.9x -> \"2x to 20x "
                 "improvement over software\"\n");
+    tm.capture("contutto-accel", accel_sys);
+    tm.capture("centaur-software", sw_sys);
     return 0;
 }

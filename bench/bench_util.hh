@@ -13,9 +13,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cpu/system.hh"
+#include "sim/span.hh"
+#include "sim/telemetry.hh"
 
 namespace bench
 {
@@ -76,6 +83,157 @@ parseSeed(int argc, char **argv, std::uint64_t def = 1)
     }
     return def;
 }
+
+/**
+ * Uniform machine-readable telemetry for the experiment binaries.
+ * Every bench accepts the same flags:
+ *
+ *   --stats-json=FILE     write captured StatGroup trees as JSON
+ *   --trace-out=FILE      write spans as Chrome trace-event JSON
+ *   --trace-sample=N      trace 1 in N operations (default: all)
+ *   --stats-interval=NS   periodic snapshots too (where watched)
+ *
+ * Construct one Telemetry at the top of main(); span capture turns
+ * on if (and only if) --trace-out was given, so the default run
+ * keeps the single-relaxed-load fast path. Call capture() on each
+ * system of interest while it is alive; the destructor (or an
+ * explicit finish()) writes the requested files.
+ */
+class Telemetry
+{
+  public:
+    Telemetry(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strncmp(arg, "--stats-json=", 13) == 0)
+                statsPath_ = arg + 13;
+            else if (std::strncmp(arg, "--trace-out=", 12) == 0)
+                tracePath_ = arg + 12;
+            else if (std::strncmp(arg, "--trace-sample=", 15) == 0)
+                sample_ = std::strtoull(arg + 15, nullptr, 0);
+            else if (std::strncmp(arg, "--stats-interval=", 17) == 0)
+                intervalNs_ = std::strtoull(arg + 17, nullptr, 0);
+        }
+        if (sample_ == 0)
+            sample_ = 1;
+        if (!tracePath_.empty()) {
+            span::reset();
+            span::setSampleInterval(sample_);
+            span::setEnabled(true);
+        }
+    }
+
+    ~Telemetry() { finish(); }
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+
+    /** True when span capture is on (--trace-out given). */
+    bool tracing() const { return !tracePath_.empty(); }
+
+    /** True when a stats file was requested (--stats-json given). */
+    bool wantStats() const { return !statsPath_.empty(); }
+
+    /** Snapshot @p group's whole stats tree now, under @p label. */
+    void
+    capture(const std::string &label, const stats::StatGroup &group)
+    {
+        if (statsPath_.empty())
+            return;
+        std::ostringstream os;
+        stats::toJson(group, os);
+        captures_.emplace_back(label, os.str());
+    }
+
+    /** Periodic snapshots of @p group (active with
+     *  --stats-interval); call unwatch() before @p eq dies. */
+    void watch(EventQueue &eq, const stats::StatGroup &group)
+    {
+        if (statsPath_.empty() || intervalNs_ == 0)
+            return;
+        unwatch();
+        dumper_ = std::make_unique<telemetry::IntervalDumper>(
+            eq, group, nanoseconds(intervalNs_));
+        dumper_->start();
+    }
+
+    /** Stop periodic snapshots; the series goes into the file. */
+    void unwatch()
+    {
+        if (!dumper_)
+            return;
+        std::ostringstream os;
+        dumper_->write(os);
+        intervals_ = os.str();
+        dumper_.reset();
+    }
+
+    /** Write any requested output files (idempotent). */
+    void finish()
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        unwatch();
+        if (!statsPath_.empty())
+            writeStats();
+        if (!tracePath_.empty())
+            writeTrace();
+    }
+
+  private:
+    void writeStats()
+    {
+        std::ofstream os(statsPath_);
+        if (!os) {
+            std::fprintf(stderr, "telemetry: cannot write %s\n",
+                         statsPath_.c_str());
+            return;
+        }
+        os << "{\"captures\": [";
+        const char *sep = "";
+        for (const auto &c : captures_) {
+            os << sep << "{\"label\": ";
+            stats::jsonEscape(c.first, os);
+            os << ", \"stats\": " << c.second << "}";
+            sep = ", ";
+        }
+        os << "]";
+        if (!intervals_.empty())
+            os << ", \"intervals\": " << intervals_;
+        os << "}\n";
+        std::printf("[telemetry] stats json: %s (%zu captures)\n",
+                    statsPath_.c_str(), captures_.size());
+    }
+
+    void writeTrace()
+    {
+        std::ofstream os(tracePath_);
+        if (!os) {
+            std::fprintf(stderr, "telemetry: cannot write %s\n",
+                         tracePath_.c_str());
+            return;
+        }
+        std::vector<span::Span> spans = span::snapshot();
+        telemetry::writePerfettoTrace(spans, os);
+        os << "\n";
+        std::printf("[telemetry] trace: %s (%zu spans, 1-in-%llu "
+                    "sampling, %llu dropped)\n",
+                    tracePath_.c_str(), spans.size(),
+                    (unsigned long long)sample_,
+                    (unsigned long long)span::droppedSpans());
+    }
+
+    std::string statsPath_;
+    std::string tracePath_;
+    std::uint64_t sample_ = 1;
+    std::uint64_t intervalNs_ = 0;
+    std::vector<std::pair<std::string, std::string>> captures_;
+    std::string intervals_;
+    std::unique_ptr<telemetry::IntervalDumper> dumper_;
+    bool finished_ = false;
+};
 
 inline void
 header(const std::string &title)

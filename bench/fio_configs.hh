@@ -51,9 +51,10 @@ runFio(contutto::EventQueue &eq, contutto::storage::BlockDevice &dev,
     return out;
 }
 
-/** Runs the whole comparison matrix. */
+/** Runs the whole comparison matrix; each configuration's stats
+ *  tree is captured into @p tm (when given) while it is alive. */
 inline std::vector<FioResult>
-runFioMatrix()
+runFioMatrix(Telemetry *tm = nullptr)
 {
     using namespace contutto;
     using namespace contutto::storage;
@@ -68,6 +69,8 @@ runFioMatrix()
                             PmemBlockDevice::Params::forMram());
         results.push_back(runFio(sys.eventq(), dev,
                                  nanoseconds(3900)));
+        if (tm)
+            tm->capture(results.back().name, sys);
     }
     // NVDIMM-N behind ConTutto on the DMI link.
     {
@@ -83,6 +86,8 @@ runFioMatrix()
                             PmemBlockDevice::Params::forNvdimm());
         results.push_back(runFio(sys.eventq(), dev,
                                  nanoseconds(2300)));
+        if (tm)
+            tm->capture(results.back().name, sys);
     }
     // PCIe comparison points.
     struct PcieCase
@@ -101,6 +106,8 @@ runFioMatrix()
         stats::StatGroup root("root");
         PcieDevice dev("pcie", eq, d, &root, c.params);
         results.push_back(runFio(eq, dev, c.software));
+        if (tm)
+            tm->capture(results.back().name, root);
     }
     return results;
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Distill a --stats-json capture file into a perf-trajectory record.
+
+Reads the capture document a bench binary wrote via --stats-json and
+emits a compact BENCH_latency.json: for every capture label, each
+latency distribution (any stat whose name ends in "Latency") that
+actually saw samples, keyed by its dotted StatGroup path.  CI runs
+this on every push so the trajectory of the headline latency numbers
+is diffable across commits without parsing the full stats tree.
+
+Usage: latency_trajectory.py STATS_JSON > BENCH_latency.json
+"""
+
+import json
+import sys
+
+
+def walk(group, prefix, out):
+    for name, stat in group.get("stats", {}).items():
+        if not isinstance(stat, dict):
+            continue
+        if not name.lower().endswith("latency"):
+            continue
+        if stat.get("count", 0) <= 0:
+            continue
+        rec = {"count": stat["count"]}
+        for key in ("mean", "min", "max", "stddev", "p50", "p99"):
+            if stat.get(key) is not None:
+                rec[key] = stat[key]
+        out[prefix + "." + name] = rec
+    for sub in group.get("groups", []):
+        walk(sub, prefix + "." + sub["name"], out)
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    captures = []
+    for cap in doc.get("captures", []):
+        stats = {}
+        root = cap["stats"]
+        walk(root, root.get("name", "root"), stats)
+        captures.append({"label": cap["label"], "latencies": stats})
+
+    json.dump({"schema": "contutto-latency-trajectory-v1",
+               "source": "bench --stats-json capture",
+               "captures": captures},
+              sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/span.hh"
+
 namespace contutto::centaur
 {
 
@@ -121,8 +123,17 @@ CentaurModel::frameArrived(const DownFrame &frame)
 }
 
 void
-CentaurModel::execute(const MemCommand &cmd)
+CentaurModel::execute(const MemCommand &cmd, bool redispatch)
 {
+    // The command cleared the parse/dispatch pipeline: close the
+    // downstream-wire span, open the buffer-residency one (covering
+    // any same-line deferral below). Deferred commands re-executed
+    // after the blocking write drains keep their existing spans.
+    if (!redispatch && cmd.traceId != noTraceId) {
+        span::closeIfOpen(cmd.traceId, "dmi.down", curTick());
+        span::open(cmd.traceId, "centaur", curTick());
+    }
+
     // Same-line ordering: reads and writes behind an outstanding
     // write to the same line wait for it.
     auto it = pendingWrites_.find(cmd.addr);
@@ -151,7 +162,7 @@ CentaurModel::execute(const MemCommand &cmd)
         ++stats_.unsupportedCommands;
         warn("Centaur: unsupported command type %d; completing as "
              "no-op", int(cmd.type));
-        sendDone(cmd.tag);
+        sendDone(cmd.tag, cmd.traceId);
         break;
     }
 }
@@ -222,11 +233,12 @@ CentaurModel::reclaimTag(std::uint8_t tag)
         resp.type = RespType::readData;
         resp.tag = tag;
         resp.poisoned = true;
+        resp.traceId = cmd.traceId;
         for (auto &f : encodeResponse(resp))
             link_.sendFrame(f);
-        sendDone(tag);
+        sendDone(tag, cmd.traceId);
     } else {
-        sendDone(tag);
+        sendDone(tag, cmd.traceId);
         releaseWrite(cmd.addr);
         noteWriteDrained(tag);
     }
@@ -282,6 +294,7 @@ CentaurModel::issueReadAccess(std::uint8_t tag)
     auto req = std::make_shared<MemRequest>();
     req->addr = localAddr(c.addr);
     req->isWrite = false;
+    req->traceId = c.traceId;
     req->onDone = [this, c, tag, seq](MemRequest &r) {
         TagOp &op = tagOps_[tag];
         if (!op.active || op.seq != seq)
@@ -330,12 +343,13 @@ CentaurModel::finishRead(const MemCommand &cmd, bool poisoned)
     resp.type = RespType::readData;
     resp.tag = cmd.tag;
     resp.poisoned = poisoned;
+    resp.traceId = cmd.traceId;
     portFor(cmd.addr).device().image().read(localAddr(cmd.addr),
                                             cacheLineSize,
                                             resp.data.data());
     for (auto &f : encodeResponse(resp))
         link_.sendFrame(f);
-    sendDone(cmd.tag);
+    sendDone(cmd.tag, cmd.traceId);
 }
 
 void
@@ -369,19 +383,21 @@ CentaurModel::issueWriteAccess(std::uint8_t tag)
     req->addr = localAddr(c.addr);
     req->isWrite = true;
     req->data = c.data;
+    req->traceId = c.traceId;
     if (c.type == CmdType::partialWrite) {
         req->masked = true;
         req->enables = c.enables;
     }
     Addr line = c.addr;
-    req->onDone = [this, tag, line, seq](MemRequest &) {
+    TraceId tid = c.traceId;
+    req->onDone = [this, tag, line, seq, tid](MemRequest &) {
         TagOp &op = tagOps_[tag];
         if (!op.active || op.seq != seq)
             return; // superseded by a retry or reclaim
         if (consumeStall())
             return;
         op = TagOp{};
-        sendDone(tag);
+        sendDone(tag, tid);
         releaseWrite(line);
         noteWriteDrained(tag);
     };
@@ -394,6 +410,7 @@ CentaurModel::serveFlush(const MemCommand &cmd)
     ++stats_.flushes;
     FlushOp op;
     op.tag = cmd.tag;
+    op.traceId = cmd.traceId;
     // Older writes: every write-class command with a live watchdog
     // plus the ones parked in the same-line ordering queue.
     for (unsigned t = 0; t < numTags; ++t) {
@@ -405,7 +422,7 @@ CentaurModel::serveFlush(const MemCommand &cmd)
         if (d.type != CmdType::read128 && d.type != CmdType::flush)
             op.waitingOn.push_back(d.tag);
     if (op.waitingOn.empty())
-        sendDone(cmd.tag);
+        sendDone(cmd.tag, cmd.traceId);
     else
         pendingFlushes_.push_back(std::move(op));
 }
@@ -420,7 +437,7 @@ CentaurModel::noteWriteDrained(std::uint8_t tag)
                                   tag),
                       waiting.end());
         if (waiting.empty()) {
-            sendDone(it->tag);
+            sendDone(it->tag, it->traceId);
             it = pendingFlushes_.erase(it);
         } else {
             ++it;
@@ -438,18 +455,21 @@ CentaurModel::retryDeferred(Addr addr)
         if (it->addr == addr) {
             MemCommand cmd = *it;
             deferred_.erase(it);
-            execute(cmd);
+            execute(cmd, true);
             return;
         }
     }
 }
 
 void
-CentaurModel::sendDone(std::uint8_t tag)
+CentaurModel::sendDone(std::uint8_t tag, TraceId traceId)
 {
+    if (traceId != noTraceId)
+        span::closeIfOpen(traceId, "centaur", curTick());
     MemResponse resp;
     resp.type = RespType::done;
     resp.tag = tag;
+    resp.traceId = traceId;
     for (auto &f : encodeResponse(resp))
         link_.sendFrame(f);
     ct_assert(activeCommands_ > 0);

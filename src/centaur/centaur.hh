@@ -129,12 +129,13 @@ class CentaurModel : public SimObject
     struct FlushOp
     {
         std::uint8_t tag = 0;
+        TraceId traceId = noTraceId;
         /** Tags of the write-class commands it must outwait. */
         std::vector<std::uint8_t> waitingOn;
     };
 
     void frameArrived(const dmi::DownFrame &frame);
-    void execute(const dmi::MemCommand &cmd);
+    void execute(const dmi::MemCommand &cmd, bool redispatch = false);
     void retryDeferred(Addr addr);
     void serveRead(const dmi::MemCommand &cmd);
     void serveWrite(const dmi::MemCommand &cmd);
@@ -143,7 +144,7 @@ class CentaurModel : public SimObject
     void issueReadAccess(std::uint8_t tag);
     void issueWriteAccess(std::uint8_t tag);
     void finishRead(const dmi::MemCommand &cmd, bool poisoned);
-    void sendDone(std::uint8_t tag);
+    void sendDone(std::uint8_t tag, TraceId traceId);
     std::uint32_t armTagOp(std::uint8_t tag);
     void tagTimeout(std::uint8_t tag, std::uint32_t seq);
     void reclaimTag(std::uint8_t tag);

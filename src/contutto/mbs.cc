@@ -1,5 +1,6 @@
 #include "contutto/mbs.hh"
 
+#include "sim/span.hh"
 #include "sim/trace.hh"
 
 #include <algorithm>
@@ -152,7 +153,7 @@ Mbs::retryDeferred()
                 continue;
             Deferred d = *it;
             deferred_.erase(it);
-            dispatch(d.cmd, d.decoder);
+            dispatch(d.cmd, d.decoder, true);
             progress = true;
             break;
         }
@@ -172,8 +173,18 @@ Mbs::frameArrived(const DownFrame &frame)
 }
 
 void
-Mbs::dispatch(const MemCommand &cmd, unsigned decoder)
+Mbs::dispatch(const MemCommand &cmd, unsigned decoder,
+              bool deferredRetry)
 {
+    // The command has fully arrived and cleared the decode pipeline:
+    // end the downstream-wire span, start the buffer-residency span
+    // (which includes any same-line deferral below). Re-dispatches
+    // of deferred commands keep the spans they already own.
+    if (!deferredRetry && cmd.traceId != noTraceId) {
+        span::closeIfOpen(cmd.traceId, "dmi.down", curTick());
+        span::open(cmd.traceId, "mbs", curTick());
+    }
+
     // Same-line ordering: a command to a line with an older command
     // still in flight waits so reads cannot pass writes.
     if (addrConflictsWithActive(cmd)) {
@@ -341,6 +352,7 @@ Mbs::issueRead(unsigned tag, unsigned decoder)
     auto req = std::make_shared<MemRequest>();
     req->addr = e.cmd.addr;
     req->isWrite = false;
+    req->traceId = e.cmd.traceId;
     req->onDone = [this, tag, seq](MemRequest &r) {
         CacheLine data = r.data;
         bool poisoned = r.poisoned;
@@ -468,6 +480,7 @@ Mbs::mergeAndWrite(unsigned tag, unsigned port)
             resp.type = RespType::swapOld;
             resp.tag = std::uint8_t(tag);
             resp.swapSucceeded = false;
+            resp.traceId = e.cmd.traceId;
             std::memcpy(resp.data.data(), e.oldData.data(), 8);
             enqueueUpstream(encodeResponse(resp));
             respondDone(tag);
@@ -496,6 +509,7 @@ Mbs::issueWrite(unsigned tag, unsigned port)
     req->addr = e.cmd.addr;
     req->isWrite = true;
     req->data = e.cmd.data;
+    req->traceId = e.cmd.traceId;
     req->onDone = [this, tag, seq](MemRequest &) {
         Engine &eng = engines_[tag];
         if (!eng.active || eng.issueSeq != seq
@@ -518,6 +532,7 @@ Mbs::writeCompleted(unsigned tag)
         resp.type = RespType::swapOld;
         resp.tag = std::uint8_t(tag);
         resp.swapSucceeded = true;
+        resp.traceId = e.cmd.traceId;
         std::memcpy(resp.data.data(), e.oldData.data(), 8);
         enqueueUpstream(encodeResponse(resp));
     }
@@ -553,6 +568,7 @@ Mbs::respondReadData(unsigned tag, const CacheLine &data,
     resp.tag = std::uint8_t(tag);
     resp.data = data;
     resp.poisoned = poisoned;
+    resp.traceId = engines_[tag].cmd.traceId;
     enqueueUpstream(encodeResponse(resp));
 }
 
@@ -562,6 +578,7 @@ Mbs::respondDone(unsigned tag)
     MemResponse resp;
     resp.type = RespType::done;
     resp.tag = std::uint8_t(tag);
+    resp.traceId = engines_[tag].cmd.traceId;
     enqueueUpstream(encodeResponse(resp));
 }
 
@@ -607,6 +624,8 @@ Mbs::finishEngine(unsigned tag)
 {
     Engine &e = engines_[tag];
     ct_assert(e.active);
+    if (e.cmd.traceId != noTraceId)
+        span::closeIfOpen(e.cmd.traceId, "mbs", curTick());
     e = Engine{};
     ct_assert(activeEngines_ > 0);
     --activeEngines_;
@@ -624,10 +643,16 @@ Mbs::issueToBus(bus::AvalonBus::Port &port,
         port.submit(req);
         return;
     }
+    if (req->traceId != noTraceId)
+        span::open(req->traceId, "mbs.knob", curTick());
     bus::AvalonBus::Port *p = &port;
     MemRequestPtr r = req;
-    OneShotEvent::schedule(eventq(), clockEdge(delay_cycles),
-                           [p, r] { p->submit(r); });
+    OneShotEvent::schedule(
+        eventq(), clockEdge(delay_cycles), [this, p, r] {
+            if (r->traceId != noTraceId)
+                span::closeIfOpen(r->traceId, "mbs.knob", curTick());
+            p->submit(r);
+        });
 }
 
 } // namespace contutto::fpga

@@ -171,7 +171,8 @@ class Mbs : public SimObject
     };
 
     void frameArrived(const dmi::DownFrame &frame);
-    void dispatch(const dmi::MemCommand &cmd, unsigned decoder);
+    void dispatch(const dmi::MemCommand &cmd, unsigned decoder,
+                  bool deferredRetry = false);
     bool addrConflictsWithActive(const dmi::MemCommand &cmd) const;
     void retryDeferred();
     void issueRead(unsigned tag, unsigned decoder);

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "sim/span.hh"
+
 namespace contutto::cpu
 {
 
@@ -105,8 +107,18 @@ HostMemPort::condSwap(Addr addr, std::uint64_t expected,
 }
 
 void
-HostMemPort::issue(MemCommand cmd, Callback cb)
+HostMemPort::issue(MemCommand cmd, Callback cb, bool queuedRetry)
 {
+    // The trace starts here — the single funnel every operation
+    // passes through. Re-issues of tag-stalled ops keep the id they
+    // were assigned on first entry (queuedRetry avoids skewing the
+    // 1-in-N sampling counter for unsampled ops).
+    if (!queuedRetry && span::enabled()) {
+        cmd.traceId = span::acquireId();
+        if (cmd.traceId != noTraceId)
+            span::open(cmd.traceId, "host", curTick());
+    }
+
     // Find a free tag; if none, the processor has cycled through all
     // 32 and must wait for a done (paper §2.3).
     int free_tag = -1;
@@ -118,9 +130,14 @@ HostMemPort::issue(MemCommand cmd, Callback cb)
     }
     if (free_tag < 0) {
         ++stats_.tagStalls;
+        if (cmd.traceId != noTraceId)
+            span::open(cmd.traceId, "host.tagwait", curTick());
         pending_.push_back(PendingOp{std::move(cmd), std::move(cb)});
         return;
     }
+
+    if (cmd.traceId != noTraceId)
+        span::closeIfOpen(cmd.traceId, "host.tagwait", curTick());
 
     cmd.tag = std::uint8_t(free_tag);
     TagState &ts = tags_[free_tag];
@@ -129,6 +146,7 @@ HostMemPort::issue(MemCommand cmd, Callback cb)
     ts.cb = std::move(cb);
     ts.result = HostOpResult{};
     ts.result.issuedAt = curTick();
+    ts.result.traceId = cmd.traceId;
     ++inFlight_;
 
     for (auto &f : encodeCommand(cmd))
@@ -144,14 +162,19 @@ HostMemPort::abortInFlight()
     for (TagState &ts : tags_) {
         if (!ts.busy)
             continue;
+        if (ts.result.traceId != noTraceId)
+            span::closeAll(ts.result.traceId, curTick());
         if (ts.cb)
             callbacks.push_back(std::move(ts.cb));
         ts = TagState{};
     }
     inFlight_ = 0;
-    for (PendingOp &op : pending_)
+    for (PendingOp &op : pending_) {
+        if (op.cmd.traceId != noTraceId)
+            span::closeAll(op.cmd.traceId, curTick());
         if (op.cb)
             callbacks.push_back(std::move(op.cb));
+    }
     pending_.clear();
 
     HostOpResult aborted;
@@ -166,7 +189,7 @@ HostMemPort::tryIssueQueued()
     while (!pending_.empty() && inFlight_ < numTags) {
         PendingOp op = std::move(pending_.front());
         pending_.pop_front();
-        issue(std::move(op.cmd), std::move(op.cb));
+        issue(std::move(op.cmd), std::move(op.cb), true);
     }
 }
 
@@ -185,6 +208,11 @@ HostMemPort::responseArrived(const MemResponse &resp)
         warn("host: response for idle tag %u", resp.tag);
         return;
     }
+    // Responses are matched by tag; the frame-level trace id would
+    // say the same thing, so the tag's stored id is authoritative.
+    TraceId tid = ts.result.traceId;
+    if (tid != noTraceId)
+        span::closeIfOpen(tid, "dmi.up", curTick());
     switch (resp.type) {
       case RespType::readData:
         ts.result.data = resp.data;
@@ -201,6 +229,8 @@ HostMemPort::responseArrived(const MemResponse &resp)
         break;
       case RespType::done: {
         ts.result.doneAt = curTick();
+        if (tid != noTraceId)
+            span::close(tid, "host", curTick());
         if (ts.type == CmdType::read128) {
             stats_.readLatency.sample(
                 ticksToNs(ts.result.dataAt - ts.result.issuedAt));

@@ -34,6 +34,12 @@ struct HostOpResult
     Tick issuedAt = 0;
     Tick dataAt = 0;         ///< When read data arrived (reads).
     Tick doneAt = 0;         ///< When the done freed the tag.
+    /**
+     * Trace id of this operation (sim/span.hh); noTraceId when span
+     * tracking is off or the op was not sampled. Callers can pass it
+     * to span::breakdown() for a per-stage latency attribution.
+     */
+    TraceId traceId = noTraceId;
 };
 
 /** The host's memory-channel port. */
@@ -104,7 +110,8 @@ class HostMemPort : public SimObject
         HostOpResult result;
     };
 
-    void issue(dmi::MemCommand cmd, Callback cb);
+    void issue(dmi::MemCommand cmd, Callback cb,
+               bool queuedRetry = false);
     void tryIssueQueued();
     void frameArrived(const dmi::UpFrame &frame);
     void responseArrived(const dmi::MemResponse &resp);

@@ -19,6 +19,7 @@ encodeCommand(const MemCommand &cmd)
     header.cmdType = cmd.type;
     header.tag = cmd.tag;
     header.addr = cmd.addr;
+    header.traceId = cmd.traceId;
     frames.push_back(header);
 
     if (cmd.type == CmdType::partialWrite) {
@@ -27,6 +28,7 @@ encodeCommand(const MemCommand &cmd)
         en.type = FrameType::writeData;
         en.tag = cmd.tag;
         en.subIndex = enableMapSubIndex;
+        en.traceId = cmd.traceId;
         for (std::size_t byte = 0; byte < downDataChunk; ++byte) {
             std::uint8_t v = 0;
             for (int bit = 0; bit < 8; ++bit)
@@ -43,6 +45,7 @@ encodeCommand(const MemCommand &cmd)
             d.type = FrameType::writeData;
             d.tag = cmd.tag;
             d.subIndex = std::uint8_t(i);
+            d.traceId = cmd.traceId;
             std::memcpy(d.data.data(),
                         cmd.data.data() + i * downDataChunk,
                         downDataChunk);
@@ -65,6 +68,7 @@ encodeResponse(const MemResponse &resp)
             u.tag = resp.tag;
             u.subIndex = std::uint8_t(i);
             u.poisoned = resp.poisoned;
+            u.traceId = resp.traceId;
             std::memcpy(u.data.data(),
                         resp.data.data() + i * upDataChunk,
                         upDataChunk);
@@ -76,6 +80,7 @@ encodeResponse(const MemResponse &resp)
         u.type = FrameType::done;
         u.doneCount = 1;
         u.doneTags[0] = resp.tag;
+        u.traceId = resp.traceId;
         frames.push_back(u);
         break;
       }
@@ -84,6 +89,7 @@ encodeResponse(const MemResponse &resp)
         u.type = FrameType::swapResult;
         u.tag = resp.tag;
         u.swapSucceeded = resp.swapSucceeded;
+        u.traceId = resp.traceId;
         std::memcpy(u.data.data(), resp.data.data(), 8);
         frames.push_back(u);
         break;
@@ -121,6 +127,7 @@ CommandAssembler::feed(const DownFrame &frame)
         p.cmd.type = frame.cmdType;
         p.cmd.addr = frame.addr;
         p.cmd.tag = frame.tag;
+        p.cmd.traceId = frame.traceId;
         return finishIfComplete(p);
       }
       case FrameType::writeData: {
@@ -180,6 +187,7 @@ ResponseAssembler::feed(const UpFrame &frame)
             r.tag = frame.tag;
             r.data = p.data;
             r.poisoned = p.poisoned;
+            r.traceId = frame.traceId;
             p = Pending{};
             out.push_back(r);
         }
@@ -191,6 +199,7 @@ ResponseAssembler::feed(const UpFrame &frame)
             MemResponse r;
             r.type = RespType::done;
             r.tag = frame.doneTags[i];
+            r.traceId = frame.traceId;
             out.push_back(r);
         }
         break;
@@ -199,6 +208,7 @@ ResponseAssembler::feed(const UpFrame &frame)
         r.type = RespType::swapOld;
         r.tag = frame.tag;
         r.swapSucceeded = frame.swapSucceeded;
+        r.traceId = frame.traceId;
         std::memcpy(r.data.data(), frame.data.data(), 8);
         out.push_back(r);
         break;

@@ -63,6 +63,12 @@ struct MemCommand
     std::uint8_t tag = 0;    ///< One of the 32 processor tags.
     CacheLine data{};        ///< Write payload (if hasWriteData).
     ByteEnable enables;      ///< Used by partialWrite only.
+    /**
+     * Observability: trace id assigned at the host port, carried
+     * end-to-end so spans opened by the layers the command crosses
+     * can be attributed (sim/span.hh). noTraceId = unsampled.
+     */
+    TraceId traceId = noTraceId;
 
     std::string toString() const;
 };
@@ -87,6 +93,8 @@ struct MemResponse
      * host contains the error instead of consuming garbage.
      */
     bool poisoned = false;
+    /** Trace id echoed from the originating command (in-memory only). */
+    TraceId traceId = noTraceId;
 
     std::string toString() const;
 };

@@ -43,6 +43,22 @@ getU32(const std::uint8_t *p)
 }
 
 void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = std::uint8_t(v >> (8 * i));
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+void
 putAddr48(std::uint8_t *p, Addr a)
 {
     for (int i = 0; i < 6; ++i)
@@ -92,6 +108,8 @@ DownFrame::serialize() const
         b[5] = tag;
         // Addresses are 128 B aligned; ship addr >> 7 in 48 bits.
         putAddr48(b + 6, addr >> 7);
+        // Trace id rides in the command payload's spare bytes.
+        putU64(b + 12, traceId);
         break;
       case FrameType::writeData:
         b[4] = tag;
@@ -129,6 +147,7 @@ DownFrame::deserialize(const WireFrame &wire, DownFrame &out)
         out.cmdType = CmdType(b[4]);
         out.tag = b[5];
         out.addr = getAddr48(b + 6) << 7;
+        out.traceId = getU64(b + 12);
         break;
       case FrameType::writeData:
         out.tag = b[4];

@@ -86,6 +86,12 @@ struct DownFrame
     CmdType cmdType = CmdType::read128;
     std::uint8_t tag = 0;
     Addr addr = 0; ///< 48-bit, 128 B aligned.
+    /**
+     * Trace id, serialized in the command payload's spare bytes
+     * [12..19] so the buffer side can continue the host's trace.
+     * Other frame types carry it in-memory only.
+     */
+    TraceId traceId = noTraceId;
 
     // writeData payload: chunk subIndex 0..7, or enableMapSubIndex.
     std::uint8_t subIndex = 0;
@@ -139,6 +145,14 @@ struct UpFrame
 
     // train payload
     std::uint32_t trainSig = 0;
+
+    /**
+     * Trace id of the command this response belongs to. The upstream
+     * payload has no spare room for it, so it is in-memory metadata
+     * only (both link endpoints live in the same simulation); the
+     * host side re-derives it from the tag anyway.
+     */
+    TraceId traceId = noTraceId;
 
     WireFrame serialize() const;
     static bool deserialize(const WireFrame &wire, UpFrame &out);

@@ -1,5 +1,8 @@
 #include "dmi/link.hh"
 
+#include <type_traits>
+
+#include "sim/span.hh"
 #include "sim/trace.hh"
 
 namespace contutto::dmi
@@ -76,6 +79,19 @@ LinkEndpoint<TxF, RxF>::pump()
         slot.wire = wire;
         slot.sentAt = curTick();
         slot.valid = true;
+        slot.traceId = f.traceId;
+
+        // The wire-transit span covers serialization, channel flight
+        // and the receiver's RX pipeline; the receiving layer closes
+        // it. open() is idempotent, so the multiple frames of one
+        // command/response share a single span starting at the first
+        // frame's departure.
+        if (span::enabled() && f.traceId != noTraceId) {
+            if constexpr (std::is_same_v<TxF, DownFrame>)
+                span::open(f.traceId, "dmi.down", curTick());
+            else
+                span::open(f.traceId, "dmi.up", curTick());
+        }
 
         nextSeq_ = std::uint8_t(nextSeq_ + 1);
         ++unacked_;
@@ -242,6 +258,8 @@ LinkEndpoint<TxF, RxF>::triggerReplay()
         ReplaySlot &slot = replayBuf_[s];
         ct_assert(slot.valid);
         slot.sentAt = curTick();
+        if (span::enabled() && slot.traceId != noTraceId)
+            span::event(slot.traceId, "dmi.replay", curTick());
         txChannel_.send(slot.wire);
         ++stats_.framesReplayed;
     }

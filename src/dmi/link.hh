@@ -142,6 +142,8 @@ class LinkEndpoint : public SimObject
         WireFrame wire;
         Tick sentAt = 0;
         bool valid = false;
+        /** Trace id of the frame kept here, for replay attribution. */
+        TraceId traceId = noTraceId;
     };
 
     void pump();             ///< Drain sendQueue_ into the channel.

@@ -12,7 +12,12 @@ LinkTrainer::LinkTrainer(const std::string &name, EventQueue &eq,
                          DmiChannel &down, DmiChannel &up)
     : SimObject(name, eq, domain, parent), params_(params), host_(host),
       buffer_(buffer), down_(down), up_(up), rng_(params.seed),
-      timeoutEvent_([this] { onTimeout(); }, name + ".timeout")
+      timeoutEvent_([this] { onTimeout(); }, name + ".timeout"),
+      stats_{{this, "runs", "training runs completed"},
+             {this, "failures", "training runs that failed"},
+             {this, "alignAttempts", "alignment probes sent"},
+             {this, "frtlMeasured",
+              "frame round-trip latency measured by training (ns)"}}
 {
     ct_assert(params_.frtlProbes > 0);
 }
@@ -180,6 +185,12 @@ LinkTrainer::finish(bool success, const std::string &reason)
              reason.empty() ? "" : ": ", reason.c_str());
     result_.success = success;
     result_.failReason = reason;
+    ++stats_.runs;
+    if (!success)
+        ++stats_.failures;
+    stats_.alignAttempts += double(result_.attempts);
+    if (success)
+        stats_.frtlMeasured.sample(ticksToNs(result_.frtl));
     state_ = State::idle;
     host_.onTrainSig = nullptr;
     buffer_.onTrainSig = nullptr;

@@ -77,6 +77,16 @@ class LinkTrainer : public SimObject
     /** True while a run is in progress. */
     bool busy() const { return state_ != State::idle; }
 
+    struct TrainerStats
+    {
+        stats::Scalar runs;          ///< Training runs completed.
+        stats::Scalar failures;      ///< Runs that did not lock.
+        stats::Scalar alignAttempts; ///< Alignment probes sent, total.
+        stats::Distribution frtlMeasured; ///< Measured FRTL (ns).
+    };
+
+    const TrainerStats &trainerStats() const { return stats_; }
+
   private:
     enum class State
     {
@@ -124,6 +134,7 @@ class LinkTrainer : public SimObject
     TrainingResult result_;
     std::function<void(const TrainingResult &)> done_;
     EventFunctionWrapper timeoutEvent_;
+    TrainerStats stats_;
 };
 
 } // namespace contutto::dmi

@@ -1,5 +1,7 @@
 #include "mem/ddr3_controller.hh"
 
+#include "sim/span.hh"
+
 namespace contutto::mem
 {
 
@@ -61,6 +63,8 @@ Ddr3Controller::submit(const MemRequestPtr &req)
     ct_assert(req->size > 0 && req->size <= dmi::cacheLineSize);
     if (!canAccept())
         panic("%s: request queue overflow", name().c_str());
+    if (req->traceId != noTraceId)
+        span::open(req->traceId, "ddr", curTick());
     queue_.emplace_back(req, curTick());
     if (!issueEvent_.scheduled())
         eventq().schedule(&issueEvent_, curTick());
@@ -148,6 +152,8 @@ Ddr3Controller::complete(const MemRequestPtr &req, Tick submitted)
     }
     req->completedAt = curTick();
     stats_.accessLatency.sample(ticksToNs(curTick() - submitted));
+    if (req->traceId != noTraceId)
+        span::closeIfOpen(req->traceId, "ddr", curTick());
     if (req->onDone)
         req->onDone(*req);
 }

@@ -35,6 +35,13 @@ struct MemRequest
      */
     bool poisoned = false;
 
+    /**
+     * Trace id of the originating host command (sim/span.hh); lets
+     * the controller attribute its queueing and access time to the
+     * command's end-to-end breakdown.
+     */
+    TraceId traceId = noTraceId;
+
     /** Completion callback; data is valid for reads. */
     std::function<void(MemRequest &)> onDone;
 };

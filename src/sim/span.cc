@@ -1,0 +1,320 @@
+#include "sim/span.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace contutto::span
+{
+
+namespace detail
+{
+std::atomic<bool> enabled_{false};
+} // namespace detail
+
+namespace
+{
+
+struct Tracker
+{
+    std::mutex mtx;
+    std::uint64_t nextId = 1;
+    std::uint64_t acquireCalls = 0;
+    std::uint64_t sampleInterval = 1;
+    std::size_t capacity = 65536;
+    std::uint64_t seqCounter = 0;
+    std::uint64_t orphanCloses = 0;
+    std::uint64_t droppedSpans = 0;
+    /** Open spans per id; small vectors, few stages deep. */
+    std::unordered_map<TraceId, std::vector<Span>> open;
+    /** Completed spans, oldest first, bounded by capacity. */
+    std::deque<Span> done;
+};
+
+Tracker &
+tracker()
+{
+    static Tracker t;
+    return t;
+}
+
+bool
+sameStage(const char *a, const char *b)
+{
+    return a == b || std::strcmp(a, b) == 0;
+}
+
+void
+retire(Tracker &t, Span s)
+{
+    if (t.done.size() >= t.capacity) {
+        t.done.pop_front();
+        ++t.droppedSpans;
+    }
+    t.done.push_back(s);
+}
+
+/** Close the newest open (id, stage); true when one was found. */
+bool
+closeNewest(Tracker &t, TraceId id, const char *stage, Tick now)
+{
+    auto it = t.open.find(id);
+    if (it == t.open.end())
+        return false;
+    auto &spans = it->second;
+    for (auto rit = spans.rbegin(); rit != spans.rend(); ++rit) {
+        if (!sameStage(rit->stage, stage))
+            continue;
+        Span s = *rit;
+        s.end = now;
+        spans.erase(std::next(rit).base());
+        if (spans.empty())
+            t.open.erase(it);
+        retire(t, s);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Tick
+Breakdown::stageTime(const std::string &stage) const
+{
+    for (const StageTime &s : stages)
+        if (s.stage == stage)
+            return s.exclusive;
+    return 0;
+}
+
+void
+setEnabled(bool on)
+{
+    detail::enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+setSampleInterval(std::uint64_t n)
+{
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    t.sampleInterval = n ? n : 1;
+}
+
+void
+setCapacity(std::size_t spans)
+{
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    t.capacity = spans ? spans : 1;
+    while (t.done.size() > t.capacity) {
+        t.done.pop_front();
+        ++t.droppedSpans;
+    }
+}
+
+TraceId
+acquireId()
+{
+    if (!enabled())
+        return noTraceId;
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    if (t.acquireCalls++ % t.sampleInterval != 0)
+        return noTraceId;
+    return t.nextId++;
+}
+
+void
+open(TraceId id, const char *stage, Tick now)
+{
+    if (id == noTraceId || !enabled())
+        return;
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    auto &spans = t.open[id];
+    for (const Span &s : spans)
+        if (sameStage(s.stage, stage))
+            return; // already open: idempotent
+    Span s;
+    s.id = id;
+    s.stage = stage;
+    s.begin = now;
+    s.end = maxTick;
+    s.depth = std::uint32_t(spans.size());
+    s.seq = ++t.seqCounter;
+    spans.push_back(s);
+}
+
+void
+close(TraceId id, const char *stage, Tick now)
+{
+    if (id == noTraceId || !enabled())
+        return;
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    if (!closeNewest(t, id, stage, now))
+        ++t.orphanCloses;
+}
+
+void
+closeIfOpen(TraceId id, const char *stage, Tick now)
+{
+    if (id == noTraceId || !enabled())
+        return;
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    closeNewest(t, id, stage, now);
+}
+
+void
+event(TraceId id, const char *stage, Tick now)
+{
+    if (id == noTraceId || !enabled())
+        return;
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    Span s;
+    s.id = id;
+    s.stage = stage;
+    s.begin = now;
+    s.end = now;
+    s.seq = ++t.seqCounter;
+    retire(t, s);
+}
+
+void
+closeAll(TraceId id, Tick now)
+{
+    if (id == noTraceId)
+        return;
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    auto it = t.open.find(id);
+    if (it == t.open.end())
+        return;
+    // Deepest first, so the retirement order mirrors normal closes.
+    auto spans = std::move(it->second);
+    t.open.erase(it);
+    for (auto rit = spans.rbegin(); rit != spans.rend(); ++rit) {
+        Span s = *rit;
+        s.end = now;
+        retire(t, s);
+    }
+}
+
+std::vector<Span>
+snapshot()
+{
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    return {t.done.begin(), t.done.end()};
+}
+
+std::vector<Span>
+spansFor(TraceId id)
+{
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    std::vector<Span> out;
+    for (const Span &s : t.done)
+        if (s.id == id)
+            out.push_back(s);
+    return out;
+}
+
+Breakdown
+breakdown(TraceId id)
+{
+    std::vector<Span> spans = spansFor(id);
+    Breakdown b;
+    b.id = id;
+    if (spans.empty())
+        return b;
+
+    b.begin = maxTick;
+    for (const Span &s : spans) {
+        b.begin = std::min(b.begin, s.begin);
+        b.end = std::max(b.end, s.end);
+    }
+    b.total = b.end - b.begin;
+
+    // Elementary intervals: split the id's lifetime at every span
+    // boundary, then attribute each slice to the deepest span active
+    // across it (ties: the latest-opened). Because every slice goes
+    // to exactly one stage, the exclusive times sum to total exactly.
+    std::vector<Tick> cuts;
+    for (const Span &s : spans) {
+        cuts.push_back(s.begin);
+        cuts.push_back(s.end);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    auto charge = [&b](const char *stage, Tick dt) {
+        for (StageTime &st : b.stages) {
+            if (st.stage == stage) {
+                st.exclusive += dt;
+                return;
+            }
+        }
+        b.stages.push_back(StageTime{stage, dt});
+    };
+
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        Tick a = cuts[i], z = cuts[i + 1];
+        const Span *best = nullptr;
+        for (const Span &s : spans) {
+            if (s.begin > a || s.end < z || s.begin == s.end)
+                continue; // not covering, or an instant event
+            if (!best || s.depth > best->depth
+                || (s.depth == best->depth && s.seq > best->seq))
+                best = &s;
+        }
+        charge(best ? best->stage : "(untracked)", z - a);
+    }
+    return b;
+}
+
+std::uint64_t
+orphanCloses()
+{
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    return t.orphanCloses;
+}
+
+std::uint64_t
+droppedSpans()
+{
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    return t.droppedSpans;
+}
+
+std::size_t
+openSpans()
+{
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    std::size_t n = 0;
+    for (const auto &[id, spans] : t.open)
+        n += spans.size();
+    return n;
+}
+
+void
+reset()
+{
+    Tracker &t = tracker();
+    std::lock_guard<std::mutex> lk(t.mtx);
+    t.open.clear();
+    t.done.clear();
+    t.orphanCloses = 0;
+    t.droppedSpans = 0;
+    t.acquireCalls = 0;
+}
+
+} // namespace contutto::span

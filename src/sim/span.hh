@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Cross-layer latency spans: where each nanosecond of a command goes.
+ *
+ * Every host operation issued at the processor's memory port can be
+ * assigned a TraceId which rides the existing command and frame
+ * structures down through the DMI link, the memory buffer (Centaur or
+ * ConTutto MBS), the DDR controller and back. Each layer opens and
+ * closes named *spans* against that id ("host", "dmi.down", "mbs",
+ * "ddr", "dmi.up", ...), so a per-stage critical-path breakdown
+ * emerges from the recorded event timing rather than being asserted.
+ *
+ * The tracker is a process-wide facility in the style of trace.hh:
+ * disabled by default, and the disabled fast path is a single relaxed
+ * atomic load so instrumented code costs nothing in normal runs.
+ * Capture is bounded (ring buffer of completed spans) and sampled
+ * (1-in-N acquireId() calls get a real id), so full-rate benches can
+ * leave tracing on without unbounded memory growth.
+ *
+ * Span semantics:
+ *  - open() is idempotent while the (id, stage) pair is open: the
+ *    multi-frame encodings of one command may touch a stage several
+ *    times (a write is a header plus eight data frames).
+ *  - close() completes the most recent open (id, stage) span; a
+ *    close with no matching open counts as an *orphan close*.
+ *  - event() records an instant (zero-duration) span, used for
+ *    replay retransmissions so retries stay attributed to the id.
+ *  - breakdown() attributes every elementary time slice of an id's
+ *    lifetime to the deepest span active during it, so the per-stage
+ *    exclusive times sum *exactly* to the end-to-end duration.
+ *
+ * Stage names must be string literals (or otherwise outlive the
+ * tracker); spans store the pointer, not a copy.
+ */
+
+#ifndef CONTUTTO_SIM_SPAN_HH
+#define CONTUTTO_SIM_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace contutto::span
+{
+
+/** One completed (or instant) span. */
+struct Span
+{
+    TraceId id = noTraceId;
+    const char *stage = "";
+    Tick begin = 0;
+    Tick end = 0;
+    /** Open spans for this id when this one opened (nesting depth). */
+    std::uint32_t depth = 0;
+    /** Global open order; breaks ties between same-tick opens. */
+    std::uint64_t seq = 0;
+};
+
+/** Exclusive time attributed to one stage of a traced operation. */
+struct StageTime
+{
+    std::string stage;
+    Tick exclusive = 0;
+};
+
+/** Per-stage attribution of one traced operation's lifetime. */
+struct Breakdown
+{
+    TraceId id = noTraceId;
+    Tick begin = 0;
+    Tick end = 0;
+    /** end - begin; equals the sum of the stage exclusive times. */
+    Tick total = 0;
+    std::vector<StageTime> stages;
+
+    /** Exclusive ticks of @p stage (0 when absent). */
+    Tick stageTime(const std::string &stage) const;
+};
+
+/** @{ Global enable; the instrumentation fast path. */
+namespace detail
+{
+extern std::atomic<bool> enabled_;
+} // namespace detail
+
+inline bool
+enabled()
+{
+    return detail::enabled_.load(std::memory_order_relaxed);
+}
+/** @} */
+
+/** Turn span capture on or off (off drops nothing already captured). */
+void setEnabled(bool on);
+
+/** Sample 1 in @p n acquireId() calls (n >= 1; default 1 = all). */
+void setSampleInterval(std::uint64_t n);
+
+/** Bound on retained completed spans (oldest dropped beyond it). */
+void setCapacity(std::size_t spans);
+
+/**
+ * Hand out an id for a new operation, honouring sampling; returns
+ * noTraceId when capture is disabled or the call was not sampled.
+ */
+TraceId acquireId();
+
+/** Open a span; no-op for noTraceId or while (id, stage) is open. */
+void open(TraceId id, const char *stage, Tick now);
+
+/** Close the most recent open (id, stage) span; orphan if none. */
+void close(TraceId id, const char *stage, Tick now);
+
+/**
+ * Close (id, stage) if it is open; unlike close(), silently does
+ * nothing otherwise. For stages that only sometimes open (tag-wait).
+ */
+void closeIfOpen(TraceId id, const char *stage, Tick now);
+
+/** Record an instant (zero-duration) span, e.g. a replay event. */
+void event(TraceId id, const char *stage, Tick now);
+
+/** Close every span still open against @p id (aborted operations). */
+void closeAll(TraceId id, Tick now);
+
+/** Completed spans currently retained, oldest first. */
+std::vector<Span> snapshot();
+
+/** Completed spans recorded against @p id, oldest first. */
+std::vector<Span> spansFor(TraceId id);
+
+/** Deepest-active-span exclusive attribution for @p id. */
+Breakdown breakdown(TraceId id);
+
+/** @{ Health counters (see file comment for orphan semantics). */
+std::uint64_t orphanCloses();
+std::uint64_t droppedSpans();
+std::size_t openSpans();
+/** @} */
+
+/** Drop all captured spans and counters (not the enable/sampling). */
+void reset();
+
+} // namespace contutto::span
+
+#endif // CONTUTTO_SIM_SPAN_HH

@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 
 namespace contutto::stats
@@ -34,7 +35,7 @@ Histogram::quantile(double q) const
     ct_assert(q >= 0.0 && q <= 1.0);
     std::uint64_t total = dist_.count();
     if (total == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     // ceil(q * total) samples must lie at or below the answer.
     std::uint64_t target = std::uint64_t(std::ceil(q * double(total)));
     if (target == 0)
@@ -54,6 +55,13 @@ Histogram::quantile(double q) const
 void
 Histogram::print(std::ostream &os, const std::string &prefix) const
 {
+    if (dist_.count() == 0) {
+        // No samples: the quantile sentinel is NaN, which would
+        // print as "nan"; report the emptiness explicitly instead.
+        os << prefix << name() << " count=0 p50=- p99=-  # "
+           << description() << "\n";
+        return;
+    }
     os << prefix << name() << " count=" << dist_.count()
        << " mean=" << dist_.mean() << " p50=" << quantile(0.5)
        << " p99=" << quantile(0.99) << " max=" << dist_.maximum()
@@ -108,6 +116,126 @@ StatGroup::findStat(const std::string &name) const
         if (s->name() == name)
             return s;
     return nullptr;
+}
+
+void
+jsonEscape(const std::string &s, std::ostream &os)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              unsigned(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(double v, std::ostream &os)
+{
+    // JSON has no inf/nan tokens; the empty-histogram quantile
+    // sentinel (and any other non-finite value) maps to null.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << std::int64_t(v);
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+Scalar::json(std::ostream &os) const
+{
+    os << "{\"kind\":\"scalar\",\"value\":";
+    jsonNumber(value_, os);
+    os << "}";
+}
+
+void
+Distribution::json(std::ostream &os) const
+{
+    os << "{\"kind\":\"distribution\",\"count\":" << count_
+       << ",\"sum\":";
+    jsonNumber(sum(), os);
+    os << ",\"mean\":";
+    jsonNumber(mean(), os);
+    os << ",\"min\":";
+    jsonNumber(minimum(), os);
+    os << ",\"max\":";
+    jsonNumber(maximum(), os);
+    os << ",\"stddev\":";
+    jsonNumber(stddev(), os);
+    os << "}";
+}
+
+void
+Histogram::json(std::ostream &os) const
+{
+    os << "{\"kind\":\"histogram\",\"count\":" << dist_.count()
+       << ",\"mean\":";
+    jsonNumber(dist_.mean(), os);
+    os << ",\"min\":";
+    jsonNumber(dist_.minimum(), os);
+    os << ",\"max\":";
+    jsonNumber(dist_.maximum(), os);
+    os << ",\"p50\":";
+    jsonNumber(dist_.count() ? quantile(0.5) : NAN, os);
+    os << ",\"p99\":";
+    jsonNumber(dist_.count() ? quantile(0.99) : NAN, os);
+    os << ",\"bucketWidth\":";
+    jsonNumber(width_, os);
+    os << ",\"buckets\":[";
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        os << (i ? "," : "") << buckets_[i];
+    os << "]}";
+}
+
+void
+toJson(const StatGroup &group, std::ostream &os)
+{
+    const std::string &full = group.groupName();
+    auto dot = full.rfind('.');
+    std::string leaf =
+        dot == std::string::npos ? full : full.substr(dot + 1);
+    os << "{\"name\":";
+    jsonEscape(leaf, os);
+    os << ",\"stats\":{";
+    bool first = true;
+    for (const StatBase *s : group.ownStats()) {
+        if (!first)
+            os << ",";
+        first = false;
+        jsonEscape(s->name(), os);
+        os << ":";
+        s->json(os);
+    }
+    os << "},\"groups\":[";
+    first = true;
+    for (const StatGroup *g : group.children()) {
+        if (!first)
+            os << ",";
+        first = false;
+        toJson(*g, os);
+    }
+    os << "]}";
 }
 
 } // namespace contutto::stats

@@ -42,6 +42,9 @@ class StatBase
     virtual void print(std::ostream &os,
                        const std::string &prefix) const = 0;
 
+    /** Emit the value as a single JSON object (no trailing space). */
+    virtual void json(std::ostream &os) const = 0;
+
     /** Restore the statistic to its just-constructed state. */
     virtual void reset() = 0;
 
@@ -63,6 +66,7 @@ class Scalar : public StatBase
     double value() const { return value_; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void json(std::ostream &os) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -80,7 +84,12 @@ class Distribution : public StatBase
     {
         ++count_;
         sum_ += v;
-        sumSq_ += v * v;
+        // Welford's online update: numerically stable for
+        // large-mean, small-variance sample streams, where the naive
+        // sum-of-squares formula cancels catastrophically.
+        double delta = v - runMean_;
+        runMean_ += delta / double(count_);
+        m2_ += delta * (v - runMean_);
         min_ = std::min(min_, v);
         max_ = std::max(max_, v);
     }
@@ -91,24 +100,24 @@ class Distribution : public StatBase
     double minimum() const { return count_ ? min_ : 0.0; }
     double maximum() const { return count_ ? max_ : 0.0; }
 
+    /** Sample (n-1) standard deviation; 0 with fewer than 2 samples. */
     double
     stddev() const
     {
         if (count_ < 2)
             return 0.0;
-        double m = mean();
-        double var = (sumSq_ - double(count_) * m * m)
-            / double(count_ - 1);
+        double var = m2_ / double(count_ - 1);
         return var > 0 ? std::sqrt(var) : 0.0;
     }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void json(std::ostream &os) const override;
 
     void
     reset() override
     {
         count_ = 0;
-        sum_ = sumSq_ = 0;
+        sum_ = runMean_ = m2_ = 0;
         min_ = std::numeric_limits<double>::infinity();
         max_ = -std::numeric_limits<double>::infinity();
     }
@@ -116,7 +125,8 @@ class Distribution : public StatBase
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0;
-    double sumSq_ = 0;
+    double runMean_ = 0; ///< Welford running mean.
+    double m2_ = 0;      ///< Welford sum of squared deviations.
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };
@@ -138,21 +148,38 @@ class Histogram : public StatBase
     sample(double v)
     {
         dist_.sample(v);
-        std::size_t idx = v < 0 ? 0 : std::size_t(v / width_);
-        if (idx >= buckets_.size() - 1)
+        // Compare in floating point *before* converting: for huge
+        // (or NaN) values the double -> size_t conversion itself is
+        // undefined behaviour, not merely out of range.
+        double pos = v / width_;
+        std::size_t idx;
+        if (!(pos >= 0))
+            idx = 0; // negative or NaN
+        else if (pos >= double(buckets_.size() - 1))
             idx = buckets_.size() - 1; // overflow bucket
+        else
+            idx = std::size_t(pos);
         ++buckets_[idx];
     }
 
     std::uint64_t count() const { return dist_.count(); }
     double mean() const { return dist_.mean(); }
+    double maximum() const { return dist_.maximum(); }
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
     std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return width_; }
 
-    /** Smallest value v such that at least q of the mass is <= v. */
+    /**
+     * Smallest value v such that at least q of the mass is <= v.
+     * An empty histogram has no quantiles: returns quiet NaN (the
+     * documented sentinel; test with std::isnan). When the target
+     * mass falls in the overflow bucket the largest observed sample
+     * is returned, since the bucket has no finite upper edge.
+     */
     double quantile(double q) const;
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void json(std::ostream &os) const override;
 
     void
     reset() override
@@ -224,6 +251,15 @@ class StatGroup
     /** Find a stat by name in this group only; null if absent. */
     const StatBase *findStat(const std::string &name) const;
 
+    /** Direct child groups, in registration order. */
+    const std::vector<StatGroup *> &children() const
+    {
+        return children_;
+    }
+
+    /** Stats registered directly on this group. */
+    const std::vector<StatBase *> &ownStats() const { return stats_; }
+
   private:
     friend class StatBase;
 
@@ -232,6 +268,19 @@ class StatGroup
     std::vector<StatBase *> stats_;
     std::vector<StatGroup *> children_;
 };
+
+/**
+ * Serialize @p group and its whole subtree as one JSON object:
+ * {"name": <leaf>, "stats": {<stat>: {...}}, "groups": [...]}.
+ * Non-finite values (the empty-histogram quantile sentinel) are
+ * emitted as null so the output is always strictly valid JSON.
+ */
+void toJson(const StatGroup &group, std::ostream &os);
+
+/** @{ JSON helpers shared with the telemetry exporters. */
+void jsonEscape(const std::string &s, std::ostream &os);
+void jsonNumber(double v, std::ostream &os);
+/** @} */
 
 } // namespace contutto::stats
 

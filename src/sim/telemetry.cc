@@ -1,0 +1,283 @@
+#include "sim/telemetry.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace contutto::telemetry
+{
+
+void
+writePerfettoTrace(const std::vector<span::Span> &spans,
+                   std::ostream &os)
+{
+    std::vector<span::Span> sorted = spans;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const span::Span &a, const span::Span &b) {
+                  if (a.begin != b.begin)
+                      return a.begin < b.begin;
+                  return a.seq < b.seq;
+              });
+    os << "[";
+    bool first = true;
+    for (const span::Span &s : sorted) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        // Ticks are picoseconds; trace-event "ts"/"dur" are
+        // microseconds (fractional values are accepted).
+        double ts_us = double(s.begin) * 1e-6;
+        double dur_us = double(s.end - s.begin) * 1e-6;
+        os << "{\"name\":";
+        stats::jsonEscape(s.stage, os);
+        os << ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":";
+        stats::jsonNumber(ts_us, os);
+        os << ",\"dur\":";
+        stats::jsonNumber(dur_us, os);
+        os << ",\"pid\":0,\"tid\":" << s.id << ",\"args\":{\"traceId\":"
+           << s.id << "}}";
+    }
+    os << "]\n";
+}
+
+void
+writePerfettoTrace(std::ostream &os)
+{
+    writePerfettoTrace(span::snapshot(), os);
+}
+
+namespace
+{
+
+/** Minimal recursive-descent JSON checker (RFC 8259 subset). */
+struct Lint
+{
+    const char *p;
+    const char *end;
+
+    void ws()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n'
+                           || *p == '\r'))
+            ++p;
+    }
+
+    bool lit(const char *s)
+    {
+        std::size_t n = std::strlen(s);
+        if (std::size_t(end - p) < n || std::strncmp(p, s, n) != 0)
+            return false;
+        p += n;
+        return true;
+    }
+
+    bool string()
+    {
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return false;
+                if (*p == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++p;
+                        if (p >= end || !std::isxdigit(
+                                static_cast<unsigned char>(*p)))
+                            return false;
+                    }
+                }
+            } else if (static_cast<unsigned char>(*p) < 0x20) {
+                return false;
+            }
+            ++p;
+        }
+        if (p >= end)
+            return false;
+        ++p; // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+            return false;
+        if (*p == '0') {
+            ++p; // RFC 8259: no leading zeros ("01" is not a number)
+        } else {
+            while (p < end
+                   && std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        if (p < end && *p == '.') {
+            ++p;
+            if (p >= end
+                || !std::isdigit(static_cast<unsigned char>(*p)))
+                return false;
+            while (p < end
+                   && std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p >= end
+                || !std::isdigit(static_cast<unsigned char>(*p)))
+                return false;
+            while (p < end
+                   && std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        return p > start;
+    }
+
+    bool value()
+    {
+        ws();
+        if (p >= end)
+            return false;
+        switch (*p) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return lit("true");
+          case 'f': return lit("false");
+          case 'n': return lit("null");
+          default: return number();
+        }
+    }
+
+    bool object()
+    {
+        ++p; // '{'
+        ws();
+        if (p < end && *p == '}') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (p >= end || *p != ':')
+                return false;
+            ++p;
+            if (!value())
+                return false;
+            ws();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++p; // '['
+        ws();
+        if (p < end && *p == ']') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            ws();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+};
+
+} // namespace
+
+bool
+jsonLint(const std::string &text)
+{
+    Lint l{text.data(), text.data() + text.size()};
+    if (!l.value())
+        return false;
+    l.ws();
+    return l.p == l.end;
+}
+
+IntervalDumper::IntervalDumper(EventQueue &eq,
+                               const stats::StatGroup &group,
+                               Tick period)
+    : eq_(eq), group_(group), period_(period),
+      event_([this] { tick(); }, group.groupName() + ".statsDump")
+{
+    ct_assert(period_ > 0);
+}
+
+IntervalDumper::~IntervalDumper()
+{
+    stop();
+}
+
+void
+IntervalDumper::start()
+{
+    if (!event_.scheduled())
+        eq_.schedule(&event_, eq_.curTick() + period_);
+}
+
+void
+IntervalDumper::stop()
+{
+    if (event_.scheduled())
+        eq_.deschedule(&event_);
+}
+
+void
+IntervalDumper::snapshot()
+{
+    std::ostringstream os;
+    stats::toJson(group_, os);
+    snaps_.emplace_back(eq_.curTick(), os.str());
+}
+
+void
+IntervalDumper::tick()
+{
+    snapshot();
+    eq_.schedule(&event_, eq_.curTick() + period_);
+}
+
+void
+IntervalDumper::write(std::ostream &os) const
+{
+    os << "{\"period\":" << period_ << ",\"snapshots\":[";
+    bool first = true;
+    for (const auto &[tick, json] : snaps_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"tick\":" << tick << ",\"stats\":" << json << "}";
+    }
+    os << "]}\n";
+}
+
+} // namespace contutto::telemetry

@@ -1,8 +1,10 @@
 #include "sim/trace.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <iostream>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -12,63 +14,79 @@ namespace contutto::trace
 namespace
 {
 
-std::set<std::string> &
-flags()
+/**
+ * Shared mutable state: the flag set and the output stream pointer
+ * can be mutated mid-run (tests flip setOutput/enable around the
+ * code under test), so both live behind one mutex. The hot path —
+ * anyEnabled() with tracing off — stays a single relaxed atomic
+ * load and never touches the lock.
+ */
+struct State
 {
-    static std::set<std::string> f;
-    return f;
+    std::mutex mtx;
+    std::set<std::string> flags;
+    std::ostream *output = &std::cerr;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
 }
 
-std::ostream *&
-output()
-{
-    static std::ostream *os = &std::cerr;
-    return os;
-}
-
-std::uint64_t &
-counter()
-{
-    static std::uint64_t n = 0;
-    return n;
-}
+std::atomic<bool> anyEnabled_{false};
+std::atomic<std::uint64_t> counter_{0};
 
 } // namespace
 
 void
 enable(const std::string &flag)
 {
-    flags().insert(flag);
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mtx);
+    s.flags.insert(flag);
+    anyEnabled_.store(!s.flags.empty(), std::memory_order_relaxed);
 }
 
 void
 disable(const std::string &flag)
 {
-    flags().erase(flag);
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mtx);
+    s.flags.erase(flag);
+    anyEnabled_.store(!s.flags.empty(), std::memory_order_relaxed);
 }
 
 void
 disableAll()
 {
-    flags().clear();
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mtx);
+    s.flags.clear();
+    anyEnabled_.store(false, std::memory_order_relaxed);
 }
 
 bool
 enabled(const std::string &flag)
 {
-    return flags().count(flag) != 0 || flags().count("all") != 0;
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mtx);
+    return s.flags.count(flag) != 0 || s.flags.count("all") != 0;
 }
 
 bool
 anyEnabled()
 {
-    return !flags().empty();
+    return anyEnabled_.load(std::memory_order_relaxed);
 }
 
 void
 setOutput(std::ostream *os)
 {
-    output() = os ? os : &std::cerr;
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mtx);
+    s.output = os ? os : &std::cerr;
 }
 
 void
@@ -84,15 +102,17 @@ print(Tick tick, const std::string &name, const char *fmt, ...)
     std::vsnprintf(buf.data(), buf.size(), fmt, ap);
     va_end(ap);
 
-    (*output()) << tick << ": " << name << ": " << buf.data()
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mtx);
+    (*s.output) << tick << ": " << name << ": " << buf.data()
                 << "\n";
-    ++counter();
+    counter_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t
 linesEmitted()
 {
-    return counter();
+    return counter_.load(std::memory_order_relaxed);
 }
 
 } // namespace contutto::trace

@@ -26,6 +26,16 @@ using Addr = std::uint64_t;
 /** Clock-domain-local cycle count. */
 using Cycle = std::uint64_t;
 
+/**
+ * Identity of one traced host operation; rides the command and frame
+ * structures end to end so every layer can attribute latency spans to
+ * it (see sim/span.hh). Zero means "not traced".
+ */
+using TraceId = std::uint64_t;
+
+/** The TraceId of untraced operations. */
+constexpr TraceId noTraceId = 0;
+
 /** The largest representable tick, used as "never". */
 constexpr Tick maxTick = ~Tick(0);
 

@@ -15,6 +15,8 @@ GpfsWriteCache::GpfsWriteCache(const std::string &name,
       stats_{{this, "appWrites", "application writes completed"},
              {this, "destages", "sequential destage writes issued"},
              {this, "stalls", "writes stalled on a full cache"},
+             {this, "dirtyPeak",
+              "most blocks dirty in the cache at once"},
              {this, "appWriteLatency",
               "application-visible write latency (us)"}}
 {}
@@ -71,6 +73,8 @@ GpfsWriteCache::appWrite(std::uint64_t lba, std::function<void()> done)
             req.isWrite = true;
             req.onDone = [this, finish](const BlockRequest &) {
                 ++dirtyBlocks_;
+                if (double(dirtyBlocks_) > stats_.dirtyPeak.value())
+                    stats_.dirtyPeak = double(dirtyBlocks_);
                 finish();
                 maybeDestage();
             };

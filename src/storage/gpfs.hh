@@ -55,6 +55,7 @@ class GpfsWriteCache : public SimObject
         stats::Scalar appWrites;
         stats::Scalar destages;
         stats::Scalar stalls;
+        stats::Scalar dirtyPeak; ///< High-water mark of dirty blocks.
         stats::Distribution appWriteLatency; ///< us
     };
 

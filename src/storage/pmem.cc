@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "sim/span.hh"
+
 namespace contutto::storage
 {
 
@@ -125,6 +127,12 @@ PmemBlockDevice::startNext()
     currentFailed_ = false;
     currentSeq_ = current_.isWrite ? ++writeSeq_ : 0;
 
+    // One block-level span per 4 KiB operation; the 32 line commands
+    // it fans into carry their own per-line ids from the host port.
+    currentTraceId_ = span::enabled() ? span::acquireId() : noTraceId;
+    if (currentTraceId_ != noTraceId)
+        span::open(currentTraceId_, "pmem.block", curTick());
+
     Tick driver = current_.isWrite ? params_.driverWriteCost
                                    : params_.driverReadCost;
     OneShotEvent::schedule(eventq(), curTick() + driver,
@@ -134,6 +142,10 @@ PmemBlockDevice::startNext()
 void
 PmemBlockDevice::finishCurrent()
 {
+    if (currentTraceId_ != noTraceId) {
+        span::closeAll(currentTraceId_, curTick());
+        currentTraceId_ = noTraceId;
+    }
     if (currentFailed_)
         fail(current_);
     else
@@ -183,8 +195,13 @@ PmemBlockDevice::issueLines(const BlockRequest &req)
             // durability ledger forward.
             ++stats_.flushesIssued;
             flushOutstanding_ = true;
+            if (currentTraceId_ != noTraceId)
+                span::open(currentTraceId_, "pmem.fence", curTick());
             sys_.port().flush([this](const cpu::HostOpResult &fr) {
                 flushOutstanding_ = false;
+                if (currentTraceId_ != noTraceId)
+                    span::closeIfOpen(currentTraceId_, "pmem.fence",
+                                      curTick());
                 if (fr.failed || offline_) {
                     currentFailed_ = true;
                 } else {

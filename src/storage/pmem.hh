@@ -156,6 +156,8 @@ class PmemBlockDevice : public BlockDevice
     bool busy_ = false;
     bool offline_ = false;
     BlockRequest current_;
+    /** Block-level trace id: one span over the whole 4 KiB op. */
+    TraceId currentTraceId_ = noTraceId;
     std::uint64_t currentSeq_ = 0;  ///< Sequence of current write.
     bool currentFailed_ = false;
     unsigned linesOutstanding_ = 0;

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Golden end-to-end latency-attribution tests: one traced host read
+ * through the ConTutto and Centaur paths must decompose into stage
+ * times that sum exactly to the end-to-end latency, and moving the
+ * latency knob must show up in the breakdown as exactly the
+ * configured adder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/system.hh"
+#include "sim/span.hh"
+
+using namespace contutto;
+using namespace contutto::cpu;
+
+namespace
+{
+
+Power8System::Params
+contuttoParams()
+{
+    Power8System::Params p;
+    p.buffer = BufferKind::contutto;
+    p.dimms = {DimmSpec{mem::MemTech::dram, 128 * MiB, {}, {}},
+               DimmSpec{mem::MemTech::dram, 128 * MiB, {}, {}}};
+    return p;
+}
+
+Power8System::Params
+centaurParams()
+{
+    Power8System::Params p;
+    p.buffer = BufferKind::centaur;
+    p.dimms = {DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}}};
+    return p;
+}
+
+class LatencyBreakdownTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        span::reset();
+        span::setSampleInterval(1);
+        span::setEnabled(true);
+    }
+
+    void TearDown() override
+    {
+        span::setEnabled(false);
+        span::setSampleInterval(1);
+        span::reset();
+    }
+
+    /** One traced read of a warm address; returns its result. */
+    HostOpResult tracedRead(Power8System &sys, Addr addr)
+    {
+        // Warm the address so row-buffer state does not differ
+        // between runs of this helper.
+        sys.port().read(addr, nullptr);
+        EXPECT_TRUE(sys.runUntilIdle());
+
+        HostOpResult result;
+        bool done = false;
+        issueTick_ = sys.eventq().curTick();
+        sys.port().read(addr, [&](const HostOpResult &r) {
+            result = r;
+            done = true;
+        });
+        EXPECT_TRUE(sys.runUntilIdle());
+        EXPECT_TRUE(done);
+        return result;
+    }
+
+    Tick issueTick_ = 0;
+};
+
+TEST_F(LatencyBreakdownTest, ContuttoStagesSumToEndToEnd)
+{
+    Power8System sys(contuttoParams());
+    ASSERT_TRUE(sys.train());
+
+    HostOpResult r = tracedRead(sys, 0x4000);
+    ASSERT_NE(r.traceId, noTraceId);
+    ASSERT_FALSE(r.failed);
+
+    auto b = span::breakdown(r.traceId);
+    // The root "host" span covers issue to done exactly.
+    EXPECT_EQ(b.begin, issueTick_);
+    EXPECT_EQ(b.end, r.doneAt);
+    EXPECT_EQ(b.total, r.doneAt - issueTick_);
+
+    // Per-stage exclusive times sum to the total, no slack at all.
+    Tick sum = 0;
+    for (const auto &st : b.stages)
+        sum += st.exclusive;
+    EXPECT_EQ(sum, b.total);
+
+    // The ConTutto read path visits every layer.
+    for (const char *stage :
+         {"host", "dmi.down", "mbs", "ddr", "dmi.up"})
+        EXPECT_GT(b.stageTime(stage), Tick(0)) << stage;
+    EXPECT_EQ(b.stageTime("centaur"), Tick(0));
+    // Nothing is unattributed on a clean read.
+    EXPECT_EQ(b.stageTime("(untracked)"), Tick(0));
+}
+
+TEST_F(LatencyBreakdownTest, KnobDeltaMatchesConfiguredAdder)
+{
+    Power8System sys(contuttoParams());
+    ASSERT_TRUE(sys.train());
+
+    HostOpResult base = tracedRead(sys, 0x8000);
+    ASSERT_NE(base.traceId, noTraceId);
+
+    sys.card()->mbs().setKnobPosition(7);
+    Tick adder = sys.card()->mbs().knobDelay();
+    ASSERT_GT(adder, Tick(0));
+
+    HostOpResult knobbed = tracedRead(sys, 0x8000);
+    ASSERT_NE(knobbed.traceId, noTraceId);
+
+    auto b0 = span::breakdown(base.traceId);
+    auto b7 = span::breakdown(knobbed.traceId);
+
+    // End-to-end grows by the knob's one-way adder; clockEdge()
+    // alignment can shift either run by up to one fabric cycle.
+    Tick cycle = sys.fabricDomain().period();
+    Tick delta = b7.total - b0.total;
+    EXPECT_NEAR(double(delta), double(adder), double(cycle));
+
+    // And the growth is attributed to the knob stage, nowhere else.
+    Tick knob_delta =
+        b7.stageTime("mbs.knob") - b0.stageTime("mbs.knob");
+    EXPECT_NEAR(double(knob_delta), double(adder), double(cycle));
+}
+
+TEST_F(LatencyBreakdownTest, CentaurStagesSumToEndToEnd)
+{
+    Power8System sys(centaurParams());
+    ASSERT_TRUE(sys.train());
+
+    HostOpResult r = tracedRead(sys, 0x4000);
+    ASSERT_NE(r.traceId, noTraceId);
+    ASSERT_FALSE(r.failed);
+
+    auto b = span::breakdown(r.traceId);
+    EXPECT_EQ(b.total, r.doneAt - issueTick_);
+    Tick sum = 0;
+    for (const auto &st : b.stages)
+        sum += st.exclusive;
+    EXPECT_EQ(sum, b.total);
+
+    // Centaur path: no MBS, no soft DDR3 controller stage.
+    EXPECT_GT(b.stageTime("centaur"), Tick(0));
+    EXPECT_EQ(b.stageTime("mbs"), Tick(0));
+    for (const char *stage : {"host", "dmi.down", "dmi.up"})
+        EXPECT_GT(b.stageTime(stage), Tick(0)) << stage;
+}
+
+TEST_F(LatencyBreakdownTest, TraceIdSurvivesDmiReplay)
+{
+    Power8System sys(contuttoParams());
+    ASSERT_TRUE(sys.train());
+
+    // Drop the next downstream frame: the read command is lost on
+    // the wire, the link layer times out and replays it, and the
+    // operation still completes under its original trace id.
+    sys.downChannel().dropNext(1);
+
+    HostOpResult r;
+    bool done = false;
+    sys.port().read(0xC000, [&](const HostOpResult &x) {
+        r = x;
+        done = true;
+    });
+    ASSERT_TRUE(sys.runUntilIdle());
+    ASSERT_TRUE(done);
+    ASSERT_NE(r.traceId, noTraceId);
+    ASSERT_FALSE(r.failed);
+
+    // The retransmission is recorded against the op's own id.
+    bool saw_replay = false;
+    for (const auto &s : span::spansFor(r.traceId))
+        if (std::string(s.stage) == "dmi.replay")
+            saw_replay = true;
+    EXPECT_TRUE(saw_replay);
+
+    // The replayed operation still yields a complete attribution.
+    auto b = span::breakdown(r.traceId);
+    Tick sum = 0;
+    for (const auto &st : b.stages)
+        sum += st.exclusive;
+    EXPECT_EQ(sum, b.total);
+    EXPECT_GT(b.stageTime("ddr"), Tick(0));
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+/** @file Unit tests for the cross-layer span tracker. */
+
+#include <gtest/gtest.h>
+
+#include "sim/span.hh"
+
+using namespace contutto;
+
+namespace
+{
+
+/** Every test runs against a clean, enabled, unsampled tracker. */
+class SpanTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        span::reset();
+        span::setSampleInterval(1);
+        span::setCapacity(65536);
+        span::setEnabled(true);
+    }
+
+    void TearDown() override
+    {
+        span::setEnabled(false);
+        span::setSampleInterval(1);
+        span::setCapacity(65536);
+        span::reset();
+    }
+};
+
+TEST_F(SpanTest, OpenCloseRetiresOneSpan)
+{
+    TraceId id = span::acquireId();
+    ASSERT_NE(id, noTraceId);
+    span::open(id, "host", 100);
+    EXPECT_EQ(span::openSpans(), 1u);
+    span::close(id, "host", 250);
+    EXPECT_EQ(span::openSpans(), 0u);
+
+    auto spans = span::spansFor(id);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_STREQ(spans[0].stage, "host");
+    EXPECT_EQ(spans[0].begin, Tick(100));
+    EXPECT_EQ(spans[0].end, Tick(250));
+}
+
+TEST_F(SpanTest, OpenIsIdempotentWhileOpen)
+{
+    TraceId id = span::acquireId();
+    span::open(id, "dmi.down", 100);
+    // A write's eight data frames re-open the same stage; the span
+    // keeps the first frame's departure time.
+    span::open(id, "dmi.down", 140);
+    span::open(id, "dmi.down", 180);
+    span::close(id, "dmi.down", 200);
+    auto spans = span::spansFor(id);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].begin, Tick(100));
+    EXPECT_EQ(span::openSpans(), 0u);
+}
+
+TEST_F(SpanTest, NestingDepthRecorded)
+{
+    TraceId id = span::acquireId();
+    span::open(id, "host", 0);
+    span::open(id, "mbs", 10);
+    span::open(id, "ddr", 20);
+    span::close(id, "ddr", 30);
+    span::close(id, "mbs", 40);
+    span::close(id, "host", 50);
+    auto spans = span::spansFor(id);
+    ASSERT_EQ(spans.size(), 3u);
+    // Retired deepest-first.
+    EXPECT_STREQ(spans[0].stage, "ddr");
+    EXPECT_EQ(spans[0].depth, 2u);
+    EXPECT_STREQ(spans[1].stage, "mbs");
+    EXPECT_EQ(spans[1].depth, 1u);
+    EXPECT_STREQ(spans[2].stage, "host");
+    EXPECT_EQ(spans[2].depth, 0u);
+}
+
+TEST_F(SpanTest, OrphanCloseIsCountedNotRecorded)
+{
+    TraceId id = span::acquireId();
+    EXPECT_EQ(span::orphanCloses(), 0u);
+    span::close(id, "never-opened", 10);
+    EXPECT_EQ(span::orphanCloses(), 1u);
+    EXPECT_TRUE(span::spansFor(id).empty());
+}
+
+TEST_F(SpanTest, CloseIfOpenIsSilentWhenNotOpen)
+{
+    TraceId id = span::acquireId();
+    span::closeIfOpen(id, "host.tagwait", 10);
+    EXPECT_EQ(span::orphanCloses(), 0u);
+    span::open(id, "host.tagwait", 20);
+    span::closeIfOpen(id, "host.tagwait", 30);
+    ASSERT_EQ(span::spansFor(id).size(), 1u);
+}
+
+TEST_F(SpanTest, EventRecordsInstantSpan)
+{
+    TraceId id = span::acquireId();
+    span::event(id, "dmi.replay", 77);
+    auto spans = span::spansFor(id);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].begin, spans[0].end);
+    EXPECT_EQ(spans[0].begin, Tick(77));
+}
+
+TEST_F(SpanTest, CloseAllDrainsNestedOpens)
+{
+    TraceId id = span::acquireId();
+    span::open(id, "host", 0);
+    span::open(id, "mbs", 10);
+    EXPECT_EQ(span::openSpans(), 2u);
+    span::closeAll(id, 99);
+    EXPECT_EQ(span::openSpans(), 0u);
+    auto spans = span::spansFor(id);
+    ASSERT_EQ(spans.size(), 2u);
+    for (const auto &s : spans)
+        EXPECT_EQ(s.end, Tick(99));
+}
+
+TEST_F(SpanTest, NoTraceIdIsANoOp)
+{
+    span::open(noTraceId, "host", 0);
+    span::close(noTraceId, "host", 1);
+    span::event(noTraceId, "x", 2);
+    EXPECT_EQ(span::openSpans(), 0u);
+    EXPECT_EQ(span::orphanCloses(), 0u);
+    EXPECT_TRUE(span::snapshot().empty());
+}
+
+TEST_F(SpanTest, DisabledAcquireReturnsNoId)
+{
+    span::setEnabled(false);
+    EXPECT_EQ(span::acquireId(), noTraceId);
+}
+
+TEST_F(SpanTest, SamplingHandsOutOneInN)
+{
+    span::setSampleInterval(3);
+    unsigned real = 0;
+    for (int i = 0; i < 9; ++i)
+        if (span::acquireId() != noTraceId)
+            ++real;
+    EXPECT_EQ(real, 3u);
+}
+
+TEST_F(SpanTest, CapacityBoundsRetainedSpans)
+{
+    span::setCapacity(4);
+    TraceId id = span::acquireId();
+    for (Tick t = 0; t < 6; ++t) {
+        span::open(id, "host", t * 10);
+        span::close(id, "host", t * 10 + 5);
+    }
+    auto all = span::snapshot();
+    EXPECT_EQ(all.size(), 4u);
+    EXPECT_EQ(span::droppedSpans(), 2u);
+    // Oldest dropped: the survivors start at t=20.
+    EXPECT_EQ(all.front().begin, Tick(20));
+}
+
+TEST_F(SpanTest, BreakdownStagesSumExactlyToTotal)
+{
+    TraceId id = span::acquireId();
+    span::open(id, "host", 0);
+    span::open(id, "dmi.down", 10);
+    span::close(id, "dmi.down", 30);
+    span::open(id, "mbs", 30);
+    span::open(id, "ddr", 40);
+    span::close(id, "ddr", 80);
+    span::close(id, "mbs", 90);
+    span::open(id, "dmi.up", 90);
+    span::close(id, "dmi.up", 120);
+    span::close(id, "host", 150);
+
+    auto b = span::breakdown(id);
+    EXPECT_EQ(b.total, Tick(150));
+    EXPECT_EQ(b.stageTime("dmi.down"), Tick(20));
+    EXPECT_EQ(b.stageTime("mbs"), Tick(20)); // 60 wall minus ddr's 40
+    EXPECT_EQ(b.stageTime("ddr"), Tick(40));
+    EXPECT_EQ(b.stageTime("dmi.up"), Tick(30));
+    EXPECT_EQ(b.stageTime("host"), Tick(40));
+    Tick sum = 0;
+    for (const auto &st : b.stages)
+        sum += st.exclusive;
+    EXPECT_EQ(sum, b.total);
+}
+
+TEST_F(SpanTest, BreakdownChargesGapsToUntracked)
+{
+    TraceId id = span::acquireId();
+    span::open(id, "a", 0);
+    span::close(id, "a", 10);
+    span::open(id, "b", 20);
+    span::close(id, "b", 30);
+    auto b = span::breakdown(id);
+    EXPECT_EQ(b.total, Tick(30));
+    EXPECT_EQ(b.stageTime("a"), Tick(10));
+    EXPECT_EQ(b.stageTime("b"), Tick(10));
+    EXPECT_EQ(b.stageTime("(untracked)"), Tick(10));
+}
+
+TEST_F(SpanTest, BreakdownOfUnknownIdIsEmpty)
+{
+    auto b = span::breakdown(12345678);
+    EXPECT_EQ(b.total, Tick(0));
+    EXPECT_TRUE(b.stages.empty());
+}
+
+} // namespace

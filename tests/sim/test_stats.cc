@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "sim/stats.hh"
@@ -34,6 +35,19 @@ TEST(Distribution, Moments)
     EXPECT_DOUBLE_EQ(d.maximum(), 9.0);
     // Sample stddev of this classic set is ~2.138.
     EXPECT_NEAR(d.stddev(), 2.138, 0.01);
+}
+
+TEST(Distribution, StddevStableAtLargeMean)
+{
+    // The naive sum-of-squares formula catastrophically cancels
+    // here; Welford's recurrence keeps full precision.
+    StatGroup g("g");
+    Distribution d(&g, "lat", "latency");
+    const double base = 1e9;
+    for (double off : {0.0, 1.0, 2.0})
+        d.sample(base + off);
+    EXPECT_NEAR(d.mean(), base + 1.0, 1e-6);
+    EXPECT_NEAR(d.stddev(), 1.0, 1e-9);
 }
 
 TEST(Distribution, EmptyIsZero)
@@ -72,6 +86,27 @@ TEST(Histogram, Quantiles)
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
     EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, EmptyQuantileIsNaN)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "test", 10.0, 4);
+    EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+}
+
+TEST(Histogram, HugeSampleLandsInOverflow)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "test", 10.0, 4);
+    // Values far beyond any bucket index (would overflow a size_t
+    // conversion if binned naively) count as overflow.
+    h.sample(1e300);
+    h.sample(-5.0); // negative: clamps into the first bucket
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.count(), 2u);
 }
 
 TEST(StatGroup, HierarchicalPrint)

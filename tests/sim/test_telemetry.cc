@@ -1,0 +1,144 @@
+/** @file Tests for the machine-readable telemetry exporters. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/span.hh"
+#include "sim/stats.hh"
+#include "sim/telemetry.hh"
+
+using namespace contutto;
+
+namespace
+{
+
+TEST(JsonLint, AcceptsValidValues)
+{
+    EXPECT_TRUE(telemetry::jsonLint("{}"));
+    EXPECT_TRUE(telemetry::jsonLint("[]"));
+    EXPECT_TRUE(telemetry::jsonLint("null"));
+    EXPECT_TRUE(telemetry::jsonLint("-1.5e-3"));
+    EXPECT_TRUE(telemetry::jsonLint("\"a \\\"quoted\\\" string\""));
+    EXPECT_TRUE(telemetry::jsonLint(
+        "{\"a\": [1, 2.5, true, false, null], \"b\": {\"c\": \"d\"}}"));
+}
+
+TEST(JsonLint, RejectsInvalidValues)
+{
+    EXPECT_FALSE(telemetry::jsonLint(""));
+    EXPECT_FALSE(telemetry::jsonLint("{"));
+    EXPECT_FALSE(telemetry::jsonLint("[1, 2,]"));
+    EXPECT_FALSE(telemetry::jsonLint("{\"a\": }"));
+    EXPECT_FALSE(telemetry::jsonLint("{'a': 1}"));
+    EXPECT_FALSE(telemetry::jsonLint("{} trailing"));
+    EXPECT_FALSE(telemetry::jsonLint("NaN"));
+    EXPECT_FALSE(telemetry::jsonLint("01"));
+}
+
+TEST(PerfettoTrace, EmitsValidSortedJson)
+{
+    // Deliberately out of order: the exporter must sort by begin.
+    std::vector<span::Span> spans;
+    span::Span a;
+    a.id = 1;
+    a.stage = "ddr";
+    a.begin = 3000000; // 3 us
+    a.end = 5000000;
+    a.seq = 2;
+    span::Span b;
+    b.id = 1;
+    b.stage = "host";
+    b.begin = 1000000; // 1 us
+    b.end = 9000000;
+    b.seq = 1;
+    spans.push_back(a);
+    spans.push_back(b);
+
+    std::ostringstream os;
+    telemetry::writePerfettoTrace(spans, os);
+    std::string out = os.str();
+
+    EXPECT_TRUE(telemetry::jsonLint(out));
+    // "host" begins earlier, so it must be emitted first.
+    EXPECT_LT(out.find("\"host\""), out.find("\"ddr\""));
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"traceId\":1"), std::string::npos);
+}
+
+TEST(PerfettoTrace, EmptyCaptureIsAnEmptyArray)
+{
+    std::ostringstream os;
+    telemetry::writePerfettoTrace({}, os);
+    EXPECT_TRUE(telemetry::jsonLint(os.str()));
+    EXPECT_EQ(os.str().find('['), 0u);
+}
+
+TEST(StatsJson, SnapshotsTheWholeTree)
+{
+    stats::StatGroup root("system");
+    stats::StatGroup child("dmi", &root);
+    stats::Scalar frames(&child, "frames", "frames sent");
+    frames += 3;
+    stats::Distribution lat(&root, "lat", "latency");
+    lat.sample(1.0);
+    lat.sample(3.0);
+
+    std::ostringstream os;
+    stats::toJson(root, os);
+    std::string out = os.str();
+
+    EXPECT_TRUE(telemetry::jsonLint(out));
+    EXPECT_NE(out.find("\"name\":\"system\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"dmi\""), std::string::npos);
+    EXPECT_NE(out.find("\"frames\":{\"kind\":\"scalar\",\"value\":3}"),
+              std::string::npos);
+    // Distributions export their moments.
+    EXPECT_NE(out.find("\"mean\":2"), std::string::npos);
+}
+
+TEST(StatsJson, NonFiniteValuesBecomeNull)
+{
+    stats::StatGroup g("g");
+    stats::Histogram h(&g, "h", "empty histogram", 10.0, 4);
+    std::ostringstream os;
+    stats::toJson(g, os);
+    // The empty histogram's quantiles are NaN -> null in JSON.
+    EXPECT_TRUE(telemetry::jsonLint(os.str()));
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+}
+
+TEST(IntervalDumper, CollectsPeriodicSnapshots)
+{
+    EventQueue eq;
+    stats::StatGroup root("system");
+    stats::Scalar ops(&root, "ops", "operations");
+
+    telemetry::IntervalDumper dumper(eq, root, 100);
+    dumper.start();
+    OneShotEvent::schedule(eq, 250, [&] { ops += 7; });
+    // The dumper reschedules itself forever; run with a limit.
+    eq.run(550);
+
+    EXPECT_GE(dumper.snapshots(), 2u);
+    std::ostringstream os;
+    dumper.write(os);
+    std::string out = os.str();
+    EXPECT_TRUE(telemetry::jsonLint(out));
+    EXPECT_NE(out.find("\"period\":100"), std::string::npos);
+    EXPECT_NE(out.find("\"tick\":100"), std::string::npos);
+}
+
+TEST(IntervalDumper, StopHaltsSampling)
+{
+    EventQueue eq;
+    stats::StatGroup root("system");
+    telemetry::IntervalDumper dumper(eq, root, 100);
+    dumper.start();
+    dumper.stop();
+    OneShotEvent::schedule(eq, 500, [] {});
+    eq.run();
+    EXPECT_EQ(dumper.snapshots(), 0u);
+}
+
+} // namespace

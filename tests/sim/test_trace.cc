@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
 
 #include "cpu/system.hh"
 #include "sim/trace.hh"
@@ -69,6 +70,37 @@ TEST_F(TraceTest, InstrumentedComponentsEmitWhenEnabled)
     EXPECT_NE(log.find("dispatch tag"), std::string::npos);
     // DMI flag was not enabled: no replay/CRC lines.
     EXPECT_EQ(log.find("CRC drop"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentEmitAndReconfigure)
+{
+    // Ungated print() lines race against flag flips and output
+    // swaps from this thread; the facility's lock must keep every
+    // line intact and the emitted count exact.
+    std::ostringstream a, b;
+    trace::setOutput(&a);
+    auto before = trace::linesEmitted();
+    std::thread writer([] {
+        for (int i = 0; i < 500; ++i)
+            trace::print(Tick(i), "obj", "line %d", i);
+    });
+    for (int i = 0; i < 200; ++i) {
+        trace::enable("DMI");
+        trace::setOutput(i % 2 ? &a : &b);
+        trace::disableAll();
+    }
+    writer.join();
+    trace::setOutput(nullptr);
+    EXPECT_EQ(trace::linesEmitted(), before + 500);
+    // No torn lines: both sinks contain only whole "N: obj: ..."
+    // records.
+    for (const std::string &log : {a.str(), b.str()})
+        for (std::size_t pos = 0; pos < log.size();) {
+            std::size_t nl = log.find('\n', pos);
+            ASSERT_NE(nl, std::string::npos);
+            EXPECT_NE(log.find(": obj: line ", pos), std::string::npos);
+            pos = nl + 1;
+        }
 }
 
 TEST_F(TraceTest, DisabledMeansSilent)
