@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Distill a bench_event_core --stats-json capture into a trajectory record.
+
+Reads the capture document bench_event_core wrote via --stats-json and
+emits a compact BENCH_event_core.json: for every capture label, each
+throughput stat (name ending in "EventsPerSec") and each new/legacy
+"SpeedupRatio", keyed by its dotted StatGroup path.  CI runs this on
+every push so the event-core throughput trajectory is diffable across
+commits without parsing the full stats tree.
+
+With --check BASELINE the script additionally compares every
+SpeedupRatio in the fresh capture against the checked-in baseline and
+exits nonzero when any ratio regressed by more than the tolerance
+(default 15%).  Ratios, not absolute events/sec, are gated: both cores
+run on the same machine in the same process, so the ratio is stable
+across runner hardware while raw rates are not.
+
+Usage: event_trajectory.py STATS_JSON [--check BASELINE] [--tolerance F]
+           > BENCH_event_core.json
+"""
+
+import json
+import sys
+
+
+def walk(group, prefix, out):
+    for name, stat in group.get("stats", {}).items():
+        if not isinstance(stat, dict):
+            continue
+        if not (name.endswith("EventsPerSec")
+                or name.endswith("SpeedupRatio")):
+            continue
+        if stat.get("value") is None:
+            continue
+        out[prefix + "." + name] = stat["value"]
+    for sub in group.get("groups", []):
+        walk(sub, prefix + "." + sub["name"], out)
+
+
+def distill(doc):
+    captures = []
+    for cap in doc.get("captures", []):
+        stats = {}
+        root = cap["stats"]
+        walk(root, root.get("name", "root"), stats)
+        captures.append({"label": cap["label"], "throughput": stats})
+    return {"schema": "contutto-event-trajectory-v1",
+            "source": "bench_event_core --stats-json capture",
+            "captures": captures}
+
+
+def ratios(trajectory):
+    out = {}
+    for cap in trajectory.get("captures", []):
+        for key, value in cap.get("throughput", {}).items():
+            if key.endswith("SpeedupRatio"):
+                out[(cap["label"], key)] = value
+    return out
+
+
+def check(fresh, baseline_path, tolerance):
+    with open(baseline_path) as f:
+        base = ratios(json.load(f))
+    now = ratios(fresh)
+    failed = False
+    for key, want in sorted(base.items()):
+        got = now.get(key)
+        if got is None:
+            sys.stderr.write("MISSING %s.%s (baseline %.2fx)\n"
+                             % (key[0], key[1], want))
+            failed = True
+            continue
+        floor = want * (1.0 - tolerance)
+        verdict = "FAIL" if got < floor else "ok"
+        sys.stderr.write("%-4s %s.%s: %.2fx vs baseline %.2fx "
+                         "(floor %.2fx)\n"
+                         % (verdict, key[0], key[1], got, want, floor))
+        if got < floor:
+            failed = True
+    return failed
+
+
+def main():
+    args = sys.argv[1:]
+    baseline = None
+    tolerance = 0.15
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--check" and i + 1 < len(args):
+            baseline = args[i + 1]
+            i += 2
+        elif args[i] == "--tolerance" and i + 1 < len(args):
+            tolerance = float(args[i + 1])
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 1:
+        sys.stderr.write(__doc__)
+        return 2
+
+    with open(positional[0]) as f:
+        doc = json.load(f)
+    trajectory = distill(doc)
+    json.dump(trajectory, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+    if baseline is not None and check(trajectory, baseline, tolerance):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -158,12 +158,18 @@ AccessProcessor::cycle()
         }
     }
 
-    bool any_live = false;
+    // Only runnable threads keep the clock alive. When every live
+    // thread is blocked on a scalar load, the core quiesces instead
+    // of polling edges through the whole memory round trip; the load
+    // completion calls wake() and execution resumes on the edge the
+    // old poll would have reached. Threads stalled on FIFO or
+    // outstanding-op limits stay runnable and therefore keep the
+    // clock ticking until the retry succeeds.
+    bool any_runnable = false;
     for (const Thread &t : threads_)
-        if (t.state != ThreadState::halted
-            && t.state != ThreadState::off)
-            any_live = true;
-    if (running_ && any_live)
+        if (t.state == ThreadState::runnable)
+            any_runnable = true;
+    if (running_ && any_runnable)
         scheduleClocked(&cycleEvent_, 1);
 }
 
@@ -327,8 +333,7 @@ AccessProcessor::execute(unsigned tid)
             std::memcpy(&v, rq.data.data() + off, 8);
             threads_[t].regs[rd] = v;
             threads_[t].state = ThreadState::runnable;
-            if (!cycleEvent_.scheduled() && running_)
-                scheduleClocked(&cycleEvent_, 0);
+            wake();
         };
         readPort_->submit(req);
         ++th.pc;
@@ -371,6 +376,13 @@ AccessProcessor::execute(unsigned tid)
       }
     }
     panic("access processor: bad opcode %d", int(i.op));
+}
+
+void
+AccessProcessor::wake()
+{
+    if (running_ && !cycleEvent_.scheduled())
+        scheduleClocked(&cycleEvent_, 0);
 }
 
 void

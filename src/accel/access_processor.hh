@@ -99,6 +99,8 @@ class AccessProcessor : public SimObject
     void fetchProgram();
     void startThreads();
     void cycle();
+    /** Restart the quiesced clock when a blocked thread unblocks. */
+    void wake();
     /** @return true when the instruction retired (else stall). */
     bool execute(unsigned tid);
     Addr mapAddr(Addr logical, MapMode mode) const;

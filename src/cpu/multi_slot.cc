@@ -40,7 +40,8 @@ MultiSlotSystem::validate(const Params &params)
 }
 
 MultiSlotSystem::MultiSlotSystem(const Params &params)
-    : stats::StatGroup("socket"), params_(params)
+    : stats::StatGroup("socket"), params_(params),
+      eqStats_(this, eq_)
 {
     Validation v = validate(params);
     if (!v.ok)

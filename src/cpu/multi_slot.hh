@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "cpu/channel.hh"
+#include "sim/event_stats.hh"
 
 namespace contutto::cpu
 {
@@ -118,6 +119,7 @@ class MultiSlotSystem : public stats::StatGroup
   private:
     Params params_;
     EventQueue eq_;
+    EventCoreStats eqStats_;
     SocketClocks clocks_;
     std::vector<std::unique_ptr<MemoryChannel>> channels_;
     std::array<MemoryChannel *, numSlots> slotToChannel_{};

@@ -4,7 +4,7 @@ namespace contutto::cpu
 {
 
 Power8System::Power8System(const Params &params)
-    : stats::StatGroup("system")
+    : stats::StatGroup("system"), eqStats_(this, eq_)
 {
     if (params.fabricPeriod != clocks_.fabric.period())
         clocks_.fabric =

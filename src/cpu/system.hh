@@ -13,6 +13,7 @@
 #define CONTUTTO_CPU_SYSTEM_HH
 
 #include "cpu/channel.hh"
+#include "sim/event_stats.hh"
 
 namespace contutto::cpu
 {
@@ -107,6 +108,7 @@ class Power8System : public stats::StatGroup
 
   private:
     EventQueue eq_;
+    EventCoreStats eqStats_;
     SocketClocks clocks_;
     std::unique_ptr<MemoryChannel> channel_;
 };

@@ -14,13 +14,62 @@
 #ifndef CONTUTTO_DMI_SCRAMBLER_HH
 #define CONTUTTO_DMI_SCRAMBLER_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
 namespace contutto::dmi
 {
 
-/** LFSR keystream generator; scramble and descramble are the same. */
+namespace detail
+{
+
+struct ScramblerTables
+{
+    std::array<std::uint16_t, 256> feedback{};
+    std::array<std::uint8_t, 256> output{};
+};
+
+constexpr ScramblerTables
+makeScramblerTables()
+{
+    // Derived from the bit-serial Galois step of
+    // x^16 + x^5 + x^4 + x^3 + 1: a tap XORed in at sub-step b is
+    // shifted right by the remaining (7 - b) sub-steps.
+    ScramblerTables t{};
+    for (unsigned low = 0; low < 256; ++low) {
+        std::uint16_t fb = 0;
+        std::uint8_t out = 0;
+        for (int b = 0; b < 8; ++b) {
+            unsigned bit = (low >> b) & 1;
+            if (bit)
+                fb ^= std::uint16_t(0xB400u >> (7 - b));
+            out = std::uint8_t((out << 1) | bit);
+        }
+        t.feedback[low] = fb;
+        t.output[low] = out;
+    }
+    return t;
+}
+
+inline constexpr ScramblerTables scramblerTables =
+    makeScramblerTables();
+
+} // namespace detail
+
+/**
+ * LFSR keystream generator; scramble and descramble are the same.
+ *
+ * The generator steps a whole byte at a time. All taps of the Galois
+ * register (0xB400: bits 10, 12, 13, 15) sit in the high byte, so
+ * feedback injected during an 8-bit window can never shift down to
+ * bit 0 within that window: the eight emitted bits are exactly the
+ * (reversed) low byte of the starting state, and the eight feedback
+ * injections commute into a single XOR mask indexed by that byte.
+ * Two 256-entry tables therefore reproduce the bit-serial reference
+ * exactly — tests/dmi/test_crc_scrambler.cc proves equivalence over
+ * the full 2^16 state space.
+ */
 class Scrambler
 {
   public:
@@ -52,16 +101,10 @@ class Scrambler
     std::uint8_t
     nextByte()
     {
-        std::uint8_t out = 0;
-        for (int b = 0; b < 8; ++b) {
-            // Galois form of x^16 + x^5 + x^4 + x^3 + 1.
-            std::uint16_t bit = lfsr_ & 1;
-            lfsr_ >>= 1;
-            if (bit)
-                lfsr_ ^= 0xB400;
-            out = std::uint8_t((out << 1) | bit);
-        }
-        return out;
+        const std::uint8_t low = std::uint8_t(lfsr_ & 0xFF);
+        lfsr_ = std::uint16_t((lfsr_ >> 8)
+                              ^ detail::scramblerTables.feedback[low]);
+        return detail::scramblerTables.output[low];
     }
 
     std::uint16_t lfsr_;

@@ -13,21 +13,141 @@ Event::~Event()
 }
 
 void
-OneShotEvent::schedule(EventQueue &eq, Tick when,
-                       std::function<void()> fn, int priority)
+OneShotEvent::process()
 {
-    ct_assert(fn != nullptr);
-    eq.schedule(new OneShotEvent(std::move(fn), priority), when);
+    // Move the callback out and return the slot to the pool before
+    // user code runs: the callback may schedule new one-shots, and
+    // they can reuse this very slot.
+    EventQueue *eq = eq_;
+    Callback fn = std::move(fn_);
+    this->~OneShotEvent();
+    eq->freeOneShot(this);
+    fn();
+}
+
+EventQueue::EventQueue()
+    : _buckets(numBuckets),
+      _occ(numWheelWords, 0),
+      _summary(numSummaryWords, 0)
+{}
+
+EventQueue::~EventQueue() = default;
+
+void
+EventQueue::markOccupied(std::size_t idx)
+{
+    _occ[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+    _summary[idx >> 12] |= std::uint64_t(1) << ((idx >> 6) & 63);
 }
 
 void
-OneShotEvent::process()
+EventQueue::clearOccupied(std::size_t idx)
 {
-    // Move the callback out so the event can be freed before user
-    // code runs (the callback may schedule new events).
-    std::function<void()> fn = std::move(fn_);
-    delete this;
-    fn();
+    const std::size_t w = idx >> 6;
+    _occ[w] &= ~(std::uint64_t(1) << (idx & 63));
+    if (!_occ[w])
+        _summary[w >> 6] &= ~(std::uint64_t(1) << (w & 63));
+}
+
+void
+EventQueue::bucketInsert(Event *ev)
+{
+    const std::size_t idx = std::size_t(ev->_when) & bucketMask;
+    Bucket &b = _buckets[idx];
+    ev->_inWheel = true;
+
+    if (!b.head) {
+        ev->_prev = ev->_next = nullptr;
+        b.head = b.tail = ev;
+        markOccupied(idx);
+    } else {
+        // Every resident shares this event's tick (the wheel only
+        // holds events within one span of curTick, so bucket indices
+        // cannot alias distinct ticks). Ordering within the bucket is
+        // therefore (priority, order). Fresh schedules carry the
+        // largest order yet issued, making tail append the common
+        // case; only overflow pulls (which keep their original order)
+        // and lower-priority tails walk backwards.
+        Event *after = b.tail;
+        while (after
+               && (after->_priority > ev->_priority
+                   || (after->_priority == ev->_priority
+                       && after->_order > ev->_order))) {
+            after = after->_prev;
+        }
+        if (!after) {
+            ev->_prev = nullptr;
+            ev->_next = b.head;
+            b.head->_prev = ev;
+            b.head = ev;
+        } else {
+            ev->_prev = after;
+            ev->_next = after->_next;
+            if (after->_next)
+                after->_next->_prev = ev;
+            else
+                b.tail = ev;
+            after->_next = ev;
+        }
+    }
+
+    ++b.count;
+    ++_wheelCount;
+    if (b.count > _ctr.bucketHighWater)
+        _ctr.bucketHighWater = b.count;
+}
+
+void
+EventQueue::bucketUnlink(Event *ev)
+{
+    const std::size_t idx = std::size_t(ev->_when) & bucketMask;
+    Bucket &b = _buckets[idx];
+
+    if (ev->_prev)
+        ev->_prev->_next = ev->_next;
+    else
+        b.head = ev->_next;
+    if (ev->_next)
+        ev->_next->_prev = ev->_prev;
+    else
+        b.tail = ev->_prev;
+
+    ev->_prev = ev->_next = nullptr;
+    ev->_inWheel = false;
+    --b.count;
+    --_wheelCount;
+    if (!b.head)
+        clearOccupied(idx);
+}
+
+std::size_t
+EventQueue::nextOccupied(std::size_t fromBucket) const
+{
+    // Tail of the word the scan starts in.
+    const std::size_t w = fromBucket >> 6;
+    std::uint64_t bits =
+        _occ[w] & (~std::uint64_t(0) << (fromBucket & 63));
+    if (bits)
+        return (w << 6) | std::size_t(std::countr_zero(bits));
+
+    // Two-level walk for the next occupied word, wrapping once; a
+    // wrap past the start is correct (those buckets are circularly
+    // later within the span).
+    const std::size_t start = (w + 1) & (numWheelWords - 1);
+    std::size_t sw = start >> 6;
+    std::uint64_t sbits =
+        _summary[sw] & (~std::uint64_t(0) << (start & 63));
+    for (std::size_t i = 0; i <= numSummaryWords; ++i) {
+        if (sbits) {
+            const std::size_t word =
+                (sw << 6) | std::size_t(std::countr_zero(sbits));
+            return (word << 6)
+                   | std::size_t(std::countr_zero(_occ[word]));
+        }
+        sw = (sw + 1) & (numSummaryWords - 1);
+        sbits = _summary[sw];
+    }
+    panic("event wheel occupancy bitmap inconsistent");
 }
 
 void
@@ -35,10 +155,10 @@ EventQueue::schedule(Event *ev, Tick when)
 {
     ct_assert(ev != nullptr);
     if (ev->_scheduled)
-        panic("event '%s' scheduled twice", ev->name().c_str());
+        panic("event '%s' scheduled twice", ev->name());
     if (when < _curTick)
         panic("event '%s' scheduled in the past (%llu < %llu)",
-              ev->name().c_str(),
+              ev->name(),
               (unsigned long long)when,
               (unsigned long long)_curTick);
 
@@ -46,9 +166,19 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->_order = _nextOrder++;
     ev->_scheduled = true;
     ++ev->_generation;
-    _queue.push(Entry{when, ev->priority(), ev->_order, ev,
-                      ev->_generation});
     ++_live;
+    ++_ctr.schedules;
+    if (_live > _ctr.liveHighWater)
+        _ctr.liveHighWater = _live;
+
+    if (when - _curTick < wheelSpan) {
+        bucketInsert(ev);
+    } else {
+        ev->_inWheel = false;
+        _overflow.push(OverflowEntry{when, ev->_order, ev,
+                                     ev->_generation, ev->_priority});
+        ++_ctr.overflowSpills;
+    }
 }
 
 void
@@ -56,49 +186,102 @@ EventQueue::deschedule(Event *ev)
 {
     ct_assert(ev != nullptr);
     if (!ev->_scheduled)
-        panic("deschedule of unscheduled event '%s'",
-              ev->name().c_str());
-    // Lazy deletion: bump the generation so the queued entry is
-    // recognized as stale when popped.
+        panic("deschedule of unscheduled event '%s'", ev->name());
+
     ev->_scheduled = false;
+    // Bump the generation so a lingering overflow entry is
+    // recognized as stale; harmless for wheel residents, whose
+    // unlink below is a true removal.
     ++ev->_generation;
     --_live;
+    ++_ctr.deschedules;
+
+    if (ev->_inWheel)
+        bucketUnlink(ev);
 }
 
 void
 EventQueue::reschedule(Event *ev, Tick when)
 {
-    if (ev->scheduled())
+    ++_ctr.reschedules;
+    if (ev->scheduled()) {
+        if (ev->_when == when) {
+            // Same-tick rearm: keep the event exactly where it is,
+            // original tie-break included (see the header contract).
+            ++_ctr.rescheduleNoops;
+            return;
+        }
         deschedule(ev);
+    }
     schedule(ev, when);
 }
 
 void
-EventQueue::skipStale()
+EventQueue::pullOverflow()
 {
-    while (!_queue.empty()) {
-        const Entry &top = _queue.top();
-        if (top.ev->_generation == top.generation && top.ev->_scheduled)
-            return;
-        _queue.pop();
+    // The single staleness scan: an overflow entry is either pruned
+    // here or consumed live, never re-examined.
+    while (!_overflow.empty()) {
+        const OverflowEntry &top = _overflow.top();
+        if (top.generation != top.ev->_generation) {
+            _overflow.pop();
+            ++_ctr.stalePops;
+            continue;
+        }
+        if (top.when - _curTick >= wheelSpan)
+            break;
+        Event *ev = top.ev;
+        _overflow.pop();
+        // The event kept its original order, so bucketInsert places
+        // it correctly relative to later same-tick schedules.
+        bucketInsert(ev);
+        ++_ctr.overflowPulls;
     }
+}
+
+Event *
+EventQueue::peekNext()
+{
+    if (_live == 0)
+        return nullptr;
+    pullOverflow();
+    if (_wheelCount) {
+        const std::size_t idx =
+            nextOccupied(std::size_t(_curTick) & bucketMask);
+        return _buckets[idx].head;
+    }
+    // Wheel empty: the next event sits beyond the horizon, and
+    // pullOverflow just pruned any stale prefix off the heap.
+    if (!_overflow.empty())
+        return _overflow.top().ev;
+    panic("event queue inconsistent: %llu live events unreachable",
+          (unsigned long long)_live);
+}
+
+void
+EventQueue::fire(Event *ev)
+{
+    if (ev->_inWheel) {
+        bucketUnlink(ev);
+    } else {
+        // peekNext() returned the overflow top; pop that entry.
+        _overflow.pop();
+    }
+    ct_assert(ev->_when >= _curTick);
+    _curTick = ev->_when;
+    ev->_scheduled = false;
+    --_live;
+    ++_ctr.processed;
+    ev->process();
 }
 
 bool
 EventQueue::step()
 {
-    skipStale();
-    if (_queue.empty())
+    Event *ev = peekNext();
+    if (!ev)
         return false;
-
-    Entry e = _queue.top();
-    _queue.pop();
-    ct_assert(e.when >= _curTick);
-    _curTick = e.when;
-    e.ev->_scheduled = false;
-    --_live;
-    ++_processed;
-    e.ev->process();
+    fire(ev);
     return true;
 }
 
@@ -106,17 +289,47 @@ Tick
 EventQueue::run(Tick limit)
 {
     for (;;) {
-        skipStale();
-        if (_queue.empty())
+        Event *ev = peekNext();
+        if (!ev)
             return _curTick;
-        if (_queue.top().when > limit) {
+        if (ev->_when > limit) {
             // Leave future events queued; advance time to the limit
             // so a subsequent run() continues from a known point.
             _curTick = limit;
             return _curTick;
         }
-        step();
+        fire(ev);
     }
+}
+
+void *
+EventQueue::allocOneShot()
+{
+    if (!_freeOneShots) {
+        ++_ctr.oneShotPoolMisses;
+        auto chunk = std::make_unique<unsigned char[]>(
+            oneShotSlotBytes * oneShotChunkSlots);
+        for (std::size_t i = oneShotChunkSlots; i-- > 0;) {
+            auto *slot = reinterpret_cast<OneShotSlot *>(
+                chunk.get() + i * oneShotSlotBytes);
+            slot->next = _freeOneShots;
+            _freeOneShots = slot;
+        }
+        _poolChunks.push_back(std::move(chunk));
+    } else {
+        ++_ctr.oneShotPoolHits;
+    }
+    OneShotSlot *s = _freeOneShots;
+    _freeOneShots = s->next;
+    return s;
+}
+
+void
+EventQueue::freeOneShot(void *p)
+{
+    auto *slot = static_cast<OneShotSlot *>(p);
+    slot->next = _freeOneShots;
+    _freeOneShots = slot;
 }
 
 } // namespace contutto

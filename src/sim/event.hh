@@ -4,18 +4,46 @@
  *
  * Events are scheduled at absolute ticks; ties are broken first by a
  * small integer priority and then by insertion order, so simulations
- * are fully deterministic.
+ * are fully deterministic. One documented refinement to the original
+ * binary-heap contract: rescheduling an event to the tick it is
+ * already scheduled at is a no-op that keeps the event's original
+ * insertion-order tie-break (the heap rebuilt the entry and moved the
+ * event behind later arrivals at the same tick). Every tie-break a
+ * model can observe remains a pure function of the schedule calls it
+ * made.
+ *
+ * The queue itself is a two-tier ladder:
+ *
+ *  - A near-future wheel of per-tick buckets covering the next
+ *    `wheelSpan` ticks. Buckets are intrusive doubly-linked lists
+ *    threaded through the events themselves, so schedule is O(1)
+ *    (append, since insertion order grows monotonically) and
+ *    deschedule is a true O(1) unlink — no stale entries, no lazy
+ *    deletion. A two-level occupancy bitmap finds the next non-empty
+ *    bucket in a handful of word scans.
+ *  - A far-future overflow heap for events beyond the wheel horizon
+ *    (ACK timeouts, watchdogs, scrub periods). Entries are pulled
+ *    into the wheel as the horizon reaches them; deschedule of an
+ *    overflow resident is lazy (generation counter), and stale
+ *    entries are pruned exactly once, at pull time.
+ *
+ * Deferred one-off work (OneShotEvent) draws from a freelist pool
+ * owned by the queue, and callbacks live in fixed-capacity inplace
+ * storage, so the steady-state schedule/dispatch path performs no
+ * heap allocation at all.
  */
 
 #ifndef CONTUTTO_SIM_EVENT_HH
 #define CONTUTTO_SIM_EVENT_HH
 
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/inplace_function.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -57,8 +85,13 @@ class Event
     /** Called by the event queue when simulated time reaches when(). */
     virtual void process() = 0;
 
-    /** Debug name for tracing. */
-    virtual std::string name() const { return "event"; }
+    /**
+     * Debug name for error paths and tracing. Deliberately a C
+     * string: schedule()/deschedule() invoke it in their panic
+     * branches, and a by-value std::string would put an allocation
+     * (and its destructor) on every hot-path panic check's cold side.
+     */
+    virtual const char *name() const { return "event"; }
 
     /** True while the event sits in an event queue. */
     bool scheduled() const { return _scheduled; }
@@ -71,57 +104,18 @@ class Event
   private:
     friend class EventQueue;
 
+    /** @{ Intrusive bucket links (valid while wheel-resident). */
+    Event *_next = nullptr;
+    Event *_prev = nullptr;
+    /** @} */
     Tick _when = 0;
     std::uint64_t _order = 0;
+    /** Generation counter invalidating stale overflow-heap entries. */
+    std::uint64_t _generation = 0;
     int _priority;
     bool _scheduled = false;
-    /** Generation counter invalidating stale queue entries. */
-    std::uint64_t _generation = 0;
-};
-
-/** An Event that invokes a bound callable; the common case. */
-class EventFunctionWrapper : public Event
-{
-  public:
-    EventFunctionWrapper(std::function<void()> callback,
-                         std::string name,
-                         int priority = defaultPriority)
-        : Event(priority), callback_(std::move(callback)),
-          name_(std::move(name))
-    {
-        ct_assert(callback_ != nullptr);
-    }
-
-    void process() override { callback_(); }
-    std::string name() const override { return name_; }
-
-  private:
-    std::function<void()> callback_;
-    std::string name_;
-};
-
-/**
- * A self-deleting event for one-off deferred work; created via
- * OneShotEvent::schedule and destroyed after firing. Cannot be
- * descheduled by the caller (it owns itself).
- */
-class OneShotEvent : public Event
-{
-  public:
-    /** Allocate and schedule a one-shot callback at @p when. */
-    static void schedule(EventQueue &eq, Tick when,
-                         std::function<void()> fn,
-                         int priority = defaultPriority);
-
-    void process() override;
-    std::string name() const override { return "oneShot"; }
-
-  private:
-    OneShotEvent(std::function<void()> fn, int priority)
-        : Event(priority), fn_(std::move(fn))
-    {}
-
-    std::function<void()> fn_;
+    /** True: linked in a wheel bucket; false: overflow resident. */
+    bool _inWheel = false;
 };
 
 /**
@@ -131,7 +125,42 @@ class OneShotEvent : public Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Near-future horizon, in ticks (must be a power of two). One
+     *  bucket per tick: 64 ns at the 1 ps tick covers every clock
+     *  edge and DRAM access in the modelled system; link timeouts
+     *  and watchdogs overflow to the far-future heap. */
+    static constexpr std::size_t wheelBits = 16;
+    static constexpr Tick wheelSpan = Tick(1) << wheelBits;
+
+    /** Fixed size of a pooled one-shot slot; see OneShotEvent. */
+    static constexpr std::size_t oneShotSlotBytes = 288;
+
+    /** Hot counters, exported through EventCoreStats. */
+    struct Counters
+    {
+        std::uint64_t processed = 0;
+        std::uint64_t schedules = 0;
+        std::uint64_t deschedules = 0;
+        std::uint64_t reschedules = 0;
+        /** reschedule() calls elided by the same-tick fast path. */
+        std::uint64_t rescheduleNoops = 0;
+        /** Events scheduled beyond the wheel horizon. */
+        std::uint64_t overflowSpills = 0;
+        /** Overflow residents migrated into the wheel. */
+        std::uint64_t overflowPulls = 0;
+        /** Lazy-deleted overflow entries pruned. */
+        std::uint64_t stalePops = 0;
+        /** Most live events resident at once. */
+        std::uint64_t liveHighWater = 0;
+        /** Most events resident in a single bucket at once. */
+        std::uint64_t bucketHighWater = 0;
+        std::uint64_t oneShotPoolHits = 0;
+        /** Pool refills: each one grew the pool by a chunk. */
+        std::uint64_t oneShotPoolMisses = 0;
+    };
+
+    EventQueue();
+    ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -148,7 +177,12 @@ class EventQueue
     /** Remove a scheduled event before it fires. */
     void deschedule(Event *ev);
 
-    /** Deschedule (if needed) and schedule again at @p when. */
+    /**
+     * Deschedule (if needed) and schedule again at @p when. When the
+     * event is already scheduled at exactly @p when this is a no-op
+     * that preserves the original insertion-order tie-break (the DMI
+     * ACK-timeout rearm hits this on nearly every frame).
+     */
     void reschedule(Event *ev, Tick when);
 
     /** True when no events remain. */
@@ -167,19 +201,33 @@ class EventQueue
     bool step();
 
     /** Total number of events processed since construction. */
-    std::uint64_t eventsProcessed() const { return _processed; }
+    std::uint64_t eventsProcessed() const { return _ctr.processed; }
+
+    const Counters &counters() const { return _ctr; }
+
+    /** @{ One-shot pool access, for OneShotEvent only. */
+    void *allocOneShot();
+    void freeOneShot(void *p);
+    /** @} */
 
   private:
-    struct Entry
+    struct Bucket
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
+        std::uint32_t count = 0;
+    };
+
+    struct OverflowEntry
     {
         Tick when;
-        int priority;
         std::uint64_t order;
         Event *ev;
         std::uint64_t generation;
+        int priority;
 
         bool
-        operator>(const Entry &o) const
+        operator>(const OverflowEntry &o) const
         {
             if (when != o.when)
                 return when > o.when;
@@ -189,15 +237,127 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _queue;
+    static constexpr std::size_t numBuckets = std::size_t(wheelSpan);
+    static constexpr std::size_t bucketMask = numBuckets - 1;
+    static constexpr std::size_t numWheelWords = numBuckets / 64;
+    static constexpr std::size_t numSummaryWords = numWheelWords / 64;
+
+    /** @{ Wheel internals. */
+    void bucketInsert(Event *ev);
+    void bucketUnlink(Event *ev);
+    std::size_t nextOccupied(std::size_t fromBucket) const;
+    void markOccupied(std::size_t idx);
+    void clearOccupied(std::size_t idx);
+    /** @} */
+
+    /** Migrate overflow residents now inside the horizon; prunes
+     *  stale entries met on the way (the single staleness scan). */
+    void pullOverflow();
+
+    /** Next event to fire (no unlink), or null. */
+    Event *peekNext();
+
+    /** Unlink @p ev (wheel) or pop it (overflow top), then fire. */
+    void fire(Event *ev);
+
+    std::vector<Bucket> _buckets;
+    std::vector<std::uint64_t> _occ;     ///< bit per bucket.
+    std::vector<std::uint64_t> _summary; ///< bit per _occ word.
+    std::size_t _wheelCount = 0;
+
+    std::priority_queue<OverflowEntry, std::vector<OverflowEntry>,
+                        std::greater<>>
+        _overflow;
+
     Tick _curTick = 0;
     std::uint64_t _nextOrder = 0;
-    std::uint64_t _processed = 0;
     std::size_t _live = 0;
+    Counters _ctr;
 
-    /** Pop entries invalidated by deschedule/reschedule. */
-    void skipStale();
+    /** @{ One-shot freelist pool. */
+    struct OneShotSlot
+    {
+        OneShotSlot *next;
+    };
+    static constexpr std::size_t oneShotChunkSlots = 64;
+    std::vector<std::unique_ptr<unsigned char[]>> _poolChunks;
+    OneShotSlot *_freeOneShots = nullptr;
+    /** @} */
 };
+
+/**
+ * Fixed-capacity callback storage for persistent model events. The
+ * bound lambdas in dmi/mbs/centaur/mem capture at most `this` plus a
+ * few words; anything larger is a compile error, not an allocation.
+ */
+constexpr std::size_t eventCallbackBytes = 48;
+
+/** An Event that invokes a bound callable; the common case. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    using Callback = InplaceFunction<void(), eventCallbackBytes>;
+
+    template <typename F>
+    EventFunctionWrapper(F &&callback, std::string name,
+                         int priority = defaultPriority)
+        : Event(priority), callback_(std::forward<F>(callback)),
+          name_(std::move(name))
+    {
+        ct_assert(static_cast<bool>(callback_));
+    }
+
+    void process() override { callback_(); }
+    const char *name() const override { return name_.c_str(); }
+
+  private:
+    Callback callback_;
+    /** Built once at construction; only read on error paths. */
+    std::string name_;
+};
+
+/**
+ * A self-deleting event for one-off deferred work; created via
+ * OneShotEvent::schedule and destroyed after firing. Cannot be
+ * descheduled by the caller (it owns itself). Storage comes from the
+ * queue's freelist pool, and the callback is inplace, so the
+ * steady-state deferred-call path never touches the heap. The
+ * capacity accommodates the largest capture in the tree (an MBS read
+ * return: a cache line plus bookkeeping).
+ */
+class OneShotEvent : public Event
+{
+  public:
+    using Callback = InplaceFunction<void(), 200>;
+
+    /** Allocate (from the pool) and schedule a one-shot callback. */
+    template <typename F>
+    static void
+    schedule(EventQueue &eq, Tick when, F &&fn,
+             int priority = defaultPriority)
+    {
+        void *slot = eq.allocOneShot();
+        Event *ev =
+            ::new (slot) OneShotEvent(eq, std::forward<F>(fn),
+                                      priority);
+        eq.schedule(ev, when);
+    }
+
+    void process() override;
+    const char *name() const override { return "oneShot"; }
+
+  private:
+    template <typename F>
+    OneShotEvent(EventQueue &eq, F &&fn, int priority)
+        : Event(priority), eq_(&eq), fn_(std::forward<F>(fn))
+    {}
+
+    EventQueue *eq_;
+    Callback fn_;
+};
+
+static_assert(sizeof(OneShotEvent) <= EventQueue::oneShotSlotBytes,
+              "one-shot pool slots too small");
 
 } // namespace contutto
 

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A fixed-capacity, non-allocating replacement for std::function.
+ *
+ * Event callbacks are the hottest indirection in the simulator: every
+ * deferred hop through the DMI/MBS/memory layers binds a lambda. With
+ * std::function each binding whose captures exceed the (typically 16
+ * byte) small-object buffer costs a heap allocation on the schedule
+ * path and a free on dispatch. InplaceFunction stores the callable in
+ * an internal buffer, full stop: a capture that does not fit is a
+ * compile error, never a silent allocation.
+ *
+ * Only the operations the event core needs are provided: construct
+ * from a callable, move, invoke, destroy, test for emptiness. Copying
+ * is deliberately unsupported (events are single-owner).
+ */
+
+#ifndef CONTUTTO_SIM_INPLACE_FUNCTION_HH
+#define CONTUTTO_SIM_INPLACE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace contutto
+{
+
+template <typename Signature, std::size_t Capacity>
+class InplaceFunction; // primary template: see the partial spec.
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity>
+{
+  public:
+    InplaceFunction() = default;
+
+    template <typename F,
+              typename Fn = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<Fn, InplaceFunction>
+                  && std::is_invocable_r_v<R, Fn &, Args...>>>
+    InplaceFunction(F &&f) // NOLINT: intentional converting ctor
+    {
+        static_assert(sizeof(Fn) <= Capacity,
+                      "callable exceeds InplaceFunction capacity; "
+                      "raise the capacity constant at the use site");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned callable");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "callable must be nothrow-movable");
+        ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(f));
+        ops_ = &opsFor<Fn>;
+    }
+
+    InplaceFunction(InplaceFunction &&other) noexcept
+    {
+        takeFrom(other);
+    }
+
+    InplaceFunction &
+    operator=(InplaceFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            takeFrom(other);
+        }
+        return *this;
+    }
+
+    InplaceFunction(const InplaceFunction &) = delete;
+    InplaceFunction &operator=(const InplaceFunction &) = delete;
+
+    ~InplaceFunction() { reset(); }
+
+    /** Destroy the held callable, leaving the function empty. */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(storage_, std::forward<Args>(args)...);
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *self, Args &&...args);
+        void (*relocate)(void *from, void *to); ///< move + destroy.
+        void (*destroy)(void *self);
+    };
+
+    template <typename Fn>
+    static constexpr Ops opsFor{
+        [](void *self, Args &&...args) -> R {
+            return (*static_cast<Fn *>(self))(
+                std::forward<Args>(args)...);
+        },
+        [](void *from, void *to) {
+            Fn *f = static_cast<Fn *>(from);
+            ::new (to) Fn(std::move(*f));
+            f->~Fn();
+        },
+        [](void *self) { static_cast<Fn *>(self)->~Fn(); },
+    };
+
+    void
+    takeFrom(InplaceFunction &other) noexcept
+    {
+        if (other.ops_) {
+            other.ops_->relocate(other.storage_, storage_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace contutto
+
+#endif // CONTUTTO_SIM_INPLACE_FUNCTION_HH

@@ -22,6 +22,21 @@ Scalar::print(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Value::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value() << "  # " << description()
+       << "\n";
+}
+
+void
+Value::json(std::ostream &os) const
+{
+    os << "{\"kind\":\"value\",\"value\":";
+    jsonNumber(value(), os);
+    os << "}";
+}
+
+void
 Distribution::print(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << " count=" << count_ << " mean=" << mean()

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <ostream>
 #include <string>
@@ -71,6 +72,34 @@ class Scalar : public StatBase
 
   private:
     double value_ = 0;
+};
+
+/**
+ * A read-only stat computed on demand from a bound functor; reports
+ * live model state (queue depths, pool hit rates, counters owned by
+ * hot code that must not pay for stat objects) without mirroring it
+ * into a Scalar on every update.
+ */
+class Value : public StatBase
+{
+  public:
+    Value(StatGroup *group, std::string name, std::string desc,
+          std::function<double()> fetch)
+        : StatBase(group, std::move(name), std::move(desc)),
+          fetch_(std::move(fetch))
+    {
+        ct_assert(fetch_ != nullptr);
+    }
+
+    double value() const { return fetch_(); }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void json(std::ostream &os) const override;
+    /** The source of truth lives in the model; nothing to reset. */
+    void reset() override {}
+
+  private:
+    std::function<double()> fetch_;
 };
 
 /** Running min/max/mean/stddev over samples. */

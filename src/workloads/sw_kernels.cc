@@ -29,9 +29,10 @@ swMemcpy(cpu::Power8System &sys, std::uint64_t bytes, Addr src,
             src + line * cacheLineSize,
             [&, line](const HostOpResult &r) {
                 OneShotEvent::schedule(
-                    eq, eq.curTick() + cpuPerLine, [&, line, r] {
+                    eq, eq.curTick() + cpuPerLine,
+                    [&, line, data = r.data] {
                         sys.port().write(
-                            dst + line * cacheLineSize, r.data,
+                            dst + line * cacheLineSize, data,
                             [&](const HostOpResult &) {
                                 ++done_lines;
                                 finished = eq.curTick();

@@ -125,6 +125,45 @@ TEST(Scrambler, DesyncCorrupts)
     EXPECT_NE(data, orig);
 }
 
+// The production scrambler steps a byte at a time through lookup
+// tables; this is the bit-serial Galois reference it must match.
+struct BitSerialScrambler
+{
+    std::uint16_t lfsr;
+
+    std::uint8_t
+    nextByte()
+    {
+        std::uint8_t out = 0;
+        for (int b = 0; b < 8; ++b) {
+            std::uint16_t bit = lfsr & 1;
+            lfsr >>= 1;
+            if (bit)
+                lfsr ^= 0xB400;
+            out = std::uint8_t((out << 1) | bit);
+        }
+        return out;
+    }
+};
+
+TEST(Scrambler, ByteStepMatchesBitSerialReferenceExhaustively)
+{
+    // Every possible LFSR state, several bytes deep so the table
+    // walk exercises state transitions, not just the first output.
+    for (unsigned seed = 0; seed < 0x10000; ++seed) {
+        Scrambler fast{std::uint16_t(seed)};
+        BitSerialScrambler ref{std::uint16_t(seed)};
+        for (int i = 0; i < 4; ++i) {
+            std::uint8_t byte = 0;
+            fast.apply(&byte, 1);
+            ASSERT_EQ(byte, ref.nextByte())
+                << "seed " << seed << " byte " << i;
+            ASSERT_EQ(fast.state(), ref.lfsr)
+                << "seed " << seed << " byte " << i;
+        }
+    }
+}
+
 TEST(Scrambler, KeystreamHasTransitions)
 {
     // The whole point of scrambling: long runs of identical payload

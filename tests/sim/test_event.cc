@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event.hh"
@@ -152,6 +154,174 @@ TEST(EventQueue, StepFiresExactlyOne)
     EXPECT_EQ(log.size(), 1u);
     EXPECT_TRUE(eq.step());
     EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, SameTickRescheduleIsOrderPreservingNoop)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    // Rearming a at its own tick must NOT move it behind b.
+    eq.reschedule(&a, 50);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.counters().rescheduleNoops, 1u);
+}
+
+TEST(EventQueue, FarFutureEventsCrossTheWheelHorizon)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    auto c = record(log, 3);
+    // b lands exactly on the horizon, c far past it; both take the
+    // overflow path and must interleave correctly with near a.
+    eq.schedule(&c, 5 * EventQueue::wheelSpan + 3);
+    eq.schedule(&b, EventQueue::wheelSpan);
+    eq.schedule(&a, EventQueue::wheelSpan - 1);
+    EXPECT_EQ(eq.counters().overflowSpills, 2u);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 5 * EventQueue::wheelSpan + 3);
+}
+
+TEST(EventQueue, OverflowPullPreservesInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto far = record(log, 1);
+    auto near = record(log, 2);
+    const Tick meet = EventQueue::wheelSpan + 100;
+    // far is scheduled first (smaller order) from tick 0, beyond the
+    // horizon. kick fires at 200 — inside the horizon of `meet` —
+    // and schedules near at the same tick, into the bucket *before*
+    // the queue pulls far across. The pull must place far (original
+    // order) ahead of near despite arriving in the bucket second.
+    EventFunctionWrapper kick(
+        [&] {
+            log.push_back(0);
+            eq.schedule(&near, meet);
+        },
+        "kick");
+    eq.schedule(&far, meet);
+    eq.schedule(&kick, 200);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.counters().overflowPulls, 1u);
+}
+
+TEST(EventQueue, DeschedulingOverflowResidentIsLazy)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    eq.schedule(&a, 2 * EventQueue::wheelSpan);
+    eq.schedule(&b, 3 * EventQueue::wheelSpan);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+    EXPECT_EQ(eq.counters().stalePops, 1u);
+}
+
+TEST(EventQueue, RescheduleAcrossTheHorizon)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    eq.schedule(&a, 4 * EventQueue::wheelSpan);
+    eq.reschedule(&a, 10); // overflow -> wheel
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(eq.curTick(), 10u);
+    EXPECT_EQ(eq.counters().stalePops, 1u); // the abandoned entry
+}
+
+TEST(EventQueue, CountersTrackCoreActivity)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto a = record(log, 1);
+    auto b = record(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 10);
+    eq.deschedule(&b);
+    eq.run();
+    const auto &c = eq.counters();
+    EXPECT_EQ(c.schedules, 2u);
+    EXPECT_EQ(c.deschedules, 1u);
+    EXPECT_EQ(c.processed, 1u);
+    EXPECT_EQ(c.liveHighWater, 2u);
+    EXPECT_EQ(c.bucketHighWater, 2u);
+}
+
+TEST(EventQueue, OneShotPoolRecyclesSlots)
+{
+    EventQueue eq;
+    int fired = 0;
+    // A chain far longer than one pool chunk with one one-shot live
+    // at a time: the first allocation misses and grows the pool, and
+    // every subsequent one must reuse the freed slot.
+    std::function<void()> next = [&] {
+        if (++fired < 300)
+            OneShotEvent::schedule(eq, eq.curTick() + 1, [&] {
+                next();
+            });
+    };
+    OneShotEvent::schedule(eq, 1, [&] { next(); });
+    eq.run();
+    EXPECT_EQ(fired, 300);
+    const auto &c = eq.counters();
+    EXPECT_EQ(c.oneShotPoolMisses, 1u);
+    EXPECT_EQ(c.oneShotPoolHits, 299u);
+}
+
+TEST(EventQueue, OneShotCallbackCanScheduleOneShots)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    OneShotEvent::schedule(eq, 10, [&] {
+        log.push_back(1);
+        OneShotEvent::schedule(eq, eq.curTick() + 5,
+                               [&] { log.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.curTick(), 15u);
+}
+
+TEST(InplaceFunction, InvokesAndMoves)
+{
+    int calls = 0;
+    InplaceFunction<void(), 32> f([&calls] { ++calls; });
+    EXPECT_TRUE(static_cast<bool>(f));
+    f();
+    InplaceFunction<void(), 32> g(std::move(f));
+    EXPECT_FALSE(static_cast<bool>(f));
+    g();
+    EXPECT_EQ(calls, 2);
+    g.reset();
+    EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InplaceFunction, DestroysCaptures)
+{
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    {
+        InplaceFunction<int(), 32> f(
+            [token] { return *token; });
+        token.reset();
+        EXPECT_EQ(f(), 7);
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
 }
 
 TEST(EventQueueDeath, SchedulingInPastPanics)
