@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Distill a bench_parallel_scaling --stats-json capture into a trajectory.
+
+Reads the capture document bench_parallel_scaling wrote via --stats-json
+and emits a compact BENCH_parallel.json: hostCores, determinismOk, and,
+per shard count, the wall times, SpeedupVsSerial ratio, events/sec and
+measured bandwidth, keyed by dotted StatGroup path.  CI runs this on
+every push so the parallel-engine trajectory is diffable across commits.
+
+With --check BASELINE the script gates:
+
+  - determinismOk must be 1 in the fresh capture, on any machine —
+    the serial fallback and the threaded engine simulated different
+    histories otherwise, which is a correctness bug, not a perf one.
+  - speedup floors (the baseline's "floors" map, shard count ->
+    minimum SpeedupVsSerial) are enforced only when the fresh
+    capture's hostCores >= that shard count: a single-core runner
+    cannot exhibit parallel speedup and must not fail for it.
+  - when the baseline's own capture was recorded with enough cores,
+    fresh SpeedupVsSerial ratios are additionally compared against
+    the baseline's, failing on > tolerance regression (default 15%),
+    exactly like the event-core gate.
+
+Usage: parallel_trajectory.py STATS_JSON [--check BASELINE]
+           [--tolerance F] > BENCH_parallel.json
+"""
+
+import json
+import re
+import sys
+
+FLOORS = {"2": 1.0, "4": 1.5}
+
+WANTED = re.compile(
+    r"(WallSec|SpeedupVsSerial|EventsPerSec|BandwidthGBs"
+    r"|hostCores|determinismOk)$")
+
+
+def walk(group, prefix, out):
+    for name, stat in group.get("stats", {}).items():
+        if not isinstance(stat, dict):
+            continue
+        if not WANTED.search(name):
+            continue
+        if stat.get("value") is None:
+            continue
+        out[prefix + "." + name] = stat["value"]
+    for sub in group.get("groups", []):
+        walk(sub, prefix + "." + sub["name"], out)
+
+
+def distill(doc):
+    captures = []
+    for cap in doc.get("captures", []):
+        stats = {}
+        root = cap["stats"]
+        walk(root, root.get("name", "root"), stats)
+        captures.append({"label": cap["label"], "scaling": stats})
+    return {"schema": "contutto-parallel-trajectory-v1",
+            "source": "bench_parallel_scaling --stats-json capture",
+            "floors": FLOORS,
+            "captures": captures}
+
+
+def flat(trajectory):
+    out = {}
+    for cap in trajectory.get("captures", []):
+        for key, value in cap.get("scaling", {}).items():
+            out[key] = value
+    return out
+
+
+def speedups(values):
+    out = {}
+    for key, value in values.items():
+        m = re.search(r"shards(\d+)SpeedupVsSerial$", key)
+        if m:
+            out[m.group(1)] = value
+    return out
+
+
+def check(fresh, baseline_path, tolerance):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    now = flat(fresh)
+    failed = False
+
+    det = now.get("parallelScaling.determinismOk")
+    if det != 1:
+        sys.stderr.write("FAIL determinismOk: %r (must be 1)\n" % det)
+        failed = True
+    else:
+        sys.stderr.write("ok   determinismOk: serial == parallel\n")
+
+    cores = int(now.get("parallelScaling.hostCores", 0))
+    floors = base.get("floors", FLOORS)
+    now_speed = speedups(now)
+    for shards, floor in sorted(floors.items(), key=lambda k: int(k[0])):
+        got = now_speed.get(shards)
+        if got is None:
+            sys.stderr.write("MISSING speedup@%s shards\n" % shards)
+            failed = True
+            continue
+        if cores < int(shards):
+            sys.stderr.write("SKIP speedup@%s: host has %d core(s), "
+                             "cannot show parallel speedup "
+                             "(measured %.2fx)\n"
+                             % (shards, cores, got))
+            continue
+        verdict = "FAIL" if got < floor else "ok"
+        sys.stderr.write("%-4s speedup@%s: %.2fx vs floor %.2fx\n"
+                         % (verdict, shards, got, floor))
+        if got < floor:
+            failed = True
+
+    base_flat = flat(base)
+    base_cores = int(base_flat.get("parallelScaling.hostCores", 0))
+    for shards, want in sorted(speedups(base_flat).items(),
+                               key=lambda k: int(k[0])):
+        if base_cores < int(shards) or cores < int(shards):
+            continue
+        got = now_speed.get(shards)
+        if got is None:
+            continue
+        floor = want * (1.0 - tolerance)
+        verdict = "FAIL" if got < floor else "ok"
+        sys.stderr.write("%-4s speedup@%s vs baseline: %.2fx vs "
+                         "%.2fx (floor %.2fx)\n"
+                         % (verdict, shards, got, want, floor))
+        if got < floor:
+            failed = True
+    return failed
+
+
+def main():
+    args = sys.argv[1:]
+    baseline = None
+    tolerance = 0.15
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--check" and i + 1 < len(args):
+            baseline = args[i + 1]
+            i += 2
+        elif args[i] == "--tolerance" and i + 1 < len(args):
+            tolerance = float(args[i + 1])
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 1:
+        sys.stderr.write(__doc__)
+        return 2
+
+    with open(positional[0]) as f:
+        doc = json.load(f)
+    trajectory = distill(doc)
+    json.dump(trajectory, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+    if baseline is not None and check(trajectory, baseline, tolerance):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,43 @@ PciePeerLink::PciePeerLink(const std::string &name, EventQueue &eq,
 {}
 
 void
+PciePeerLink::bindShards(sim::ShardedExecutor *exec, unsigned shardA,
+                         unsigned shardB)
+{
+    ct_assert(exec != nullptr);
+    ct_assert(!busy_);
+    ct_assert(shardA < exec->numShards());
+    ct_assert(shardB < exec->numShards());
+    exec_ = exec;
+    shardA_ = shardA;
+    shardB_ = shardB;
+}
+
+EventQueue &
+PciePeerLink::engineQueue()
+{
+    return exec_ ? exec_->queue(shardOf(srcCard_)) : eventq();
+}
+
+void
+PciePeerLink::runOn(unsigned shard, std::function<void()> fn)
+{
+    if (!exec_) {
+        fn();
+        return;
+    }
+    const unsigned here = exec_->currentShard();
+    if (here == shard) {
+        fn();
+        return;
+    }
+    const Tick now = here == sim::ShardedExecutor::invalidShard
+        ? exec_->queue(shard).curTick()
+        : exec_->queue(here).curTick();
+    exec_->post(shard, now, std::move(fn));
+}
+
+void
 PciePeerLink::transfer(unsigned src_card, Addr src, Addr dst,
                        std::uint64_t bytes,
                        std::function<void()> done)
@@ -37,12 +74,19 @@ PciePeerLink::transfer(unsigned src_card, Addr src, Addr dst,
     done_ = std::move(done);
 
     // Doorbell + descriptor fetch, then the engine starts pulling.
-    OneShotEvent::schedule(eventq(),
-                           curTick() + params_.setupLatency,
-                           [this] {
-                               linkFreeAt_ = curTick();
-                               pump();
-                           });
+    // The engine runs on the source card's shard when bound.
+    runOn(exec_ ? shardOf(src_card) : sim::ShardedExecutor::invalidShard,
+          [this] {
+              EventQueue &q = engineQueue();
+              OneShotEvent::schedule(q,
+                                     q.curTick()
+                                         + params_.setupLatency,
+                                     [this] {
+                                         linkFreeAt_ =
+                                             engineQueue().curTick();
+                                         pump();
+                                     });
+          });
 }
 
 void
@@ -58,15 +102,28 @@ PciePeerLink::pump()
         req->addr = src_ + index * dmi::cacheLineSize;
         req->isWrite = false;
         req->onDone = [this, index](MemRequest &r) {
-            // Serialize the line onto the PCIe link.
+            // Serialize the line onto the PCIe link (still on the
+            // source shard: linkFreeAt_ is engine state).
             Tick ser = Tick(double(dmi::cacheLineSize)
                             / params_.bandwidth * 1e12);
-            Tick start = std::max(curTick(), linkFreeAt_);
+            Tick start =
+                std::max(engineQueue().curTick(), linkFreeAt_);
             linkFreeAt_ = start + ser;
             dmi::CacheLine data = r.data;
-            OneShotEvent::schedule(
-                eventq(), linkFreeAt_ + params_.lineLatency,
-                [this, index, data] { lineArrived(index, data); });
+            const Tick arrive = linkFreeAt_ + params_.lineLatency;
+            if (!exec_) {
+                OneShotEvent::schedule(
+                    eventq(), arrive,
+                    [this, index, data] { lineArrived(index, data); });
+            } else {
+                // The line crosses to the destination card's shard
+                // as an executor message; conservative delivery
+                // quantizes arrival to the next window edge.
+                exec_->post(shardOf(1 - srcCard_), arrive,
+                            [this, index, data] {
+                                lineArrived(index, data);
+                            });
+            }
         };
         src_port->submit(req);
     }
@@ -76,6 +133,9 @@ void
 PciePeerLink::lineArrived(std::uint64_t index,
                           const dmi::CacheLine &data)
 {
+    // Runs on the destination card's shard when bound; it touches
+    // only the destination port (srcCard_/dst_ are constant for the
+    // duration of a transfer). Completion hops back to the engine.
     bus::AvalonBus::Port *dst_port =
         srcCard_ == 0 ? portB_ : portA_;
     auto req = std::make_shared<MemRequest>();
@@ -83,18 +143,22 @@ PciePeerLink::lineArrived(std::uint64_t index,
     req->isWrite = true;
     req->data = data;
     req->onDone = [this](MemRequest &) {
-        ct_assert(inFlight_ > 0);
-        --inFlight_;
-        ++writesDone_;
-        stats_.bytesMoved += double(dmi::cacheLineSize);
-        if (writesDone_ == totalLines_) {
-            busy_ = false;
-            ++stats_.transfers;
-            if (done_)
-                done_();
-            return;
-        }
-        pump();
+        runOn(exec_ ? shardOf(srcCard_)
+                    : sim::ShardedExecutor::invalidShard,
+              [this] {
+                  ct_assert(inFlight_ > 0);
+                  --inFlight_;
+                  ++writesDone_;
+                  stats_.bytesMoved += double(dmi::cacheLineSize);
+                  if (writesDone_ == totalLines_) {
+                      busy_ = false;
+                      ++stats_.transfers;
+                      if (done_)
+                          done_();
+                      return;
+                  }
+                  pump();
+              });
     };
     dst_port->submit(req);
 }

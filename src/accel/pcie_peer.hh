@@ -17,6 +17,7 @@
 #include <functional>
 
 #include "contutto/contutto_card.hh"
+#include "sim/parallel.hh"
 
 namespace contutto::accel
 {
@@ -43,6 +44,20 @@ class PciePeerLink : public SimObject
                  fpga::ContuttoCard &cardB);
 
     /**
+     * Split the link across shards of @p exec: card A's Avalon side
+     * lives on @p shardA, card B's on @p shardB. The DMA engine
+     * state rides the *source* card's shard for each transfer; lines
+     * cross the link — and completions return — as executor
+     * messages, so they land at window boundaries, identically in
+     * serial and parallel modes. Unbound (the default), the link
+     * runs its original single-queue path, byte for byte.
+     *
+     * Call once, before the first transfer, while single-threaded.
+     */
+    void bindShards(sim::ShardedExecutor *exec, unsigned shardA,
+                    unsigned shardB);
+
+    /**
      * DMA @p bytes from @p src on card @p src_card (0 or 1) to
      * @p dst on the other card. One transfer at a time.
      */
@@ -63,9 +78,26 @@ class PciePeerLink : public SimObject
     void pump();
     void lineArrived(std::uint64_t index, const dmi::CacheLine &data);
 
+    /** @{ Shard plumbing; identity operations when unbound. */
+    unsigned shardOf(unsigned card) const
+    {
+        return card == 0 ? shardA_ : shardB_;
+    }
+    /** The queue the current transfer's engine state lives on. */
+    EventQueue &engineQueue();
+    /** Run @p fn on @p shard (inline when already there/unbound). */
+    void runOn(unsigned shard, std::function<void()> fn);
+    /** @} */
+
     Params params_;
     bus::AvalonBus::Port *portA_;
     bus::AvalonBus::Port *portB_;
+
+    /** @{ Sharded split (null/ignored when unbound). */
+    sim::ShardedExecutor *exec_ = nullptr;
+    unsigned shardA_ = 0;
+    unsigned shardB_ = 0;
+    /** @} */
 
     bool busy_ = false;
     unsigned srcCard_ = 0;

@@ -1,5 +1,10 @@
 #include "cpu/multi_slot.hh"
 
+#include <algorithm>
+
+#include "dmi/channel.hh"
+#include "dmi/frame.hh"
+
 namespace contutto::cpu
 {
 
@@ -39,6 +44,35 @@ MultiSlotSystem::validate(const Params &params)
     return v;
 }
 
+Tick
+MultiSlotSystem::deriveWindow(const Params &params)
+{
+    // The fastest cross-slot signal is one downstream frame: its
+    // serialization on the channel's lanes plus board flight time.
+    // Any cross-shard effect a slot can cause takes at least that
+    // long to be observable elsewhere, so it is a safe lookahead;
+    // x1024 keeps barriers rare without changing the deferred
+    // delivery semantics (post() always lands at a window edge).
+    const dmi::DmiChannel::Params link{};
+    Tick minFrame = maxTick;
+    for (unsigned s = 0; s < numSlots; ++s) {
+        const SlotSpec &spec = params.slots[s];
+        if (spec.kind == SlotKind::empty)
+            continue;
+        // Same default the channel itself applies (channel.cc).
+        Tick ui = spec.channel.lanePeriod
+            ? spec.channel.lanePeriod
+            : (spec.kind == SlotKind::contutto ? Tick(125)
+                                               : Tick(104));
+        const std::size_t bits = dmi::downFrameBytes * 8;
+        const Tick ser =
+            Tick((bits + link.lanes - 1) / link.lanes) * ui;
+        minFrame = std::min(minFrame, ser + link.flightTime);
+    }
+    ct_assert(minFrame != maxTick);
+    return minFrame * 1024;
+}
+
 MultiSlotSystem::MultiSlotSystem(const Params &params)
     : stats::StatGroup("socket"), params_(params),
       eqStats_(this, eq_)
@@ -46,6 +80,26 @@ MultiSlotSystem::MultiSlotSystem(const Params &params)
     Validation v = validate(params);
     if (!v.ok)
         fatal("plug rules: %s", v.error.c_str());
+
+    if (params.shards >= 1) {
+        sim::ShardedExecutor::Params ep;
+        ep.shards = params.shards;
+        ep.window = params.shardWindow ? params.shardWindow
+                                       : deriveWindow(params);
+        ep.mode = params.parallelExec
+            ? sim::ShardedExecutor::Mode::parallel
+            : sim::ShardedExecutor::Mode::serial;
+        exec_ = std::make_unique<sim::ShardedExecutor>(ep);
+        parStats_.emplace(this, *exec_);
+        for (unsigned s = 0; s < params.shards; ++s) {
+            shardGroups_.push_back(
+                std::make_unique<stats::StatGroup>(
+                    "shard" + std::to_string(s), this));
+            shardEqStats_.push_back(
+                std::make_unique<EventCoreStats>(
+                    shardGroups_.back().get(), exec_->queue(s)));
+        }
+    }
 
     slotToChannel_.fill(nullptr);
     for (unsigned s = 0; s < numSlots; ++s) {
@@ -57,8 +111,10 @@ MultiSlotSystem::MultiSlotSystem(const Params &params)
             ? BufferKind::contutto
             : BufferKind::centaur;
         cp.seed = spec.channel.seed + s * 101;
+        const unsigned idx = unsigned(channels_.size());
         channels_.push_back(std::make_unique<MemoryChannel>(
-            "slot" + std::to_string(s), eq_, clocks_, this, cp));
+            "slot" + std::to_string(s), channelQueue(idx), clocks_,
+            this, cp));
         slotToChannel_[s] = channels_.back().get();
     }
 }
@@ -70,6 +126,34 @@ MultiSlotSystem::trainAll()
 {
     // The FSP trains channels in parallel on real machines; do the
     // same here.
+    if (sharded()) {
+        // Per-channel result slots, written shard-locally; the idle
+        // predicate reads them at barriers, where the hand-off
+        // mutex orders the accesses.
+        std::vector<char> done(channels_.size(), 0);
+        std::vector<char> ok(channels_.size(), 0);
+        for (unsigned i = 0; i < channels_.size(); ++i)
+            channels_[i]->trainAsync(
+                [&done, &ok, i](const dmi::TrainingResult &r) {
+                    done[i] = 1;
+                    ok[i] = r.success ? 1 : 0;
+                });
+        bool finished = exec_->runUntilIdle(
+            [&done] {
+                for (char d : done)
+                    if (!d)
+                        return false;
+                return true;
+            },
+            milliseconds(200));
+        if (!finished)
+            return false;
+        for (char o : ok)
+            if (!o)
+                return false;
+        return true;
+    }
+
     unsigned finished = 0;
     bool all_ok = true;
     for (auto &ch : channels_) {
@@ -107,18 +191,89 @@ MultiSlotSystem::localAddr(Addr addr) const
 }
 
 void
+MultiSlotSystem::runOnChannel(unsigned ch, std::function<void()> fn)
+{
+    const unsigned owner = shardOfChannel(ch);
+    const unsigned here = exec_->currentShard();
+    if (here == owner) {
+        fn();
+        return;
+    }
+    // A foreign (or setup-time) caller: hop to the owner shard at
+    // the caller's current time. Inside run() this defers to the
+    // next window edge; outside it lands immediately — both paths
+    // identical across serial and parallel modes.
+    const Tick now = here == sim::ShardedExecutor::invalidShard
+        ? exec_->queue(owner).curTick()
+        : exec_->queue(here).curTick();
+    exec_->post(owner, now, std::move(fn));
+}
+
+HostMemPort::Callback
+MultiSlotSystem::routeCompletion(HostMemPort::Callback cb)
+{
+    // Count the op until its callback has actually run, so
+    // runUntilIdle's predicate sees ops that are mid-hop between
+    // shards (invisible to any channel's quiescent()).
+    pendingOps_.fetch_add(1, std::memory_order_relaxed);
+    HostMemPort::Callback counted =
+        [this, cb = std::move(cb)](const HostOpResult &r) {
+            if (cb)
+                cb(r);
+            pendingOps_.fetch_sub(1, std::memory_order_relaxed);
+        };
+    const unsigned caller = exec_->currentShard();
+    if (caller == sim::ShardedExecutor::invalidShard)
+        return counted;
+    return [this, caller,
+            cb = std::move(counted)](const HostOpResult &r) {
+        const unsigned here = exec_->currentShard();
+        if (here == caller) {
+            cb(r);
+            return;
+        }
+        const Tick now = here == sim::ShardedExecutor::invalidShard
+            ? exec_->queue(caller).curTick()
+            : exec_->queue(here).curTick();
+        exec_->post(caller, now, [cb, r] { cb(r); });
+    };
+}
+
+void
 MultiSlotSystem::read(Addr addr, HostMemPort::Callback cb)
 {
-    channels_[channelOf(addr)]->port().read(localAddr(addr),
-                                            std::move(cb));
+    const unsigned ch = channelOf(addr);
+    const Addr local = localAddr(addr);
+    if (!sharded()) {
+        channels_[ch]->port().read(local, std::move(cb));
+        return;
+    }
+    auto routed = routeCompletion(std::move(cb));
+    runOnChannel(ch,
+                 [this, ch, local,
+                  routed = std::move(routed)]() mutable {
+                     channels_[ch]->port().read(local,
+                                                std::move(routed));
+                 });
 }
 
 void
 MultiSlotSystem::write(Addr addr, const dmi::CacheLine &data,
                        HostMemPort::Callback cb)
 {
-    channels_[channelOf(addr)]->port().write(localAddr(addr), data,
-                                             std::move(cb));
+    const unsigned ch = channelOf(addr);
+    const Addr local = localAddr(addr);
+    if (!sharded()) {
+        channels_[ch]->port().write(local, data, std::move(cb));
+        return;
+    }
+    auto routed = routeCompletion(std::move(cb));
+    runOnChannel(ch,
+                 [this, ch, local, data,
+                  routed = std::move(routed)]() mutable {
+                     channels_[ch]->port().write(local, data,
+                                                 std::move(routed));
+                 });
 }
 
 double
@@ -126,38 +281,60 @@ MultiSlotSystem::measureAggregateReadBandwidth(Tick window)
 {
     // Independent sequential streams per channel, kept at full tag
     // occupancy; payload bytes delivered inside the window count.
-    Tick start = eq_.curTick();
-    Tick end = start + window;
-    std::uint64_t bytes = 0;
+    const Tick start = curTick();
+    const Tick end = start + window;
     struct Stream
     {
         Addr next = 0;
+        std::uint64_t bytes = 0;
     };
     std::vector<Stream> streams(channels_.size());
 
+    // Each stream's issue loop and byte counter stay on the owning
+    // channel's shard: the port callback fires there, and it only
+    // touches streams[ch]. Nothing is shared across shards, so the
+    // measurement needs no routing and no locks.
     std::function<void(unsigned)> issue = [&](unsigned ch) {
-        if (eq_.curTick() >= end)
+        if (channelQueue(ch).curTick() >= end)
             return;
         Addr a = streams[ch].next;
         streams[ch].next += dmi::cacheLineSize;
         channels_[ch]->port().read(
             a, [&, ch](const HostOpResult &r) {
                 if (r.dataAt <= end)
-                    bytes += dmi::cacheLineSize;
+                    streams[ch].bytes += dmi::cacheLineSize;
                 issue(ch);
             });
     };
     for (unsigned ch = 0; ch < channels_.size(); ++ch)
         for (int k = 0; k < 40; ++k) // beyond the 32 tags
             issue(ch);
-    eq_.run(end);
+    if (sharded())
+        exec_->run(end);
+    else
+        eq_.run(end);
     runUntilIdle();
+    std::uint64_t bytes = 0;
+    for (const Stream &s : streams)
+        bytes += s.bytes;
     return double(bytes) / ticksToSeconds(window) / 1e9;
 }
 
 bool
 MultiSlotSystem::runUntilIdle(Tick timeout)
 {
+    if (sharded()) {
+        return exec_->runUntilIdle(
+            [this] {
+                if (pendingOps_.load(std::memory_order_relaxed))
+                    return false;
+                for (const auto &ch : channels_)
+                    if (!ch->quiescent())
+                        return false;
+                return true;
+            },
+            timeout);
+    }
     Tick deadline = eq_.curTick() + timeout;
     for (;;) {
         bool idle = true;
@@ -171,6 +348,17 @@ MultiSlotSystem::runUntilIdle(Tick timeout)
         if (!eq_.step())
             return true;
     }
+}
+
+Tick
+MultiSlotSystem::curTick() const
+{
+    if (!sharded())
+        return eq_.curTick();
+    Tick t = 0;
+    for (unsigned s = 0; s < exec_->numShards(); ++s)
+        t = std::max(t, exec_->queue(s).curTick());
+    return t;
 }
 
 } // namespace contutto::cpu

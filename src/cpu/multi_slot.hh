@@ -12,16 +12,36 @@
  *
  * Consecutive cache lines interleave across the populated channels,
  * giving the socket-level bandwidth of Figure 1's organization.
+ *
+ * Execution comes in two flavours:
+ *  - Legacy (Params::shards == 0): one EventQueue serializes the
+ *    whole socket, exactly as before.
+ *  - Sharded (Params::shards >= 1): each populated channel — its
+ *    HostPort, DMI pair, buffer and DIMM stack — is owned by shard
+ *    (channel index mod shards), each shard with a private
+ *    EventQueue, run under sim::ShardedExecutor's conservative
+ *    window/barrier protocol. The lookahead window derives from the
+ *    DMI link's minimum frame latency. Channels share no mutable
+ *    state (clock domains are immutable; stats are per-channel), so
+ *    the only cross-shard traffic is socket-level arbitration:
+ *    read()/write() issued from a foreign shard, and their
+ *    completions, cross via the executor's mailboxes and land at
+ *    window boundaries. The serial fallback
+ *    (Params::parallelExec == false) is bit-identical to the
+ *    N-thread run — tests/integration/test_parallel_differential.cc
+ *    holds both to that, stats-JSON byte for byte.
  */
 
 #ifndef CONTUTTO_CPU_MULTI_SLOT_HH
 #define CONTUTTO_CPU_MULTI_SLOT_HH
 
 #include <array>
+#include <atomic>
 #include <optional>
 
 #include "cpu/channel.hh"
 #include "sim/event_stats.hh"
+#include "sim/parallel.hh"
 
 namespace contutto::cpu
 {
@@ -51,6 +71,18 @@ class MultiSlotSystem : public stats::StatGroup
     struct Params
     {
         std::array<SlotSpec, numSlots> slots{};
+        /**
+         * 0: legacy single-queue execution. N >= 1: sharded
+         * execution with N shards (channel i on shard i mod N);
+         * N == 1 exercises the windowed engine with no
+         * partitioning, useful as its own determinism anchor.
+         */
+        unsigned shards = 0;
+        /** Worker threads, or the bit-identical serial fallback. */
+        bool parallelExec = true;
+        /** Lookahead window in ticks; 0 derives it from the DMI
+         *  link's minimum frame latency (see deriveWindow()). */
+        Tick shardWindow = 0;
     };
 
     /** Outcome of plug-rule checking. */
@@ -66,6 +98,16 @@ class MultiSlotSystem : public stats::StatGroup
      */
     static Validation validate(const Params &params);
 
+    /**
+     * The conservative lookahead for a socket with these channels:
+     * 1024x the minimum DMI frame latency (serialization of a
+     * 28-byte downstream frame over 14 lanes plus board flight
+     * time). No cross-slot interaction completes faster than one
+     * frame flight, and the x1024 batching amortizes a barrier over
+     * thousands of shard-local events.
+     */
+    static Tick deriveWindow(const Params &params);
+
     /** @throw FatalError when the plug rules are violated. */
     explicit MultiSlotSystem(const Params &params);
     ~MultiSlotSystem() override;
@@ -73,7 +115,27 @@ class MultiSlotSystem : public stats::StatGroup
     /** Train every populated channel; true when all succeed. */
     bool trainAll();
 
-    EventQueue &eventq() { return eq_; }
+    /** Legacy single-queue access; invalid in sharded mode. */
+    EventQueue &eventq()
+    {
+        ct_assert(!sharded());
+        return eq_;
+    }
+
+    /** @{ Sharded-execution access. */
+    bool sharded() const { return exec_ != nullptr; }
+    sim::ShardedExecutor *executor() { return exec_.get(); }
+    unsigned shardOfChannel(unsigned idx) const
+    {
+        ct_assert(sharded());
+        return idx % exec_->numShards();
+    }
+    /** The queue channel @p idx lives on (legacy: the one queue). */
+    EventQueue &channelQueue(unsigned idx)
+    {
+        return sharded() ? exec_->queue(shardOfChannel(idx)) : eq_;
+    }
+    /** @} */
 
     unsigned populatedChannels() const
     {
@@ -95,8 +157,17 @@ class MultiSlotSystem : public stats::StatGroup
     /** Total memory behind all populated channels. */
     std::uint64_t totalCapacity() const;
 
-    /** @{ Socket-global operations: lines interleave across the
-     *  populated channels. */
+    /** The socket's shared clock domains. */
+    const SocketClocks &clocks() const { return clocks_; }
+
+    /**
+     * @{ Socket-global operations: lines interleave across the
+     * populated channels. In sharded mode these are safe from any
+     * shard (and from outside run()): issue and completion cross
+     * shards via executor mailboxes when caller and owner differ,
+     * which defers them to the next window boundary — identically
+     * in serial and parallel modes.
+     */
     void read(Addr addr, HostMemPort::Callback cb);
     void write(Addr addr, const dmi::CacheLine &data,
                HostMemPort::Callback cb);
@@ -116,13 +187,35 @@ class MultiSlotSystem : public stats::StatGroup
 
     bool runUntilIdle(Tick timeout = milliseconds(200));
 
+    /** Max simulated time over all queues (sharded-aware). */
+    Tick curTick() const;
+
   private:
+    /** Run @p fn on channel @p ch's shard (or inline when local). */
+    void runOnChannel(unsigned ch, std::function<void()> fn);
+    /** Route a completion back to the shard that issued the op. */
+    HostMemPort::Callback routeCompletion(HostMemPort::Callback cb);
+
     Params params_;
     EventQueue eq_;
     EventCoreStats eqStats_;
+    /** Sharded execution (null in legacy mode). Declared before the
+     *  channels: they deschedule events from its queues on
+     *  destruction, so it must outlive them. */
+    std::unique_ptr<sim::ShardedExecutor> exec_;
+    std::optional<sim::ParallelStats> parStats_;
+    /** Per-shard "shardN" groups holding each queue's eventq. */
+    std::vector<std::unique_ptr<stats::StatGroup>> shardGroups_;
+    std::vector<std::unique_ptr<EventCoreStats>> shardEqStats_;
     SocketClocks clocks_;
     std::vector<std::unique_ptr<MemoryChannel>> channels_;
     std::array<MemoryChannel *, numSlots> slotToChannel_{};
+    /** Sharded-mode socket ops whose completion callback has not
+     *  run yet — including ones mid-hop between shards, which no
+     *  channel's quiescent() can see. Atomic because issue and
+     *  completion may happen on different shards; only its settled
+     *  value at barriers is ever observed. */
+    std::atomic<std::uint64_t> pendingOps_{0};
 };
 
 } // namespace contutto::cpu

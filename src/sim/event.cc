@@ -286,6 +286,13 @@ EventQueue::step()
 }
 
 Tick
+EventQueue::nextEventTick()
+{
+    Event *ev = peekNext();
+    return ev ? ev->_when : maxTick;
+}
+
+Tick
 EventQueue::run(Tick limit)
 {
     for (;;) {

@@ -200,6 +200,14 @@ class EventQueue
     /** Fire exactly one event, if any; returns false if empty. */
     bool step();
 
+    /**
+     * Tick of the next event that would fire, or maxTick when the
+     * queue is empty. May migrate overflow residents into the wheel
+     * (it shares peek machinery with step()), so it is not const —
+     * but it never changes what fires or in what order.
+     */
+    Tick nextEventTick();
+
     /** Total number of events processed since construction. */
     std::uint64_t eventsProcessed() const { return _ctr.processed; }
 

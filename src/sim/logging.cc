@@ -35,17 +35,21 @@ format(const char *fmt, ...)
 
 } // namespace log_detail
 
+// Per-thread: a simulation suppresses output for the thread that
+// runs it (its event loop emits on that same thread), so concurrent
+// campaigns on a task farm cannot toggle each other's verbosity —
+// nor race on the flag.
 bool &
 LogControl::verbose()
 {
-    static bool v = false;
+    thread_local bool v = false;
     return v;
 }
 
 bool &
 LogControl::warnings()
 {
-    static bool w = true;
+    thread_local bool w = true;
     return w;
 }
 

@@ -36,7 +36,12 @@ std::string format(const char *fmt, ...)
 
 } // namespace log_detail
 
-/** Global verbosity control for warn()/inform() output. */
+/**
+ * Verbosity control for warn()/inform() output, per thread: a
+ * simulation's output is emitted on the thread running its event
+ * loop, so suppressing it there cannot disturb (or race with)
+ * concurrent simulations on other threads.
+ */
 class LogControl
 {
   public:

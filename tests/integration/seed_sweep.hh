@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reusable multi-seed invariant sweep scaffold.
+ *
+ * A sweep runs one scenario per seed — typically a self-contained
+ * simulation — and collects named invariant checks into a per-seed
+ * report. Scenarios are distributed over worker threads with
+ * ShardedExecutor::runTasks, so a 32-seed sweep doubles as a
+ * thread-safety soak for anything the scenario touches; the task
+ * farm's determinism contract (tasks share no mutable state) is the
+ * scaffold's contract too.
+ *
+ * Usage:
+ *   auto reports = sweep::run(sweep::seeds(0xC0FFEE, 32), 4,
+ *       [](std::uint64_t seed, sweep::Report &r) {
+ *           ... simulate ...
+ *           sweep::check(r, "no-violations", violations == 0,
+ *                        std::to_string(violations));
+ *       });
+ *   sweep::expectAllPassed(reports);
+ */
+
+#ifndef CONTUTTO_TESTS_INTEGRATION_SEED_SWEEP_HH
+#define CONTUTTO_TESTS_INTEGRATION_SEED_SWEEP_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hh"
+
+namespace sweep
+{
+
+/** One named invariant verdict. */
+struct Check
+{
+    std::string name;
+    bool ok = false;
+    std::string detail;
+};
+
+/** Everything one seed's scenario reported. */
+struct Report
+{
+    std::uint64_t seed = 0;
+    std::vector<Check> checks;
+};
+
+/** Record one invariant check in the report. */
+inline void
+check(Report &r, const std::string &name, bool ok,
+      const std::string &detail = "")
+{
+    r.checks.push_back(Check{name, ok, detail});
+}
+
+/** A deterministic well-spread seed list (splitmix64 stream). */
+inline std::vector<std::uint64_t>
+seeds(std::uint64_t base, unsigned n)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(n);
+    std::uint64_t x = base;
+    for (unsigned i = 0; i < n; ++i) {
+        x += 0x9E3779B97F4A7C15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        out.push_back(z ^ (z >> 31));
+    }
+    return out;
+}
+
+/**
+ * Run @p scenario once per seed, fanned out over @p shards worker
+ * threads (parallel mode; pass 1 for a serial sweep). Scenarios
+ * must be self-contained: no shared mutable state beyond their own
+ * report slot.
+ */
+inline std::vector<Report>
+run(const std::vector<std::uint64_t> &seed_list, unsigned shards,
+    const std::function<void(std::uint64_t, Report &)> &scenario)
+{
+    std::vector<Report> reports(seed_list.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(seed_list.size());
+    for (std::size_t i = 0; i < seed_list.size(); ++i)
+        tasks.push_back([&reports, &seed_list, &scenario, i] {
+            reports[i].seed = seed_list[i];
+            scenario(seed_list[i], reports[i]);
+        });
+    contutto::sim::ShardedExecutor::runTasks(
+        shards,
+        shards > 1 ? contutto::sim::ShardedExecutor::Mode::parallel
+                   : contutto::sim::ShardedExecutor::Mode::serial,
+        tasks);
+    return reports;
+}
+
+/** Assert every check of every seed passed, with a useful dump. */
+inline void
+expectAllPassed(const std::vector<Report> &reports)
+{
+    for (const Report &r : reports) {
+        EXPECT_FALSE(r.checks.empty())
+            << "seed " << r.seed << " reported no checks";
+        for (const Check &c : r.checks)
+            EXPECT_TRUE(c.ok)
+                << "seed " << r.seed << ": invariant '" << c.name
+                << "' failed"
+                << (c.detail.empty() ? "" : " (" + c.detail + ")");
+    }
+}
+
+} // namespace sweep
+
+#endif // CONTUTTO_TESTS_INTEGRATION_SEED_SWEEP_HH

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "sim/span.hh"
@@ -12,6 +17,33 @@ using namespace contutto;
 
 namespace
 {
+
+/**
+ * A temp path unique per test *and* per process: ctest runs suites
+ * with -j, so a fixed name would intermittently collide with a
+ * parallel invocation of the same binary.
+ */
+std::string
+uniqueTempPath(const char *ext)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = std::string(info->test_suite_name()) + "_"
+        + info->name();
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return "/tmp/ct_" + name + "_" + std::to_string(getpid()) + ext;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
 
 TEST(JsonLint, AcceptsValidValues)
 {
@@ -127,6 +159,56 @@ TEST(IntervalDumper, CollectsPeriodicSnapshots)
     EXPECT_TRUE(telemetry::jsonLint(out));
     EXPECT_NE(out.find("\"period\":100"), std::string::npos);
     EXPECT_NE(out.find("\"tick\":100"), std::string::npos);
+}
+
+TEST(TelemetryFiles, PerfettoTraceRoundTripsThroughAFile)
+{
+    span::Span s;
+    s.id = 9;
+    s.stage = "mbs";
+    s.begin = 2000;
+    s.end = 4000;
+    s.seq = 1;
+
+    const std::string path = uniqueTempPath(".json");
+    {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.is_open()) << path;
+        telemetry::writePerfettoTrace({s}, out);
+    }
+    const std::string back = slurp(path);
+    EXPECT_TRUE(telemetry::jsonLint(back)) << back;
+    EXPECT_NE(back.find("\"mbs\""), std::string::npos);
+    EXPECT_NE(back.find("\"traceId\":9"), std::string::npos);
+    EXPECT_EQ(std::remove(path.c_str()), 0);
+}
+
+TEST(TelemetryFiles, StatsJsonRoundTripsThroughAFile)
+{
+    stats::StatGroup root("system");
+    stats::Scalar ops(&root, "ops", "operations");
+    ops += 11;
+
+    const std::string path = uniqueTempPath(".json");
+    {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.is_open()) << path;
+        stats::toJson(root, out);
+    }
+    const std::string back = slurp(path);
+    EXPECT_TRUE(telemetry::jsonLint(back)) << back;
+    EXPECT_NE(back.find("\"ops\":{\"kind\":\"scalar\",\"value\":11}"),
+              std::string::npos);
+    EXPECT_EQ(std::remove(path.c_str()), 0);
+}
+
+TEST(TelemetryFiles, TempPathsEmbedTestNameAndPid)
+{
+    const std::string path = uniqueTempPath(".json");
+    EXPECT_NE(path.find("TelemetryFiles"), std::string::npos);
+    EXPECT_NE(path.find("TempPathsEmbedTestNameAndPid"),
+              std::string::npos);
+    EXPECT_NE(path.find(std::to_string(getpid())), std::string::npos);
 }
 
 TEST(IntervalDumper, StopHaltsSampling)

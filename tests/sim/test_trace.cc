@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -12,6 +17,20 @@ using namespace contutto;
 
 namespace
 {
+
+/** Per-test, per-process temp path: safe under `ctest -j`. */
+std::string
+uniqueTempPath(const char *ext)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = std::string(info->test_suite_name()) + "_"
+        + info->name();
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return "/tmp/ct_" + name + "_" + std::to_string(getpid()) + ext;
+}
 
 class TraceTest : public ::testing::Test
 {
@@ -101,6 +120,26 @@ TEST_F(TraceTest, ConcurrentEmitAndReconfigure)
             EXPECT_NE(log.find(": obj: line ", pos), std::string::npos);
             pos = nl + 1;
         }
+}
+
+TEST_F(TraceTest, FileSinkCapturesWholeLines)
+{
+    const std::string path = uniqueTempPath(".log");
+    {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.is_open()) << path;
+        trace::setOutput(&out);
+        trace::print(7, "obj", "first %d", 1);
+        trace::print(8, "obj", "second %d", 2);
+        trace::setOutput(nullptr);
+    }
+    std::ifstream in(path);
+    std::string l1, l2;
+    ASSERT_TRUE(std::getline(in, l1));
+    ASSERT_TRUE(std::getline(in, l2));
+    EXPECT_EQ(l1, "7: obj: first 1");
+    EXPECT_EQ(l2, "8: obj: second 2");
+    EXPECT_EQ(std::remove(path.c_str()), 0);
 }
 
 TEST_F(TraceTest, DisabledMeansSilent)
