@@ -5,6 +5,20 @@
  * the power domain + link retrain, audit every block against the
  * durability ledger. Prints the counters a robustness report needs;
  * rerunning with the same --seed reproduces them bit for bit.
+ *
+ * Checkpoint/restore flags (the chaos-smoke recipe in
+ * EXPERIMENTS.md drives these):
+ *
+ *   --checkpoint=FILE        snapshot the campaign to FILE at round
+ *                            boundaries
+ *   --checkpoint-every=N     ... every N completed rounds (default 2)
+ *   --kill-after=N           exit after writing N checkpoints (a
+ *                            deterministic mid-run kill; implies a
+ *                            partial run)
+ *   --resume=FILE            restore FILE into a fresh campaign and
+ *                            continue; the finished run's counters
+ *                            and stats JSON are bit-identical to an
+ *                            uninterrupted run with the same seed
  */
 
 #include "bench_util.hh"
@@ -31,8 +45,28 @@ main(int argc, char **argv)
                 spec.powerCuts, spec.brownouts, spec.regionBlocks,
                 spec.queueDepth);
 
+    CrashRecoveryCampaign::RunOptions opts;
+    opts.checkpointPath =
+        bench::parseFlag(argc, argv, "--checkpoint");
+    opts.checkpointEvery = unsigned(
+        bench::parseUnsigned(argc, argv, "--checkpoint-every", 2));
+    if (opts.checkpointPath.empty())
+        opts.checkpointEvery = 0;
+    opts.resumeFrom = bench::parseFlag(argc, argv, "--resume");
+    opts.stopAfterCheckpoints = unsigned(
+        bench::parseUnsigned(argc, argv, "--kill-after", 0));
+
     CrashRecoveryCampaign campaign(spec);
-    auto r = campaign.run();
+    auto r = campaign.run(opts);
+    tm.capture("crash_campaign", campaign.system());
+
+    if (campaign.stoppedEarly()) {
+        std::printf("killed after %u checkpoint(s); resume with "
+                    "--resume=%s\n",
+                    opts.stopAfterCheckpoints,
+                    opts.checkpointPath.c_str());
+        return 0;
+    }
 
     bench::rule();
     std::printf("%-28s %12s\n", "counter", "value");

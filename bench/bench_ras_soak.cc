@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Supervised RAS soak farm with a resumable task ledger.
+ *
+ * Runs the multi-fault soak campaign (ras::SoakCampaign) across many
+ * seeds on a CampaignSupervisor farm: per-task deadlines, a hung
+ * shard watchdog, retry with backoff, and serial degradation before
+ * quarantine. Progress is durable: after every completed seed the
+ * ledger file (a ckpt::Checkpoint) is atomically rewritten with the
+ * seeds done so far and their result fingerprints, so a killed
+ * campaign resumes with `--ledger=FILE` and only runs what is left.
+ *
+ *   --seeds=N        number of seeds to run (default 8)
+ *   --seed=BASE      first seed (default 1), seeds are BASE..BASE+N-1
+ *   --shards=N       farm width (default 4); --serial for one shard
+ *   --deadline-ms=N  per-task wall deadline (default 0 = none)
+ *   --ledger=FILE    durable progress; delete the file to start over
+ */
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "bench_util.hh"
+#include "ras/soak_campaign.hh"
+#include "sim/checkpoint.hh"
+#include "sim/supervisor.hh"
+
+using namespace contutto;
+using contutto::ras::SoakCampaign;
+using contutto::sim::CampaignSupervisor;
+using contutto::sim::ShardedExecutor;
+
+namespace
+{
+
+struct LedgerEntry
+{
+    std::uint64_t seed = 0;
+    std::uint64_t fingerprint = 0;
+    bool healthy = false;
+};
+
+constexpr const char *kLedgerSection = "ras-soak-ledger";
+
+/** Atomically persist the completed set (writeFile is tmp+rename). */
+void
+writeLedger(const std::string &path, std::uint64_t baseSeed,
+            std::uint64_t seedCount,
+            const std::vector<LedgerEntry> &done)
+{
+    ckpt::Checkpoint cp;
+    ckpt::Section &s = cp.add(kLedgerSection);
+    s.putU64(baseSeed);
+    s.putU64(seedCount);
+    s.putU32(std::uint32_t(done.size()));
+    for (const LedgerEntry &e : done) {
+        s.putU64(e.seed);
+        s.putU64(e.fingerprint);
+        s.putU8(e.healthy ? 1 : 0);
+    }
+    cp.writeFile(path);
+}
+
+/** Load prior progress; a ledger for a different campaign shape is
+ *  an error (resuming it would silently skip the wrong seeds). */
+std::vector<LedgerEntry>
+readLedger(const std::string &path, std::uint64_t baseSeed,
+           std::uint64_t seedCount)
+{
+    ckpt::Checkpoint cp = ckpt::Checkpoint::readFile(path);
+    ckpt::Section &s = cp.section(kLedgerSection);
+    if (s.getU64() != baseSeed || s.getU64() != seedCount)
+        throw ckpt::Error(
+            "soak ledger was written by a different campaign "
+            "(--seed/--seeds mismatch); delete it to start over");
+    std::vector<LedgerEntry> done(s.getU32());
+    for (LedgerEntry &e : done) {
+        e.seed = s.getU64();
+        e.fingerprint = s.getU64();
+        e.healthy = s.getU8() != 0;
+    }
+    return done;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t baseSeed = bench::parseSeed(argc, argv, 1);
+    const std::uint64_t seedCount =
+        bench::parseUnsigned(argc, argv, "--seeds", 8);
+    const unsigned shards =
+        unsigned(bench::parseUnsigned(argc, argv, "--shards", 4));
+    bool serial = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--serial")
+            serial = true;
+    const std::uint64_t deadlineMs =
+        bench::parseUnsigned(argc, argv, "--deadline-ms", 0);
+    const std::string ledgerPath =
+        bench::parseFlag(argc, argv, "--ledger");
+
+    bench::header("RAS soak farm (supervised, resumable)");
+
+    std::vector<LedgerEntry> done;
+    if (!ledgerPath.empty()) {
+        if (std::FILE *f = std::fopen(ledgerPath.c_str(), "rb")) {
+            std::fclose(f);
+            try {
+                done = readLedger(ledgerPath, baseSeed, seedCount);
+                std::printf("resuming: ledger has %zu of %llu "
+                            "seed(s) done\n",
+                            done.size(),
+                            (unsigned long long)seedCount);
+            } catch (const ckpt::Error &e) {
+                std::fprintf(stderr, "ledger rejected: %s\n",
+                             e.what());
+                return 1;
+            }
+        }
+    }
+
+    // The work list: every seed the ledger does not already cover.
+    std::vector<std::uint64_t> pending;
+    for (std::uint64_t i = 0; i < seedCount; ++i) {
+        const std::uint64_t seed = baseSeed + i;
+        bool covered = false;
+        for (const LedgerEntry &e : done)
+            covered = covered || e.seed == seed;
+        if (!covered)
+            pending.push_back(seed);
+    }
+    if (pending.empty()) {
+        std::printf("nothing to do: all %llu seed(s) are in the "
+                    "ledger\n",
+                    (unsigned long long)seedCount);
+        return 0;
+    }
+
+    CampaignSupervisor::Params sp;
+    sp.shards = shards;
+    sp.mode = serial ? ShardedExecutor::Mode::serial
+                     : ShardedExecutor::Mode::parallel;
+    sp.taskDeadline = std::chrono::milliseconds(deadlineMs);
+    sp.backoffSeed = baseSeed;
+    CampaignSupervisor sup(sp);
+
+    std::mutex ledgerMtx;
+    std::vector<SoakCampaign::Result> results(pending.size());
+    std::vector<CampaignSupervisor::Task> tasks;
+    tasks.reserve(pending.size());
+    for (std::size_t t = 0; t < pending.size(); ++t)
+        tasks.push_back([&, t](const std::atomic<bool> &cancel) {
+            SoakCampaign::Spec spec;
+            spec.seed = pending[t];
+            SoakCampaign::Result res =
+                SoakCampaign::run(spec, &cancel);
+            std::lock_guard<std::mutex> lk(ledgerMtx);
+            results[t] = res;
+            if (res.cancelled)
+                return; // no verdict: the seed stays pending
+            done.push_back({pending[t], res.fingerprint(),
+                            res.healthy()});
+            if (!ledgerPath.empty())
+                writeLedger(ledgerPath, baseSeed, seedCount, done);
+        });
+
+    auto farm = sup.run(tasks);
+
+    bench::rule();
+    std::printf("%-12s %-12s %-9s %-8s %s\n", "seed", "outcome",
+                "attempts", "healthy", "fingerprint");
+    for (std::size_t t = 0; t < pending.size(); ++t) {
+        const auto &rep = farm.tasks[t];
+        const auto &res = results[t];
+        std::printf("%-12llu %-12s %-9u %-8s %016llx\n",
+                    (unsigned long long)pending[t],
+                    CampaignSupervisor::outcomeName(rep.outcome),
+                    rep.attempts,
+                    res.cancelled ? "-"
+                    : res.healthy() ? "yes"
+                                    : "NO",
+                    (unsigned long long)(res.cancelled
+                                             ? 0
+                                             : res.fingerprint()));
+        if (!rep.error.empty())
+            std::printf("  error: %s%s\n", rep.error.c_str(),
+                        rep.unresponsive ? " (unresponsive)" : "");
+    }
+    bench::rule();
+    std::printf("farm: %u ok, %u retried, %u degraded, "
+                "%u quarantined, %u timed out, %u cancelled\n",
+                farm.succeeded, farm.retried, farm.degraded,
+                farm.quarantined, farm.timedOut, farm.cancelled);
+    std::printf("ledger: %zu of %llu seed(s) done%s\n", done.size(),
+                (unsigned long long)seedCount,
+                ledgerPath.empty() ? " (no --ledger, not persisted)"
+                                   : "");
+
+    unsigned unhealthy = 0;
+    for (const LedgerEntry &e : done)
+        if (!e.healthy)
+            ++unhealthy;
+    if (unhealthy != 0) {
+        std::printf("UNHEALTHY: %u seed(s) violated the soak "
+                    "invariants\n",
+                    unhealthy);
+        return 1;
+    }
+    return farm.allOk() && done.size() == seedCount ? 0 : 2;
+}

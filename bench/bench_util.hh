@@ -84,6 +84,31 @@ parseSeed(int argc, char **argv, std::uint64_t def = 1)
     return def;
 }
 
+/** Parse `--name=VALUE` (or `--name VALUE`) as a string. */
+inline std::string
+parseFlag(int argc, char **argv, const char *name,
+          const std::string &def = {})
+{
+    const std::string eq = std::string(name) + "=";
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, eq.c_str(), eq.size()) == 0)
+            return arg + eq.size();
+        if (std::strcmp(arg, name) == 0 && i + 1 < argc)
+            return argv[i + 1];
+    }
+    return def;
+}
+
+/** Parse `--name=N` (or `--name N`) as an unsigned integer. */
+inline std::uint64_t
+parseUnsigned(int argc, char **argv, const char *name,
+              std::uint64_t def = 0)
+{
+    const std::string v = parseFlag(argc, argv, name);
+    return v.empty() ? def : std::strtoull(v.c_str(), nullptr, 0);
+}
+
 /**
  * Uniform machine-readable telemetry for the experiment binaries.
  * Every bench accepts the same flags:

@@ -476,4 +476,35 @@ CentaurModel::sendDone(std::uint8_t tag, TraceId traceId)
     --activeCommands_;
 }
 
+void
+CentaurModel::checkpointSave(ckpt::Section &out) const
+{
+    if (!quiescent() || !deferred_.empty()
+        || !pendingFlushes_.empty() || !pendingWrites_.empty())
+        panic("%s: checkpoint while not quiescent", name().c_str());
+    cache_.checkpointSave(out);
+    out.putU32(seqCounter_);
+    out.putU32(stallBudget_);
+    out.putU32(std::uint32_t(tagOps_.size()));
+    for (const TagOp &op : tagOps_) {
+        ct_assert(!op.active);
+        out.putU32(op.seq);
+    }
+}
+
+void
+CentaurModel::checkpointRestore(ckpt::Section &in)
+{
+    if (!quiescent() || !deferred_.empty()
+        || !pendingFlushes_.empty() || !pendingWrites_.empty())
+        panic("%s: restore while not quiescent", name().c_str());
+    cache_.checkpointRestore(in);
+    seqCounter_ = in.getU32();
+    stallBudget_ = in.getU32();
+    if (in.getU32() != tagOps_.size())
+        throw ckpt::Error("Centaur tag count mismatch");
+    for (TagOp &op : tagOps_)
+        op.seq = in.getU32();
+}
+
 } // namespace contutto::centaur

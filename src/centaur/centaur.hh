@@ -31,7 +31,7 @@ namespace contutto::centaur
 {
 
 /** The Centaur ASIC. */
-class CentaurModel : public SimObject
+class CentaurModel : public SimObject, public ckpt::Checkpointable
 {
   public:
     struct Config
@@ -114,6 +114,13 @@ class CentaurModel : public SimObject
     };
 
     const CentaurStats &centaurStats() const { return stats_; }
+
+    /** @{ ckpt::Checkpointable: the eDRAM cache tags, the issue
+     *  sequence counter, the stall budget and per-tag generation
+     *  guards. Only legal while quiescent with nothing deferred. */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   private:
     /** Watchdog state for one in-flight DDR access. */

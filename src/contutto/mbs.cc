@@ -116,6 +116,35 @@ Mbs::powerReset()
     deferred_.clear();
 }
 
+void
+Mbs::checkpointSave(ckpt::Section &out) const
+{
+    if (!quiescent())
+        panic("%s: checkpoint while not quiescent", name().c_str());
+    out.putU32(params_.knobPosition);
+    out.putU32(frameCounter_);
+    out.putU32(issueSeqCounter_);
+    out.putU32(stallBudget_);
+    out.putU32(std::uint32_t(engines_.size()));
+    for (const Engine &e : engines_)
+        out.putU32(e.issueSeq);
+}
+
+void
+Mbs::checkpointRestore(ckpt::Section &in)
+{
+    if (!quiescent())
+        panic("%s: restore while not quiescent", name().c_str());
+    params_.knobPosition = in.getU32();
+    frameCounter_ = in.getU32();
+    issueSeqCounter_ = in.getU32();
+    stallBudget_ = in.getU32();
+    if (in.getU32() != engines_.size())
+        throw ckpt::Error("MBS engine count mismatch");
+    for (Engine &e : engines_)
+        e.issueSeq = in.getU32();
+}
+
 bool
 Mbs::addrConflictsWithActive(const MemCommand &cmd) const
 {

@@ -33,12 +33,13 @@
 #include "dmi/codec.hh"
 #include "dmi/link.hh"
 #include "firmware/error_log.hh"
+#include "sim/checkpoint.hh"
 
 namespace contutto::fpga
 {
 
 /** The MBS command-processing logic. */
-class Mbs : public SimObject
+class Mbs : public SimObject, public ckpt::Checkpointable
 {
   public:
     struct Params
@@ -137,6 +138,14 @@ class Mbs : public SimObject
     };
 
     const MbsStats &mbsStats() const { return stats_; }
+
+    /** @{ ckpt::Checkpointable: the state that survives powerReset
+     *  and steers future behavior — knob position, decoder rotation,
+     *  issue-sequence counter, stall budget, per-engine generation
+     *  guards. Only legal while quiescent. */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   private:
     enum class Phase : std::uint8_t

@@ -134,6 +134,9 @@ class MemoryChannel : public stats::StatGroup
     /** Replay-storm watchdog (null unless RAS enabled). */
     ras::LinkWatchdog *watchdog() { return watchdog_.get(); }
 
+    /** The link trainer (for checkpointing its RNG stream). */
+    dmi::LinkTrainer &trainer() { return *trainer_; }
+
     /** @{ Functional access honouring the buffer's interleave. */
     void functionalWrite(Addr addr, std::size_t len,
                          const std::uint8_t *data);

@@ -140,6 +140,10 @@ class DmiChannel : public SimObject
 
     const ChannelStats &channelStats() const { return stats_; }
 
+    /** The error-injection RNG stream (checkpointed by campaigns so
+     *  a resumed run draws the same fault positions). */
+    Rng &rng() { return rng_; }
+
   private:
     void startNext();
     void deliver();

@@ -87,6 +87,11 @@ class LinkTrainer : public SimObject
 
     const TrainerStats &trainerStats() const { return stats_; }
 
+    /** The nonce/lock RNG stream (checkpointed by campaigns: every
+     *  retrain advances it, so a resumed run must pick up at the
+     *  same position). */
+    Rng &rng() { return rng_; }
+
   private:
     enum class State
     {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/types.hh"
 
 namespace contutto::firmware
@@ -116,6 +117,61 @@ class ErrorLog
         auto it = recoverableCount_.find(component);
         return it == recoverableCount_.end() ? 0 : it->second;
     }
+
+    /** @{ Checkpoint every retained entry plus the whole-boot
+     *  deconfiguration state. Plain methods (no vtable); policy
+     *  parameters are construction config and must match. */
+    void
+    checkpointSave(ckpt::Section &out) const
+    {
+        out.putU32(threshold_);
+        out.putU64(capacity_);
+        out.putU64(overflowed_);
+        out.putU64(entries_.size());
+        for (const ErrorEntry &e : entries_) {
+            out.putU64(e.when);
+            out.putStr(e.component);
+            out.putU8(std::uint8_t(e.severity));
+            out.putStr(e.message);
+        }
+        out.putU64(recoverableCount_.size());
+        for (const auto &[component, count] : recoverableCount_) {
+            out.putStr(component);
+            out.putU32(count);
+        }
+        out.putU64(deconfigured_.size());
+        for (const std::string &component : deconfigured_)
+            out.putStr(component);
+    }
+
+    void
+    checkpointRestore(ckpt::Section &in)
+    {
+        if (in.getU32() != threshold_ || in.getU64() != capacity_)
+            throw ckpt::Error("error-log policy mismatch");
+        overflowed_ = in.getU64();
+        entries_.clear();
+        std::uint64_t n = in.getU64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            ErrorEntry e;
+            e.when = in.getU64();
+            e.component = in.getStr();
+            e.severity = Severity(in.getU8());
+            e.message = in.getStr();
+            entries_.push_back(std::move(e));
+        }
+        recoverableCount_.clear();
+        n = in.getU64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::string component = in.getStr();
+            recoverableCount_[component] = in.getU32();
+        }
+        deconfigured_.clear();
+        n = in.getU64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            deconfigured_.insert(in.getStr());
+    }
+    /** @} */
 
   private:
     unsigned threshold_;

@@ -168,4 +168,24 @@ PowerDomain::finishRestore(bool ok)
     }
 }
 
+void
+PowerDomain::checkpointSave(ckpt::Section &out) const
+{
+    if (restoring() || startEvent_.scheduled()
+        || pollEvent_.scheduled())
+        panic("%s: checkpoint mid-restore", name().c_str());
+    out.putU8(powered_ ? 1 : 0);
+    out.putU64(inputGoodAt_);
+}
+
+void
+PowerDomain::checkpointRestore(ckpt::Section &in)
+{
+    if (restoring() || startEvent_.scheduled()
+        || pollEvent_.scheduled())
+        panic("%s: restore mid-restore", name().c_str());
+    powered_ = in.getU8() != 0;
+    inputGoodAt_ = in.getU64();
+}
+
 } // namespace contutto::firmware

@@ -35,7 +35,9 @@ namespace contutto::firmware
 {
 
 /** Fans power edges out to the card, sequencer, and modules. */
-class PowerDomain : public SimObject, public ras::PowerTarget
+class PowerDomain : public SimObject,
+                    public ras::PowerTarget,
+                    public ckpt::Checkpointable
 {
   public:
     struct Params
@@ -94,6 +96,12 @@ class PowerDomain : public SimObject, public ras::PowerTarget
     };
 
     const DomainStats &domainStats() const { return stats_; }
+
+    /** @{ ckpt::Checkpointable: the powered flag and input-good
+     *  horizon. Only legal while no restore is in progress. */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   private:
     void startRamp();

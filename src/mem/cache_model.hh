@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -152,6 +153,44 @@ class CacheModel
         std::uint64_t total = hits_ + misses_;
         return total ? double(hits_) / double(total) : 0.0;
     }
+
+    /** @{ Checkpoint the full tag array, LRU clock and counters.
+     *  Plain methods (not ckpt::Checkpointable) so the model keeps
+     *  no vtable; owners embed this in their own sections. Geometry
+     *  must match at restore. */
+    void
+    checkpointSave(ckpt::Section &out) const
+    {
+        out.putU64(lruClock_);
+        out.putU64(hits_);
+        out.putU64(misses_);
+        out.putU64(evictions_);
+        out.putU64(sets_.size());
+        for (const Way &w : sets_) {
+            out.putU8(w.valid ? 1 : 0);
+            out.putU8(w.dirty ? 1 : 0);
+            out.putU64(w.tag);
+            out.putU64(w.lru);
+        }
+    }
+
+    void
+    checkpointRestore(ckpt::Section &in)
+    {
+        lruClock_ = in.getU64();
+        hits_ = in.getU64();
+        misses_ = in.getU64();
+        evictions_ = in.getU64();
+        if (in.getU64() != sets_.size())
+            throw ckpt::Error("cache geometry mismatch");
+        for (Way &w : sets_) {
+            w.valid = in.getU8() != 0;
+            w.dirty = in.getU8() != 0;
+            w.tag = in.getU64();
+            w.lru = in.getU64();
+        }
+    }
+    /** @} */
 
   private:
     struct Way

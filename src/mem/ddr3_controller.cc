@@ -159,6 +159,60 @@ Ddr3Controller::complete(const MemRequestPtr &req, Tick submitted)
 }
 
 void
+Ddr3Controller::checkpointSave(ckpt::Section &out) const
+{
+    if (!queue_.empty() || inFlight_ != 0
+        || issueEvent_.scheduled())
+        panic("%s: checkpoint with requests outstanding",
+              name().c_str());
+    out.putU32(std::uint32_t(banks_.size()));
+    for (const Bank &b : banks_) {
+        out.putU8(b.open ? 1 : 0);
+        out.putU64(b.row);
+        out.putU64(b.readyAt);
+    }
+    out.putU64(busFreeAt_);
+    out.putU8(lastWasWrite_ ? 1 : 0);
+    out.putU8(anyTransfer_ ? 1 : 0);
+    out.putU64(refreshUntil_);
+    out.putU8(refreshEvent_.scheduled() ? 1 : 0);
+    out.putU64(refreshEvent_.scheduled() ? refreshEvent_.when() : 0);
+}
+
+void
+Ddr3Controller::checkpointDrain()
+{
+    if (!queue_.empty() || inFlight_ != 0
+        || issueEvent_.scheduled())
+        panic("%s: drain with requests outstanding",
+              name().c_str());
+    if (refreshEvent_.scheduled())
+        eventq().deschedule(&refreshEvent_);
+}
+
+void
+Ddr3Controller::checkpointRestore(ckpt::Section &in)
+{
+    ct_assert(!issueEvent_.scheduled()
+              && !refreshEvent_.scheduled());
+    if (in.getU32() != banks_.size())
+        throw ckpt::Error("DDR3 bank count mismatch");
+    for (Bank &b : banks_) {
+        b.open = in.getU8() != 0;
+        b.row = in.getU64();
+        b.readyAt = in.getU64();
+    }
+    busFreeAt_ = in.getU64();
+    lastWasWrite_ = in.getU8() != 0;
+    anyTransfer_ = in.getU8() != 0;
+    refreshUntil_ = in.getU64();
+    bool refreshArmed = in.getU8() != 0;
+    Tick refreshAt = in.getU64();
+    if (refreshArmed)
+        eventq().schedule(&refreshEvent_, refreshAt);
+}
+
+void
 Ddr3Controller::refreshTick()
 {
     const DramTiming &t = params_.timing;

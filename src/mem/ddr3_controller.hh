@@ -30,7 +30,7 @@ namespace contutto::mem
 {
 
 /** One DDR3 channel driving one memory device (DIMM). */
-class Ddr3Controller : public SimObject
+class Ddr3Controller : public SimObject, public ckpt::Checkpointable
 {
   public:
     struct Params
@@ -88,6 +88,16 @@ class Ddr3Controller : public SimObject
     };
 
     const CtrlStats &ctrlStats() const { return stats_; }
+
+    /** @{ ckpt::Checkpointable: bank/bus timing state plus the
+     *  absolute tick of the periodic refresh. Only legal when the
+     *  request queue is empty and nothing is in flight; drain
+     *  deschedules the refresh event, restore re-arms it at the
+     *  recorded tick (after the event queue's tick is restored). */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointDrain() override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   private:
     struct Bank

@@ -1,5 +1,8 @@
 #include "mem/device.hh"
 
+#include <algorithm>
+#include <vector>
+
 namespace contutto::mem
 {
 
@@ -52,6 +55,40 @@ MemoryDevice::noteWrite(Addr addr, std::size_t len)
             maxBlockWrites_ = count;
         if (limit && count == limit + 1)
             ++wornBlocks_;
+    }
+}
+
+void
+MemoryDevice::checkpointSave(ckpt::Section &out) const
+{
+    image_.checkpointSave(out);
+    out.putU64(maxBlockWrites_);
+    out.putU64(wornBlocks_);
+
+    // Per-block write counts in block order for a canonical stream.
+    std::vector<Addr> blocks;
+    blocks.reserve(blockWrites_.size());
+    for (const auto &[blk, count] : blockWrites_)
+        blocks.push_back(blk);
+    std::sort(blocks.begin(), blocks.end());
+    out.putU64(blocks.size());
+    for (Addr blk : blocks) {
+        out.putU64(blk);
+        out.putU64(blockWrites_.at(blk));
+    }
+}
+
+void
+MemoryDevice::checkpointRestore(ckpt::Section &in)
+{
+    image_.checkpointRestore(in);
+    maxBlockWrites_ = in.getU64();
+    wornBlocks_ = in.getU64();
+    blockWrites_.clear();
+    std::uint64_t count = in.getU64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Addr blk = in.getU64();
+        blockWrites_[blk] = in.getU64();
     }
 }
 
@@ -249,6 +286,36 @@ NvdimmDevice::powerRestore()
         recharge();
         break;
     }
+}
+
+void
+NvdimmDevice::checkpointSave(ckpt::Section &out) const
+{
+    if (transferDone_.scheduled())
+        panic("NVDIMM checkpoint with a transfer in flight");
+    MemoryDevice::checkpointSave(out);
+    flash_.checkpointSave(out);
+    out.putU8(std::uint8_t(state_));
+    out.putF64(energy_);
+    out.putU64(generation_);
+    out.putU32(segIndex_);
+    out.putU8(contentIntact_ ? 1 : 0);
+    out.putU8(std::uint8_t(lastOutcome_));
+}
+
+void
+NvdimmDevice::checkpointRestore(ckpt::Section &in)
+{
+    if (transferDone_.scheduled())
+        panic("NVDIMM restore with a transfer in flight");
+    MemoryDevice::checkpointRestore(in);
+    flash_.checkpointRestore(in);
+    state_ = State(in.getU8());
+    energy_ = in.getF64();
+    generation_ = in.getU64();
+    segIndex_ = in.getU32();
+    contentIntact_ = in.getU8() != 0;
+    lastOutcome_ = RestoreOutcome(in.getU8());
 }
 
 RestoreOutcome

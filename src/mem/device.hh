@@ -53,7 +53,7 @@ const char *restoreOutcomeName(RestoreOutcome o);
 /**
  * A memory module (one DIMM) plugged into a ConTutto DDR3 port.
  */
-class MemoryDevice : public SimObject
+class MemoryDevice : public SimObject, public ckpt::Checkpointable
 {
   public:
     MemoryDevice(const std::string &name, EventQueue &eq,
@@ -121,6 +121,14 @@ class MemoryDevice : public SimObject
     /** False while the module is mid save/restore and cannot serve
      *  accesses; firmware polls this after a power edge. */
     virtual bool ready() const { return true; }
+
+    /** @{ ckpt::Checkpointable: the functional image plus the
+     *  endurance accounting (per-block write counts in block order).
+     *  Stats Scalars live in the stats tree and are restored there.
+     *  Subclasses with more state extend these. */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   protected:
     MemImage image_;
@@ -311,6 +319,13 @@ class NvdimmDevice : public MemoryDevice
 
     void powerLoss() override;
     void powerRestore() override;
+
+    /** @{ ckpt::Checkpointable: base state plus the backup flash,
+     *  supercap energy, save generation, and restore outcome. Only
+     *  legal while no save/restore transfer is in flight. */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   private:
     void saveStep();

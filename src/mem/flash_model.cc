@@ -199,4 +199,47 @@ FlashModel::wornBlocks() const
     return n;
 }
 
+void
+FlashModel::checkpointSave(ckpt::Section &out) const
+{
+    out.putU64(capacity_);
+    out.putU32(numSegments_);
+    cells_.checkpointSave(out);
+    for (const SegmentMeta &m : meta_) {
+        out.putU64(m.generation);
+        out.putU32(m.storedChecksum);
+        out.putU8(std::uint8_t(m.programmed));
+        out.putU32(m.physical);
+        out.putU8(m.bad ? 1 : 0);
+    }
+    out.putU32(std::uint32_t(wear_.size()));
+    for (std::uint64_t w : wear_)
+        out.putU64(w);
+    out.putU32(sparesLeft_);
+    out.putU32(nextSpare_);
+    out.putU32(remapped_);
+}
+
+void
+FlashModel::checkpointRestore(ckpt::Section &in)
+{
+    if (in.getU64() != capacity_ || in.getU32() != numSegments_)
+        throw ckpt::Error("flash geometry mismatch");
+    cells_.checkpointRestore(in);
+    for (SegmentMeta &m : meta_) {
+        m.generation = in.getU64();
+        m.storedChecksum = in.getU32();
+        m.programmed = SegmentState(in.getU8());
+        m.physical = in.getU32();
+        m.bad = in.getU8() != 0;
+    }
+    if (in.getU32() != wear_.size())
+        throw ckpt::Error("flash wear-table size mismatch");
+    for (std::uint64_t &w : wear_)
+        w = in.getU64();
+    sparesLeft_ = in.getU32();
+    nextSpare_ = in.getU32();
+    remapped_ = in.getU32();
+}
+
 } // namespace contutto::mem

@@ -38,7 +38,7 @@ enum class SegmentState : std::uint8_t
 const char *segmentStateName(SegmentState s);
 
 /** Backup flash: segmented, checksummed, wear-levelled. */
-class FlashModel
+class FlashModel : public ckpt::Checkpointable
 {
   public:
     struct Params
@@ -102,6 +102,13 @@ class FlashModel
     /** Checksum used for segment validation (FNV-1a over bytes). */
     static std::uint32_t checksum(const MemImage &img, Addr base,
                                   std::uint64_t len);
+
+    /** @{ ckpt::Checkpointable: NAND cells, per-segment metadata,
+     *  wear counters, and the spare-pool remap state. Geometry must
+     *  match at restore. */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   private:
     struct SegmentMeta

@@ -1,5 +1,6 @@
 #include "mem/mem_image.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -247,6 +248,48 @@ MemImage::injectCheckBitFlip(Addr addr, unsigned bit)
     std::uint8_t *page = pageFor(word, true);
     std::size_t off = word % pageSize;
     page[pageSize + off / 8] ^= std::uint8_t(1u << bit);
+}
+
+void
+MemImage::checkpointSave(ckpt::Section &out) const
+{
+    out.putU64(capacity_);
+    out.putU64(correctedTotal_);
+    out.putU64(uncorrectableTotal_);
+
+    // Pages in page-number order so the same contents always
+    // serialize to the same bytes, whatever order they materialized
+    // in (the map is unordered).
+    std::vector<std::uint64_t> pagenos;
+    pagenos.reserve(pages_.size());
+    for (const auto &[pageno, page] : pages_)
+        pagenos.push_back(pageno);
+    std::sort(pagenos.begin(), pagenos.end());
+
+    out.putU64(pagenos.size());
+    for (std::uint64_t pageno : pagenos) {
+        out.putU64(pageno);
+        out.putBytes(pages_.at(pageno).get(), pageAlloc);
+    }
+}
+
+void
+MemImage::checkpointRestore(ckpt::Section &in)
+{
+    std::uint64_t capacity = in.getU64();
+    if (capacity != capacity_)
+        throw ckpt::Error("memory image capacity mismatch");
+    correctedTotal_ = in.getU64();
+    uncorrectableTotal_ = in.getU64();
+
+    pages_.clear();
+    std::uint64_t count = in.getU64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t pageno = in.getU64();
+        auto page = std::make_unique<std::uint8_t[]>(pageAlloc);
+        in.getBytes(page.get(), pageAlloc);
+        pages_.emplace(pageno, std::move(page));
+    }
 }
 
 } // namespace contutto::mem

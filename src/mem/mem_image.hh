@@ -18,6 +18,7 @@
 
 #include "dmi/command.hh"
 #include "ras/ecc.hh"
+#include "sim/checkpoint.hh"
 #include "sim/types.hh"
 
 namespace contutto::mem
@@ -31,7 +32,7 @@ struct EccScan
 };
 
 /** Byte-addressable sparse memory contents. */
-class MemImage
+class MemImage : public ckpt::Checkpointable
 {
   public:
     explicit MemImage(std::uint64_t capacity);
@@ -98,6 +99,16 @@ class MemImage
     /** One check byte per 64-bit word. */
     static constexpr std::size_t checkBytesPerPage =
         ras::eccCheckBytes(pageSize);
+
+    /**
+     * @{ ckpt::Checkpointable: every materialized page (data and ECC
+     * sidecar together, in page-number order so the byte stream is
+     * canonical) plus the lifetime correction counters. Restore
+     * replaces the whole image; capacity must match.
+     */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   private:
     std::uint8_t *pageFor(Addr addr, bool create);

@@ -324,4 +324,40 @@ FaultInjector::injected(FaultKind kind) const
     return s ? std::uint64_t(s->value()) : 0;
 }
 
+void
+FaultInjector::checkpointSave(ckpt::Section &out) const
+{
+    rng_.checkpointSave(out);
+    out.putU64(history_.size());
+    for (const FaultEvent &ev : history_) {
+        out.putU64(ev.when);
+        out.putU8(std::uint8_t(ev.kind));
+        out.putU32(ev.target);
+        out.putU64(ev.addr);
+        out.putU32(ev.bit);
+        out.putU32(ev.count);
+        out.putU64(ev.duration);
+    }
+}
+
+void
+FaultInjector::checkpointRestore(ckpt::Section &in)
+{
+    rng_.checkpointRestore(in);
+    history_.clear();
+    std::uint64_t n = in.getU64();
+    history_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        FaultEvent ev;
+        ev.when = in.getU64();
+        ev.kind = FaultKind(in.getU8());
+        ev.target = in.getU32();
+        ev.addr = in.getU64();
+        ev.bit = in.getU32();
+        ev.count = in.getU32();
+        ev.duration = in.getU64();
+        history_.push_back(ev);
+    }
+}
+
 } // namespace contutto::ras

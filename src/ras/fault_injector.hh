@@ -73,7 +73,7 @@ struct FaultEvent
 };
 
 /** The single registry + driver for scripted fault campaigns. */
-class FaultInjector : public SimObject
+class FaultInjector : public SimObject, public ckpt::Checkpointable
 {
   public:
     FaultInjector(const std::string &name, EventQueue &eq,
@@ -159,6 +159,13 @@ class FaultInjector : public SimObject
     };
 
     const InjectorStats &injectorStats() const { return stats_; }
+
+    /** @{ ckpt::Checkpointable: the campaign RNG stream and the
+     *  applied-fault history. Scheduled-but-unapplied faults are the
+     *  caller's to avoid (checkpoint between campaigns). */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   private:
     Rng rng_;

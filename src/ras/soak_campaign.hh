@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The RAS soak campaign as a reusable driver.
+ *
+ * A randomized multi-fault campaign against a live ConTutto system:
+ * DRAM bit flips, frame corruptions, burst errors, frame drops and
+ * engine stalls land while a closed-loop workload writes and reads
+ * memory bit-exactly. Originally an integration test; extracted so
+ * the long-running soak *campaigns* — many seeds farmed over shards
+ * under the CampaignSupervisor, resumable from a task ledger — can
+ * drive the identical scenario the test pins down. The test now
+ * asserts on Result; bench_ras_soak runs fleets of them.
+ */
+
+#ifndef CONTUTTO_RAS_SOAK_CAMPAIGN_HH
+#define CONTUTTO_RAS_SOAK_CAMPAIGN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <tuple>
+
+#include "sim/types.hh"
+
+namespace contutto::ras
+{
+
+/** One seeded soak run; stateless (construct-run-discard inside). */
+class SoakCampaign
+{
+  public:
+    struct Spec
+    {
+        std::uint64_t seed = 1;
+        /** @{ Faults planned over the campaign window. */
+        unsigned bitFlips = 24;
+        unsigned frameCorruptions = 6;
+        unsigned frameDrops = 4;
+        unsigned burstErrors = 2;
+        unsigned engineStalls = 3;
+        /** @} */
+        /** Write+read-verify pairs (region A), 8 closed loops. */
+        unsigned ops = 320;
+        /** Cold reference region (region B), per DIMM. */
+        Addr faultBase = 4 * MiB;
+        std::uint64_t faultSize = 64 * KiB;
+        /** Fault-injection window. */
+        Tick duration = microseconds(100);
+    };
+
+    /** Counters plus the health verdicts the test asserts on; ==
+     *  comparable so same-seed reproducibility is one line. */
+    struct Result
+    {
+        /** @{ Health. */
+        bool trained = false;
+        /** Every op completed (forward progress under faults). */
+        bool progressed = false;
+        /** No host tags / command engines leaked at the end. */
+        bool nothingLeaked = false;
+        /** Region B matched its reference after two scrub passes. */
+        bool regionRepaired = false;
+        /** The cancel flag stopped the run early; counters partial. */
+        bool cancelled = false;
+        /** @} */
+
+        /** @{ Counters (the reproducibility surface). */
+        std::uint64_t planned = 0;
+        std::uint64_t applied = 0;
+        std::uint64_t corrected = 0;
+        std::uint64_t uncorrectable = 0;
+        std::uint64_t mismatches = 0;
+        std::uint64_t failedOps = 0;
+        std::uint64_t poisonedOps = 0;
+        std::uint64_t cmdTimeouts = 0;
+        std::uint64_t cmdRetries = 0;
+        std::uint64_t tagsReclaimed = 0;
+        std::uint64_t droppedCompletions = 0;
+        std::uint64_t framesCorrupted = 0;
+        std::uint64_t framesDropped = 0;
+        std::uint64_t linkReplays = 0;
+        std::uint64_t replaysObserved = 0;
+        std::uint64_t escalationLevel = 0;
+        std::uint64_t scrubPasses = 0;
+        /** @} */
+
+        auto
+        tied() const
+        {
+            return std::tie(trained, progressed, nothingLeaked,
+                            regionRepaired, cancelled, planned,
+                            applied, corrected, uncorrectable,
+                            mismatches, failedOps, poisonedOps,
+                            cmdTimeouts, cmdRetries, tagsReclaimed,
+                            droppedCompletions, framesCorrupted,
+                            framesDropped, linkReplays,
+                            replaysObserved, escalationLevel,
+                            scrubPasses);
+        }
+        bool operator==(const Result &o) const
+        {
+            return tied() == o.tied();
+        }
+
+        /** The acceptance bar shared by test and campaign: zero
+         *  integrity violations, nothing leaked, faults accounted. */
+        bool
+        healthy() const
+        {
+            return trained && progressed && nothingLeaked
+                   && regionRepaired && !cancelled
+                   && mismatches == 0 && failedOps == 0
+                   && poisonedOps == 0 && applied == planned
+                   && uncorrectable == 0;
+        }
+
+        /** Order-independent digest for the soak task ledger. */
+        std::uint64_t fingerprint() const;
+    };
+
+    /**
+     * Run the whole campaign synchronously. @p cancel, when
+     * non-null, is polled between event batches (the supervisor's
+     * cooperative token); a cancelled run returns early with
+     * cancelled set and undefined counters.
+     */
+    static Result run(const Spec &spec,
+                      const std::atomic<bool> *cancel = nullptr);
+};
+
+} // namespace contutto::ras
+
+#endif // CONTUTTO_RAS_SOAK_CAMPAIGN_HH

@@ -93,7 +93,7 @@ EventQueue::bucketInsert(Event *ev)
 
     ++b.count;
     ++_wheelCount;
-    if (b.count > _ctr.bucketHighWater)
+    if (b.count > _ctr.bucketHighWater && !_freezeCtr)
         _ctr.bucketHighWater = b.count;
 }
 
@@ -167,9 +167,11 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->_scheduled = true;
     ++ev->_generation;
     ++_live;
-    ++_ctr.schedules;
-    if (_live > _ctr.liveHighWater)
-        _ctr.liveHighWater = _live;
+    if (!_freezeCtr) {
+        ++_ctr.schedules;
+        if (_live > _ctr.liveHighWater)
+            _ctr.liveHighWater = _live;
+    }
 
     if (when - _curTick < wheelSpan) {
         bucketInsert(ev);
@@ -177,7 +179,8 @@ EventQueue::schedule(Event *ev, Tick when)
         ev->_inWheel = false;
         _overflow.push(OverflowEntry{when, ev->_order, ev,
                                      ev->_generation, ev->_priority});
-        ++_ctr.overflowSpills;
+        if (!_freezeCtr)
+            ++_ctr.overflowSpills;
     }
 }
 
@@ -194,7 +197,8 @@ EventQueue::deschedule(Event *ev)
     // unlink below is a true removal.
     ++ev->_generation;
     --_live;
-    ++_ctr.deschedules;
+    if (!_freezeCtr)
+        ++_ctr.deschedules;
 
     if (ev->_inWheel)
         bucketUnlink(ev);
@@ -203,12 +207,14 @@ EventQueue::deschedule(Event *ev)
 void
 EventQueue::reschedule(Event *ev, Tick when)
 {
-    ++_ctr.reschedules;
+    if (!_freezeCtr)
+        ++_ctr.reschedules;
     if (ev->scheduled()) {
         if (ev->_when == when) {
             // Same-tick rearm: keep the event exactly where it is,
             // original tie-break included (see the header contract).
-            ++_ctr.rescheduleNoops;
+            if (!_freezeCtr)
+                ++_ctr.rescheduleNoops;
             return;
         }
         deschedule(ev);
@@ -225,7 +231,8 @@ EventQueue::pullOverflow()
         const OverflowEntry &top = _overflow.top();
         if (top.generation != top.ev->_generation) {
             _overflow.pop();
-            ++_ctr.stalePops;
+            if (!_freezeCtr)
+                ++_ctr.stalePops;
             continue;
         }
         if (top.when - _curTick >= wheelSpan)
@@ -235,7 +242,8 @@ EventQueue::pullOverflow()
         // The event kept its original order, so bucketInsert places
         // it correctly relative to later same-tick schedules.
         bucketInsert(ev);
-        ++_ctr.overflowPulls;
+        if (!_freezeCtr)
+            ++_ctr.overflowPulls;
     }
 }
 
@@ -292,9 +300,31 @@ EventQueue::nextEventTick()
     return ev ? ev->_when : maxTick;
 }
 
+void
+EventQueue::purgeStaleOverflow()
+{
+    if (_overflow.empty())
+        return;
+    std::vector<OverflowEntry> keep;
+    keep.reserve(_overflow.size());
+    while (!_overflow.empty()) {
+        const OverflowEntry &top = _overflow.top();
+        if (top.generation != top.ev->_generation) {
+            if (!_freezeCtr)
+                ++_ctr.stalePops;
+        } else {
+            keep.push_back(top);
+        }
+        _overflow.pop();
+    }
+    for (OverflowEntry &e : keep)
+        _overflow.push(e);
+}
+
 Tick
 EventQueue::run(Tick limit)
 {
+    std::uint64_t untilPoll = cancelPollInterval;
     for (;;) {
         Event *ev = peekNext();
         if (!ev)
@@ -306,6 +336,86 @@ EventQueue::run(Tick limit)
             return _curTick;
         }
         fire(ev);
+        if (--untilPoll == 0) {
+            if (cancelRequested())
+                return _curTick;
+            untilPoll = cancelPollInterval;
+        }
+    }
+}
+
+void
+EventQueue::checkpointSave(ckpt::Section &out) const
+{
+    out.putU64(_curTick);
+    out.putU64(_nextOrder);
+    out.putU64(_ctr.processed);
+    out.putU64(_ctr.schedules);
+    out.putU64(_ctr.deschedules);
+    out.putU64(_ctr.reschedules);
+    out.putU64(_ctr.rescheduleNoops);
+    out.putU64(_ctr.overflowSpills);
+    out.putU64(_ctr.overflowPulls);
+    out.putU64(_ctr.stalePops);
+    out.putU64(_ctr.liveHighWater);
+    out.putU64(_ctr.bucketHighWater);
+    out.putU64(_ctr.oneShotPoolHits);
+    out.putU64(_ctr.oneShotPoolMisses);
+    // Pool capacity is history-dependent state: whether a future
+    // alloc hits the freelist or grows a chunk depends on how many
+    // chunks the run had grown by the boundary.
+    out.putU64(_poolChunks.size());
+}
+
+void
+EventQueue::checkpointRestore(ckpt::Section &in)
+{
+    // Live Event objects belong to their owners and cannot be
+    // serialized; the drain phase must have descheduled all of them
+    // before the clock is rewound (see ckpt::Checkpointable).
+    if (!empty())
+        panic("event queue restore with %llu events still live",
+              (unsigned long long)_live);
+    ct_assert(_wheelCount == 0);
+    // The drain phase descheduled overflow residents lazily; drop
+    // their stale heap entries now so they are never pruned on the
+    // resumed timeline (the uninterrupted run has no such prunes).
+    _overflow = {};
+    _curTick = in.getU64();
+    _nextOrder = in.getU64();
+    _ctr.processed = in.getU64();
+    _ctr.schedules = in.getU64();
+    _ctr.deschedules = in.getU64();
+    _ctr.reschedules = in.getU64();
+    _ctr.rescheduleNoops = in.getU64();
+    _ctr.overflowSpills = in.getU64();
+    _ctr.overflowPulls = in.getU64();
+    _ctr.stalePops = in.getU64();
+    _ctr.liveHighWater = in.getU64();
+    _ctr.bucketHighWater = in.getU64();
+    _ctr.oneShotPoolHits = in.getU64();
+    _ctr.oneShotPoolMisses = in.getU64();
+    // Regrow the one-shot pool to the boundary capacity so future
+    // hit/miss accounting matches the uninterrupted run. A drained
+    // quiescent queue has every slot on the freelist, so capacity is
+    // the only pool state there is. The fresh run's warm-up is a
+    // prefix of the saved history, so it can only be smaller.
+    const std::uint64_t chunks = in.getU64();
+    if (_poolChunks.size() > chunks)
+        panic("event queue restore: pool outgrew the checkpoint "
+              "(%llu > %llu chunks)",
+              (unsigned long long)_poolChunks.size(),
+              (unsigned long long)chunks);
+    while (_poolChunks.size() < chunks) {
+        auto chunk = std::make_unique<unsigned char[]>(
+            oneShotSlotBytes * oneShotChunkSlots);
+        for (std::size_t i = oneShotChunkSlots; i-- > 0;) {
+            auto *slot = reinterpret_cast<OneShotSlot *>(
+                chunk.get() + i * oneShotSlotBytes);
+            slot->next = _freeOneShots;
+            _freeOneShots = slot;
+        }
+        _poolChunks.push_back(std::move(chunk));
     }
 }
 

@@ -36,6 +36,7 @@
 #ifndef CONTUTTO_SIM_EVENT_HH
 #define CONTUTTO_SIM_EVENT_HH
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <memory>
@@ -43,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/inplace_function.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -122,7 +124,7 @@ class Event
  * A deterministic priority queue of events ordered by
  * (tick, priority, insertion order).
  */
-class EventQueue
+class EventQueue : public ckpt::Checkpointable
 {
   public:
     /** Near-future horizon, in ticks (must be a power of two). One
@@ -213,6 +215,81 @@ class EventQueue
 
     const Counters &counters() const { return _ctr; }
 
+    /**
+     * Point run() at an externally owned cancel flag (null to
+     * detach). While set, run() polls the flag every
+     * `cancelPollInterval` events and returns early when it is
+     * raised, leaving remaining events queued. This is the
+     * cooperative-cancellation hook the campaign supervisor uses to
+     * reel in a hung or over-deadline shard; polling at a fixed
+     * event granularity keeps the hot dispatch loop free of an
+     * atomic load per event.
+     */
+    void
+    setCancelFlag(const std::atomic<bool> *flag)
+    {
+        _cancel = flag;
+    }
+
+    /** True when the attached cancel flag is raised. */
+    bool
+    cancelRequested() const
+    {
+        return _cancel != nullptr
+               && _cancel->load(std::memory_order_relaxed);
+    }
+
+    /** Events dispatched between cancel-flag polls in run(). */
+    static constexpr std::uint64_t cancelPollInterval = 4096;
+
+    /**
+     * Prune every lazily-deleted overflow entry now instead of at
+     * pull time. Never changes what fires or in what order — only
+     * when stalePops accrue. Checkpoint-taking loops call this at
+     * every boundary in *all* runs (baseline, checkpointing,
+     * resumed) so no stale entry straddles a checkpoint: a restored
+     * queue starts with an empty heap and would otherwise miss the
+     * prunes the uninterrupted run counts later.
+     */
+    void purgeStaleOverflow();
+
+    /**
+     * @{ ckpt::Checkpointable: clock, insertion-order counter, and
+     * hot counters. Restore demands a fully drained queue — every
+     * event owner must have descheduled its events first (the drain
+     * phase) — because live Event objects cannot be serialized; they
+     * are re-armed by their owners in the refill phase.
+     */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+
+    /**
+     * Suspends hot-counter accounting while components re-arm their
+     * events in the refill phase. The re-arm schedule() calls replay
+     * history the saved counters already include; counting them
+     * again would make a resumed run's stats diverge from an
+     * uninterrupted one. Refill happens after the clock is restored,
+     * so wheel/overflow residency is decided at the checkpoint tick
+     * — callers must take checkpoints only after a normalization
+     * probe (nextEventTick()) so residency agrees between the saving
+     * run and an uninterrupted baseline.
+     */
+    class CounterFreeze
+    {
+      public:
+        explicit CounterFreeze(EventQueue &eq) : eq_(eq)
+        {
+            eq_._freezeCtr = true;
+        }
+        ~CounterFreeze() { eq_._freezeCtr = false; }
+        CounterFreeze(const CounterFreeze &) = delete;
+        CounterFreeze &operator=(const CounterFreeze &) = delete;
+
+      private:
+        EventQueue &eq_;
+    };
+    /** @} */
+
     /** @{ One-shot pool access, for OneShotEvent only. */
     void *allocOneShot();
     void freeOneShot(void *p);
@@ -281,6 +358,10 @@ class EventQueue
     std::uint64_t _nextOrder = 0;
     std::size_t _live = 0;
     Counters _ctr;
+    /** Externally owned cooperative-cancellation flag; may be null. */
+    const std::atomic<bool> *_cancel = nullptr;
+    /** True while a CounterFreeze (checkpoint refill) is active. */
+    bool _freezeCtr = false;
 
     /** @{ One-shot freelist pool. */
     struct OneShotSlot

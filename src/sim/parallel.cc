@@ -1,6 +1,7 @@
 #include "sim/parallel.hh"
 
 #include <algorithm>
+#include <exception>
 
 namespace contutto::sim
 {
@@ -185,6 +186,8 @@ ShardedExecutor::windowLoop(Tick limit,
 
     Tick prevEnd = 0;
     for (;;) {
+        if (cancelRequested())
+            break;
         Tick next = nextWorkTick();
         if (next == maxTick || next > limit)
             break;
@@ -261,6 +264,62 @@ ShardedExecutor::runUntilIdle(const std::function<bool()> &idle,
     return reached || idle();
 }
 
+ShardedExecutor::RunOutcome
+ShardedExecutor::runUntilIdle(const std::function<bool()> &idle,
+                              Tick timeout,
+                              std::chrono::milliseconds wallLimit)
+{
+    ct_assert(idle != nullptr);
+    Tick start = 0;
+    for (const auto &shard : shards_)
+        start = std::max(start, shard->eq->curTick());
+    const Tick deadline =
+        start >= maxTick - timeout ? maxTick : start + timeout;
+    const bool walled = wallLimit.count() > 0;
+    const auto wallDeadline =
+        std::chrono::steady_clock::now() + wallLimit;
+
+    if (cancelRequested())
+        return RunOutcome::cancelled;
+    if (idle() && nextWorkTick() == maxTick)
+        return RunOutcome::idle;
+
+    RunOutcome out = RunOutcome::tickTimeout;
+    windowLoop(deadline, [&] {
+        if (cancelRequested()) {
+            out = RunOutcome::cancelled;
+            return true;
+        }
+        if (walled
+            && std::chrono::steady_clock::now() >= wallDeadline) {
+            out = RunOutcome::wallTimeout;
+            return true;
+        }
+        if (idle()) {
+            out = RunOutcome::idle;
+            return true;
+        }
+        return false;
+    });
+    // windowLoop also breaks on its own cancel check (before the
+    // barrier callback sees it) and on drained queues.
+    if (out == RunOutcome::tickTimeout) {
+        if (cancelRequested())
+            out = RunOutcome::cancelled;
+        else if (idle())
+            out = RunOutcome::idle;
+    }
+    return out;
+}
+
+void
+ShardedExecutor::setCancelFlag(const std::atomic<bool> *flag)
+{
+    cancel_ = flag;
+    for (auto &shard : shards_)
+        shard->eq->setCancelFlag(flag);
+}
+
 void
 ShardedExecutor::startWorkers()
 {
@@ -317,20 +376,42 @@ ShardedExecutor::runTasks(unsigned shards, Mode mode,
                           const std::vector<std::function<void()>> &tasks)
 {
     ct_assert(shards >= 1);
+    // A throwing task must not abort its neighbours (parallel mode)
+    // or skip the remaining tasks (serial mode): run everything,
+    // remember the lowest-index failure, rethrow it at the end so
+    // both modes surface the identical exception for the identical
+    // task set.
+    std::mutex failMtx;
+    std::exception_ptr firstFailure;
+    std::size_t firstIdx = tasks.size();
+    auto runOne = [&](std::size_t i) {
+        try {
+            tasks[i]();
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(failMtx);
+            if (i < firstIdx) {
+                firstIdx = i;
+                firstFailure = std::current_exception();
+            }
+        }
+    };
     if (mode == Mode::serial || shards == 1) {
-        for (const auto &task : tasks)
-            task();
-        return;
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            runOne(i);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(shards);
+        for (unsigned s = 0; s < shards; ++s)
+            threads.emplace_back([s, shards, &tasks, &runOne] {
+                for (std::size_t i = s; i < tasks.size();
+                     i += shards)
+                    runOne(i);
+            });
+        for (std::thread &t : threads)
+            t.join();
     }
-    std::vector<std::thread> threads;
-    threads.reserve(shards);
-    for (unsigned s = 0; s < shards; ++s)
-        threads.emplace_back([s, shards, &tasks] {
-            for (std::size_t i = s; i < tasks.size(); i += shards)
-                tasks[i]();
-        });
-    for (std::thread &t : threads)
-        t.join();
+    if (firstFailure)
+        std::rethrow_exception(firstFailure);
 }
 
 } // namespace contutto::sim

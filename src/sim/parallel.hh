@@ -50,6 +50,7 @@
 #define CONTUTTO_SIM_PARALLEL_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -210,6 +211,49 @@ class ShardedExecutor
     bool runUntilIdle(const std::function<bool()> &idle,
                       Tick timeout);
 
+    /** Why a bounded run returned. */
+    enum class RunOutcome
+    {
+        /** The idle predicate held at a barrier. */
+        idle,
+        /** Simulated time passed the tick budget first. */
+        tickTimeout,
+        /** Wall-clock time passed the budget first: the simulation
+         *  is live-locked or grinding, not merely slow to settle. */
+        wallTimeout,
+        /** The attached cancel flag was raised. */
+        cancelled,
+    };
+
+    /**
+     * As above, but also bounded by @p wallLimit of real time
+     * (zero: unbounded) and by the attached cancel flag; both are
+     * checked at every barrier, and the cancel flag additionally
+     * interrupts a shard mid-window (the per-queue poll in
+     * EventQueue::run). The supervisor's watchdog path: a hung or
+     * runaway campaign comes back as wallTimeout / cancelled
+     * instead of blocking the caller forever.
+     */
+    RunOutcome runUntilIdle(const std::function<bool()> &idle,
+                            Tick timeout,
+                            std::chrono::milliseconds wallLimit);
+
+    /**
+     * Point every shard queue and the window loop at an externally
+     * owned cancel flag (null to detach). Raising it stops the
+     * executor at the next per-queue poll / barrier; remaining
+     * events stay queued.
+     */
+    void setCancelFlag(const std::atomic<bool> *flag);
+
+    /** True when the attached cancel flag is raised. */
+    bool
+    cancelRequested() const
+    {
+        return cancel_ != nullptr
+               && cancel_->load(std::memory_order_relaxed);
+    }
+
     const Counters &counters() const { return ctr_; }
 
     /**
@@ -217,9 +261,13 @@ class ShardedExecutor
      * each shard walking its tasks in increasing i. With parallel
      * mode the shards proceed concurrently. Tasks must not share
      * mutable state; under that contract every task's result is
-     * bit-identical regardless of shards or mode. Exceptions escape
-     * from serial mode; in parallel mode a throwing task aborts
-     * (tasks are campaigns; a throw is a test failure either way).
+     * bit-identical regardless of shards or mode.
+     *
+     * A throwing task never takes its neighbours down: every task
+     * runs to completion (or to its own throw) in both modes, and
+     * the exception of the lowest-index throwing task is rethrown
+     * on the caller's thread after all tasks finish — so serial and
+     * parallel report the same failure for the same task set.
      */
     static void runTasks(unsigned shards, Mode mode,
                          const std::vector<std::function<void()>> &tasks);
@@ -259,6 +307,8 @@ class ShardedExecutor
     Params params_;
     std::vector<std::unique_ptr<Shard>> shards_;
     Counters ctr_;
+    /** Externally owned cooperative-cancellation flag; may be null. */
+    const std::atomic<bool> *cancel_ = nullptr;
 
     bool running_ = false;
 

@@ -10,13 +10,14 @@
 
 #include <cstdint>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace contutto
 {
 
 /** A seedable xoshiro256** generator with convenience draws. */
-class Rng
+class Rng : public ckpt::Checkpointable
 {
   public:
     explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull)
@@ -81,6 +82,22 @@ class Rng
 
     /** Bernoulli draw with probability @p p. */
     bool chance(double p) { return uniform() < p; }
+
+    /** @{ ckpt::Checkpointable: the four xoshiro state words. */
+    void
+    checkpointSave(ckpt::Section &out) const override
+    {
+        for (std::uint64_t word : s_)
+            out.putU64(word);
+    }
+
+    void
+    checkpointRestore(ckpt::Section &in) override
+    {
+        for (std::uint64_t &word : s_)
+            word = in.getU64();
+    }
+    /** @} */
 
   private:
     std::uint64_t s_[4];

@@ -151,6 +151,40 @@ class Distribution : public StatBase
         max_ = -std::numeric_limits<double>::infinity();
     }
 
+    /**
+     * @{ Verbatim accumulator capture for checkpointing
+     * (sim/checkpoint.hh). The Welford terms are stored and restored
+     * exactly — not recomputed — so a resumed run continues the same
+     * floating-point sequence bit for bit.
+     */
+    struct Raw
+    {
+        std::uint64_t count = 0;
+        double sum = 0;
+        double runMean = 0;
+        double m2 = 0;
+        double min = 0;
+        double max = 0;
+    };
+
+    Raw
+    rawState() const
+    {
+        return Raw{count_, sum_, runMean_, m2_, min_, max_};
+    }
+
+    void
+    setRawState(const Raw &r)
+    {
+        count_ = r.count;
+        sum_ = r.sum;
+        runMean_ = r.runMean;
+        m2_ = r.m2;
+        min_ = r.min;
+        max_ = r.max;
+    }
+    /** @} */
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0;
@@ -217,6 +251,36 @@ class Histogram : public StatBase
         dist_.reset();
     }
 
+    /** @{ Verbatim state capture for checkpointing; see
+     *  Distribution::Raw. Bucket layout must match at restore. */
+    struct Raw
+    {
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t count = 0;
+        double sum = 0;
+        double min = 0;
+        double max = 0;
+    };
+
+    Raw
+    rawState() const
+    {
+        return Raw{buckets_, dist_.count_, dist_.sum_, dist_.min_,
+                   dist_.max_};
+    }
+
+    void
+    setRawState(const Raw &r)
+    {
+        ct_assert(r.buckets.size() == buckets_.size());
+        buckets_ = r.buckets;
+        dist_.count_ = r.count;
+        dist_.sum_ = r.sum;
+        dist_.min_ = r.min;
+        dist_.max_ = r.max;
+    }
+    /** @} */
+
   private:
     double width_;
     std::vector<std::uint64_t> buckets_;
@@ -249,6 +313,7 @@ class Histogram : public StatBase
         }
 
       private:
+        friend class Histogram; ///< raw checkpoint capture.
         std::uint64_t count_ = 0;
         double sum_ = 0;
         double min_ = std::numeric_limits<double>::infinity();

@@ -228,11 +228,178 @@ CrashRecoveryCampaign::verifyRegion(bool module_lost)
     }
 }
 
-CrashRecoveryCampaign::Result
-CrashRecoveryCampaign::run()
+void
+CrashRecoveryCampaign::saveCheckpoint(const std::string &path,
+                                      unsigned next_round) const
 {
-    for (unsigned round = 0; round < spec_.powerCuts; ++round)
+    ct_assert(sys_->port().idle());
+    ct_assert(sys_->card()->quiescent());
+
+    ckpt::Checkpoint ck;
+
+    ckpt::Section &camp = ck.add("campaign");
+    camp.putU64(spec_.seed);
+    camp.putU32(spec_.powerCuts);
+    camp.putU32(spec_.regionBlocks);
+    camp.putU32(spec_.queueDepth);
+    camp.putU64(spec_.dimmCapacity);
+    camp.putU32(next_round);
+    camp.putU32(result_.cuts);
+    camp.putU32(result_.brownoutsInjected);
+    camp.putU32(result_.recoveries);
+    camp.putU32(result_.failedRecoveries);
+    camp.putU64(result_.writesSubmitted);
+    camp.putU64(result_.writesCompleted);
+    camp.putU64(result_.writesFailed);
+    camp.putU64(result_.blocksFenced);
+    camp.putU64(result_.intact);
+    camp.putU64(result_.newer);
+    camp.putU64(result_.torn);
+    camp.putU64(result_.stale);
+    camp.putU64(result_.lost);
+    camp.putU64(result_.unwritten);
+    camp.putU64(result_.detectedLosses);
+    camp.putU64(result_.durabilityViolations);
+    camp.putU32(result_.moduleLossEvents);
+
+    sys_->eventq().checkpointSave(ck.add("eq"));
+    rng_.checkpointSave(ck.add("rng"));
+    ckpt::saveStats(*sys_, ck.add("stats"));
+    nv_->checkpointSave(ck.add("nvdimm"));
+    {
+        ckpt::Section &sec = ck.add("ddr3");
+        fpga::ContuttoCard *card = sys_->card();
+        sec.putU32(card->numPorts());
+        for (unsigned i = 0; i < card->numPorts(); ++i)
+            card->controller(i).checkpointSave(sec);
+    }
+    sys_->card()->mbs().checkpointSave(ck.add("mbs"));
+    pmem_->checkpointSave(ck.add("pmem"));
+    sys_->channel().errorLog().checkpointSave(ck.add("errlog"));
+    domain_->checkpointSave(ck.add("domain"));
+    injector_->checkpointSave(ck.add("injector"));
+    {
+        // Every RNG stream in the system: the trainer draws per
+        // retrain, the channels per injected error, and a resumed
+        // run must continue each stream where the saved run left it.
+        ckpt::Section &sec = ck.add("linkrng");
+        sys_->channel().trainer().rng().checkpointSave(sec);
+        sys_->downChannel().rng().checkpointSave(sec);
+        sys_->upChannel().rng().checkpointSave(sec);
+    }
+
+    ck.writeFile(path);
+}
+
+unsigned
+CrashRecoveryCampaign::restoreCheckpoint(const std::string &path)
+{
+    EventQueue &eq = sys_->eventq();
+    ckpt::Checkpoint ck = ckpt::Checkpoint::readFile(path);
+
+    ckpt::Section &camp = ck.section("campaign");
+    if (camp.getU64() != spec_.seed
+        || camp.getU32() != spec_.powerCuts
+        || camp.getU32() != spec_.regionBlocks
+        || camp.getU32() != spec_.queueDepth
+        || camp.getU64() != spec_.dimmCapacity)
+        throw ckpt::Error(
+            "checkpoint was taken under a different campaign spec");
+    unsigned next_round = camp.getU32();
+    result_.cuts = camp.getU32();
+    result_.brownoutsInjected = camp.getU32();
+    result_.recoveries = camp.getU32();
+    result_.failedRecoveries = camp.getU32();
+    result_.writesSubmitted = camp.getU64();
+    result_.writesCompleted = camp.getU64();
+    result_.writesFailed = camp.getU64();
+    result_.blocksFenced = camp.getU64();
+    result_.intact = camp.getU64();
+    result_.newer = camp.getU64();
+    result_.torn = camp.getU64();
+    result_.stale = camp.getU64();
+    result_.lost = camp.getU64();
+    result_.unwritten = camp.getU64();
+    result_.detectedLosses = camp.getU64();
+    result_.durabilityViolations = camp.getU64();
+    result_.moduleLossEvents = camp.getU32();
+
+    // Phase 1 — drain: every component with a live event deschedules
+    // it so the queue is provably empty before its clock moves.
+    fpga::ContuttoCard *card = sys_->card();
+    for (unsigned i = 0; i < card->numPorts(); ++i)
+        card->controller(i).checkpointDrain();
+
+    // Phase 2 — the event core itself (asserts the queue is empty).
+    eq.checkpointRestore(ck.section("eq"));
+
+    // Phase 3 — refill: components restore state and re-arm their
+    // events at the recorded absolute ticks. The counter freeze
+    // keeps these schedule() calls from re-counting history that is
+    // already present in the restored counters.
+    EventQueue::CounterFreeze freeze(eq);
+    rng_.checkpointRestore(ck.section("rng"));
+    ckpt::restoreStats(*sys_, ck.section("stats"));
+    nv_->checkpointRestore(ck.section("nvdimm"));
+    {
+        ckpt::Section &sec = ck.section("ddr3");
+        if (sec.getU32() != card->numPorts())
+            throw ckpt::Error("DDR3 port count mismatch");
+        for (unsigned i = 0; i < card->numPorts(); ++i)
+            card->controller(i).checkpointRestore(sec);
+    }
+    card->mbs().checkpointRestore(ck.section("mbs"));
+    pmem_->checkpointRestore(ck.section("pmem"));
+    sys_->channel().errorLog().checkpointRestore(ck.section("errlog"));
+    domain_->checkpointRestore(ck.section("domain"));
+    injector_->checkpointRestore(ck.section("injector"));
+    {
+        ckpt::Section &sec = ck.section("linkrng");
+        sys_->channel().trainer().rng().checkpointRestore(sec);
+        sys_->downChannel().rng().checkpointRestore(sec);
+        sys_->upChannel().rng().checkpointRestore(sec);
+    }
+
+    startRound_ = next_round;
+    return next_round;
+}
+
+CrashRecoveryCampaign::Result
+CrashRecoveryCampaign::run(const RunOptions &opts)
+{
+    EventQueue &eq = sys_->eventq();
+    stoppedEarly_ = false;
+    if (!opts.resumeFrom.empty())
+        restoreCheckpoint(opts.resumeFrom);
+
+    unsigned written = 0;
+    for (unsigned round = startRound_; round < spec_.powerCuts;
+         ++round) {
+        // Round-boundary normalization probe, in EVERY run: pulls
+        // any due overflow residents into the wheel here, so wheel/
+        // overflow residency — and the pull counters — agree at this
+        // boundary between a run that checkpoints, a run that
+        // resumes, and a run that does neither. The stale purge is
+        // part of the same normalization: a descheduled-but-unpruned
+        // overflow ghost would otherwise be counted later by the
+        // uninterrupted run but never by a resumed one (the restored
+        // heap starts empty).
+        eq.nextEventTick();
+        eq.purgeStaleOverflow();
+        if (opts.checkpointEvery != 0 && round != 0
+            && round != startRound_
+            && round % opts.checkpointEvery == 0) {
+            saveCheckpoint(opts.checkpointPath, round);
+            if (opts.stopAfterCheckpoints != 0
+                && ++written >= opts.stopAfterCheckpoints) {
+                stoppedEarly_ = true;
+                return result_;
+            }
+        }
         runRound(round);
+    }
+    eq.nextEventTick(); // terminal boundary, same normalization
+    eq.purgeStaleOverflow();
 
     result_.cuts = unsigned(domain_->domainStats().cuts.value());
     result_.brownoutsInjected = unsigned(

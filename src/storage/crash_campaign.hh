@@ -24,11 +24,13 @@
 #define CONTUTTO_STORAGE_CRASH_CAMPAIGN_HH
 
 #include <memory>
+#include <string>
 
 #include "cpu/system.hh"
 #include "firmware/card_control.hh"
 #include "firmware/power_domain.hh"
 #include "ras/fault_injector.hh"
+#include "sim/checkpoint.hh"
 #include "storage/pmem.hh"
 
 namespace contutto::storage
@@ -99,8 +101,44 @@ class CrashRecoveryCampaign
     explicit CrashRecoveryCampaign(const Spec &spec);
     ~CrashRecoveryCampaign();
 
+    /** Checkpoint/restore control for a run. */
+    struct RunOptions
+    {
+        /** Write a checkpoint here after every @c checkpointEvery
+         *  completed rounds (empty / 0: never checkpoint). */
+        std::string checkpointPath;
+        unsigned checkpointEvery = 0;
+        /** Restore this checkpoint before the first round; the
+         *  campaign continues from the recorded round. */
+        std::string resumeFrom;
+        /** Return early (with a partial Result) after writing this
+         *  many checkpoints; 0 runs to completion. The chaos
+         *  harness's in-process "kill at the boundary". */
+        unsigned stopAfterCheckpoints = 0;
+    };
+
     /** Run the whole campaign synchronously; steps the queue. */
-    Result run();
+    Result run() { return run(RunOptions{}); }
+
+    /** Run with checkpoint/resume control. */
+    Result run(const RunOptions &opts);
+
+    /** True when the last run() returned early at a checkpoint. */
+    bool stoppedEarly() const { return stoppedEarly_; }
+
+    /**
+     * @{ Whole-campaign snapshot at a round boundary (the system
+     * quiescent, power restored, region verified). Restore is only
+     * legal on a freshly constructed campaign with the identical
+     * Spec; it rewinds the event clock, every RNG stream, the stats
+     * tree, the NVDIMM/flash/pmem images and ledgers, and the round
+     * counter, after which run() continues bit-identically to an
+     * uninterrupted run.
+     */
+    void saveCheckpoint(const std::string &path,
+                        unsigned next_round) const;
+    unsigned restoreCheckpoint(const std::string &path);
+    /** @} */
 
     /** @{ The assembled pieces, for test assertions. */
     cpu::Power8System &system() { return *sys_; }
@@ -130,6 +168,8 @@ class CrashRecoveryCampaign
     std::unique_ptr<PmemBlockDevice> pmem_;
     mem::NvdimmDevice *nv_ = nullptr;
     bool workloadOn_ = false;
+    unsigned startRound_ = 0;
+    bool stoppedEarly_ = false;
     Result result_;
 };
 

@@ -1,6 +1,8 @@
 #include "storage/pmem.hh"
 
 #include <cstring>
+#include <algorithm>
+#include <vector>
 
 #include "sim/span.hh"
 
@@ -278,6 +280,66 @@ PmemBlockDevice::verifyBlock(std::uint64_t lba)
         return BlockCheck::newer;
     ++stats_.staleDetected;
     return BlockCheck::stale;
+}
+
+namespace
+{
+
+/** Serialize an lba->sequence ledger in LBA order so the same
+ *  contents always produce the same bytes. */
+void
+saveLedger(const std::unordered_map<std::uint64_t,
+                                    std::uint64_t> &ledger,
+           ckpt::Section &out)
+{
+    std::vector<std::uint64_t> lbas;
+    lbas.reserve(ledger.size());
+    for (const auto &[lba, seq] : ledger)
+        lbas.push_back(lba);
+    std::sort(lbas.begin(), lbas.end());
+    out.putU64(lbas.size());
+    for (std::uint64_t lba : lbas) {
+        out.putU64(lba);
+        out.putU64(ledger.at(lba));
+    }
+}
+
+void
+restoreLedger(std::unordered_map<std::uint64_t, std::uint64_t> &ledger,
+              ckpt::Section &in)
+{
+    ledger.clear();
+    std::uint64_t n = in.getU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t lba = in.getU64();
+        ledger[lba] = in.getU64();
+    }
+}
+
+} // namespace
+
+void
+PmemBlockDevice::checkpointSave(ckpt::Section &out) const
+{
+    if (busy_ || !queue_.empty() || linesOutstanding_ != 0
+        || flushOutstanding_)
+        panic("pmem checkpoint with requests outstanding");
+    out.putU64(writeSeq_);
+    out.putU8(offline_ ? 1 : 0);
+    saveLedger(durable_, out);
+    saveLedger(issued_, out);
+}
+
+void
+PmemBlockDevice::checkpointRestore(ckpt::Section &in)
+{
+    if (busy_ || !queue_.empty() || linesOutstanding_ != 0
+        || flushOutstanding_)
+        panic("pmem restore with requests outstanding");
+    writeSeq_ = in.getU64();
+    offline_ = in.getU8() != 0;
+    restoreLedger(durable_, in);
+    restoreLedger(issued_, in);
 }
 
 } // namespace contutto::storage

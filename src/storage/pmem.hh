@@ -29,6 +29,7 @@
 #include <unordered_map>
 
 #include "cpu/system.hh"
+#include "sim/checkpoint.hh"
 #include "storage/block_device.hh"
 
 namespace contutto::storage
@@ -48,7 +49,7 @@ enum class BlockCheck : std::uint8_t
 const char *blockCheckName(BlockCheck c);
 
 /** A block device over the simulated memory channel. */
-class PmemBlockDevice : public BlockDevice
+class PmemBlockDevice : public BlockDevice, public ckpt::Checkpointable
 {
   public:
     struct Params
@@ -142,6 +143,13 @@ class PmemBlockDevice : public BlockDevice
     };
 
     const PmemStats &pmemStats() const { return stats_; }
+
+    /** @{ ckpt::Checkpointable: the monotonic write sequence, the
+     *  offline flag and the durability/issue ledgers (in LBA order).
+     *  Only legal while idle with an empty request queue. */
+    void checkpointSave(ckpt::Section &out) const override;
+    void checkpointRestore(ckpt::Section &in) override;
+    /** @} */
 
   private:
     void startNext();

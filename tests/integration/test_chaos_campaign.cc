@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Chaos harness for supervised campaign execution.
+ *
+ * Self-injects the three failure shapes a real campaign farm meets —
+ * worker crashes (thrown exceptions), forced hangs (tasks that
+ * ignore everything but their cancel token), and mid-run kills (a
+ * campaign stopped dead at a checkpoint boundary) — and holds the
+ * resilience layer to its contract:
+ *
+ *  - zero lost or duplicated tasks: every task gets exactly one
+ *    verdict and healthy tasks execute exactly once;
+ *  - every failure classified: crashes, hangs and kills land in the
+ *    CampaignResult taxonomy, never in a dead process;
+ *  - chaos never perturbs the survivors: results and stats-JSON of
+ *    the tasks that succeeded are bit-identical to a run with no
+ *    failures injected at all, and a killed-and-resumed campaign is
+ *    bit-identical to an uninterrupted one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/supervisor.hh"
+#include "storage/crash_campaign.hh"
+#include "seed_sweep.hh"
+
+#include <unistd.h>
+
+using namespace contutto;
+using contutto::sim::CampaignSupervisor;
+using contutto::sim::ShardedExecutor;
+using Outcome = CampaignSupervisor::TaskOutcome;
+
+namespace
+{
+
+/** A small per-seed campaign: chaos power is in task count. */
+storage::CrashRecoveryCampaign::Spec
+chaosSpec(std::uint64_t seed)
+{
+    storage::CrashRecoveryCampaign::Spec s;
+    s.seed = seed;
+    s.powerCuts = 2;
+    s.regionBlocks = 8;
+    s.queueDepth = 2;
+    s.longOutageEvery = 0;
+    s.brownouts = 1;
+    s.dimmCapacity = 4 * MiB;
+    return s;
+}
+
+std::string
+statsJson(storage::CrashRecoveryCampaign &camp)
+{
+    std::ostringstream os;
+    stats::toJson(camp.system(), os);
+    return os.str();
+}
+
+std::string
+ckptPath(const std::string &tag, std::uint64_t seed)
+{
+    return (std::filesystem::temp_directory_path()
+            / ("ct_chaos_" + tag + "_" + std::to_string(getpid())
+               + "_" + std::to_string(seed) + ".ckpt"))
+        .string();
+}
+
+CampaignSupervisor::Params
+chaosParams()
+{
+    CampaignSupervisor::Params p;
+    p.shards = 4;
+    p.mode = ShardedExecutor::Mode::parallel;
+    p.watchdogInterval = std::chrono::milliseconds(2);
+    p.backoffBase = std::chrono::milliseconds(0);
+    return p;
+}
+
+// ---------------------------------------------------------------
+// Crashes + hangs: every failure classified, nothing lost.
+// ---------------------------------------------------------------
+
+TEST(ChaosCampaign, CrashesAndHangsAllClassifiedNoTaskLost)
+{
+    enum Role { healthy, crashOnce, crashAlways, hang };
+    // A fixed chaos plan (deterministic, covers every role, spread
+    // over all four shards of a 24-task farm).
+    std::vector<Role> plan(24, healthy);
+    plan[3] = crashOnce;
+    plan[7] = crashAlways;
+    plan[10] = hang;
+    plan[13] = crashOnce;
+    plan[18] = crashAlways;
+    plan[21] = hang;
+
+    // The reference: what every healthy task must compute.
+    auto simulate = [](unsigned i) {
+        EventQueue eq;
+        std::uint64_t acc = i;
+        for (int k = 0; k < 200; ++k)
+            OneShotEvent::schedule(eq, Tick(k) * 5,
+                                   [&acc, k] { acc = acc * 33 + k; });
+        eq.run();
+        return acc;
+    };
+    std::vector<std::uint64_t> bare(plan.size());
+    for (unsigned i = 0; i < plan.size(); ++i)
+        bare[i] = simulate(i);
+
+    auto p = chaosParams();
+    p.taskDeadline = std::chrono::milliseconds(25);
+    CampaignSupervisor sup(p);
+
+    std::vector<std::atomic<unsigned>> executions(plan.size());
+    std::vector<std::uint64_t> out(plan.size(), 0);
+    std::vector<CampaignSupervisor::Task> tasks;
+    for (unsigned i = 0; i < plan.size(); ++i)
+        tasks.push_back([&, i](const std::atomic<bool> &cancel) {
+            const unsigned exec = executions[i].fetch_add(1);
+            switch (plan[i]) {
+              case crashAlways:
+                throw std::runtime_error("injected crash");
+              case crashOnce:
+                if (exec == 0)
+                    throw std::runtime_error("injected crash");
+                break;
+              case hang:
+                while (!cancel.load(std::memory_order_relaxed))
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                return;
+              case healthy:
+                break;
+            }
+            out[i] = simulate(i);
+        });
+
+    auto r = sup.run(tasks);
+
+    // Nothing lost: one verdict per task, totals reconcile.
+    ASSERT_TRUE(r.allAccounted(tasks.size()));
+
+    for (unsigned i = 0; i < plan.size(); ++i) {
+        switch (plan[i]) {
+          case healthy:
+            EXPECT_EQ(r.tasks[i].outcome, Outcome::ok) << i;
+            // Not duplicated: a healthy task ran exactly once.
+            EXPECT_EQ(executions[i].load(), 1u) << i;
+            EXPECT_EQ(out[i], bare[i]) << i;
+            break;
+          case crashOnce:
+            EXPECT_EQ(r.tasks[i].outcome, Outcome::okRetried) << i;
+            EXPECT_EQ(executions[i].load(), 2u) << i;
+            // Chaos must not perturb the survivor's result.
+            EXPECT_EQ(out[i], bare[i]) << i;
+            break;
+          case crashAlways:
+            // Climbed the whole ladder: 2 farm + 1 serial attempt,
+            // then quarantined with the error preserved.
+            EXPECT_EQ(r.tasks[i].outcome, Outcome::quarantined) << i;
+            EXPECT_EQ(executions[i].load(), 3u) << i;
+            EXPECT_EQ(r.tasks[i].error, "injected crash") << i;
+            break;
+          case hang:
+            EXPECT_EQ(r.tasks[i].outcome, Outcome::timedOut) << i;
+            EXPECT_FALSE(r.tasks[i].unresponsive) << i;
+            break;
+        }
+    }
+    EXPECT_EQ(r.succeeded, 20u);
+    EXPECT_EQ(r.retried, 2u);
+    EXPECT_EQ(r.quarantined, 2u);
+    EXPECT_EQ(r.timedOut, 2u);
+    EXPECT_EQ(r.unresponsive, 0u);
+}
+
+// ---------------------------------------------------------------
+// Mid-run kills: crash at a checkpoint boundary, retry resumes.
+// ---------------------------------------------------------------
+
+TEST(ChaosCampaign, KilledCampaignResumesBitIdenticalUnderRetry)
+{
+    // Four seeds, each a full kill/resume cycle driven by the
+    // supervisor's own retry: attempt 1 stops dead at the first
+    // checkpoint boundary (the in-process "kill") and throws;
+    // attempt 2 finds the checkpoint and resumes. The result must
+    // be bit-identical — Result, stats-JSON and FSP error log — to
+    // the same campaign run uninterrupted.
+    const std::vector<std::uint64_t> seeds{11, 12, 13, 14};
+
+    struct Run
+    {
+        storage::CrashRecoveryCampaign::Result result;
+        std::string stats;
+        std::string errors;
+    };
+    auto capture = [](storage::CrashRecoveryCampaign &camp,
+                      storage::CrashRecoveryCampaign::Result res) {
+        Run run;
+        run.result = res;
+        run.stats = statsJson(camp);
+        std::ostringstream os;
+        for (const auto &e : camp.errorLog().entries())
+            os << e.when << ' ' << e.component << ' '
+               << int(e.severity) << ' ' << e.message << '\n';
+        os << camp.errorLog().overflowCount();
+        run.errors = os.str();
+        return run;
+    };
+
+    std::vector<Run> baseline(seeds.size());
+    std::vector<Run> chaos(seeds.size());
+    std::vector<std::string> paths(seeds.size());
+
+    CampaignSupervisor sup(chaosParams());
+    std::vector<CampaignSupervisor::Task> tasks;
+    for (std::size_t t = 0; t < seeds.size(); ++t) {
+        paths[t] = ckptPath("resume", seeds[t]);
+        tasks.push_back([&, t](const std::atomic<bool> &) {
+            const std::uint64_t seed = seeds[t];
+            storage::CrashRecoveryCampaign::RunOptions opts;
+            opts.checkpointPath = paths[t];
+            if (!std::filesystem::exists(paths[t])) {
+                // Attempt 1: run to the first checkpoint, "die".
+                storage::CrashRecoveryCampaign camp(chaosSpec(seed));
+                opts.checkpointEvery = 1;
+                opts.stopAfterCheckpoints = 1;
+                camp.run(opts);
+                if (!camp.stoppedEarly())
+                    throw std::runtime_error(
+                        "campaign too short to kill");
+                throw std::runtime_error("injected mid-run kill");
+            }
+            // Attempt 2: a fresh process image resumes the corpse.
+            storage::CrashRecoveryCampaign camp(chaosSpec(seed));
+            opts.checkpointEvery = 1;
+            opts.resumeFrom = paths[t];
+            chaos[t] = capture(camp, camp.run(opts));
+        });
+    }
+    auto r = sup.run(tasks);
+    ASSERT_TRUE(r.allAccounted(tasks.size()));
+    ASSERT_TRUE(r.allOk());
+    EXPECT_EQ(r.retried, seeds.size());
+
+    // The uninterrupted control runs (same checkpoint cadence, so
+    // the normalization at round boundaries is identical work).
+    for (std::size_t t = 0; t < seeds.size(); ++t) {
+        storage::CrashRecoveryCampaign camp(chaosSpec(seeds[t]));
+        storage::CrashRecoveryCampaign::RunOptions opts;
+        opts.checkpointPath = ckptPath("base", seeds[t]);
+        opts.checkpointEvery = 1;
+        baseline[t] = capture(camp, camp.run(opts));
+        std::remove(opts.checkpointPath.c_str());
+        std::remove(paths[t].c_str());
+    }
+
+    for (std::size_t t = 0; t < seeds.size(); ++t) {
+        EXPECT_EQ(chaos[t].result, baseline[t].result)
+            << "seed " << seeds[t];
+        EXPECT_EQ(chaos[t].stats, baseline[t].stats)
+            << "seed " << seeds[t];
+        EXPECT_EQ(chaos[t].errors, baseline[t].errors)
+            << "seed " << seeds[t];
+    }
+}
+
+// ---------------------------------------------------------------
+// 32-seed sweep under injected failure: survivors untouched.
+// ---------------------------------------------------------------
+
+TEST(ChaosCampaign, SweepSurvivorsBitIdenticalUnderInjectedFailure)
+{
+    const auto seeds = sweep::seeds(0xC4A05ULL, 32);
+
+    // The chaos plan, seeded: ~a quarter of the tasks crash once
+    // (transient), two fixed ones crash always (hard). The plan is
+    // derived before the farm starts so both runs agree on it.
+    std::vector<int> transient(seeds.size(), 0);
+    Rng chaosRng(0xC4A05ULL);
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        transient[i] = chaosRng.below(4) == 0;
+    // Pin one transient per shard so the plan cannot degenerate
+    // into a failure-free sweep for an unlucky chaos seed.
+    for (std::size_t i : {1u, 9u, 17u, 25u})
+        transient[i] = 1;
+    const std::size_t hardA = 5, hardB = 19;
+    transient[hardA] = transient[hardB] = 0;
+
+    struct Capture
+    {
+        storage::CrashRecoveryCampaign::Result result;
+        std::string stats;
+        bool ran = false;
+    };
+
+    auto farm = [&](bool inject) {
+        std::vector<Capture> caps(seeds.size());
+        std::vector<std::atomic<unsigned>> executions(seeds.size());
+        CampaignSupervisor sup(chaosParams());
+        std::vector<CampaignSupervisor::Task> tasks;
+        for (std::size_t i = 0; i < seeds.size(); ++i)
+            tasks.push_back([&, i](const std::atomic<bool> &) {
+                const unsigned exec = executions[i].fetch_add(1);
+                if (inject) {
+                    if (i == hardA || i == hardB)
+                        throw std::runtime_error("hard failure");
+                    if (transient[i] && exec == 0)
+                        throw std::runtime_error("transient");
+                }
+                storage::CrashRecoveryCampaign camp(
+                    chaosSpec(seeds[i]));
+                caps[i].result = camp.run();
+                caps[i].stats = statsJson(camp);
+                caps[i].ran = true;
+            });
+        auto r = sup.run(tasks);
+        // Zero duplicated work: every task that could run ran its
+        // campaign exactly once (retries re-run only the crash).
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            const bool hard =
+                inject && (i == hardA || i == hardB);
+            EXPECT_EQ(caps[i].ran, !hard) << i;
+        }
+        return std::make_pair(std::move(caps), std::move(r));
+    };
+
+    auto [base, baseR] = farm(false);
+    auto [chaos, chaosR] = farm(true);
+
+    // The no-failure control is entirely healthy...
+    ASSERT_TRUE(baseR.allAccounted(seeds.size()));
+    ASSERT_TRUE(baseR.allOk());
+    // ...and under chaos nothing is lost and every failure is
+    // classified: hard crashes quarantined, transients retried.
+    ASSERT_TRUE(chaosR.allAccounted(seeds.size()));
+    EXPECT_EQ(chaosR.quarantined, 2u);
+    EXPECT_EQ(chaosR.succeeded, seeds.size() - 2);
+    unsigned expectRetried = 0;
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        expectRetried += transient[i];
+    EXPECT_EQ(chaosR.retried, expectRetried);
+    EXPECT_GE(expectRetried, 4u) << "chaos plan degenerated";
+
+    // Surviving-task counters are bit-identical to the no-failure
+    // run — injected neighbours' failures never leak across tasks.
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        if (i == hardA || i == hardB) {
+            EXPECT_EQ(chaosR.tasks[i].outcome, Outcome::quarantined);
+            continue;
+        }
+        EXPECT_EQ(chaosR.tasks[i].outcome,
+                  transient[i] ? Outcome::okRetried : Outcome::ok)
+            << i;
+        EXPECT_EQ(chaos[i].result, base[i].result)
+            << "seed " << seeds[i];
+        EXPECT_EQ(chaos[i].stats, base[i].stats)
+            << "seed " << seeds[i];
+    }
+}
+
+} // namespace

@@ -7,237 +7,35 @@
  * must make forward progress, return bit-exact data, leak no tags,
  * and account every injected fault; and the identical seed must
  * reproduce the identical counters.
+ *
+ * The scenario itself lives in ras::SoakCampaign (also driven at
+ * scale by bench_ras_soak); this test pins down its invariants for
+ * one seed and its reproducibility for another.
  */
 
 #include <gtest/gtest.h>
 
-#include <functional>
-#include <tuple>
-#include <vector>
-
-#include "cpu/system.hh"
-#include "ras/fault_injector.hh"
+#include "ras/soak_campaign.hh"
 
 using namespace contutto;
-using namespace contutto::cpu;
+using namespace contutto::ras;
 
 namespace
 {
 
-constexpr unsigned kBitFlips = 24;
-constexpr unsigned kFrameCorruptions = 6;
-constexpr unsigned kFrameDrops = 4;
-constexpr unsigned kBurstErrors = 2;
-constexpr unsigned kEngineStalls = 3;
-constexpr Addr kFaultBase = 4 * MiB; // per-DIMM local address
-constexpr std::uint64_t kFaultSize = 64 * KiB;
-constexpr unsigned kOps = 320; // write+read-verify pairs (region A)
-
-/** Everything the reproducibility check compares. */
-struct SoakCounters
-{
-    std::uint64_t planned = 0;
-    std::uint64_t applied = 0;
-    std::uint64_t corrected = 0;
-    std::uint64_t uncorrectable = 0;
-    std::uint64_t mismatches = 0;
-    std::uint64_t failedOps = 0;
-    std::uint64_t poisonedOps = 0;
-    std::uint64_t cmdTimeouts = 0;
-    std::uint64_t cmdRetries = 0;
-    std::uint64_t tagsReclaimed = 0;
-    std::uint64_t droppedCompletions = 0;
-    std::uint64_t framesCorrupted = 0;
-    std::uint64_t framesDropped = 0;
-    std::uint64_t linkReplays = 0;
-    std::uint64_t replaysObserved = 0;
-    std::uint64_t escalationLevel = 0;
-    std::uint64_t scrubPasses = 0;
-
-    auto
-    tied() const
-    {
-        return std::tie(planned, applied, corrected, uncorrectable,
-                        mismatches, failedOps, poisonedOps,
-                        cmdTimeouts, cmdRetries, tagsReclaimed,
-                        droppedCompletions, framesCorrupted,
-                        framesDropped, linkReplays, replaysObserved,
-                        escalationLevel, scrubPasses);
-    }
-    bool operator==(const SoakCounters &o) const
-    {
-        return tied() == o.tied();
-    }
-};
-
-dmi::CacheLine
-patternFor(unsigned op)
-{
-    dmi::CacheLine line;
-    for (unsigned j = 0; j < line.size(); ++j)
-        line[j] = std::uint8_t(op * 31 + j * 7 + 5);
-    return line;
-}
-
-SoakCounters
-runSoak(std::uint64_t seed)
-{
-    Power8System::Params p;
-    p.dimms = {DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}},
-               DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}}};
-    p.seed = seed;
-    // A tight watchdog so injected completion losses recover inside
-    // the test's horizon (default is 20 us).
-    p.cardParams.mbs.cmdTimeout = microseconds(5);
-    p.ras.scrubEnabled = true;
-    p.ras.scrub.period = microseconds(1);
-    p.ras.scrub.linesPerBeat = 64;
-    p.ras.scrub.base = kFaultBase;
-    p.ras.scrub.size = kFaultSize;
-    p.ras.watchdogEnabled = true;
-
-    Power8System sys(p);
-    EXPECT_TRUE(sys.train());
-
-    // Region B: a cold reference region in each DIMM that only the
-    // bit-flip faults and the patrol scrubber ever touch.
-    std::vector<std::uint8_t> ref(kFaultSize);
-    for (std::size_t i = 0; i < ref.size(); ++i)
-        ref[i] = std::uint8_t(i * 13 + (i >> 9));
-    for (unsigned d = 0; d < sys.numDimms(); ++d)
-        sys.dimm(d).image().write(kFaultBase, ref.size(), ref.data());
-
-    ras::FaultInjector inj("inj", sys.eventq(), sys.nestDomain(),
-                           &sys, seed);
-    inj.addMemory(&sys.dimm(0).image());
-    inj.addMemory(&sys.dimm(1).image());
-    inj.addChannel(&sys.downChannel());
-    inj.addChannel(&sys.upChannel());
-    inj.addMbs(&sys.card()->mbs());
-
-    ras::FaultInjector::CampaignSpec spec;
-    spec.start = sys.eventq().curTick();
-    spec.duration = microseconds(100);
-    spec.bitFlips = kBitFlips;
-    spec.memBase = kFaultBase;
-    spec.memSize = kFaultSize;
-    spec.frameCorruptions = kFrameCorruptions;
-    spec.frameDrops = kFrameDrops;
-    spec.burstErrors = kBurstErrors;
-    spec.engineStalls = kEngineStalls;
-    auto plan = inj.runCampaign(spec);
-    EXPECT_EQ(plan.size(), std::size_t(kBitFlips + kFrameCorruptions
-                                       + kFrameDrops + kBurstErrors
-                                       + kEngineStalls));
-
-    // Region A workload: 8 closed loops, each writing a line then
-    // reading it back and checking the data bit for bit.
-    unsigned started = 0, completed = 0;
-    SoakCounters c;
-    c.planned = plan.size();
-    std::function<void()> issueNext = [&] {
-        if (started >= kOps)
-            return;
-        unsigned op = started++;
-        Addr a = Addr(op) * dmi::cacheLineSize;
-        dmi::CacheLine line = patternFor(op);
-        sys.port().write(a, line, [&, a, op](const HostOpResult &wr) {
-            if (wr.failed)
-                ++c.failedOps;
-            sys.port().read(a, [&, op](const HostOpResult &rr) {
-                if (rr.failed)
-                    ++c.failedOps;
-                if (rr.poisoned)
-                    ++c.poisonedOps;
-                if (rr.data != patternFor(op))
-                    ++c.mismatches;
-                ++completed;
-                issueNext();
-            });
-        });
-    };
-    for (int i = 0; i < 8; ++i)
-        issueNext();
-    while (completed < kOps && sys.eventq().step()) {
-    }
-    EXPECT_EQ(completed, kOps) << "workload must make progress";
-    EXPECT_TRUE(sys.runUntilIdle());
-
-    // Let the remainder of the campaign window elapse so every
-    // planned fault has been applied.
-    Tick campaign_end = spec.start + spec.duration + microseconds(1);
-    if (sys.eventq().curTick() < campaign_end)
-        sys.runFor(campaign_end - sys.eventq().curTick());
-    EXPECT_EQ(inj.history().size(), plan.size());
-
-    // Drain reads: enough traffic to consume any fault budget that
-    // was armed after the workload went quiet (pending frame
-    // corruptions/drops, swallowed completions), so the injected
-    // counts reconcile exactly against the channel and MBS stats.
-    for (int i = 0; i < 48; ++i)
-        sys.port().read(Addr(i) * dmi::cacheLineSize,
-                        [](const HostOpResult &) {});
-    EXPECT_TRUE(sys.runUntilIdle());
-
-    // Two further full scrub passes repair every latent bit flip.
-    for (unsigned d = 0; d < sys.numDimms(); ++d) {
-        ras::PatrolScrubber *scrub = sys.channel().scrubber(d);
-        EXPECT_NE(scrub, nullptr) << d;
-        if (scrub == nullptr)
-            continue;
-        std::uint64_t target = scrub->passes() + 2;
-        while (scrub->passes() < target && sys.eventq().step()) {
-        }
-    }
-
-    // Forward progress with nothing leaked.
-    EXPECT_EQ(sys.port().inFlight(), 0u) << "leaked host tags";
-    EXPECT_EQ(sys.port().queued(), 0u);
-    EXPECT_EQ(sys.card()->mbs().activeEngines(), 0u)
-        << "leaked command engines";
-
-    // Data integrity: the cold region matches the reference again.
-    std::vector<std::uint8_t> now(kFaultSize);
-    for (unsigned d = 0; d < sys.numDimms(); ++d) {
-        sys.dimm(d).image().read(kFaultBase, now.size(), now.data());
-        EXPECT_EQ(now, ref) << "dimm " << d
-                            << " not repaired by scrub";
-    }
-
-    const auto &mbs = sys.card()->mbs().mbsStats();
-    const auto &down = sys.downChannel().channelStats();
-    const auto &up = sys.upChannel().channelStats();
-    c.applied = inj.history().size();
-    c.corrected = sys.dimm(0).image().correctedErrors()
-        + sys.dimm(1).image().correctedErrors();
-    c.uncorrectable = sys.dimm(0).image().uncorrectableErrors()
-        + sys.dimm(1).image().uncorrectableErrors();
-    c.cmdTimeouts = std::uint64_t(mbs.cmdTimeouts.value());
-    c.cmdRetries = std::uint64_t(mbs.cmdRetries.value());
-    c.tagsReclaimed = std::uint64_t(mbs.tagsReclaimed.value());
-    c.droppedCompletions =
-        std::uint64_t(mbs.droppedCompletions.value());
-    c.framesCorrupted = std::uint64_t(down.framesCorrupted.value()
-                                      + up.framesCorrupted.value());
-    c.framesDropped = std::uint64_t(down.framesDropped.value()
-                                    + up.framesDropped.value());
-    c.linkReplays = std::uint64_t(
-        sys.hostLink().linkStats().replaysTriggered.value()
-        + sys.card()->mbi().linkStats().replaysTriggered.value());
-    ras::LinkWatchdog *dog = sys.channel().watchdog();
-    if (dog != nullptr) {
-        c.replaysObserved = std::uint64_t(
-            dog->watchdogStats().replaysObserved.value());
-        c.escalationLevel = dog->escalationLevel();
-    }
-    c.scrubPasses = sys.channel().scrubber(0)->passes()
-        + sys.channel().scrubber(1)->passes();
-    return c;
-}
-
 TEST(RasSoak, MultiFaultCampaignKeepsIntegrityAndProgress)
 {
-    SoakCounters c = runSoak(20260806);
+    SoakCampaign::Spec spec;
+    spec.seed = 20260806;
+    SoakCampaign::Result c = SoakCampaign::run(spec);
+
+    EXPECT_TRUE(c.trained);
+    EXPECT_TRUE(c.progressed) << "workload must make progress";
+    EXPECT_FALSE(c.cancelled);
+    EXPECT_EQ(c.planned,
+              std::uint64_t(spec.bitFlips + spec.frameCorruptions
+                            + spec.frameDrops + spec.burstErrors
+                            + spec.engineStalls));
 
     // Zero data-integrity violations.
     EXPECT_EQ(c.mismatches, 0u);
@@ -247,37 +45,63 @@ TEST(RasSoak, MultiFaultCampaignKeepsIntegrityAndProgress)
 
     // RAS counters consistent with what was injected.
     EXPECT_EQ(c.applied, c.planned);
-    EXPECT_EQ(c.corrected, std::uint64_t(kBitFlips))
+    EXPECT_EQ(c.corrected, std::uint64_t(spec.bitFlips))
         << "every injected flip corrected exactly once";
     EXPECT_EQ(c.uncorrectable, 0u);
-    EXPECT_EQ(c.droppedCompletions, std::uint64_t(kEngineStalls));
-    EXPECT_EQ(c.cmdTimeouts, std::uint64_t(kEngineStalls))
+    EXPECT_EQ(c.droppedCompletions,
+              std::uint64_t(spec.engineStalls));
+    EXPECT_EQ(c.cmdTimeouts, std::uint64_t(spec.engineStalls))
         << "each swallowed completion trips the watchdog once";
-    EXPECT_EQ(c.cmdRetries, std::uint64_t(kEngineStalls));
+    EXPECT_EQ(c.cmdRetries, std::uint64_t(spec.engineStalls));
     EXPECT_EQ(c.tagsReclaimed, 0u)
         << "a single loss must recover by retry, not reclamation";
-    EXPECT_EQ(c.framesDropped, std::uint64_t(kFrameDrops));
+    EXPECT_EQ(c.framesDropped, std::uint64_t(spec.frameDrops));
     // Bursts may land on a frame that also took a forced corruption,
     // so the corrupted-frame count has a small overlap tolerance.
-    EXPECT_GE(c.framesCorrupted, std::uint64_t(kFrameCorruptions));
+    EXPECT_GE(c.framesCorrupted,
+              std::uint64_t(spec.frameCorruptions));
     EXPECT_LE(c.framesCorrupted,
-              std::uint64_t(kFrameCorruptions + kBurstErrors));
+              std::uint64_t(spec.frameCorruptions
+                            + spec.burstErrors));
     // One replay can retransmit a whole window of damaged frames,
     // so replays <= injected errors; the watchdog must have seen
     // every one the links triggered.
     EXPECT_GE(c.linkReplays, 1u);
     EXPECT_EQ(c.replaysObserved, c.linkReplays);
     EXPECT_GE(c.scrubPasses, 4u);
+
+    // Forward progress with nothing leaked; cold region repaired.
+    EXPECT_TRUE(c.nothingLeaked) << "leaked tags or engines";
+    EXPECT_TRUE(c.regionRepaired) << "not repaired by scrub";
+
+    // The one-line verdict the campaign driver relies on agrees
+    // with every assertion above.
+    EXPECT_TRUE(c.healthy());
 }
 
 TEST(RasSoak, IdenticalSeedsReproduceIdenticalCounters)
 {
-    SoakCounters a = runSoak(424242);
-    SoakCounters b = runSoak(424242);
+    SoakCampaign::Spec spec;
+    spec.seed = 424242;
+    SoakCampaign::Result a = SoakCampaign::run(spec);
+    SoakCampaign::Result b = SoakCampaign::run(spec);
     EXPECT_TRUE(a == b)
         << "same seed must reproduce the campaign bit for bit";
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
     EXPECT_EQ(a.mismatches, 0u);
     EXPECT_EQ(a.applied, a.planned);
+}
+
+TEST(RasSoak, CancelTokenStopsTheCampaignEarly)
+{
+    // A pre-raised token: the campaign must come back promptly with
+    // the cancelled verdict instead of a (mis)diagnosis.
+    SoakCampaign::Spec spec;
+    spec.seed = 7;
+    std::atomic<bool> cancel{true};
+    SoakCampaign::Result r = SoakCampaign::run(spec, &cancel);
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_FALSE(r.healthy());
 }
 
 } // namespace

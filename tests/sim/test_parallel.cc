@@ -10,6 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/parallel.hh"
@@ -252,6 +255,135 @@ TEST(ShardedExecutor, TaskFarmIsModeInvariant)
     auto par4 = farm(ShardedExecutor::Mode::parallel, 4);
     EXPECT_EQ(serial, par2);
     EXPECT_EQ(serial, par4);
+}
+
+TEST(ShardedExecutor, ThrowingTaskDoesNotAbortItsNeighbours)
+{
+    // Task 5 throws; every other task must still complete, in both
+    // modes, and the caller sees task 5's exception afterwards.
+    for (auto mode : {ShardedExecutor::Mode::serial,
+                      ShardedExecutor::Mode::parallel}) {
+        std::vector<int> done(12, 0);
+        std::vector<std::function<void()>> tasks;
+        for (unsigned i = 0; i < done.size(); ++i)
+            tasks.push_back([&done, i] {
+                if (i == 5)
+                    throw std::runtime_error("task 5 failed");
+                done[i] = 1;
+            });
+        bool threw = false;
+        try {
+            ShardedExecutor::runTasks(3, mode, tasks);
+        } catch (const std::runtime_error &e) {
+            threw = true;
+            EXPECT_STREQ(e.what(), "task 5 failed");
+        }
+        EXPECT_TRUE(threw);
+        for (unsigned i = 0; i < done.size(); ++i)
+            EXPECT_EQ(done[i], i == 5 ? 0 : 1) << "task " << i;
+    }
+}
+
+TEST(ShardedExecutor, LowestIndexExceptionWinsInBothModes)
+{
+    // Tasks 2 and 7 both throw; the caller must see task 2's
+    // exception whichever shard finished first.
+    for (auto mode : {ShardedExecutor::Mode::serial,
+                      ShardedExecutor::Mode::parallel}) {
+        std::vector<std::function<void()>> tasks;
+        for (unsigned i = 0; i < 9; ++i)
+            tasks.push_back([i] {
+                if (i == 2 || i == 7)
+                    throw std::runtime_error(
+                        "task " + std::to_string(i));
+            });
+        try {
+            ShardedExecutor::runTasks(4, mode, tasks);
+            FAIL() << "expected a rethrow";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "task 2");
+        }
+    }
+}
+
+TEST(ShardedExecutor, RunUntilIdleReportsOutcome)
+{
+    using Outcome = ShardedExecutor::RunOutcome;
+    ShardedExecutor::Params p;
+    p.shards = 2;
+    p.mode = ShardedExecutor::Mode::serial;
+    p.window = 1000;
+
+    {   // idle: the predicate flips mid-run.
+        ShardedExecutor exec(p);
+        bool done = false;
+        exec.post(0, 500, [&done] { done = true; });
+        EXPECT_EQ(exec.runUntilIdle([&done] { return done; },
+                                    milliseconds(1),
+                                    std::chrono::milliseconds(0)),
+                  Outcome::idle);
+    }
+    {   // tickTimeout: pending work outlives the tick budget.
+        ShardedExecutor exec(p);
+        std::function<void()> nag = [&exec, &nag] {
+            exec.post(0, exec.queue(0).curTick() + 100, nag);
+        };
+        exec.post(0, 100, nag);
+        EXPECT_EQ(exec.runUntilIdle([] { return false; },
+                                    microseconds(50),
+                                    std::chrono::milliseconds(0)),
+                  Outcome::tickTimeout);
+    }
+    {   // wallTimeout: unbounded simulated work, tiny wall budget.
+        ShardedExecutor exec(p);
+        std::function<void()> nag = [&exec, &nag] {
+            exec.post(0, exec.queue(0).curTick() + 100, nag);
+        };
+        exec.post(0, 100, nag);
+        EXPECT_EQ(exec.runUntilIdle([] { return false; }, maxTick / 2,
+                                    std::chrono::milliseconds(1)),
+                  Outcome::wallTimeout);
+    }
+    {   // cancelled: the flag is raised from inside the run.
+        ShardedExecutor exec(p);
+        std::atomic<bool> cancel{false};
+        exec.setCancelFlag(&cancel);
+        std::function<void()> nag = [&exec, &nag] {
+            exec.post(0, exec.queue(0).curTick() + 100, nag);
+        };
+        exec.post(0, 100, nag);
+        exec.post(1, microseconds(10), [&cancel] { cancel = true; });
+        EXPECT_EQ(exec.runUntilIdle([] { return false; }, maxTick / 2,
+                                    std::chrono::milliseconds(0)),
+                  Outcome::cancelled);
+        // The pre-checked fast path reports it too.
+        EXPECT_EQ(exec.runUntilIdle([] { return false; },
+                                    milliseconds(1),
+                                    std::chrono::milliseconds(0)),
+                  Outcome::cancelled);
+    }
+}
+
+TEST(ShardedExecutor, CancelFlagStopsAParallelRun)
+{
+    ShardedExecutor::Params p;
+    p.shards = 2;
+    p.mode = ShardedExecutor::Mode::parallel;
+    p.window = 1000;
+    ShardedExecutor exec(p);
+    std::atomic<bool> cancel{false};
+    exec.setCancelFlag(&cancel);
+    // Endless self-rescheduling work on both shards; shard 1 raises
+    // the flag after a while. run() must return instead of walking
+    // windows forever, leaving the remaining events queued.
+    std::function<void()> nag0 = [&exec, &nag0] {
+        exec.post(0, exec.queue(0).curTick() + 100, nag0);
+    };
+    exec.post(0, 100, nag0);
+    exec.post(1, microseconds(10), [&cancel] { cancel = true; });
+    Tick reached = exec.run();
+    EXPECT_LT(reached, milliseconds(1));
+    EXPECT_FALSE(exec.queue(0).empty());
 }
 
 } // namespace

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Campaign supervisor: every task gets exactly one verdict, failing
+ * tasks climb the retry/degradation ladder, hung tasks are reeled
+ * in by the deadline watchdog, and healthy simulations stay
+ * bit-identical under supervision.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/supervisor.hh"
+
+using namespace contutto;
+using namespace contutto::sim;
+using Outcome = CampaignSupervisor::TaskOutcome;
+
+namespace
+{
+
+CampaignSupervisor::Params
+fastParams(unsigned shards, ShardedExecutor::Mode mode)
+{
+    CampaignSupervisor::Params p;
+    p.shards = shards;
+    p.mode = mode;
+    p.watchdogInterval = std::chrono::milliseconds(2);
+    p.backoffBase = std::chrono::milliseconds(0); // fast tests
+    return p;
+}
+
+TEST(CampaignSupervisor, HealthyFarmAllOk)
+{
+    for (auto mode : {ShardedExecutor::Mode::serial,
+                      ShardedExecutor::Mode::parallel}) {
+        CampaignSupervisor sup(fastParams(3, mode));
+        std::vector<int> ran(10, 0);
+        std::vector<CampaignSupervisor::Task> tasks;
+        for (unsigned i = 0; i < ran.size(); ++i)
+            tasks.push_back(
+                [&ran, i](const std::atomic<bool> &) { ran[i] = 1; });
+        auto r = sup.run(tasks);
+        EXPECT_TRUE(r.allAccounted(tasks.size()));
+        EXPECT_TRUE(r.allOk());
+        EXPECT_EQ(r.succeeded, 10u);
+        EXPECT_EQ(r.retried, 0u);
+        for (unsigned i = 0; i < ran.size(); ++i) {
+            EXPECT_EQ(ran[i], 1);
+            EXPECT_EQ(r.tasks[i].outcome, Outcome::ok);
+            EXPECT_EQ(r.tasks[i].attempts, 1u);
+        }
+    }
+}
+
+TEST(CampaignSupervisor, FlakyTaskSucceedsOnRetry)
+{
+    CampaignSupervisor sup(
+        fastParams(2, ShardedExecutor::Mode::parallel));
+    // Task 3 fails once then succeeds; the farm retry absorbs it.
+    std::atomic<int> tries{0};
+    std::vector<CampaignSupervisor::Task> tasks(6);
+    for (unsigned i = 0; i < tasks.size(); ++i)
+        tasks[i] = [i, &tries](const std::atomic<bool> &) {
+            if (i == 3 && tries.fetch_add(1) == 0)
+                throw std::runtime_error("transient");
+        };
+    auto r = sup.run(tasks);
+    EXPECT_TRUE(r.allAccounted(tasks.size()));
+    EXPECT_TRUE(r.allOk());
+    EXPECT_EQ(r.retried, 1u);
+    EXPECT_EQ(r.degraded, 0u);
+    EXPECT_EQ(r.tasks[3].outcome, Outcome::okRetried);
+    EXPECT_EQ(r.tasks[3].attempts, 2u);
+}
+
+TEST(CampaignSupervisor, DegradationLadderEndsInQuarantine)
+{
+    CampaignSupervisor sup(
+        fastParams(2, ShardedExecutor::Mode::parallel));
+    // Task 1 succeeds only when run alone (the serial pass); task 4
+    // never succeeds and must be quarantined with its error kept.
+    std::atomic<int> concurrentOk{0};
+    std::vector<CampaignSupervisor::Task> tasks(6);
+    for (unsigned i = 0; i < tasks.size(); ++i)
+        tasks[i] = [i, &concurrentOk](const std::atomic<bool> &) {
+            if (i == 1 && concurrentOk.fetch_add(1) < 2)
+                throw std::runtime_error("needs isolation");
+            if (i == 4)
+                throw std::runtime_error("hard failure");
+        };
+    auto r = sup.run(tasks);
+    EXPECT_TRUE(r.allAccounted(tasks.size()));
+    EXPECT_EQ(r.tasks[1].outcome, Outcome::okDegraded);
+    EXPECT_EQ(r.tasks[1].attempts, 3u); // 2 farm + 1 serial
+    EXPECT_EQ(r.degraded, 1u);
+    EXPECT_EQ(r.tasks[4].outcome, Outcome::quarantined);
+    EXPECT_EQ(r.tasks[4].error, "hard failure");
+    EXPECT_EQ(r.quarantined, 1u);
+    // The neighbours were never disturbed.
+    EXPECT_EQ(r.succeeded, 5u);
+}
+
+TEST(CampaignSupervisor, HungTaskIsTimedOutByTheWatchdog)
+{
+    auto p = fastParams(2, ShardedExecutor::Mode::parallel);
+    p.taskDeadline = std::chrono::milliseconds(20);
+    CampaignSupervisor sup(p);
+    std::vector<CampaignSupervisor::Task> tasks(4);
+    for (unsigned i = 0; i < tasks.size(); ++i)
+        tasks[i] = [i](const std::atomic<bool> &cancel) {
+            if (i != 2)
+                return;
+            // A "hung" simulation: spins until cancelled, as a
+            // cooperative event loop with the flag attached would.
+            while (!cancel.load(std::memory_order_relaxed))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        };
+    auto r = sup.run(tasks);
+    EXPECT_TRUE(r.allAccounted(tasks.size()));
+    EXPECT_EQ(r.tasks[2].outcome, Outcome::timedOut);
+    EXPECT_FALSE(r.tasks[2].unresponsive);
+    EXPECT_EQ(r.timedOut, 1u);
+    EXPECT_EQ(r.succeeded, 3u);
+}
+
+TEST(CampaignSupervisor, UnresponsiveTaskIsFlaggedAsHung)
+{
+    auto p = fastParams(2, ShardedExecutor::Mode::parallel);
+    p.taskDeadline = std::chrono::milliseconds(10);
+    p.cancelGrace = std::chrono::milliseconds(20);
+    CampaignSupervisor sup(p);
+    std::vector<CampaignSupervisor::Task> tasks(2);
+    tasks[0] = [](const std::atomic<bool> &) {};
+    // Ignores its cancel token well past the grace period before
+    // finally returning: a wedged shard the watchdog must report.
+    tasks[1] = [](const std::atomic<bool> &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    };
+    auto r = sup.run(tasks);
+    EXPECT_EQ(r.tasks[1].outcome, Outcome::timedOut);
+    EXPECT_TRUE(r.tasks[1].unresponsive);
+    EXPECT_EQ(r.unresponsive, 1u);
+}
+
+TEST(CampaignSupervisor, CancelAllDrainsTheCampaign)
+{
+    auto p = fastParams(2, ShardedExecutor::Mode::parallel);
+    CampaignSupervisor sup(p);
+    std::atomic<int> started{0};
+    std::vector<CampaignSupervisor::Task> tasks(16);
+    for (unsigned i = 0; i < tasks.size(); ++i)
+        tasks[i] = [&sup, &started](const std::atomic<bool> &cancel) {
+            if (started.fetch_add(1) == 3)
+                sup.cancelAll();
+            // Cooperative: wait out the cancellation if raised.
+            for (int k = 0; k < 50; ++k) {
+                if (cancel.load(std::memory_order_relaxed))
+                    return;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        };
+    auto r = sup.run(tasks);
+    EXPECT_TRUE(r.allAccounted(tasks.size()));
+    EXPECT_GT(r.cancelled, 0u);
+    // Nothing is lost: every task is either done or cancelled.
+    EXPECT_EQ(r.succeeded + r.cancelled + r.timedOut,
+              unsigned(tasks.size()));
+}
+
+TEST(CampaignSupervisor, SupervisedSimulationStaysBitIdentical)
+{
+    // The determinism contract: a healthy simulation task computes
+    // the same result under the supervisor (any mode) as bare.
+    auto simulate = [](unsigned i) {
+        EventQueue eq;
+        std::uint64_t acc = i;
+        for (int k = 0; k < 100; ++k)
+            OneShotEvent::schedule(eq, Tick(k) * 7,
+                                   [&acc, k] { acc = acc * 31 + k; });
+        eq.run();
+        return acc;
+    };
+    std::vector<std::uint64_t> bare(8);
+    for (unsigned i = 0; i < 8; ++i)
+        bare[i] = simulate(i);
+
+    for (auto mode : {ShardedExecutor::Mode::serial,
+                      ShardedExecutor::Mode::parallel}) {
+        CampaignSupervisor sup(fastParams(4, mode));
+        std::vector<std::uint64_t> out(8, 0);
+        std::vector<CampaignSupervisor::Task> tasks;
+        for (unsigned i = 0; i < 8; ++i)
+            tasks.push_back([&out, &simulate, i](
+                                const std::atomic<bool> &) {
+                out[i] = simulate(i);
+            });
+        auto r = sup.run(tasks);
+        EXPECT_TRUE(r.allOk());
+        EXPECT_EQ(out, bare);
+    }
+}
+
+TEST(CampaignSupervisor, BackoffScheduleIsSeeded)
+{
+    // Same seed, same schedule; the backoff must also respect the
+    // cap. (White-box via timing would be flaky; instead check the
+    // retry ladder is unaffected by a large base + tiny cap.)
+    auto p = fastParams(2, ShardedExecutor::Mode::parallel);
+    p.backoffBase = std::chrono::milliseconds(1000);
+    p.backoffCap = std::chrono::milliseconds(1);
+    p.parallelAttempts = 3;
+    CampaignSupervisor sup(p);
+    std::atomic<int> tries{0};
+    std::vector<CampaignSupervisor::Task> tasks(1);
+    tasks[0] = [&tries](const std::atomic<bool> &) {
+        if (tries.fetch_add(1) < 2)
+            throw std::runtime_error("transient");
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = sup.run(tasks);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(r.tasks[0].outcome, Outcome::okRetried);
+    EXPECT_EQ(r.tasks[0].attempts, 3u);
+    // Two backoffs, each capped at 1 ms: nowhere near the 1 s base.
+    EXPECT_LT(elapsed, std::chrono::milliseconds(500));
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Checkpoint/resume bit-equality: a campaign killed at a checkpoint
+ * boundary and resumed in a fresh process image must be
+ * indistinguishable — Result, stats-JSON and FSP error log byte for
+ * byte — from the same campaign run uninterrupted. Exercised over
+ * many seeds, serially and distributed over a 4-shard task farm.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hh"
+#include "storage/crash_campaign.hh"
+
+using namespace contutto;
+using namespace contutto::storage;
+
+namespace
+{
+
+CrashRecoveryCampaign::Spec
+resumeSpec(std::uint64_t seed)
+{
+    CrashRecoveryCampaign::Spec s;
+    s.seed = seed;
+    s.powerCuts = 4;
+    s.regionBlocks = 16;
+    s.queueDepth = 2;
+    s.longOutageEvery = 3;
+    s.brownouts = 1;
+    s.dimmCapacity = 16 * MiB;
+    return s;
+}
+
+std::string
+statsJson(CrashRecoveryCampaign &camp)
+{
+    std::ostringstream os;
+    stats::toJson(camp.system(), os);
+    return os.str();
+}
+
+std::string
+errorLogText(CrashRecoveryCampaign &camp)
+{
+    std::ostringstream os;
+    for (const auto &e : camp.errorLog().entries()) {
+        os << e.when << ' ' << e.component << ' '
+           << int(e.severity) << ' ' << e.message << '\n';
+    }
+    os << "overflow=" << camp.errorLog().overflowCount() << '\n';
+    return os.str();
+}
+
+std::string
+ckptPath(const std::string &tag, std::uint64_t seed)
+{
+    auto dir = std::filesystem::temp_directory_path();
+    return (dir / ("ct_resume_" + tag + "_"
+                   + std::to_string(std::uint64_t(::getpid())) + "_"
+                   + std::to_string(seed) + ".ckpt"))
+        .string();
+}
+
+/** One seed's kill/resume round trip; fails the calling test on any
+ *  divergence. Returns false on divergence so farm tasks can report
+ *  without gtest's per-thread assertion caveats. */
+bool
+roundTrip(std::uint64_t seed, const std::string &tag,
+          std::string *why)
+{
+    const auto spec = resumeSpec(seed);
+    const std::string path = ckptPath(tag, seed);
+
+    // The uninterrupted reference.
+    CrashRecoveryCampaign base(spec);
+    const auto rBase = base.run();
+    const std::string jsonBase = statsJson(base);
+    const std::string logBase = errorLogText(base);
+
+    // Kill at the round-2 checkpoint boundary...
+    CrashRecoveryCampaign victim(spec);
+    CrashRecoveryCampaign::RunOptions kill;
+    kill.checkpointPath = path;
+    kill.checkpointEvery = 2;
+    kill.stopAfterCheckpoints = 1;
+    victim.run(kill);
+    if (!victim.stoppedEarly()) {
+        *why = "victim did not stop at the checkpoint";
+        return false;
+    }
+
+    // ...and resume in a fresh campaign object (fresh queue, RNGs,
+    // stats tree, images: the in-process equivalent of a new
+    // process reading the file).
+    CrashRecoveryCampaign resumed(spec);
+    CrashRecoveryCampaign::RunOptions cont;
+    cont.resumeFrom = path;
+    const auto rResumed = resumed.run(cont);
+
+    std::remove(path.c_str());
+
+    if (!(rBase == rResumed)) {
+        *why = "Result diverged";
+        return false;
+    }
+    if (statsJson(resumed) != jsonBase) {
+        *why = "stats-JSON diverged";
+        return false;
+    }
+    if (errorLogText(resumed) != logBase) {
+        *why = "error log diverged";
+        return false;
+    }
+    return true;
+}
+
+TEST(CheckpointResume, EightSeedsBitIdenticalSerial)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        std::string why;
+        EXPECT_TRUE(roundTrip(seed, "serial", &why))
+            << "seed " << seed << ": " << why;
+    }
+}
+
+TEST(CheckpointResume, EightSeedsBitIdenticalFourShardFarm)
+{
+    // The same round trips, distributed over a 4-shard task farm in
+    // parallel mode: checkpoint/restore must not depend on which
+    // thread runs the campaign or what its neighbours do.
+    constexpr unsigned kSeeds = 8;
+    std::vector<std::string> why(kSeeds);
+    std::vector<int> ok(kSeeds, 0);
+    std::vector<std::function<void()>> tasks;
+    for (unsigned i = 0; i < kSeeds; ++i) {
+        tasks.push_back([i, &why, &ok] {
+            ok[i] = roundTrip(100 + i, "farm", &why[i]) ? 1 : 0;
+        });
+    }
+    sim::ShardedExecutor::runTasks(
+        4, sim::ShardedExecutor::Mode::parallel, tasks);
+    for (unsigned i = 0; i < kSeeds; ++i)
+        EXPECT_TRUE(ok[i]) << "seed " << 100 + i << ": " << why[i];
+}
+
+TEST(CheckpointResume, ResumeRejectsMismatchedSpec)
+{
+    const std::string path = ckptPath("mismatch", 1);
+    CrashRecoveryCampaign a(resumeSpec(1));
+    CrashRecoveryCampaign::RunOptions save;
+    save.checkpointPath = path;
+    save.checkpointEvery = 2;
+    save.stopAfterCheckpoints = 1;
+    a.run(save);
+    ASSERT_TRUE(a.stoppedEarly());
+
+    auto other = resumeSpec(2);      // different seed
+    CrashRecoveryCampaign b(other);
+    CrashRecoveryCampaign::RunOptions cont;
+    cont.resumeFrom = path;
+    EXPECT_THROW(b.run(cont), ckpt::Error);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, CorruptFileIsRejected)
+{
+    const std::string path = ckptPath("corrupt", 1);
+    CrashRecoveryCampaign a(resumeSpec(3));
+    CrashRecoveryCampaign::RunOptions save;
+    save.checkpointPath = path;
+    save.checkpointEvery = 2;
+    save.stopAfterCheckpoints = 1;
+    a.run(save);
+    ASSERT_TRUE(a.stoppedEarly());
+
+    // Flip one byte in the middle of the file.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        long size = std::ftell(f);
+        ASSERT_GT(size, 64L);
+        std::fseek(f, size / 2, SEEK_SET);
+        int c = std::fgetc(f);
+        std::fseek(f, size / 2, SEEK_SET);
+        std::fputc(c ^ 0x5A, f);
+        std::fclose(f);
+    }
+    CrashRecoveryCampaign b(resumeSpec(3));
+    CrashRecoveryCampaign::RunOptions cont;
+    cont.resumeFrom = path;
+    EXPECT_THROW(b.run(cont), ckpt::Error);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, CheckpointingRunIsNonPerturbing)
+{
+    // Writing checkpoints (without stopping) must leave the final
+    // Result and stats bit-identical to a plain run: saving is
+    // all-const and the boundary probe runs in both modes.
+    const auto spec = resumeSpec(9);
+    CrashRecoveryCampaign plain(spec);
+    const auto rPlain = plain.run();
+
+    const std::string path = ckptPath("noperturb", 9);
+    CrashRecoveryCampaign noting(spec);
+    CrashRecoveryCampaign::RunOptions opts;
+    opts.checkpointPath = path;
+    opts.checkpointEvery = 1;
+    const auto rNoting = noting.run(opts);
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(noting.stoppedEarly());
+    EXPECT_TRUE(rPlain == rNoting);
+    EXPECT_EQ(statsJson(plain), statsJson(noting));
+}
+
+} // namespace
