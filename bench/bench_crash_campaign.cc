@@ -45,6 +45,10 @@ main(int argc, char **argv)
                 spec.powerCuts, spec.brownouts, spec.regionBlocks,
                 spec.queueDepth);
 
+    // The real memo key: the spec hash, not the argv hash — so a
+    // resumed run and its uninterrupted control share a header.
+    tm.setConfigHash(spec.hash());
+
     CrashRecoveryCampaign::RunOptions opts;
     opts.checkpointPath =
         bench::parseFlag(argc, argv, "--checkpoint");

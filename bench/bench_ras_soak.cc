@@ -102,6 +102,9 @@ main(int argc, char **argv)
     const std::string ledgerPath =
         bench::parseFlag(argc, argv, "--ledger");
 
+    bench::Telemetry tm(argc, argv);
+    tm.setConfigHash(SoakCampaign::Spec{}.hash());
+
     bench::header("RAS soak farm (supervised, resumable)");
 
     std::vector<LedgerEntry> done;

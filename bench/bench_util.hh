@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cpu/system.hh"
+#include "sim/checkpoint.hh"
 #include "sim/span.hh"
 #include "sim/telemetry.hh"
 
@@ -142,6 +143,32 @@ class Telemetry
         }
         if (sample_ == 0)
             sample_ = 1;
+        // Self-describing stats: every stats-JSON leads with a meta
+        // header carrying the binary name, the seed, and a stable
+        // FNV-1a hash of the simulation-relevant command line (the
+        // telemetry output flags are excluded — where the stats are
+        // *written* cannot change what was *simulated*). Campaign
+        // binaries with a real Spec override the hash with
+        // setConfigHash(spec.hash()): that pair (configHash, seed)
+        // is exactly the campaign service's memo key.
+        seed_ = parseSeed(argc, argv);
+        if (argc > 0) {
+            const char *base = std::strrchr(argv[0], '/');
+            binary_ = base ? base + 1 : argv[0];
+        }
+        std::string canon = binary_;
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strncmp(arg, "--stats-json=", 13) == 0
+                || std::strncmp(arg, "--trace-out=", 12) == 0
+                || std::strncmp(arg, "--trace-sample=", 15) == 0
+                || std::strncmp(arg, "--stats-interval=", 17) == 0)
+                continue;
+            canon += ' ';
+            canon += arg;
+        }
+        configHash_ =
+            contutto::ckpt::fnv1a(canon.data(), canon.size());
         if (!tracePath_.empty()) {
             span::reset();
             span::setSampleInterval(sample_);
@@ -159,6 +186,13 @@ class Telemetry
 
     /** True when a stats file was requested (--stats-json given). */
     bool wantStats() const { return !statsPath_.empty(); }
+
+    /** Replace the argv-derived config hash with a real Spec hash
+     *  (the campaign service memo key for this config). */
+    void setConfigHash(std::uint64_t h) { configHash_ = h; }
+
+    std::uint64_t configHash() const { return configHash_; }
+    std::uint64_t seed() const { return seed_; }
 
     /** Snapshot @p group's whole stats tree now, under @p label. */
     void
@@ -216,7 +250,13 @@ class Telemetry
                          statsPath_.c_str());
             return;
         }
-        os << "{\"captures\": [";
+        char hash[32];
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      (unsigned long long)configHash_);
+        os << "{\"meta\": {\"binary\": ";
+        stats::jsonEscape(binary_, os);
+        os << ", \"configHash\": \"" << hash << "\", \"seed\": "
+           << seed_ << "}, \"captures\": [";
         const char *sep = "";
         for (const auto &c : captures_) {
             os << sep << "{\"label\": ";
@@ -252,6 +292,9 @@ class Telemetry
 
     std::string statsPath_;
     std::string tracePath_;
+    std::string binary_;
+    std::uint64_t seed_ = 1;
+    std::uint64_t configHash_ = 0;
     std::uint64_t sample_ = 1;
     std::uint64_t intervalNs_ = 0;
     std::vector<std::pair<std::string, std::string>> captures_;

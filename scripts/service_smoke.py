@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Campaign-service smoke: overload, faults, SIGTERM, restart.
+
+End-to-end drill for the campaignd daemon (DESIGN.md section 10),
+suitable for CI:
+
+1. Start campaignd with a small queue, a fault plan (dropped and
+   truncated responses, injected worker crashes) and a memo index.
+2. Drive a burst of mixed-priority ras_soak requests containing both
+   verbatim duplicates (same id: must coalesce/replay) and repeated
+   (config, seed) keys under fresh ids (must memoize). Assert every
+   request is answered ok, answers for the same key are
+   byte-identical, executions never exceed the distinct key count,
+   and the queue never grew past its cap.
+3. Start a second burst and SIGTERM the daemon mid-burst. The drain
+   must be clean (exit 0): in-flight and queued work answered, new
+   work shed with explicit retry-after, memo index persisted. Every
+   client line must be an explicit verdict - never an error.
+4. Restart the daemon on the same memo file and resubmit the first
+   burst under fresh ids: every answer must come from the memo
+   (zero new executions) with payloads byte-identical to phase 2.
+
+Usage:
+    service_smoke.py BENCH_DIR [--workdir DIR]
+
+Exit status is non-zero on any violated contract.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def log(msg):
+    print(f"service_smoke: {msg}", flush=True)
+
+
+def fail(msg):
+    sys.exit(f"service_smoke: FAIL: {msg}")
+
+
+class Daemon:
+    def __init__(self, bench_dir, socket, memo, extra=()):
+        self.path = os.path.join(bench_dir, "campaignd")
+        self.args = [
+            self.path,
+            f"--socket={socket}",
+            "--workers=2",
+            "--queue-cap=8",
+            "--retry-after-ms=20",
+            f"--memo={memo}",
+            *extra,
+        ]
+        self.proc = None
+
+    def start(self):
+        print("+", " ".join(self.args), flush=True)
+        self.proc = subprocess.Popen(
+            self.args, stdout=subprocess.PIPE, text=True)
+
+    def sigterm_and_wait(self):
+        self.proc.send_signal(signal.SIGTERM)
+        out, _ = self.proc.communicate(timeout=120)
+        print(out, flush=True)
+        return self.proc.returncode, out
+
+
+def run_client(bench_dir, socket, extra):
+    cmd = [
+        os.path.join(bench_dir, "campaign_client"),
+        f"--socket={socket}",
+        "--wait-ready-ms=10000",
+        "--max-attempts=64",
+        # A dropped/truncated response otherwise costs the full 5 s
+        # default receive window per retry; the burst would blow the
+        # 30 s call budget instead of exercising the retry path.
+        "--response-timeout-ms=500",
+        *extra,
+    ]
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, text=True)
+    lines = [json.loads(l) for l in proc.stdout.splitlines() if l]
+    return proc.returncode, lines
+
+
+def get_stats(bench_dir, socket):
+    rc, lines = run_client(bench_dir, socket, ["--stats=1"])
+    if rc != 0 or len(lines) != 1:
+        fail("stats round-trip failed")
+    return lines[0]
+
+
+def check_byte_identity(lines, payloads_by_key):
+    """Fold result lines into payloads_by_key, insisting that every
+    (configHash, seed) key maps to exactly one payload byte string."""
+    for line in lines:
+        resp = line.get("response")
+        if not resp or resp.get("type") != "result":
+            continue
+        if resp.get("status") != "ok":
+            fail(f"request {line['id']} not ok: {resp}")
+        key = (resp["configHash"], resp["seed"])
+        payload = json.dumps(resp["payload"], sort_keys=False,
+                             separators=(",", ":"))
+        if payloads_by_key.setdefault(key, payload) != payload:
+            fail(f"payload divergence for key {key}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_dir")
+    ap.add_argument("--workdir", default=None)
+    args = ap.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="svc-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    socket = os.path.join(workdir, "campaignd.sock")
+    memo = os.path.join(workdir, "campaignd.memo")
+
+    faults = ["--fault-drop-every=5", "--fault-truncate-every=7",
+              "--fault-crash-every=6"]
+    burst1 = ["--kind=ras_soak", "--config={\"ops\":48}",
+              "--count=24", "--distinct=6", "--dup-every=4",
+              "--threads=6", "--priority-mod=3",
+              "--id-prefix=burst1"]
+
+    # --- Phase 1+2: faulty daemon, duplicate-heavy burst. ---------
+    daemon = Daemon(args.bench_dir, socket, memo, faults)
+    daemon.start()
+    rc, lines = run_client(args.bench_dir, socket, burst1)
+    if rc != 0:
+        fail(f"burst 1 client exited {rc}")
+    if len(lines) != 24:
+        fail(f"burst 1 answered {len(lines)}/24 requests")
+    payloads = {}
+    check_byte_identity(lines, payloads)
+    if len(payloads) != 6:
+        fail(f"burst 1 saw {len(payloads)} keys, expected 6")
+
+    stats = get_stats(args.bench_dir, socket)
+    if stats["executions"] > 6:
+        fail(f"{stats['executions']} executions for 6 keys: "
+             "a duplicate or retry re-executed")
+    if stats["memoHits"] < 1:
+        fail("no memo hits despite repeated (config, seed) keys")
+    if stats["duplicates"] < 1:
+        fail("no coalesced/replayed duplicates despite same-id "
+             "resubmissions")
+    if stats["queuePeak"] > 8:
+        fail(f"queue peak {stats['queuePeak']} exceeded cap 8")
+    if stats["faultsInjected"] < 1:
+        fail("fault plan never fired; the drill tested nothing")
+    log(f"burst 1 ok: {stats['executions']} executions, "
+        f"{stats['memoHits']} memo hits, "
+        f"{stats['duplicates']} duplicates, "
+        f"{stats['faultsInjected']} faults injected")
+
+    # --- Phase 3: SIGTERM mid-burst, demand a clean drain. --------
+    burst2 = subprocess.Popen(
+        [os.path.join(args.bench_dir, "campaign_client"),
+         f"--socket={socket}", "--kind=spin",
+         "--config={\"spinMs\":80}", "--count=16", "--threads=4",
+         "--seed-base=100", "--max-attempts=4",
+         "--response-timeout-ms=2000",
+         "--id-prefix=burst2"],
+        stdout=subprocess.PIPE, text=True)
+    time.sleep(0.4)  # let part of the burst land, then pull the plug
+    code, out = daemon.sigterm_and_wait()
+    if code != 0:
+        fail(f"daemon exited {code}; drain was not clean")
+    if "drained clean" not in out:
+        fail("daemon did not report a clean drain")
+    if not os.path.exists(memo):
+        fail("drain did not persist the memo index")
+
+    burst2_out, _ = burst2.communicate(timeout=120)
+    answered = shed = 0
+    for raw in burst2_out.splitlines():
+        line = json.loads(raw)
+        verdict = line["clientOutcome"]
+        if verdict == "ok":
+            answered += 1
+        elif verdict in ("shedGiveUp", "unreachable", "timedOut"):
+            shed += 1  # explicit refusal; resubmittable
+        else:
+            fail(f"burst 2 request {line['id']} got '{verdict}'")
+    log(f"burst 2 through the drain: {answered} answered, "
+        f"{shed} explicitly refused, 0 silent")
+
+    # --- Phase 4: restart on the same memo; replay must be free. --
+    daemon = Daemon(args.bench_dir, socket, memo)
+    daemon.start()
+    rc, lines = run_client(
+        args.bench_dir, socket,
+        ["--kind=ras_soak", "--config={\"ops\":48}", "--count=6",
+         "--distinct=6", "--threads=3", "--id-prefix=burst3"])
+    if rc != 0:
+        fail(f"burst 3 client exited {rc}")
+    for line in lines:
+        resp = line["response"]
+        if resp.get("outcome") != "memo":
+            fail(f"restarted daemon recomputed {line['id']} "
+                 f"(outcome {resp.get('outcome')})")
+    check_byte_identity(lines, payloads)  # must match phase 2 bytes
+    stats = get_stats(args.bench_dir, socket)
+    if stats["executions"] != 0:
+        fail("restarted daemon executed work it had memoized")
+    code, _ = daemon.sigterm_and_wait()
+    if code != 0:
+        fail(f"restarted daemon exited {code}")
+    log("restart served every key from the persisted memo, "
+        "byte-identical")
+    log("PASS")
+
+
+if __name__ == "__main__":
+    main()

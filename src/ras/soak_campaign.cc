@@ -52,6 +52,28 @@ stepUntil(EventQueue &eq, const std::function<bool()> &done,
 
 } // namespace
 
+void
+SoakCampaign::Spec::serialize(ckpt::Section &out) const
+{
+    out.putU32(bitFlips);
+    out.putU32(frameCorruptions);
+    out.putU32(frameDrops);
+    out.putU32(burstErrors);
+    out.putU32(engineStalls);
+    out.putU32(ops);
+    out.putU64(faultBase);
+    out.putU64(faultSize);
+    out.putU64(duration);
+}
+
+std::uint64_t
+SoakCampaign::Spec::hash() const
+{
+    ckpt::Section s("spec");
+    serialize(s);
+    return ckpt::fnv1a(s.bytes().data(), s.bytes().size());
+}
+
 std::uint64_t
 SoakCampaign::Result::fingerprint() const
 {

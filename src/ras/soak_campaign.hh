@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <tuple>
 
+#include "sim/checkpoint.hh"
 #include "sim/types.hh"
 
 namespace contutto::ras
@@ -45,6 +46,15 @@ class SoakCampaign
         std::uint64_t faultSize = 64 * KiB;
         /** Fault-injection window. */
         Tick duration = microseconds(100);
+
+        /** Stable serialization of every field *except* seed, in
+         *  declaration order — the campaign service memoizes on
+         *  (hash(), seed), so the seed must not fold into the
+         *  config hash. */
+        void serialize(ckpt::Section &out) const;
+        /** FNV-1a over serialize(): the memo/config key. Same spec,
+         *  same hash, across runs and processes. */
+        std::uint64_t hash() const;
     };
 
     /** Counters plus the health verdicts the test asserts on; ==

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Minimal JSON document type for the campaign service wire protocol.
+ *
+ * The service speaks newline-delimited JSON over a Unix socket, so
+ * it needs both directions: a strict parser for incoming requests
+ * (malformed input from a confused client must become a clean
+ * protocol error, never UB) and a deterministic writer for outgoing
+ * responses. Determinism matters more than convenience here — the
+ * memo-cache contract is that a replayed result is *byte-identical*
+ * to the computed one, so dump() must be a pure function of the
+ * value: object members keep insertion order, and integral numbers
+ * round-trip through their exact decimal token (a u64 seed must not
+ * detour through a double and come back rounded).
+ *
+ * This is intentionally not a general-purpose JSON library: no
+ * \uXXXX escapes beyond the control range, no comments, documents
+ * capped at a depth sane for a line protocol.
+ */
+
+#ifndef CONTUTTO_SERVICE_JSON_HH
+#define CONTUTTO_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace contutto::service
+{
+
+/** Raised on malformed protocol input (parse or type mismatch). */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One JSON value; a document is a tree of these. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        null,
+        boolean,
+        number,
+        string,
+        object,
+        array,
+    };
+
+    Json() = default;
+
+    /** @{ Leaf constructors. */
+    static Json makeNull() { return Json(); }
+    static Json
+    boolean(bool b)
+    {
+        Json j;
+        j.kind_ = Kind::boolean;
+        j.bool_ = b;
+        return j;
+    }
+    static Json
+    number(std::uint64_t v)
+    {
+        Json j;
+        j.kind_ = Kind::number;
+        j.num_ = std::to_string(v);
+        return j;
+    }
+    static Json
+    number(std::int64_t v)
+    {
+        Json j;
+        j.kind_ = Kind::number;
+        j.num_ = std::to_string(v);
+        return j;
+    }
+    static Json number(double v);
+    static Json
+    string(std::string s)
+    {
+        Json j;
+        j.kind_ = Kind::string;
+        j.str_ = std::move(s);
+        return j;
+    }
+    static Json
+    object()
+    {
+        Json j;
+        j.kind_ = Kind::object;
+        return j;
+    }
+    static Json
+    array()
+    {
+        Json j;
+        j.kind_ = Kind::array;
+        return j;
+    }
+    /** @} */
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::null; }
+    bool isObject() const { return kind_ == Kind::object; }
+    bool isArray() const { return kind_ == Kind::array; }
+    bool isString() const { return kind_ == Kind::string; }
+    bool isNumber() const { return kind_ == Kind::number; }
+    bool isBool() const { return kind_ == Kind::boolean; }
+
+    /** @{ Typed reads; a kind mismatch is a ProtocolError. */
+    bool asBool() const;
+    std::uint64_t asU64() const;
+    std::int64_t asI64() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** @{ Object access. Members keep insertion order. */
+    Json &set(const std::string &key, Json value);
+    /** nullptr when the key is absent. */
+    const Json *find(const std::string &key) const;
+    /** ProtocolError when the key is absent. */
+    const Json &at(const std::string &key) const;
+    const std::vector<std::pair<std::string, Json>> &
+    members() const
+    {
+        requireKind(Kind::object);
+        return obj_;
+    }
+    /** @} */
+
+    /** @{ Array access. */
+    Json &append(Json value);
+    const std::vector<Json> &
+    items() const
+    {
+        requireKind(Kind::array);
+        return arr_;
+    }
+    /** @} */
+
+    /** @{ Convenience: optional scalar member with default. */
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    /** @} */
+
+    /** Deterministic single-line serialization (no whitespace). */
+    std::string dump() const;
+
+    /** Strict whole-string parse; throws ProtocolError. */
+    static Json parse(const std::string &text);
+
+    /** Wrap an already-validated numeric token (parser internal). */
+    static Json parseNumberToken(std::string token);
+
+  private:
+    void requireKind(Kind k) const;
+    void dumpTo(std::string &out) const;
+
+    Kind kind_ = Kind::null;
+    bool bool_ = false;
+    /** The exact decimal token, preserved verbatim. */
+    std::string num_;
+    std::string str_;
+    std::vector<std::pair<std::string, Json>> obj_;
+    std::vector<Json> arr_;
+};
+
+} // namespace contutto::service
+
+#endif // CONTUTTO_SERVICE_JSON_HH

@@ -1,0 +1,126 @@
+#include "service/memo_cache.hh"
+
+#include "sim/checkpoint.hh"
+
+namespace contutto::service
+{
+
+namespace
+{
+constexpr const char *kSection = "campaign-memo";
+} // namespace
+
+std::string
+MemoCache::lookup(std::uint64_t configHash, std::uint64_t seed)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto it = index_.find({configHash, seed});
+    if (it == index_.end()) {
+        ++misses_;
+        return {};
+    }
+    ++hits_;
+    // Refresh recency: splice to the hot end.
+    lru_.splice(lru_.end(), lru_, it->second);
+    it->second = std::prev(lru_.end());
+    return it->second->second;
+}
+
+void
+MemoCache::insert(std::uint64_t configHash, std::uint64_t seed,
+                  const std::string &payload)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lk(mtx_);
+    Key key{configHash, seed};
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = payload;
+        lru_.splice(lru_.end(), lru_, it->second);
+        it->second = std::prev(lru_.end());
+        return;
+    }
+    lru_.emplace_back(key, payload);
+    index_[key] = std::prev(lru_.end());
+    while (index_.size() > capacity_) {
+        index_.erase(lru_.front().first);
+        lru_.pop_front();
+        ++evictions_;
+    }
+}
+
+std::uint64_t
+MemoCache::hits() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return hits_;
+}
+
+std::uint64_t
+MemoCache::misses() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return misses_;
+}
+
+std::uint64_t
+MemoCache::evictions() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return evictions_;
+}
+
+std::size_t
+MemoCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return index_.size();
+}
+
+void
+MemoCache::save(const std::string &path) const
+{
+    ckpt::Checkpoint cp;
+    ckpt::Section &s = cp.add(kSection);
+    std::lock_guard<std::mutex> lk(mtx_);
+    s.putU32(std::uint32_t(lru_.size()));
+    for (const auto &entry : lru_) {
+        s.putU64(entry.first.first);
+        s.putU64(entry.first.second);
+        s.putStr(entry.second);
+    }
+    cp.writeFile(path);
+}
+
+void
+MemoCache::load(const std::string &path)
+{
+    ckpt::Checkpoint cp = ckpt::Checkpoint::readFile(path);
+    ckpt::Section &s = cp.section(kSection);
+    std::uint32_t n = s.getU32();
+    std::lock_guard<std::mutex> lk(mtx_);
+    lru_.clear();
+    index_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint64_t hash = s.getU64();
+        std::uint64_t seed = s.getU64();
+        std::string payload = s.getStr();
+        if (capacity_ == 0)
+            continue;
+        Key key{hash, seed};
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(payload);
+            continue;
+        }
+        lru_.emplace_back(key, std::move(payload));
+        index_[key] = std::prev(lru_.end());
+        while (index_.size() > capacity_) {
+            index_.erase(lru_.front().first);
+            lru_.pop_front();
+        }
+    }
+}
+
+} // namespace contutto::service

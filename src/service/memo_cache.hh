@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Size-bounded LRU memoization of campaign results.
+ *
+ * The whole simulation stack is deterministic: the same (config
+ * hash, seed) always produces the same Result, so a replayed
+ * request is a pure cache hit — the service can answer thousands
+ * of duplicate sweep points without touching the engine. The cache
+ * is bounded (an overload-hardened service must not grow without
+ * limit just because clients are creative), LRU-evicted, and
+ * persistable: on graceful drain the server saves the memo index
+ * through the atomic checkpoint writer, and a restarted server
+ * warms itself from that file — so a drain/restart cycle stays
+ * byte-identical for every key it had already computed.
+ */
+
+#ifndef CONTUTTO_SERVICE_MEMO_CACHE_HH
+#define CONTUTTO_SERVICE_MEMO_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace contutto::service
+{
+
+/** LRU map of (config hash, seed) -> result payload text. */
+class MemoCache
+{
+  public:
+    using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+    explicit MemoCache(std::size_t capacity)
+        : capacity_(capacity)
+    {
+    }
+
+    /** @return the payload for @p key, refreshing its recency;
+     *  empty string on miss (payloads are never empty). */
+    std::string lookup(std::uint64_t configHash,
+                       std::uint64_t seed);
+
+    /** Insert/refresh @p payload; evicts the coldest entry when
+     *  over capacity. A capacity of 0 disables the cache. */
+    void insert(std::uint64_t configHash, std::uint64_t seed,
+                const std::string &payload);
+
+    /** @{ Counters (monotonic since construction/load). */
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t evictions() const;
+    std::size_t size() const;
+    /** @} */
+
+    /** Persist every entry, hottest last, via the atomic
+     *  checkpoint writer (tmp + fsync + rename). */
+    void save(const std::string &path) const;
+
+    /** Load a previously saved index; entries beyond capacity are
+     *  dropped coldest-first. Throws ckpt::Error on corruption. */
+    void load(const std::string &path);
+
+  private:
+    mutable std::mutex mtx_;
+    std::size_t capacity_;
+    /** Front = coldest, back = hottest. */
+    std::list<std::pair<Key, std::string>> lru_;
+    std::map<Key, std::list<std::pair<Key, std::string>>::iterator>
+        index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace contutto::service
+
+#endif // CONTUTTO_SERVICE_MEMO_CACHE_HH

@@ -1,0 +1,307 @@
+#include "service/protocol.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <initializer_list>
+#include <set>
+#include <thread>
+
+#include "sim/checkpoint.hh"
+
+namespace contutto::service
+{
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)h);
+    return buf;
+}
+
+Request
+Request::fromJson(const Json &j)
+{
+    Request r;
+    r.id = j.at("id").asString();
+    if (r.id.empty())
+        throw ProtocolError("submit: empty id");
+    if (r.id.size() > 256)
+        throw ProtocolError("submit: id too long");
+    r.kind = j.at("kind").asString();
+    r.seed = j.getU64("seed", 1);
+    if (const Json *p = j.find("priority"))
+        r.priority = p->asI64();
+    r.deadlineMs = j.getU64("deadlineMs", 0);
+    if (const Json *c = j.find("config")) {
+        if (!c->isObject())
+            throw ProtocolError("submit: config must be an object");
+        r.config = *c;
+    }
+    return r;
+}
+
+Json
+Request::toJson() const
+{
+    Json j = Json::object();
+    j.set("type", Json::string("submit"));
+    j.set("id", Json::string(id));
+    j.set("kind", Json::string(kind));
+    j.set("seed", Json::number(seed));
+    j.set("priority", Json::number(priority));
+    j.set("deadlineMs", Json::number(deadlineMs));
+    j.set("config", config);
+    return j;
+}
+
+namespace
+{
+
+/**
+ * Walk @p config applying each member to a knob, collecting typos.
+ * Campaign configs are small; a linear table keeps each kind's
+ * knob list next to its Spec without macro machinery.
+ */
+class KnobReader
+{
+  public:
+    explicit KnobReader(const Json &config) : config_(config) {}
+
+    void
+    u32(const char *name, unsigned &out)
+    {
+        if (const Json *v = config_.find(name)) {
+            std::uint64_t raw = v->asU64();
+            if (raw > 0xffffffffull)
+                throw ProtocolError(std::string("config: ") + name
+                                    + " out of range");
+            out = unsigned(raw);
+            ++consumed_;
+        }
+    }
+
+    void
+    u64(const char *name, std::uint64_t &out)
+    {
+        if (const Json *v = config_.find(name)) {
+            out = v->asU64();
+            ++consumed_;
+        }
+    }
+
+    /** Every member must have matched a knob. */
+    void
+    finish() const
+    {
+        if (consumed_ == config_.members().size())
+            return;
+        // Name the first offender for the error message.
+        for (const auto &kv : config_.members()) {
+            if (!known_.count(kv.first))
+                throw ProtocolError("config: unknown knob '"
+                                    + kv.first + "'");
+        }
+        throw ProtocolError("config: unknown knob");
+    }
+
+    /** Record a knob name as known (even if absent). */
+    void
+    known(std::initializer_list<const char *> names)
+    {
+        for (const char *n : names)
+            known_.insert(n);
+    }
+
+  private:
+    const Json &config_;
+    std::size_t consumed_ = 0;
+    std::set<std::string> known_;
+};
+
+} // namespace
+
+CampaignJob::CampaignJob(const std::string &kind,
+                         std::uint64_t seed, const Json &config)
+    : kind_(kind), seed_(seed)
+{
+    KnobReader k(config);
+    if (kind == "ras_soak") {
+        k.known({"bitFlips", "frameCorruptions", "frameDrops",
+                 "burstErrors", "engineStalls", "ops", "faultBase",
+                 "faultSize", "durationUs"});
+        k.u32("bitFlips", soak_.bitFlips);
+        k.u32("frameCorruptions", soak_.frameCorruptions);
+        k.u32("frameDrops", soak_.frameDrops);
+        k.u32("burstErrors", soak_.burstErrors);
+        k.u32("engineStalls", soak_.engineStalls);
+        k.u32("ops", soak_.ops);
+        k.u64("faultBase", soak_.faultBase);
+        k.u64("faultSize", soak_.faultSize);
+        std::uint64_t durationUs = soak_.duration / microseconds(1);
+        k.u64("durationUs", durationUs);
+        soak_.duration = microseconds(durationUs);
+        k.finish();
+        if (soak_.ops == 0)
+            throw ProtocolError("config: ops must be >= 1");
+        soak_.seed = seed;
+        configHash_ = soak_.hash();
+    } else if (kind == "crash") {
+        k.known({"powerCuts", "regionBlocks", "queueDepth",
+                 "longOutageEvery", "brownouts", "dimmCapacityMiB"});
+        k.u32("powerCuts", crash_.powerCuts);
+        k.u32("regionBlocks", crash_.regionBlocks);
+        k.u32("queueDepth", crash_.queueDepth);
+        k.u32("longOutageEvery", crash_.longOutageEvery);
+        k.u32("brownouts", crash_.brownouts);
+        std::uint64_t capMiB = crash_.dimmCapacity / MiB;
+        k.u64("dimmCapacityMiB", capMiB);
+        crash_.dimmCapacity = capMiB * MiB;
+        k.finish();
+        if (crash_.powerCuts == 0 || crash_.regionBlocks == 0
+            || crash_.queueDepth == 0)
+            throw ProtocolError(
+                "config: powerCuts/regionBlocks/queueDepth must "
+                "be >= 1");
+        if (std::uint64_t(crash_.regionBlocks) * 4096
+            > crash_.dimmCapacity)
+            throw ProtocolError(
+                "config: region larger than the DIMM");
+        crash_.seed = seed;
+        configHash_ = crash_.hash();
+    } else if (kind == "spin") {
+        k.known({"spinMs"});
+        k.u64("spinMs", spinMs_);
+        k.finish();
+        if (spinMs_ > 60'000)
+            throw ProtocolError("config: spinMs above 60s cap");
+        ckpt::Section s("spin");
+        s.putU64(spinMs_);
+        configHash_ = ckpt::fnv1a(s.bytes().data(),
+                                  s.bytes().size(),
+                                  // Domain-separate from the
+                                  // campaign spec hashes.
+                                  0x5350494eull);
+    } else {
+        throw ProtocolError("submit: unknown kind '" + kind + "'");
+    }
+}
+
+namespace
+{
+
+void
+putCounter(Json &payload, const char *name, std::uint64_t v)
+{
+    payload.set(name, Json::number(v));
+}
+
+} // namespace
+
+std::string
+CampaignJob::run(const std::atomic<bool> &cancel) const
+{
+    Json payload = Json::object();
+    payload.set("kind", Json::string(kind_));
+    payload.set("seed", Json::number(seed_));
+    payload.set("configHash", Json::string(hashHex(configHash_)));
+
+    if (kind_ == "spin") {
+        const auto until =
+            std::chrono::steady_clock::now()
+            + std::chrono::milliseconds(spinMs_);
+        while (std::chrono::steady_clock::now() < until) {
+            if (cancel.load(std::memory_order_relaxed))
+                throw Cancelled{};
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        // Deterministic by construction: wall time spent spinning
+        // never leaks into the payload.
+        putCounter(payload, "spinMs", spinMs_);
+        payload.set("completed", Json::boolean(true));
+        return payload.dump();
+    }
+
+    if (kind_ == "ras_soak") {
+        ras::SoakCampaign::Result r =
+            ras::SoakCampaign::run(soak_, &cancel);
+        if (r.cancelled)
+            throw Cancelled{};
+        payload.set("healthy", Json::boolean(r.healthy()));
+        payload.set("fingerprint",
+                    Json::string(hashHex(r.fingerprint())));
+        putCounter(payload, "planned", r.planned);
+        putCounter(payload, "applied", r.applied);
+        putCounter(payload, "corrected", r.corrected);
+        putCounter(payload, "uncorrectable", r.uncorrectable);
+        putCounter(payload, "mismatches", r.mismatches);
+        putCounter(payload, "failedOps", r.failedOps);
+        putCounter(payload, "cmdRetries", r.cmdRetries);
+        putCounter(payload, "linkReplays", r.linkReplays);
+        putCounter(payload, "scrubPasses", r.scrubPasses);
+        putCounter(payload, "escalationLevel", r.escalationLevel);
+        return payload.dump();
+    }
+
+    // kind_ == "crash" (the constructor admitted nothing else).
+    storage::CrashRecoveryCampaign campaign(crash_);
+    storage::CrashRecoveryCampaign::RunOptions opts;
+    opts.cancel = &cancel;
+    storage::CrashRecoveryCampaign::Result r = campaign.run(opts);
+    if (campaign.cancelled())
+        throw Cancelled{};
+    putCounter(payload, "cuts", r.cuts);
+    putCounter(payload, "recoveries", r.recoveries);
+    putCounter(payload, "failedRecoveries", r.failedRecoveries);
+    putCounter(payload, "writesSubmitted", r.writesSubmitted);
+    putCounter(payload, "writesCompleted", r.writesCompleted);
+    putCounter(payload, "blocksFenced", r.blocksFenced);
+    putCounter(payload, "intact", r.intact);
+    putCounter(payload, "torn", r.torn);
+    putCounter(payload, "detectedLosses", r.detectedLosses);
+    putCounter(payload, "durabilityViolations",
+               r.durabilityViolations);
+    return payload.dump();
+}
+
+Json
+makeResult(const std::string &id, const std::string &status,
+           const std::string &outcome, std::uint64_t configHash,
+           std::uint64_t seed, const std::string &payloadText)
+{
+    Json j = Json::object();
+    j.set("type", Json::string("result"));
+    j.set("id", Json::string(id));
+    j.set("status", Json::string(status));
+    j.set("outcome", Json::string(outcome));
+    j.set("configHash", Json::string(hashHex(configHash)));
+    j.set("seed", Json::number(seed));
+    if (!payloadText.empty())
+        j.set("payload", Json::parse(payloadText));
+    return j;
+}
+
+Json
+makeShed(const std::string &id, std::uint64_t retryAfterMs,
+         const std::string &reason)
+{
+    Json j = Json::object();
+    j.set("type", Json::string("shed"));
+    j.set("id", Json::string(id));
+    j.set("retryAfterMs", Json::number(retryAfterMs));
+    j.set("reason", Json::string(reason));
+    return j;
+}
+
+Json
+makeError(const std::string &message)
+{
+    Json j = Json::object();
+    j.set("type", Json::string("error"));
+    j.set("message", Json::string(message));
+    return j;
+}
+
+} // namespace contutto::service

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Campaign service wire protocol: newline-delimited JSON.
+ *
+ * One request per line, one response per line. A submit names a
+ * campaign *kind*, a seed, and a config object of per-kind knob
+ * overrides; the server answers with a result whose `payload`
+ * member is a deterministic rendering of the campaign's Result.
+ * Determinism is the protocol's load-bearing wall: the same
+ * (config hash, seed) always yields byte-identical payload text,
+ * whether freshly computed, replayed from the memo cache, or
+ * recomputed by a restarted server after a drain.
+ *
+ * Request lines:
+ *   {"type":"submit","id":"...","kind":"ras_soak|crash|spin",
+ *    "seed":N,"priority":N,"deadlineMs":N,"config":{...}}
+ *   {"type":"stats"}           server counters (admission, memo, ...)
+ *   {"type":"ping"}            liveness probe
+ *
+ * Response lines:
+ *   {"type":"result","id":"...","status":"ok|error|timeout|
+ *    cancelled","outcome":"...","configHash":"hex","seed":N,
+ *    "payload":{...}}          terminal answer for a submit
+ *   {"type":"shed","id":"...","retryAfterMs":N,"reason":"..."}
+ *                              admission refused; try again later
+ *   {"type":"error","message":"..."}   malformed request
+ *   {"type":"stats",...} / {"type":"pong"}
+ *
+ * The campaign kinds:
+ *   ras_soak  ras::SoakCampaign       (multi-fault soak, §4 RAS)
+ *   crash     storage::CrashRecoveryCampaign (power-cut campaign)
+ *   spin      a cancellable wall-clock spin — the calibration /
+ *             chaos workload: it holds a worker for `spinMs` real
+ *             milliseconds, which makes backpressure and deadline
+ *             behaviour testable without guessing how fast the
+ *             simulator runs on this machine.
+ */
+
+#ifndef CONTUTTO_SERVICE_PROTOCOL_HH
+#define CONTUTTO_SERVICE_PROTOCOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "ras/soak_campaign.hh"
+#include "service/json.hh"
+#include "storage/crash_campaign.hh"
+
+namespace contutto::service
+{
+
+/** A parsed submit request. */
+struct Request
+{
+    std::string id;
+    std::string kind;
+    std::uint64_t seed = 1;
+    /** Larger runs first; ties in arrival order. */
+    std::int64_t priority = 0;
+    /** Wall budget from admission to answer (0: unlimited). */
+    std::uint64_t deadlineMs = 0;
+    Json config = Json::object();
+
+    /** Parse a submit line (already known to be type=submit). */
+    static Request fromJson(const Json &j);
+    Json toJson() const;
+};
+
+/**
+ * A validated, runnable campaign configuration: the union of the
+ * supported kinds, with the seed threaded in and the stable config
+ * hash (seed excluded) precomputed. Construction validates the
+ * kind and knob names, so a typo'd config fails at admission, not
+ * after a queue wait.
+ */
+class CampaignJob
+{
+  public:
+    /** Throws ProtocolError on unknown kind or malformed config. */
+    CampaignJob(const std::string &kind, std::uint64_t seed,
+                const Json &config);
+
+    const std::string &kind() const { return kind_; }
+    std::uint64_t seed() const { return seed_; }
+    /** FNV-1a of (kind, knobs); seed deliberately excluded. */
+    std::uint64_t configHash() const { return configHash_; }
+
+    /**
+     * Run the campaign to its deterministic payload. @p cancel is
+     * the supervisor's cooperative token; a cancelled run throws
+     * Cancelled (the supervisor then reports timedOut/cancelled).
+     */
+    std::string run(const std::atomic<bool> &cancel) const;
+
+    /** Thrown by run() when the cancel token stopped the work. */
+    struct Cancelled
+    {
+    };
+
+  private:
+    std::string kind_;
+    std::uint64_t seed_ = 1;
+    std::uint64_t configHash_ = 0;
+    ras::SoakCampaign::Spec soak_;
+    storage::CrashRecoveryCampaign::Spec crash_;
+    std::uint64_t spinMs_ = 0;
+};
+
+/** @{ Response constructors (each dumps to one line, no '\n'). */
+Json makeResult(const std::string &id, const std::string &status,
+                const std::string &outcome,
+                std::uint64_t configHash, std::uint64_t seed,
+                const std::string &payloadText);
+Json makeShed(const std::string &id, std::uint64_t retryAfterMs,
+              const std::string &reason);
+Json makeError(const std::string &message);
+/** @} */
+
+/** 16-digit lower-case hex, the canonical hash spelling. */
+std::string hashHex(std::uint64_t h);
+
+} // namespace contutto::service
+
+#endif // CONTUTTO_SERVICE_PROTOCOL_HH

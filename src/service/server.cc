@@ -1,0 +1,699 @@
+#include "service/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/supervisor.hh"
+
+namespace contutto::service
+{
+
+/**
+ * One admitted request. Guarded by the server mutex except where
+ * noted; waiters (connection threads holding a duplicate of the
+ * id) sleep on jobDone_ until state == done.
+ */
+struct CampaignServer::Job
+{
+    Request req;
+    /** Parsed+validated at admission; immutable afterwards. */
+    std::shared_ptr<const CampaignJob> campaign;
+    enum class State
+    {
+        queued,
+        running,
+        done,
+    } state = State::queued;
+    std::uint64_t seq = 0;
+    std::chrono::steady_clock::time_point admitted;
+    /** @{ Verdict (valid once state == done). */
+    std::string status;  ///< ok | error | timeout | cancelled
+    std::string outcome; ///< supervisor taxonomy, or "memo"
+    std::string payload; ///< deterministic result text (ok only)
+    std::string error;
+    /** @} */
+};
+
+namespace
+{
+
+/** Write all of @p data; false on any error (peer gone). */
+bool
+writeAll(int fd, const char *data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        ssize_t n =
+            ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && (errno == EINTR || errno == EAGAIN))
+                continue;
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+constexpr std::size_t kMaxLine = 1 << 20;
+
+} // namespace
+
+CampaignServer::CampaignServer(const Params &params)
+    : params_(params), memo_(params.memoCapacity)
+{
+    if (params_.socketPath.empty())
+        throw std::runtime_error("campaign server: empty socket "
+                                 "path");
+    if (params_.workers == 0)
+        throw std::runtime_error("campaign server: need >= 1 "
+                                 "worker");
+    liveSupervisors_.assign(params_.workers, nullptr);
+}
+
+CampaignServer::~CampaignServer()
+{
+    if (started_ && !stopped_)
+        stop();
+}
+
+void
+CampaignServer::start()
+{
+    if (!params_.memoPath.empty()) {
+        // A missing index is a cold start, not an error; a corrupt
+        // one is surfaced (it means the drain persistence contract
+        // broke somewhere).
+        if (::access(params_.memoPath.c_str(), F_OK) == 0)
+            memo_.load(params_.memoPath);
+    }
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("campaign server: socket() "
+                                 "failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (params_.socketPath.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("campaign server: socket path "
+                                 "too long");
+    std::strncpy(addr.sun_path, params_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(params_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr))
+        != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("campaign server: cannot bind '"
+                                 + params_.socketPath + "'");
+    }
+    if (::listen(listenFd_, 128) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("campaign server: listen failed");
+    }
+
+    started_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    for (unsigned i = 0; i < params_.workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+CampaignServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int r = ::poll(&pfd, 1, 100);
+        if (r <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lk(connMtx_);
+        connections_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+CampaignServer::handleConnection(int fd)
+{
+    std::string buf;
+    for (;;) {
+        // Find a full line in what we have.
+        std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (!line.empty() && !handleLine(fd, line))
+                break;
+            continue;
+        }
+        if (buf.size() > kMaxLine) {
+            respond(fd, makeError("request line too long"), false);
+            break;
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        int r = ::poll(&pfd, 1, 100);
+        if (stopping_.load(std::memory_order_relaxed))
+            break;
+        if (r < 0 && errno != EINTR)
+            break;
+        if (r <= 0)
+            continue;
+        char chunk[4096];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            break; // EOF
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            break;
+        }
+        buf.append(chunk, std::size_t(n));
+    }
+    ::close(fd);
+}
+
+bool
+CampaignServer::handleLine(int fd, const std::string &line)
+{
+    Json doc;
+    try {
+        doc = Json::parse(line);
+        const std::string type = doc.at("type").asString();
+        if (type == "ping") {
+            Json pong = Json::object();
+            pong.set("type", Json::string("pong"));
+            return respond(fd, pong, false);
+        }
+        if (type == "stats")
+            return respond(fd, statsJson(), false);
+        if (type == "submit")
+            return handleSubmit(fd, doc);
+        throw ProtocolError("unknown request type '" + type + "'");
+    } catch (const ProtocolError &e) {
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            ++stats_.protocolErrors;
+        }
+        return respond(fd, makeError(e.what()), false);
+    }
+}
+
+Json
+CampaignServer::resultFor(const Job &job) const
+{
+    return makeResult(job.req.id,
+                      job.status,
+                      job.outcome,
+                      job.campaign->configHash(),
+                      job.req.seed,
+                      job.status == "ok" ? job.payload : "");
+}
+
+bool
+CampaignServer::handleSubmit(int fd, const Json &doc)
+{
+    Request req = Request::fromJson(doc);
+    // Parse/validate the config before taking the queue lock: a
+    // malformed request must never cost a queue slot.
+    auto campaign = std::make_shared<const CampaignJob>(
+        req.kind, req.seed, req.config);
+    if (req.deadlineMs == 0)
+        req.deadlineMs = params_.defaultDeadlineMs;
+
+    std::shared_ptr<Job> job;
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        ++stats_.submitted;
+
+        // Idempotency: one execution per id, ever.
+        auto inFlight = active_.find(req.id);
+        if (inFlight != active_.end()) {
+            ++stats_.duplicates;
+            job = inFlight->second;
+            jobDone_.wait(lk, [&] {
+                return job->state == Job::State::done
+                       || stopping_.load(
+                           std::memory_order_relaxed);
+            });
+            if (job->state != Job::State::done)
+                return false;
+            Json res = resultFor(*job);
+            lk.unlock();
+            return respond(fd, res, true);
+        }
+        auto replay = done_.find(req.id);
+        if (replay != done_.end()) {
+            ++stats_.duplicates;
+            // Refresh the replay window.
+            doneLru_.splice(doneLru_.end(), doneLru_,
+                            replay->second);
+            replay->second = std::prev(doneLru_.end());
+            Json res = resultFor(**replay->second);
+            lk.unlock();
+            return respond(fd, res, true);
+        }
+    }
+
+    // Memoized determinism: a known (config hash, seed) never
+    // touches the queue. Outside the server lock — the cache has
+    // its own — so hits cost nothing under load.
+    std::string hit =
+        memo_.lookup(campaign->configHash(), req.seed);
+    if (!hit.empty()) {
+        {
+            // Scoped: respond() may take mtx_ to count an
+            // injected fault, so it must run unlocked.
+            std::lock_guard<std::mutex> lk(mtx_);
+            ++stats_.memoHits;
+            ++stats_.completed;
+        }
+        return respond(fd,
+                       makeResult(req.id, "ok", "memo",
+                                  campaign->configHash(), req.seed,
+                                  hit),
+                       true);
+    }
+
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        ++stats_.memoMisses;
+
+        // Single-flight per key: a fresh id whose (config hash,
+        // seed) twin is already admitted waits for that twin
+        // instead of burning a second execution on work the memo
+        // will answer anyway. If the twin fails, this request
+        // falls through to earn its own queue slot.
+        const auto key =
+            std::make_pair(campaign->configHash(), req.seed);
+        for (;;) {
+            auto twin = keyActive_.find(key);
+            if (twin == keyActive_.end())
+                break;
+            std::shared_ptr<Job> lead = twin->second;
+            jobDone_.wait(lk, [&] {
+                return lead->state == Job::State::done
+                       || stopping_.load(
+                           std::memory_order_relaxed);
+            });
+            if (lead->state != Job::State::done)
+                return false;
+            if (lead->status == "ok") {
+                ++stats_.memoHits;
+                ++stats_.completed;
+                Json res = makeResult(req.id, "ok", "memo",
+                                      campaign->configHash(),
+                                      req.seed, lead->payload);
+                lk.unlock();
+                return respond(fd, res, true);
+            }
+        }
+
+        // Admission control: draining and overload both shed with
+        // an explicit hint instead of queueing without bound.
+        if (draining_) {
+            ++stats_.shed;
+            std::uint64_t after = params_.shedRetryAfterMs * 4;
+            lk.unlock();
+            return respond(
+                fd, makeShed(req.id, after, "draining"), false);
+        }
+        if (queue_.size() >= params_.queueCap) {
+            ++stats_.shed;
+            // Deeper backlog, longer hint: crude but monotonic.
+            std::uint64_t after =
+                params_.shedRetryAfterMs
+                + params_.shedRetryAfterMs * stats_.running;
+            lk.unlock();
+            return respond(
+                fd, makeShed(req.id, after, "queue full"), false);
+        }
+
+        job = std::make_shared<Job>();
+        job->req = req;
+        job->campaign = campaign;
+        job->seq = seq_++;
+        job->admitted = std::chrono::steady_clock::now();
+        active_[req.id] = job;
+        keyActive_[key] = job;
+        queue_.emplace(std::make_pair(-req.priority, job->seq),
+                       job);
+        ++stats_.accepted;
+        stats_.queueDepth = queue_.size();
+        stats_.queuePeak =
+            std::max(stats_.queuePeak, queue_.size());
+        workAvail_.notify_one();
+
+        jobDone_.wait(lk, [&] {
+            return job->state == Job::State::done
+                   || stopping_.load(std::memory_order_relaxed);
+        });
+        if (job->state != Job::State::done)
+            return false;
+        Json res = resultFor(*job);
+        lk.unlock();
+        return respond(fd, res, true);
+    }
+}
+
+void
+CampaignServer::workerLoop(unsigned index)
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(mtx_);
+            workAvail_.wait(lk, [&] {
+                return !queue_.empty()
+                       || stopping_.load(
+                           std::memory_order_relaxed);
+            });
+            if (queue_.empty()) {
+                // stopping_ and nothing left: drain complete.
+                return;
+            }
+            job = queue_.begin()->second;
+            queue_.erase(queue_.begin());
+            stats_.queueDepth = queue_.size();
+            job->state = Job::State::running;
+            ++stats_.running;
+        }
+
+        runJob(job, index);
+
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            job->state = Job::State::done;
+            --stats_.running;
+            ++stats_.completed;
+            if (job->status == "error")
+                ++stats_.failed;
+            else if (job->status == "timeout")
+                ++stats_.timedOut;
+            else if (job->status == "cancelled")
+                ++stats_.cancelled;
+            active_.erase(job->req.id);
+            auto ka = keyActive_.find(std::make_pair(
+                job->campaign->configHash(), job->req.seed));
+            if (ka != keyActive_.end() && ka->second == job)
+                keyActive_.erase(ka);
+            doneLru_.push_back(job);
+            done_[job->req.id] = std::prev(doneLru_.end());
+            while (done_.size() > params_.completedCap) {
+                done_.erase(doneLru_.front()->req.id);
+                doneLru_.pop_front();
+            }
+        }
+        jobDone_.notify_all();
+    }
+}
+
+void
+CampaignServer::runJob(const std::shared_ptr<Job> &job,
+                       unsigned worker)
+{
+    using sim::CampaignSupervisor;
+
+    // Budget left after the queue wait; an expired request is
+    // answered without burning a worker on doomed work.
+    std::chrono::milliseconds remaining{0};
+    if (job->req.deadlineMs != 0) {
+        auto waited = std::chrono::duration_cast<
+            std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - job->admitted);
+        if (waited
+            >= std::chrono::milliseconds(job->req.deadlineMs)) {
+            job->status = "timeout";
+            job->outcome = "expiredInQueue";
+            job->error = "deadline exceeded while queued";
+            return;
+        }
+        remaining =
+            std::chrono::milliseconds(job->req.deadlineMs)
+            - waited;
+    }
+
+    // A twin (config hash, seed) may have finished while this one
+    // waited; answering from the memo keeps one-execution-per-key.
+    std::string hit = memo_.lookup(job->campaign->configHash(),
+                                   job->req.seed);
+    if (!hit.empty()) {
+        std::lock_guard<std::mutex> lk(mtx_);
+        ++stats_.memoHits;
+        job->status = "ok";
+        job->outcome = "memo";
+        job->payload = hit;
+        return;
+    }
+
+    const bool injectCrash =
+        params_.faults.crashEveryN != 0
+        && executionTick_.fetch_add(1) % params_.faults.crashEveryN
+               == params_.faults.crashEveryN - 1;
+
+    CampaignSupervisor::Params sp;
+    sp.shards = 1;
+    sp.mode = sim::ShardedExecutor::Mode::serial;
+    sp.parallelAttempts = params_.attempts;
+    sp.serialAttempts = 0;
+    sp.watchdogInterval = params_.watchdogInterval;
+    sp.cancelGrace = params_.cancelGrace;
+    sp.backoffSeed = job->req.seed;
+    CampaignSupervisor sup(sp);
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        ++stats_.executions;
+        if (params_.faults.crashEveryN != 0 && injectCrash)
+            ++stats_.faultsInjected;
+        liveSupervisors_[worker] = &sup;
+        if (stopping_.load(std::memory_order_relaxed))
+            sup.cancelAll();
+    }
+
+    std::string payload;
+    bool crashArmed = injectCrash;
+    std::vector<CampaignSupervisor::TaskSpec> tasks(1);
+    tasks[0].deadline = remaining;
+    tasks[0].fn = [&](const std::atomic<bool> &cancel) {
+        if (crashArmed) {
+            // The chaos hook: die exactly once, before any work,
+            // so the supervisor's retry recomputes from scratch.
+            crashArmed = false;
+            throw std::runtime_error(
+                "chaos: injected worker crash");
+        }
+        payload = job->campaign->run(cancel);
+    };
+    auto farm = sup.run(tasks);
+
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        liveSupervisors_[worker] = nullptr;
+    }
+
+    const CampaignSupervisor::TaskReport &rep = farm.tasks[0];
+    job->outcome = CampaignSupervisor::outcomeName(rep.outcome);
+    switch (rep.outcome) {
+      case CampaignSupervisor::TaskOutcome::ok:
+      case CampaignSupervisor::TaskOutcome::okRetried:
+      case CampaignSupervisor::TaskOutcome::okDegraded:
+        job->status = "ok";
+        job->payload = payload;
+        memo_.insert(job->campaign->configHash(), job->req.seed,
+                     payload);
+        break;
+      case CampaignSupervisor::TaskOutcome::timedOut:
+        job->status = "timeout";
+        job->error = rep.error;
+        break;
+      case CampaignSupervisor::TaskOutcome::cancelled:
+        job->status = "cancelled";
+        job->error = "server shutting down";
+        break;
+      case CampaignSupervisor::TaskOutcome::quarantined:
+        job->status = "error";
+        job->error = rep.error;
+        break;
+    }
+}
+
+bool
+CampaignServer::respond(int fd, const Json &response,
+                        bool faultable)
+{
+    std::string line = response.dump();
+    line += '\n';
+
+    if (faultable) {
+        const FaultPlan &f = params_.faults;
+        std::uint64_t n = responseTick_.fetch_add(1) + 1;
+        auto fires = [n](unsigned every) {
+            return every != 0 && n % every == 0;
+        };
+        if (fires(f.dropEveryN)) {
+            std::lock_guard<std::mutex> lk(mtx_);
+            ++stats_.faultsInjected;
+            // Say nothing: the client's timeout + retry path (and
+            // the server's idempotency) must cover this.
+            return false;
+        }
+        if (fires(f.truncateEveryN)) {
+            {
+                std::lock_guard<std::mutex> lk(mtx_);
+                ++stats_.faultsInjected;
+            }
+            writeAll(fd, line.data(), line.size() / 2);
+            return false;
+        }
+        if (fires(f.delayEveryN)) {
+            {
+                std::lock_guard<std::mutex> lk(mtx_);
+                ++stats_.faultsInjected;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(f.delayMs));
+        }
+    }
+    return writeAll(fd, line.data(), line.size());
+}
+
+Json
+CampaignServer::statsJson()
+{
+    Stats s = stats();
+    Json j = Json::object();
+    j.set("type", Json::string("stats"));
+    j.set("submitted", Json::number(s.submitted));
+    j.set("accepted", Json::number(s.accepted));
+    j.set("completed", Json::number(s.completed));
+    j.set("failed", Json::number(s.failed));
+    j.set("timedOut", Json::number(s.timedOut));
+    j.set("cancelled", Json::number(s.cancelled));
+    j.set("shed", Json::number(s.shed));
+    j.set("duplicates", Json::number(s.duplicates));
+    j.set("memoHits", Json::number(s.memoHits));
+    j.set("memoMisses", Json::number(s.memoMisses));
+    j.set("memoSize", Json::number(std::uint64_t(memo_.size())));
+    j.set("memoEvictions", Json::number(memo_.evictions()));
+    j.set("protocolErrors", Json::number(s.protocolErrors));
+    j.set("faultsInjected", Json::number(s.faultsInjected));
+    j.set("executions", Json::number(s.executions));
+    j.set("queueDepth", Json::number(std::uint64_t(s.queueDepth)));
+    j.set("queuePeak", Json::number(std::uint64_t(s.queuePeak)));
+    j.set("running", Json::number(std::uint64_t(s.running)));
+    j.set("queueCap",
+          Json::number(std::uint64_t(params_.queueCap)));
+    j.set("draining", Json::boolean(s.draining));
+    return j;
+}
+
+CampaignServer::Stats
+CampaignServer::stats() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    Stats s = stats_;
+    s.queueDepth = queue_.size();
+    s.draining = draining_;
+    return s;
+}
+
+void
+CampaignServer::requestDrain()
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    draining_ = true;
+}
+
+bool
+CampaignServer::stop()
+{
+    if (!started_ || stopped_)
+        return true;
+    requestDrain();
+
+    // Phase 1: wait for the queue and the in-flight jobs to empty
+    // within the drain budget.
+    bool clean = true;
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        clean = jobDone_.wait_for(lk, params_.drainTimeout, [&] {
+            return queue_.empty() && stats_.running == 0;
+        });
+        if (!clean) {
+            // Budget blown. Jobs that never started are answered
+            // `cancelled` right here; running ones get their
+            // supervisors reeled in cooperatively and report the
+            // same way. Every admitted request still gets an
+            // explicit answer — cancellation, not silence.
+            for (auto &entry : queue_) {
+                Job &job = *entry.second;
+                job.state = Job::State::done;
+                job.status = "cancelled";
+                job.outcome = "cancelled";
+                job.error = "server shutting down";
+                ++stats_.completed;
+                ++stats_.cancelled;
+                active_.erase(job.req.id);
+                auto ka = keyActive_.find(std::make_pair(
+                    job.campaign->configHash(), job.req.seed));
+                if (ka != keyActive_.end()
+                    && ka->second == entry.second)
+                    keyActive_.erase(ka);
+            }
+            queue_.clear();
+            stats_.queueDepth = 0;
+            for (sim::CampaignSupervisor *sup : liveSupervisors_)
+                if (sup != nullptr)
+                    sup->cancelAll();
+            jobDone_.notify_all();
+            // Stragglers unwind within the cancel grace; their
+            // waiters respond before we tear the threads down.
+            jobDone_.wait_for(lk, params_.drainTimeout, [&] {
+                return stats_.running == 0;
+            });
+        }
+    }
+    stopping_.store(true);
+    workAvail_.notify_all();
+    jobDone_.notify_all();
+
+    // Phase 2: tear down threads. Workers exit when the queue is
+    // empty; connections notice stopping_ within one poll tick.
+    for (std::thread &w : workers_)
+        w.join();
+    workers_.clear();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    {
+        std::lock_guard<std::mutex> lk(connMtx_);
+        for (std::thread &c : connections_)
+            c.join();
+        connections_.clear();
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    ::unlink(params_.socketPath.c_str());
+
+    // Phase 3: persist the memo index so the next incarnation
+    // starts warm — through the atomic, fsynced checkpoint writer.
+    if (!params_.memoPath.empty())
+        memo_.save(params_.memoPath);
+
+    stopped_ = true;
+    return clean;
+}
+
+} // namespace contutto::service

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * CampaignServer: the long-lived campaign daemon.
+ *
+ * Serves campaign requests over a Unix-domain socket (one JSON
+ * line per request/response, see protocol.hh) and survives
+ * overload by *design*:
+ *
+ *  - *Bounded admission.* Requests wait in a priority queue with a
+ *    hard cap. When the queue is full — or the server is draining —
+ *    the request is shed immediately with an explicit retryAfterMs
+ *    hint, never silently dropped and never queued without bound.
+ *    Backpressure is a first-class answer, not a failure mode.
+ *
+ *  - *Deadlines end to end.* A request's deadlineMs covers queue
+ *    wait plus execution. The remaining budget at dispatch becomes
+ *    the CampaignSupervisor task deadline, so the watchdog raises
+ *    the same cancel token the event loops poll; a request whose
+ *    budget expired while queued is answered `timeout` without
+ *    wasting a worker on it.
+ *
+ *  - *Idempotent requests.* Request ids are client-chosen and
+ *    idempotent: a duplicate of an in-flight id coalesces onto the
+ *    same execution (one simulation, N answers), and a duplicate
+ *    of a completed id replays the recorded response. A client
+ *    that retries because a response was lost can never cause a
+ *    second execution.
+ *
+ *  - *Memoized determinism.* Results are cached in a bounded LRU
+ *    keyed by (config hash, seed). The engine is deterministic, so
+ *    a memo hit IS the result — byte-identical payload to a fresh
+ *    computation, including by a restarted server that warmed its
+ *    cache from the drained index.
+ *
+ *  - *Graceful drain.* requestDrain() (SIGTERM in campaignd) stops
+ *    admission, finishes in-flight work, persists the memo index
+ *    through the atomic checkpoint writer, then stop() tears the
+ *    socket down. A drain that overruns its budget cancels the
+ *    remaining supervisors cooperatively rather than hanging.
+ *
+ *  - *Chaos hooks.* The fault plan injects delayed, dropped, and
+ *    truncated responses and worker crashes on a deterministic
+ *    cadence, so the chaos harness can attack the service layer
+ *    itself and assert the exactly-once contract end to end.
+ */
+
+#ifndef CONTUTTO_SERVICE_SERVER_HH
+#define CONTUTTO_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/memo_cache.hh"
+#include "service/protocol.hh"
+
+namespace contutto::sim
+{
+class CampaignSupervisor;
+}
+
+namespace contutto::service
+{
+
+class CampaignServer
+{
+  public:
+    /** Deterministic-cadence fault injection (0 = never). */
+    struct FaultPlan
+    {
+        /** Delay every Nth result response by delayMs. */
+        unsigned delayEveryN = 0;
+        std::uint64_t delayMs = 50;
+        /** Drop every Nth result response (close instead). */
+        unsigned dropEveryN = 0;
+        /** Truncate every Nth result response mid-line. */
+        unsigned truncateEveryN = 0;
+        /** Crash the worker on every Nth execution's first
+         *  attempt (the supervisor's retry ladder absorbs it). */
+        unsigned crashEveryN = 0;
+    };
+
+    struct Params
+    {
+        std::string socketPath;
+        /** Worker threads executing campaigns. */
+        unsigned workers = 2;
+        /** Admission queue cap (queued, not running). */
+        std::size_t queueCap = 64;
+        /** Memo cache entries; 0 disables memoization. */
+        std::size_t memoCapacity = 4096;
+        /** Warm from / persist to this index (empty: in-memory
+         *  only). Loaded at start, saved at drain. */
+        std::string memoPath;
+        /** Completed-request replay window (dedup LRU). */
+        std::size_t completedCap = 4096;
+        /** Applied when a submit carries deadlineMs == 0. */
+        std::uint64_t defaultDeadlineMs = 0;
+        /** Base retry hint for shed responses. */
+        std::uint64_t shedRetryAfterMs = 50;
+        /** Supervisor knobs for each execution. */
+        unsigned attempts = 2;
+        std::chrono::milliseconds watchdogInterval{5};
+        std::chrono::milliseconds cancelGrace{2000};
+        /** Drain budget before in-flight work is cancelled. */
+        std::chrono::milliseconds drainTimeout{30000};
+        FaultPlan faults;
+    };
+
+    /** Monotonic counters; snapshot under one lock. */
+    struct Stats
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t timedOut = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t duplicates = 0;
+        std::uint64_t memoHits = 0;
+        std::uint64_t memoMisses = 0;
+        std::uint64_t protocolErrors = 0;
+        std::uint64_t faultsInjected = 0;
+        std::uint64_t executions = 0;
+        std::size_t queueDepth = 0;
+        std::size_t queuePeak = 0;
+        std::size_t running = 0;
+        bool draining = false;
+    };
+
+    explicit CampaignServer(const Params &params);
+    ~CampaignServer();
+
+    CampaignServer(const CampaignServer &) = delete;
+    CampaignServer &operator=(const CampaignServer &) = delete;
+
+    /** Bind, listen, spawn the accept loop and the worker pool.
+     *  Throws std::runtime_error when the socket cannot be set
+     *  up. Loads the memo index when memoPath names one. */
+    void start();
+
+    /** Stop admitting work; in-flight and queued jobs still run to
+     *  completion and their waiters are answered. Idempotent. */
+    void requestDrain();
+
+    /** Drain, wait (up to drainTimeout) for in-flight work,
+     *  persist the memo index, tear down the socket and join all
+     *  threads. Returns true when the drain beat the timeout
+     *  (clean), false when stragglers had to be cancelled. */
+    bool stop();
+
+    Stats stats() const;
+    const std::string &socketPath() const
+    {
+        return params_.socketPath;
+    }
+    const MemoCache &memo() const { return memo_; }
+
+  private:
+    struct Job;
+
+    void acceptLoop();
+    void workerLoop(unsigned index);
+    void handleConnection(int fd);
+    /** One request line -> one response line (or injected fault).
+     *  @return false when the connection must close. */
+    bool handleLine(int fd, const std::string &line);
+    bool handleSubmit(int fd, const Json &doc);
+    void runJob(const std::shared_ptr<Job> &job, unsigned worker);
+    bool respond(int fd, const Json &response, bool faultable);
+    Json statsJson();
+    Json resultFor(const Job &job) const;
+
+    Params params_;
+    MemoCache memo_;
+
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+    std::mutex connMtx_;
+    std::vector<std::thread> connections_;
+
+    mutable std::mutex mtx_;
+    std::condition_variable workAvail_;
+    std::condition_variable jobDone_;
+    /** (−priority, admission seq) -> job: pop = begin(). */
+    std::map<std::pair<std::int64_t, std::uint64_t>,
+             std::shared_ptr<Job>>
+        queue_;
+    std::unordered_map<std::string, std::shared_ptr<Job>> active_;
+    /** Admitted job per (config hash, seed): single-flight, so
+     *  concurrent fresh-id twins never burn a second execution. */
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::shared_ptr<Job>>
+        keyActive_;
+    /** Completed-job replay window, coldest first. */
+    std::list<std::shared_ptr<Job>> doneLru_;
+    std::unordered_map<std::string,
+                       std::list<std::shared_ptr<Job>>::iterator>
+        done_;
+    /** Per-worker live supervisor, for drain-timeout cancel. */
+    std::vector<sim::CampaignSupervisor *> liveSupervisors_;
+    Stats stats_;
+    std::uint64_t seq_ = 0;
+    bool draining_ = false;
+    /** Set only by stop(), after the queue has drained. */
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> responseTick_{0};
+    std::atomic<std::uint64_t> executionTick_{0};
+    bool started_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace contutto::service
+
+#endif // CONTUTTO_SERVICE_SERVER_HH

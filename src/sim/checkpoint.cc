@@ -1,5 +1,8 @@
 #include "sim/checkpoint.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -8,6 +11,24 @@
 
 namespace contutto::ckpt
 {
+
+/**
+ * Remaining bytes writeFile may write before the injected disk
+ * failure fires; negative disables injection. Test-only (see
+ * testing::setShortWriteBudget) — campaign code never touches it.
+ */
+static long testShortWriteBudget = -1;
+
+namespace testing
+{
+
+void
+setShortWriteBudget(long bytes)
+{
+    testShortWriteBudget = bytes;
+}
+
+} // namespace testing
 
 std::uint64_t
 fnv1a(const void *data, std::size_t len, std::uint64_t seed)
@@ -187,22 +208,61 @@ void
 Checkpoint::writeFile(const std::string &path) const
 {
     std::vector<std::uint8_t> bytes = serialize();
-    // Write-then-rename so a crash mid-write never leaves a torn
-    // file at the final path: either the old checkpoint survives or
-    // the new one is complete.
+    // Write-then-fsync-then-rename so neither a crash mid-write nor
+    // a power cut right after the rename can leave a torn file at
+    // the final path. The fsync of the temp file makes the *data*
+    // durable before the rename makes it *visible*; the fsync of
+    // the parent directory makes the rename itself durable.
+    // Without the first, a power cut can legally leave a fully
+    // renamed but truncated-to-zero snapshot (data never reached
+    // the platter); without the second, the rename can vanish.
     std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os)
-            throw Error("cannot open '" + tmp + "' for writing");
-        os.write(reinterpret_cast<const char *>(bytes.data()),
-                 std::streamsize(bytes.size()));
-        os.flush();
-        if (!os)
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (fd < 0)
+        throw Error("cannot open '" + tmp + "' for writing");
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        std::size_t want = bytes.size() - off;
+        if (testShortWriteBudget >= 0) {
+            // Fault injection: pretend the disk filled up after
+            // testShortWriteBudget more bytes.
+            if (std::size_t(testShortWriteBudget) < want)
+                want = std::size_t(testShortWriteBudget);
+            testShortWriteBudget -= long(want);
+        }
+        ssize_t n = want == 0
+                        ? -1
+                        : ::write(fd, bytes.data() + off, want);
+        if (n <= 0) {
+            ::close(fd);
+            ::unlink(tmp.c_str());
             throw Error("write to '" + tmp + "' failed");
+        }
+        off += std::size_t(n);
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        throw Error("rename '" + tmp + "' -> '" + path + "' failed");
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw Error("fsync of '" + tmp + "' failed");
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        throw Error("rename '" + tmp + "' -> '" + path
+                    + "' failed");
+    }
+    // Durably record the rename in the parent directory. A missing
+    // or unsyncable parent (e.g. on an exotic filesystem) degrades
+    // to the pre-hardening guarantee rather than failing the save.
+    std::string dir = path;
+    std::size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        (void)::fsync(dfd);
+        ::close(dfd);
+    }
 }
 
 Checkpoint

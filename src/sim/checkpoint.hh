@@ -68,6 +68,18 @@ class Error : public std::runtime_error
 std::uint64_t fnv1a(const void *data, std::size_t len,
                     std::uint64_t seed = 0xcbf29ce484222325ull);
 
+namespace testing
+{
+/**
+ * Fault injection for Checkpoint::writeFile: the next write may
+ * emit at most @p bytes before the (simulated) disk fails, so the
+ * atomicity contract — a short write raises Error and never
+ * replaces the file at the final path — is testable. Negative
+ * disables injection (the default). Not thread-safe; test-only.
+ */
+void setShortWriteBudget(long bytes);
+} // namespace testing
+
 /**
  * One named chunk of checkpoint payload with a read cursor. Writers
  * append primitives; readers consume them back in the same order.

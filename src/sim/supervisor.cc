@@ -16,6 +16,8 @@ struct CampaignSupervisor::Slot
 {
     std::atomic<bool> cancel{false};
     bool running = false;
+    /** Effective wall budget for this task (0: unlimited). */
+    std::chrono::milliseconds deadline{0};
     /** The watchdog cancelled this attempt for overrunning. */
     bool deadlineCancelled = false;
     /** Ignored its cancel past the grace period (hung shard). */
@@ -82,8 +84,8 @@ CampaignSupervisor::watchdogLoop()
             if (global)
                 s.cancel.store(true, std::memory_order_relaxed);
             if (!s.deadlineCancelled) {
-                if (params_.taskDeadline.count() > 0
-                    && now - s.startedAt >= params_.taskDeadline) {
+                if (s.deadline.count() > 0
+                    && now - s.startedAt >= s.deadline) {
                     s.deadlineCancelled = true;
                     s.cancelledAt = now;
                     s.cancel.store(true,
@@ -101,7 +103,7 @@ CampaignSupervisor::watchdogLoop()
 }
 
 bool
-CampaignSupervisor::runAttempts(Slot &slot, const Task &task,
+CampaignSupervisor::runAttempts(Slot &slot, const TaskSpec &task,
                                 bool serialPhase)
 {
     TaskReport &rep = slot.report;
@@ -123,7 +125,7 @@ CampaignSupervisor::runAttempts(Slot &slot, const Task &task,
         ++rep.attempts;
         bool threw = false;
         try {
-            task(slot.cancel);
+            task.fn(slot.cancel);
         } catch (const std::exception &e) {
             threw = true;
             rep.error = e.what();
@@ -176,10 +178,24 @@ CampaignSupervisor::runAttempts(Slot &slot, const Task &task,
 CampaignSupervisor::CampaignResult
 CampaignSupervisor::run(const std::vector<Task> &tasks)
 {
+    std::vector<TaskSpec> specs;
+    specs.reserve(tasks.size());
+    for (const Task &t : tasks)
+        specs.push_back({t, std::chrono::milliseconds(0)});
+    return run(specs);
+}
+
+CampaignSupervisor::CampaignResult
+CampaignSupervisor::run(const std::vector<TaskSpec> &tasks)
+{
     const std::size_t n = tasks.size();
     std::vector<Slot> slots(n);
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < n; ++i) {
         slots[i].report.index = i;
+        slots[i].deadline = tasks[i].deadline.count() > 0
+                                ? tasks[i].deadline
+                                : params_.taskDeadline;
+    }
     // needSerial[i]: failed every farm attempt, awaiting the
     // degradation pass (no verdict yet).
     std::vector<char> needSerial(n, 0);

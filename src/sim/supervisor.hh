@@ -73,6 +73,19 @@ class CampaignSupervisor
      */
     using Task = std::function<void(const std::atomic<bool> &cancel)>;
 
+    /**
+     * A task with its own wall-clock budget. The campaign service
+     * front-end maps one client request onto one TaskSpec, so the
+     * request's deadline rides straight into the watchdog and the
+     * cancel token the simulation polls. A zero deadline inherits
+     * Params::taskDeadline (whose own zero means unlimited).
+     */
+    struct TaskSpec
+    {
+        Task fn;
+        std::chrono::milliseconds deadline{0};
+    };
+
     struct Params
     {
         /** Farm width and mode, as for runTasks. */
@@ -168,6 +181,9 @@ class CampaignSupervisor
      */
     CampaignResult run(const std::vector<Task> &tasks);
 
+    /** As above, with per-task deadlines. */
+    CampaignResult run(const std::vector<TaskSpec> &tasks);
+
     /** Raise the campaign-wide cancel: in-flight tasks unwind as
      *  cancelled, queued ones never start. Idempotent. */
     void cancelAll() { globalCancel_.store(true); }
@@ -178,7 +194,8 @@ class CampaignSupervisor
     /** @return true when the task has a terminal verdict; false
      *  when the phase was exhausted by failures (the farm's signal
      *  to queue the task for the serial degradation pass). */
-    bool runAttempts(Slot &slot, const Task &task, bool serialPhase);
+    bool runAttempts(Slot &slot, const TaskSpec &task,
+                     bool serialPhase);
     void watchdogLoop();
     std::chrono::milliseconds backoffFor(std::size_t task,
                                          unsigned attempt);

@@ -3,6 +3,38 @@
 namespace contutto::storage
 {
 
+void
+CrashRecoveryCampaign::Spec::serialize(ckpt::Section &out) const
+{
+    out.putU32(powerCuts);
+    out.putU32(regionBlocks);
+    out.putU32(queueDepth);
+    out.putU64(workMin);
+    out.putU64(workMax);
+    out.putU64(outageMin);
+    out.putU64(outageMax);
+    out.putU32(longOutageEvery);
+    out.putU32(brownouts);
+    out.putU64(brownoutMin);
+    out.putU64(brownoutMax);
+    out.putU64(dimmCapacity);
+    out.putF64(nvdimm.flashBandwidth);
+    out.putF64(nvdimm.supercapJoules);
+    out.putF64(nvdimm.joulesPerGiB);
+    out.putU8(nvdimm.charged ? 1 : 0);
+    out.putU64(nvdimm.flash.segmentSize);
+    out.putU32(nvdimm.flash.spareBlocks);
+    out.putU64(nvdimm.flash.eraseLimit);
+}
+
+std::uint64_t
+CrashRecoveryCampaign::Spec::hash() const
+{
+    ckpt::Section s("spec");
+    serialize(s);
+    return ckpt::fnv1a(s.bytes().data(), s.bytes().size());
+}
+
 CrashRecoveryCampaign::CrashRecoveryCampaign(const Spec &spec)
     : spec_(spec), rng_(spec.seed)
 {
@@ -369,12 +401,22 @@ CrashRecoveryCampaign::run(const RunOptions &opts)
 {
     EventQueue &eq = sys_->eventq();
     stoppedEarly_ = false;
+    cancelled_ = false;
     if (!opts.resumeFrom.empty())
         restoreCheckpoint(opts.resumeFrom);
 
     unsigned written = 0;
     for (unsigned round = startRound_; round < spec_.powerCuts;
          ++round) {
+        // Cooperative cancellation: rounds are the natural safe
+        // points (power restored, region verified), so a deadline
+        // raised by the supervisor stops the campaign here rather
+        // than mid-outage.
+        if (opts.cancel != nullptr
+            && opts.cancel->load(std::memory_order_relaxed)) {
+            cancelled_ = true;
+            return result_;
+        }
         // Round-boundary normalization probe, in EVERY run: pulls
         // any due overflow residents into the wheel here, so wheel/
         // overflow residency — and the pull counters — agree at this

@@ -23,6 +23,7 @@
 #ifndef CONTUTTO_STORAGE_CRASH_CAMPAIGN_HH
 #define CONTUTTO_STORAGE_CRASH_CAMPAIGN_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -66,6 +67,15 @@ class CrashRecoveryCampaign
         /** The single NVDIMM behind the card. */
         std::uint64_t dimmCapacity = 64 * MiB;
         mem::NvdimmDevice::Params nvdimm{};
+
+        /** Stable serialization of every field *except* seed, in
+         *  declaration order — the campaign service memoizes on
+         *  (hash(), seed), so the seed must not fold into the
+         *  config hash. */
+        void serialize(ckpt::Section &out) const;
+        /** FNV-1a over serialize(): the memo/config key. Same spec,
+         *  same hash, across runs and processes. */
+        std::uint64_t hash() const;
     };
 
     /** Everything the campaign measured; == comparable so the
@@ -115,6 +125,10 @@ class CrashRecoveryCampaign
          *  many checkpoints; 0 runs to completion. The chaos
          *  harness's in-process "kill at the boundary". */
         unsigned stopAfterCheckpoints = 0;
+        /** Cooperative cancel token (the campaign supervisor's),
+         *  polled at round boundaries; a cancelled run returns a
+         *  partial Result with cancelled() set. */
+        const std::atomic<bool> *cancel = nullptr;
     };
 
     /** Run the whole campaign synchronously; steps the queue. */
@@ -125,6 +139,9 @@ class CrashRecoveryCampaign
 
     /** True when the last run() returned early at a checkpoint. */
     bool stoppedEarly() const { return stoppedEarly_; }
+
+    /** True when the last run() was stopped by its cancel token. */
+    bool cancelled() const { return cancelled_; }
 
     /**
      * @{ Whole-campaign snapshot at a round boundary (the system
@@ -170,6 +187,7 @@ class CrashRecoveryCampaign
     bool workloadOn_ = false;
     unsigned startRound_ = 0;
     bool stoppedEarly_ = false;
+    bool cancelled_ = false;
     Result result_;
 };
 

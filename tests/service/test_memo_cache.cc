@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Memo cache: LRU bounds and counters, recency refresh on both hit
+ * and re-insert, and the persistence round-trip the drain/restart
+ * cycle depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "service/memo_cache.hh"
+#include "sim/checkpoint.hh"
+
+using namespace contutto::service;
+
+namespace
+{
+
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : path_(::testing::TempDir() + name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempPath() { std::remove(path_.c_str()); }
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(MemoCache, HitMissAndCounters)
+{
+    MemoCache m(8);
+    EXPECT_EQ(m.lookup(1, 1), "");
+    EXPECT_EQ(m.misses(), 1u);
+    m.insert(1, 1, "payload-a");
+    EXPECT_EQ(m.lookup(1, 1), "payload-a");
+    EXPECT_EQ(m.hits(), 1u);
+    // Same config, different seed: a distinct key.
+    EXPECT_EQ(m.lookup(1, 2), "");
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(MemoCache, LruEvictsTheColdest)
+{
+    MemoCache m(3);
+    m.insert(1, 1, "a");
+    m.insert(2, 1, "b");
+    m.insert(3, 1, "c");
+    // Touch 'a' so 'b' is now the coldest.
+    EXPECT_EQ(m.lookup(1, 1), "a");
+    m.insert(4, 1, "d");
+    EXPECT_EQ(m.evictions(), 1u);
+    EXPECT_EQ(m.lookup(2, 1), "");  // evicted
+    EXPECT_EQ(m.lookup(1, 1), "a"); // survived via the touch
+    EXPECT_EQ(m.lookup(3, 1), "c");
+    EXPECT_EQ(m.lookup(4, 1), "d");
+    EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(MemoCache, ZeroCapacityDisables)
+{
+    MemoCache m(0);
+    m.insert(1, 1, "a");
+    EXPECT_EQ(m.lookup(1, 1), "");
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(MemoCache, SaveLoadRoundTrip)
+{
+    TempPath p("memo_roundtrip.ckpt");
+    {
+        MemoCache m(16);
+        m.insert(0xaaa, 1, "alpha");
+        m.insert(0xbbb, 2, "beta");
+        m.insert(0xaaa, 9, "gamma");
+        m.save(p.str());
+    }
+    MemoCache back(16);
+    back.load(p.str());
+    EXPECT_EQ(back.size(), 3u);
+    EXPECT_EQ(back.lookup(0xaaa, 1), "alpha");
+    EXPECT_EQ(back.lookup(0xbbb, 2), "beta");
+    EXPECT_EQ(back.lookup(0xaaa, 9), "gamma");
+}
+
+TEST(MemoCache, LoadIntoSmallerCacheKeepsTheHottest)
+{
+    TempPath p("memo_trim.ckpt");
+    {
+        MemoCache m(4);
+        m.insert(1, 0, "one");
+        m.insert(2, 0, "two");
+        m.insert(3, 0, "three");
+        m.insert(4, 0, "four");
+        // Heat up "one": hottest at save time.
+        EXPECT_EQ(m.lookup(1, 0), "one");
+        m.save(p.str());
+    }
+    MemoCache back(2);
+    back.load(p.str());
+    EXPECT_EQ(back.size(), 2u);
+    // Save order is coldest->hottest, so the survivors are the two
+    // hottest: "four" and the re-touched "one".
+    EXPECT_EQ(back.lookup(4, 0), "four");
+    EXPECT_EQ(back.lookup(1, 0), "one");
+    EXPECT_EQ(back.lookup(2, 0), "");
+    EXPECT_EQ(back.lookup(3, 0), "");
+}
+
+TEST(MemoCache, CorruptIndexThrows)
+{
+    TempPath p("memo_corrupt.ckpt");
+    {
+        MemoCache m(4);
+        m.insert(1, 1, "x");
+        m.save(p.str());
+    }
+    // Flip a payload byte; the checkpoint checksum must object.
+    {
+        std::FILE *f = std::fopen(p.str().c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 40, SEEK_SET);
+        int c = std::fgetc(f);
+        std::fseek(f, 40, SEEK_SET);
+        std::fputc(c ^ 0x5a, f);
+        std::fclose(f);
+    }
+    MemoCache back(4);
+    EXPECT_THROW(back.load(p.str()), contutto::ckpt::Error);
+}
+
+} // namespace

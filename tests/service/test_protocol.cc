@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Protocol layer: request validation fails fast and precisely, the
+ * config hash is stable / seed-free / knob-sensitive, and a
+ * CampaignJob's payload is deterministic and cancellable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "service/protocol.hh"
+
+using namespace contutto::service;
+
+namespace
+{
+
+Json
+parseConfig(const char *text)
+{
+    return Json::parse(text);
+}
+
+TEST(Protocol, RequestRoundTrip)
+{
+    Request r;
+    r.id = "sweep-17";
+    r.kind = "ras_soak";
+    r.seed = 0xdeadbeefcafef00dull;
+    r.priority = -3;
+    r.deadlineMs = 1500;
+    r.config = parseConfig("{\"ops\":64}");
+    Request back = Request::fromJson(r.toJson());
+    EXPECT_EQ(back.id, r.id);
+    EXPECT_EQ(back.kind, r.kind);
+    EXPECT_EQ(back.seed, r.seed);
+    EXPECT_EQ(back.priority, r.priority);
+    EXPECT_EQ(back.deadlineMs, r.deadlineMs);
+    EXPECT_EQ(back.config.dump(), r.config.dump());
+}
+
+TEST(Protocol, RequestValidation)
+{
+    Json j = Json::parse(
+        "{\"type\":\"submit\",\"kind\":\"spin\"}");
+    EXPECT_THROW(Request::fromJson(j), ProtocolError); // no id
+    j.set("id", Json::string(""));
+    EXPECT_THROW(Request::fromJson(j), ProtocolError); // empty id
+    j.set("id", Json::string(std::string(300, 'x')));
+    EXPECT_THROW(Request::fromJson(j), ProtocolError); // huge id
+    j.set("id", Json::string("ok"));
+    j.set("config", Json::number(std::uint64_t(1)));
+    EXPECT_THROW(Request::fromJson(j), ProtocolError); // non-object
+}
+
+TEST(Protocol, UnknownKindAndKnobsRejectedAtAdmission)
+{
+    EXPECT_THROW(CampaignJob("nope", 1, Json::object()),
+                 ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("ras_soak", 1, parseConfig("{\"opz\":3}")),
+        ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("crash", 1, parseConfig("{\"powerCuts\":0}")),
+        ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("spin", 1, parseConfig("{\"spinMs\":999999}")),
+        ProtocolError);
+    // u32 knobs reject out-of-range u64 values.
+    EXPECT_THROW(
+        CampaignJob("ras_soak", 1,
+                    parseConfig("{\"ops\":5000000000}")),
+        ProtocolError);
+}
+
+TEST(Protocol, ConfigHashIsStableSeedFreeAndKnobSensitive)
+{
+    Json cfg = parseConfig("{\"ops\":64,\"bitFlips\":8}");
+    CampaignJob a("ras_soak", 1, cfg);
+    CampaignJob b("ras_soak", 999, cfg); // different seed
+    CampaignJob c("ras_soak", 1, parseConfig(
+                      "{\"bitFlips\":8,\"ops\":64}")); // reordered
+    EXPECT_EQ(a.configHash(), b.configHash());
+    EXPECT_EQ(a.configHash(), c.configHash());
+
+    CampaignJob d("ras_soak", 1,
+                  parseConfig("{\"ops\":65,\"bitFlips\":8}"));
+    EXPECT_NE(a.configHash(), d.configHash());
+
+    // Kinds are domain-separated even with default knobs.
+    CampaignJob soak("ras_soak", 1, Json::object());
+    CampaignJob crash("crash", 1, Json::object());
+    CampaignJob spin("spin", 1, Json::object());
+    EXPECT_NE(soak.configHash(), crash.configHash());
+    EXPECT_NE(soak.configHash(), spin.configHash());
+    EXPECT_NE(crash.configHash(), spin.configHash());
+}
+
+TEST(Protocol, SpecHashMatchesJobHash)
+{
+    // The bench binaries stamp Spec::hash() into --stats-json; the
+    // service derives the same key from the JSON config. They must
+    // agree or the memo key is useless across tools.
+    contutto::ras::SoakCampaign::Spec spec;
+    spec.ops = 64;
+    spec.seed = 42; // must NOT matter
+    CampaignJob job("ras_soak", 7, parseConfig("{\"ops\":64}"));
+    EXPECT_EQ(job.configHash(), spec.hash());
+
+    contutto::storage::CrashRecoveryCampaign::Spec cspec;
+    cspec.powerCuts = 2;
+    CampaignJob cjob("crash", 7,
+                     parseConfig("{\"powerCuts\":2}"));
+    EXPECT_EQ(cjob.configHash(), cspec.hash());
+}
+
+TEST(Protocol, PayloadIsDeterministic)
+{
+    std::atomic<bool> cancel{false};
+    Json cfg = parseConfig("{\"ops\":48,\"bitFlips\":6}");
+    CampaignJob a("ras_soak", 11, cfg);
+    CampaignJob b("ras_soak", 11, cfg);
+    EXPECT_EQ(a.run(cancel), b.run(cancel));
+    // And the payload is parseable, self-describing JSON.
+    Json p = Json::parse(a.run(cancel));
+    EXPECT_EQ(p.at("kind").asString(), "ras_soak");
+    EXPECT_EQ(p.at("seed").asU64(), 11u);
+    EXPECT_EQ(p.at("configHash").asString(),
+              hashHex(a.configHash()));
+}
+
+TEST(Protocol, SpinHonoursItsCancelToken)
+{
+    std::atomic<bool> cancel{false};
+    CampaignJob spin("spin", 1, parseConfig("{\"spinMs\":30000}"));
+    std::thread raiser([&cancel] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        cancel.store(true);
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(spin.run(cancel), CampaignJob::Cancelled);
+    raiser.join();
+    EXPECT_LT(std::chrono::steady_clock::now() - t0,
+              std::chrono::seconds(10));
+}
+
+} // namespace

@@ -144,6 +144,39 @@ TEST(CheckpointFile, TruncationIsDetected)
     }
 }
 
+TEST(CheckpointFile, ShortWriteNeverLeavesAPartialFile)
+{
+    // Atomicity under a failing disk: a write that cannot finish
+    // must throw ckpt::Error and leave NO file behind — neither the
+    // final path (rename never ran) nor the temp (unlinked), so a
+    // reader can never observe a torn checkpoint.
+    ckpt::Checkpoint ck;
+    auto &s = ck.add("payload");
+    for (int i = 0; i < 64; ++i)
+        s.putU64(std::uint64_t(i) * 0x9e3779b97f4a7c15ull);
+
+    TempPath p("short_write.ckpt");
+    ckpt::testing::setShortWriteBudget(16);
+    EXPECT_THROW(ck.writeFile(p.str()), ckpt::Error);
+    ckpt::testing::setShortWriteBudget(-1);
+    EXPECT_THROW(ckpt::Checkpoint::readFile(p.str()), ckpt::Error)
+        << "a failed write must not leave the final file";
+    std::ifstream tmp(p.str() + ".tmp", std::ios::binary);
+    EXPECT_FALSE(tmp.good())
+        << "a failed write must unlink its temp file";
+
+    // And an overwrite that fails must keep the OLD file intact.
+    ck.writeFile(p.str());
+    ckpt::Checkpoint ck2;
+    ck2.add("payload").putU64(7);
+    ckpt::testing::setShortWriteBudget(4);
+    EXPECT_THROW(ck2.writeFile(p.str()), ckpt::Error);
+    ckpt::testing::setShortWriteBudget(-1);
+    ckpt::Checkpoint back = ckpt::Checkpoint::readFile(p.str());
+    EXPECT_EQ(back.section("payload").getU64(),
+              0ull * 0x9e3779b97f4a7c15ull);
+}
+
 TEST(CheckpointFile, VersionMismatchThrows)
 {
     ckpt::Checkpoint ck;

@@ -231,4 +231,109 @@ TEST(CampaignSupervisor, BackoffScheduleIsSeeded)
     EXPECT_LT(elapsed, std::chrono::milliseconds(500));
 }
 
+TEST(CampaignSupervisor, RetryExhaustionWithoutSerialPassQuarantines)
+{
+    // The campaign service configuration: parallel attempts only,
+    // no serial degradation pass. Exhaustion must go straight to
+    // quarantined — never a lost task, never a phantom retry.
+    auto p = fastParams(1, ShardedExecutor::Mode::serial);
+    p.parallelAttempts = 3;
+    p.serialAttempts = 0;
+    CampaignSupervisor sup(p);
+    std::atomic<int> tries{0};
+    std::vector<CampaignSupervisor::Task> tasks(1);
+    tasks[0] = [&tries](const std::atomic<bool> &) {
+        tries.fetch_add(1);
+        throw std::runtime_error("always fails");
+    };
+    auto r = sup.run(tasks);
+    EXPECT_TRUE(r.allAccounted(tasks.size()));
+    EXPECT_EQ(r.tasks[0].outcome, Outcome::quarantined);
+    EXPECT_EQ(r.tasks[0].attempts, 3u);
+    EXPECT_EQ(tries.load(), 3);
+    EXPECT_EQ(r.tasks[0].error, "always fails");
+    EXPECT_EQ(r.quarantined, 1u);
+    EXPECT_EQ(r.degraded, 0u);
+}
+
+TEST(CampaignSupervisor, CancelDuringGraceWindowIsNotUnresponsive)
+{
+    // A task that honours its token *within* the grace window must
+    // be a plain timeout, not a hung-shard report: the grace scan
+    // may only flag tasks that outlive the whole window.
+    auto p = fastParams(1, ShardedExecutor::Mode::parallel);
+    p.taskDeadline = std::chrono::milliseconds(10);
+    p.cancelGrace = std::chrono::milliseconds(200);
+    CampaignSupervisor sup(p);
+    std::vector<CampaignSupervisor::Task> tasks(1);
+    tasks[0] = [](const std::atomic<bool> &cancel) {
+        while (!cancel.load(std::memory_order_relaxed))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        // Unwind "slowly" but well inside the grace budget.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    };
+    auto r = sup.run(tasks);
+    EXPECT_TRUE(r.allAccounted(tasks.size()));
+    EXPECT_EQ(r.tasks[0].outcome, Outcome::timedOut);
+    EXPECT_FALSE(r.tasks[0].unresponsive);
+    EXPECT_EQ(r.unresponsive, 0u);
+}
+
+TEST(CampaignSupervisor, ZeroDeadlineMeansUnlimited)
+{
+    // deadline 0 at both levels (Params and TaskSpec) must mean
+    // "no watchdog", not "instant timeout".
+    auto p = fastParams(2, ShardedExecutor::Mode::parallel);
+    p.taskDeadline = std::chrono::milliseconds(0);
+    p.watchdogInterval = std::chrono::milliseconds(1);
+    CampaignSupervisor sup(p);
+    std::vector<CampaignSupervisor::TaskSpec> tasks(2);
+    for (auto &t : tasks) {
+        t.deadline = std::chrono::milliseconds(0);
+        t.fn = [](const std::atomic<bool> &cancel) {
+            // Long enough for many watchdog scans.
+            for (int k = 0; k < 30; ++k) {
+                EXPECT_FALSE(
+                    cancel.load(std::memory_order_relaxed));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        };
+    }
+    auto r = sup.run(tasks);
+    EXPECT_TRUE(r.allAccounted(tasks.size()));
+    EXPECT_TRUE(r.allOk());
+    EXPECT_EQ(r.timedOut, 0u);
+}
+
+TEST(CampaignSupervisor, PerTaskDeadlineOverridesCampaignDefault)
+{
+    // TaskSpec deadlines are per task: a short-deadline spinner
+    // times out while its long-deadline twin finishes, under one
+    // campaign whose default would have spared both.
+    auto p = fastParams(2, ShardedExecutor::Mode::parallel);
+    p.taskDeadline = std::chrono::milliseconds(0); // unlimited
+    CampaignSupervisor sup(p);
+    std::vector<CampaignSupervisor::TaskSpec> tasks(2);
+    tasks[0].deadline = std::chrono::milliseconds(10);
+    tasks[1].deadline = std::chrono::milliseconds(2000);
+    for (auto &t : tasks)
+        t.fn = [](const std::atomic<bool> &cancel) {
+            // ~40 ms of cooperative work.
+            for (int k = 0; k < 40; ++k) {
+                if (cancel.load(std::memory_order_relaxed))
+                    return;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        };
+    auto r = sup.run(tasks);
+    EXPECT_TRUE(r.allAccounted(tasks.size()));
+    EXPECT_EQ(r.tasks[0].outcome, Outcome::timedOut);
+    EXPECT_EQ(r.tasks[1].outcome, Outcome::ok);
+    EXPECT_EQ(r.timedOut, 1u);
+    EXPECT_EQ(r.succeeded, 1u);
+}
+
 } // namespace
