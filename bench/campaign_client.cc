@@ -17,12 +17,23 @@
  *                   [--call-timeout-ms=N] [--response-timeout-ms=N]
  *                   [--max-attempts=N]
  *                   [--wait-ready-ms=N] [--stats]
+ *                   [--stream=1] [--trace-id-base=N]
+ *                   [--health=json|prometheus]
  *
  * Request i gets id "<prefix>-<i>", seed seed-base + (i %
  * distinct), priority i % priority-mod; with --dup-every=N every
  * Nth request reuses the id AND seed of its predecessor, which
  * must coalesce/memoize server-side to a byte-identical payload.
+ *
+ * With --stream=1 every submit subscribes to progress frames; the
+ * driver renders a live per-key progress line on stderr (carriage-
+ * return style on a TTY, one "progress ..." line per frame
+ * otherwise, so harnesses can count frames). --trace-id-base=N
+ * stamps request i with trace id N+i, which --trace-out on the
+ * daemon then turns into per-request Perfetto rows.
  */
+
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -96,6 +107,25 @@ main(int argc, char **argv)
         return 0;
     }
 
+    const std::string healthFmt =
+        bench::parseFlag(argc, argv, "--health");
+    if (!healthFmt.empty()) {
+        CampaignClient c(cp);
+        CampaignClient::Reply r = c.health(
+            healthFmt == "prometheus" ? "prometheus" : "");
+        if (r.outcome != CampaignClient::Outcome::ok)
+            return 2;
+        if (healthFmt == "prometheus")
+            // Unwrap: the exposition is the useful artifact, not
+            // its JSON envelope.
+            std::printf(
+                "%s",
+                r.response.at("text").asString().c_str());
+        else
+            std::printf("%s\n", r.response.dump().c_str());
+        return 0;
+    }
+
     const std::string kind =
         bench::parseFlag(argc, argv, "--kind", "spin");
     const std::string idPrefix =
@@ -116,6 +146,11 @@ main(int argc, char **argv)
         bench::parseUnsigned(argc, argv, "--priority-mod", 1));
     const std::uint64_t deadlineMs =
         bench::parseUnsigned(argc, argv, "--deadline-ms", 0);
+    const bool stream =
+        bench::parseFlag(argc, argv, "--stream") == "1"
+        || bench::parseFlag(argc, argv, "--stream") == "true";
+    const std::uint64_t traceIdBase =
+        bench::parseUnsigned(argc, argv, "--trace-id-base", 0);
 
     Json config;
     try {
@@ -140,6 +175,9 @@ main(int argc, char **argv)
         r.priority =
             priorityMod > 1 ? std::int64_t(i % priorityMod) : 0;
         r.deadlineMs = deadlineMs;
+        r.stream = stream;
+        if (traceIdBase != 0)
+            r.traceId = traceIdBase + i;
         r.config = config;
         burst.push_back(std::move(r));
     }
@@ -148,10 +186,40 @@ main(int argc, char **argv)
     std::atomic<unsigned> next{0};
     std::atomic<unsigned> ok{0}, shed{0}, timedOut{0}, failed{0};
 
+    std::atomic<unsigned> progressFrames{0};
+    const bool liveTty = ::isatty(STDERR_FILENO) == 1;
+
     auto work = [&](unsigned worker) {
         CampaignClient::Params wp = cp;
         wp.jitterSeed = cp.jitterSeed * 1000003 + worker;
         CampaignClient client(wp);
+        if (stream) {
+            client.onProgress([&](const Json &frame) {
+                ++progressFrames;
+                // The live per-key line: id, seq, state and work
+                // counts from the frame. On a TTY frames overwrite
+                // in place; piped, one line per frame so harnesses
+                // can count and order them.
+                std::lock_guard<std::mutex> lk(outMtx);
+                std::fprintf(
+                    stderr,
+                    "%sprogress %s seq=%llu %s %llu/%llu hb=%llu "
+                    "depth=%llu%s",
+                    liveTty ? "\r\x1b[2K" : "",
+                    frame.getString("id", "?").c_str(),
+                    (unsigned long long)frame.getU64("seq", 0),
+                    frame.getString("state", "?").c_str(),
+                    (unsigned long long)frame.getU64("workDone",
+                                                     0),
+                    (unsigned long long)frame.getU64("workTotal",
+                                                     0),
+                    (unsigned long long)frame.getU64("heartbeats",
+                                                     0),
+                    (unsigned long long)frame.getU64("queueDepth",
+                                                     0),
+                    liveTty ? "" : "\n");
+            });
+        }
         for (;;) {
             unsigned i = next.fetch_add(1);
             if (i >= burst.size())
@@ -194,10 +262,16 @@ main(int argc, char **argv)
     for (std::thread &t : pool)
         t.join();
 
+    if (liveTty && stream)
+        std::fprintf(stderr, "\n");
     std::fprintf(stderr,
                  "campaign_client: %u ok, %u shed, %u timedOut, "
-                 "%u failed of %zu\n",
+                 "%u failed of %zu",
                  ok.load(), shed.load(), timedOut.load(),
                  failed.load(), burst.size());
+    if (stream)
+        std::fprintf(stderr, ", %u progress frames",
+                     progressFrames.load());
+    std::fprintf(stderr, "\n");
     return failed.load() == 0 ? 0 : 1;
 }

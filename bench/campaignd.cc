@@ -13,6 +13,8 @@
  *             [--memo-cap=N] [--memo=FILE] [--deadline-ms=N]
  *             [--retry-after-ms=N] [--attempts=N]
  *             [--drain-timeout-ms=N]
+ *             [--progress-period-ms=N] [--sample-period-ms=N]
+ *             [--trace-out=FILE]
  *             [--fault-delay-every=N] [--fault-delay-ms=N]
  *             [--fault-drop-every=N] [--fault-truncate-every=N]
  *             [--fault-crash-every=N]
@@ -20,10 +22,17 @@
  * The --fault-* flags arm the chaos plan: deterministic-cadence
  * response delays/drops/truncations and worker crashes, the knobs
  * scripts/service_smoke.py turns to prove the exactly-once story.
+ *
+ * --trace-out enables the span tracker for the daemon's lifetime
+ * and writes the captured svc.queue / svc.exec / svc.serialize
+ * spans (one tid per request trace id) as a Perfetto trace-event
+ * JSON file at drain, so a served burst can be loaded straight
+ * into ui.perfetto.dev.
  */
 
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 
 #include "bench_util.hh"
 #include "service/server.hh"
@@ -65,6 +74,18 @@ main(int argc, char **argv)
     p.drainTimeout = std::chrono::milliseconds(
         bench::parseUnsigned(argc, argv, "--drain-timeout-ms",
                              30000));
+    p.progressPeriod = std::chrono::milliseconds(
+        bench::parseUnsigned(argc, argv, "--progress-period-ms",
+                             100));
+    p.samplePeriod = std::chrono::milliseconds(
+        bench::parseUnsigned(argc, argv, "--sample-period-ms",
+                             50));
+    const std::string traceOut =
+        bench::parseFlag(argc, argv, "--trace-out");
+    if (!traceOut.empty()) {
+        contutto::span::setCapacity(1 << 16);
+        contutto::span::setEnabled(true);
+    }
     p.faults.delayEveryN = unsigned(
         bench::parseUnsigned(argc, argv, "--fault-delay-every", 0));
     p.faults.delayMs =
@@ -97,6 +118,19 @@ main(int argc, char **argv)
     std::printf("campaignd: signal %d, draining\n", int(gSignal));
     std::fflush(stdout);
     bool clean = server.stop();
+
+    if (!traceOut.empty()) {
+        std::ofstream f(traceOut);
+        if (f) {
+            contutto::telemetry::writePerfettoTrace(f);
+            std::printf("campaignd: wrote trace to %s\n",
+                        traceOut.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "campaignd: cannot write trace to %s\n",
+                         traceOut.c_str());
+        }
+    }
 
     CampaignServer::Stats s = server.stats();
     std::printf(

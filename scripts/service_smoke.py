@@ -12,11 +12,17 @@ suitable for CI:
    request is answered ok, answers for the same key are
    byte-identical, executions never exceed the distinct key count,
    and the queue never grew past its cap.
-3. Start a second burst and SIGTERM the daemon mid-burst. The drain
-   must be clean (exit 0): in-flight and queued work answered, new
-   work shed with explicit retry-after, memo index persisted. Every
-   client line must be an explicit verdict - never an error.
-4. Restart the daemon on the same memo file and resubmit the first
+3. Exercise the live telemetry plane on the same (still faulty)
+   daemon: the health endpoint must reconcile with the stats
+   endpoint, the Prometheus exposition must lint clean, and a
+   streaming submit must deliver progress frames before its result
+   even while the fault plan is mangling the wire.
+4. Start a second burst and SIGTERM the daemon mid-burst. Health
+   must answer *during* the burst. The drain must be clean (exit
+   0): in-flight and queued work answered, new work shed with
+   explicit retry-after, memo index persisted. Every client line
+   must be an explicit verdict - never an error.
+5. Restart the daemon on the same memo file and resubmit the first
    burst under fresh ids: every answer must come from the memo
    (zero new executions) with payloads byte-identical to phase 2.
 
@@ -29,11 +35,19 @@ Exit status is non-zero on any violated contract.
 import argparse
 import json
 import os
+import re
 import signal
+import socket as socketlib
 import subprocess
 import sys
 import tempfile
 import time
+
+# Prometheus text exposition 0.0.4, the subset campaignd emits.
+PROM_LINE = re.compile(
+    r"^(# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)"
+    r'|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="(\d+|\+Inf)"\})? -?\d+)$')
 
 
 def log(msg):
@@ -83,16 +97,41 @@ def run_client(bench_dir, socket, extra):
         *extra,
     ]
     print("+", " ".join(cmd), flush=True)
-    proc = subprocess.run(cmd, stdout=subprocess.PIPE, text=True)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
     lines = [json.loads(l) for l in proc.stdout.splitlines() if l]
-    return proc.returncode, lines
+    return proc.returncode, lines, proc.stderr
 
 
 def get_stats(bench_dir, socket):
-    rc, lines = run_client(bench_dir, socket, ["--stats=1"])
+    rc, lines, _ = run_client(bench_dir, socket, ["--stats=1"])
     if rc != 0 or len(lines) != 1:
         fail("stats round-trip failed")
     return lines[0]
+
+
+def wire_request(socket_path, obj, timeout=5.0):
+    """One raw request line -> one parsed response line, no client
+    binary in the way: proves the wire itself stays responsive."""
+    with socketlib.socket(socketlib.AF_UNIX,
+                          socketlib.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(socket_path)
+        s.sendall((json.dumps(obj) + "\n").encode())
+        buf = b""
+        while b"\n" not in buf:
+            chunk = s.recv(65536)
+            if not chunk:
+                fail("health connection closed before a response")
+            buf += chunk
+        return json.loads(buf.split(b"\n", 1)[0])
+
+
+def get_health(socket_path):
+    h = wire_request(socket_path, {"type": "health"})
+    if h.get("type") != "health":
+        fail(f"health request answered with {h.get('type')!r}")
+    return h
 
 
 def check_byte_identity(lines, payloads_by_key):
@@ -132,7 +171,7 @@ def main():
     # --- Phase 1+2: faulty daemon, duplicate-heavy burst. ---------
     daemon = Daemon(args.bench_dir, socket, memo, faults)
     daemon.start()
-    rc, lines = run_client(args.bench_dir, socket, burst1)
+    rc, lines, _ = run_client(args.bench_dir, socket, burst1)
     if rc != 0:
         fail(f"burst 1 client exited {rc}")
     if len(lines) != 24:
@@ -160,7 +199,70 @@ def main():
         f"{stats['duplicates']} duplicates, "
         f"{stats['faultsInjected']} faults injected")
 
-    # --- Phase 3: SIGTERM mid-burst, demand a clean drain. --------
+    # --- Phase 3: live telemetry plane. ---------------------------
+    # Health counters must reconcile with the stats endpoint: both
+    # views are fed by the same requests, so any drift is a bug.
+    health = get_health(socket)
+    counters = health["metrics"]["counters"]
+    for metric, stat in (("campaignd_executions_total", "executions"),
+                         ("campaignd_memo_hits_total", "memoHits"),
+                         ("campaignd_duplicates_total", "duplicates"),
+                         ("campaignd_completed_total", "completed")):
+        if counters[metric] != stats[stat]:
+            fail(f"{metric}={counters[metric]} disagrees with "
+                 f"stats {stat}={stats[stat]}")
+    if counters["campaignd_submitted_total"] < 24:
+        fail(f"submitted_total={counters['campaignd_submitted_total']}"
+             " below the 24 burst-1 requests")
+    e2e = health["metrics"]["histograms"]["campaignd_e2e_ms"]
+    if e2e["count"] != sum(e2e["buckets"]):
+        fail("e2e histogram count disagrees with its bucket sum")
+
+    prom = wire_request(socket,
+                        {"type": "health", "format": "prometheus"})
+    text = prom.get("text", "")
+    if not text.endswith("\n"):
+        fail("prometheus exposition lacks trailing newline")
+    for raw in text.splitlines():
+        if not PROM_LINE.match(raw):
+            fail(f"prometheus lint: bad line {raw!r}")
+    for needle in ("# TYPE campaignd_submitted_total counter",
+                   "# TYPE campaignd_queue_depth gauge",
+                   "# TYPE campaignd_e2e_ms histogram",
+                   'campaignd_e2e_ms_bucket{le="+Inf"}'):
+        if needle not in text:
+            fail(f"prometheus exposition missing {needle!r}")
+    log(f"health reconciles with stats; prometheus exposition "
+        f"lints clean ({text.count('# TYPE ')} families)")
+
+    # A streaming submit must deliver progress frames before its
+    # result, even with the fault plan mangling the wire. Fresh
+    # (config, seed) keys so the memo fast path can't short-circuit
+    # the execution the frames report on.
+    rc, lines, err = run_client(
+        args.bench_dir, socket,
+        ["--kind=spin", "--config={\"spinMs\":400}", "--count=2",
+         "--threads=2", "--seed-base=500", "--stream=1",
+         "--id-prefix=streamspin"])
+    if rc != 0:
+        fail(f"streaming spin client exited {rc}")
+    for line in lines:
+        if line["clientOutcome"] != "ok":
+            fail(f"streaming request {line['id']} got "
+                 f"'{line['clientOutcome']}'")
+    frames = err.count("progress streamspin-")
+    if frames < 3:
+        fail(f"streaming spin delivered {frames} progress frames, "
+             "expected at least 3")
+    health2 = get_health(socket)
+    if health2["metrics"]["counters"][
+            "campaignd_progress_frames_total"] < frames:
+        fail("server progress-frame counter below client-observed "
+             f"{frames}")
+    log(f"streaming spin delivered {frames} progress frames "
+        "before its results, through the fault plan")
+
+    # --- Phase 4: SIGTERM mid-burst, demand a clean drain. --------
     burst2 = subprocess.Popen(
         [os.path.join(args.bench_dir, "campaign_client"),
          f"--socket={socket}", "--kind=spin",
@@ -169,7 +271,19 @@ def main():
          "--response-timeout-ms=2000",
          "--id-prefix=burst2"],
         stdout=subprocess.PIPE, text=True)
-    time.sleep(0.4)  # let part of the burst land, then pull the plug
+    # Health must keep answering while the burst is in flight: two
+    # scrapes inside the overload window, with traffic in between.
+    time.sleep(0.1)
+    before = get_health(socket)["metrics"]["counters"]
+    time.sleep(0.3)  # let part of the burst land, then pull the plug
+    during = get_health(socket)["metrics"]["counters"]
+    if during["campaignd_submitted_total"] <= \
+            before["campaignd_submitted_total"]:
+        fail("health scrapes bracketing the live burst saw no "
+             "submissions; the burst was not actually in flight")
+    log("health answered twice during the live burst "
+        f"({during['campaignd_submitted_total']} submitted and "
+        "counting)")
     code, out = daemon.sigterm_and_wait()
     if code != 0:
         fail(f"daemon exited {code}; drain was not clean")
@@ -192,10 +306,10 @@ def main():
     log(f"burst 2 through the drain: {answered} answered, "
         f"{shed} explicitly refused, 0 silent")
 
-    # --- Phase 4: restart on the same memo; replay must be free. --
+    # --- Phase 5: restart on the same memo; replay must be free. --
     daemon = Daemon(args.bench_dir, socket, memo)
     daemon.start()
-    rc, lines = run_client(
+    rc, lines, _ = run_client(
         args.bench_dir, socket,
         ["--kind=ras_soak", "--config={\"ops\":48}", "--count=6",
          "--distinct=6", "--threads=3", "--id-prefix=burst3"])

@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Scrape a live campaignd and plot its telemetry trajectories.
+
+Talks the newline-JSON wire protocol directly over the Unix socket
+(no client binary needed): a `health` request per sample interval
+while a load burst runs, collecting queue-depth, in-flight, shed,
+completion and latency-histogram trajectories from the daemon's
+metrics registry. Output is a machine-readable trajectory JSON plus
+ASCII sparkline "plots" on stdout — stdlib only, CI-friendly.
+
+Two modes:
+
+  self-drive (default):
+      service_telemetry.py BENCH_DIR [--out FILE]
+    starts its own campaignd (small queue, so backpressure shows up
+    in the trajectory), drives a spin burst through campaign_client,
+    scrapes until the burst completes, then drains the daemon.
+
+  attach:
+      service_telemetry.py BENCH_DIR --socket PATH --duration S
+    scrapes an already-running daemon someone else is loading.
+
+Hard checks (exit non-zero): health must answer while the load is
+in flight, counters must be monotone across samples, and the
+Prometheus exposition must lint clean. Everything else is
+reporting, not gating — trajectory shape depends on the machine.
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import socket as socketlib
+import subprocess
+import sys
+import tempfile
+import time
+
+SPARK = "▁▂▃▄▅▆▇█"
+
+# Prometheus text exposition format 0.0.4, the subset campaignd
+# emits: HELP/TYPE comments and bare or le-labelled integer samples.
+PROM_HELP = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+PROM_TYPE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{le="(\d+|\+Inf)"\})? -?\d+$')
+
+
+def log(msg):
+    print(f"service_telemetry: {msg}", flush=True)
+
+
+def fail(msg):
+    sys.exit(f"service_telemetry: FAIL: {msg}")
+
+
+def wire_request(socket_path, obj, timeout=5.0):
+    """One request line -> one parsed response line."""
+    with socketlib.socket(socketlib.AF_UNIX,
+                          socketlib.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(socket_path)
+        s.sendall((json.dumps(obj) + "\n").encode())
+        buf = b""
+        while b"\n" not in buf:
+            chunk = s.recv(65536)
+            if not chunk:
+                raise ConnectionError("EOF before response")
+            buf += chunk
+        return json.loads(buf.split(b"\n", 1)[0])
+
+
+def wait_ready(socket_path, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            if wire_request(socket_path,
+                            {"type": "ping"})["type"] == "pong":
+                return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    fail(f"daemon on {socket_path} never answered a ping")
+
+
+def scrape(socket_path, t0):
+    h = wire_request(socket_path, {"type": "health"})
+    if h.get("type") != "health":
+        fail(f"health answered {h.get('type')!r}")
+    c = h["metrics"]["counters"]
+    g = h["metrics"]["gauges"]
+    e2e = h["metrics"]["histograms"]["campaignd_e2e_ms"]
+    return {
+        "t": round(time.monotonic() - t0, 3),
+        "queueDepth": g["campaignd_queue_depth"],
+        "running": g["campaignd_running"],
+        "inflight": g["campaignd_inflight"],
+        "submitted": c["campaignd_submitted_total"],
+        "completed": c["campaignd_completed_total"],
+        "shed": c["campaignd_shed_total"],
+        "progressFrames": c["campaignd_progress_frames_total"],
+        "e2eCount": e2e["count"],
+        "e2eSumMs": e2e["sum"],
+    }
+
+
+def check_monotone(samples):
+    keys = ("submitted", "completed", "shed", "e2eCount")
+    for a, b in zip(samples, samples[1:]):
+        for k in keys:
+            if b[k] < a[k]:
+                fail(f"counter {k} went backwards: "
+                     f"{a[k]} -> {b[k]}")
+
+
+def lint_prometheus(socket_path):
+    h = wire_request(socket_path,
+                     {"type": "health", "format": "prometheus"})
+    text = h.get("text", "")
+    if not text.endswith("\n"):
+        fail("prometheus exposition lacks trailing newline")
+    for line in text.splitlines():
+        if PROM_HELP.match(line) or PROM_TYPE.match(line) \
+                or PROM_SAMPLE.match(line):
+            continue
+        fail(f"prometheus lint: bad line {line!r}")
+    names = re.findall(r"^# TYPE ([a-zA-Z0-9_:]+)", text,
+                       re.MULTILINE)
+    log(f"prometheus exposition lints clean "
+        f"({len(names)} metric families)")
+    return text
+
+
+def sparkline(values):
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return SPARK[0] * len(values)
+    return "".join(
+        SPARK[int((v - lo) / (hi - lo) * (len(SPARK) - 1))]
+        for v in values)
+
+
+def plot(samples):
+    def series(key):
+        return [s[key] for s in samples]
+
+    def deltas(key):
+        vals = series(key)
+        return [b - a for a, b in zip(vals, vals[1:])]
+
+    rows = [
+        ("queue depth", series("queueDepth")),
+        ("running", series("running")),
+        ("in flight", series("inflight")),
+        ("shed/interval", deltas("shed")),
+        ("done/interval", deltas("completed")),
+    ]
+    # Per-interval mean e2e latency from the histogram deltas.
+    lat = []
+    for a, b in zip(samples, samples[1:]):
+        n = b["e2eCount"] - a["e2eCount"]
+        lat.append((b["e2eSumMs"] - a["e2eSumMs"]) / n
+                   if n else 0.0)
+    rows.append(("mean e2e ms", lat))
+
+    for name, vals in rows:
+        if not vals:
+            continue
+        print(f"  {name:>14}  {sparkline(vals)}  "
+              f"min={min(vals):g} max={max(vals):g}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_dir")
+    ap.add_argument("--socket", default=None,
+                    help="attach to this daemon instead of "
+                         "starting one")
+    ap.add_argument("--duration", type=float, default=6.0,
+                    help="attach mode: how long to scrape")
+    ap.add_argument("--interval", type=float, default=0.1)
+    ap.add_argument("--out", default=None,
+                    help="trajectory JSON path")
+    ap.add_argument("--count", type=int, default=48,
+                    help="self-drive burst size")
+    ap.add_argument("--spin-ms", type=int, default=60)
+    args = ap.parse_args()
+
+    daemon = burst = None
+    if args.socket:
+        sock = args.socket
+    else:
+        workdir = tempfile.mkdtemp(prefix="svc-telemetry-")
+        sock = os.path.join(workdir, "campaignd.sock")
+        daemon = subprocess.Popen(
+            [os.path.join(args.bench_dir, "campaignd"),
+             f"--socket={sock}", "--workers=2", "--queue-cap=4",
+             "--retry-after-ms=10", "--sample-period-ms=20"],
+            stdout=subprocess.PIPE, text=True)
+
+    wait_ready(sock)
+
+    if daemon is not None:
+        # A burst bigger than 2 workers x 4 queue slots can absorb:
+        # the shed/backpressure trajectory is the interesting part.
+        burst = subprocess.Popen(
+            [os.path.join(args.bench_dir, "campaign_client"),
+             f"--socket={sock}", "--kind=spin",
+             "--config={\"spinMs\":%d}" % args.spin_ms,
+             f"--count={args.count}", "--threads=8",
+             "--max-attempts=64", "--response-timeout-ms=1000",
+             "--stream=1", "--id-prefix=telemetry"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            text=True)
+
+    t0 = time.monotonic()
+    samples = []
+    scrapes_during_load = 0
+    while True:
+        loading = (burst.poll() is None) if burst is not None \
+            else (time.monotonic() - t0 < args.duration)
+        if not loading and samples:
+            break
+        try:
+            samples.append(scrape(sock, t0))
+            if loading:
+                scrapes_during_load += 1
+        except OSError as e:
+            fail(f"health scrape failed mid-load: {e}")
+        time.sleep(args.interval)
+    samples.append(scrape(sock, t0))  # settled end state
+
+    if scrapes_during_load == 0:
+        fail("no health scrape answered while load was in flight")
+    if len(samples) < 3:
+        fail(f"only {len(samples)} samples; nothing to plot")
+    check_monotone(samples)
+    prom_text = lint_prometheus(sock)
+
+    if burst is not None:
+        burst.wait(timeout=120)
+        if burst.returncode != 0:
+            fail(f"load burst exited {burst.returncode}")
+    if daemon is not None:
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=120)
+        if daemon.returncode != 0:
+            fail(f"daemon drain exited {daemon.returncode}")
+
+    last = samples[-1]
+    log(f"{len(samples)} samples over {last['t']:.1f}s: "
+        f"{last['submitted']} submitted, "
+        f"{last['completed']} completed, {last['shed']} shed, "
+        f"{last['progressFrames']} progress frames")
+    plot(samples)
+
+    if args.out:
+        trajectory = {
+            "interval": args.interval,
+            "samples": samples,
+            "final": last,
+            "prometheusFamilies": len(
+                re.findall(r"^# TYPE ", prom_text,
+                           re.MULTILINE)),
+        }
+        with open(args.out, "w") as f:
+            json.dump(trajectory, f, indent=1)
+        log(f"trajectory written to {args.out}")
+    log("PASS")
+
+
+if __name__ == "__main__":
+    main()

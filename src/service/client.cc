@@ -58,42 +58,61 @@ sendAll(int fd, const std::string &data)
     return true;
 }
 
-/** Read one '\n'-terminated line; empty on EOF/error/timeout.
- *  A line without its terminator (truncated response) is *not* a
- *  response — the newline is the protocol's integrity marker. */
-std::string
-recvLine(int fd, std::chrono::milliseconds timeout)
+/**
+ * Incremental line reader over one connection: keeps the carry-over
+ * between lines, so a streaming response (progress* then result)
+ * can be consumed frame by frame. A line without its '\n'
+ * terminator (truncated response) is *not* a line — the newline is
+ * the protocol's integrity marker.
+ */
+class LineReader
 {
-    std::string buf;
-    const auto deadline = Clock::now() + timeout;
-    for (;;) {
-        auto left = std::chrono::duration_cast<
-            std::chrono::milliseconds>(deadline - Clock::now());
-        if (left.count() <= 0)
-            return {};
-        pollfd pfd{fd, POLLIN, 0};
-        int r = ::poll(&pfd, 1,
-                       int(std::min<std::int64_t>(left.count(),
-                                                  100)));
-        if (r < 0 && errno != EINTR)
-            return {};
-        if (r <= 0)
-            continue;
-        char chunk[4096];
-        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n <= 0) {
-            if (n < 0 && (errno == EINTR || errno == EAGAIN))
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /** One line within @p timeout; empty on EOF/error/timeout. */
+    std::string
+    next(std::chrono::milliseconds timeout)
+    {
+        const auto deadline = Clock::now() + timeout;
+        for (;;) {
+            std::size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return line;
+            }
+            if (buf_.size() > (1u << 20))
+                return {};
+            auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline
+                                           - Clock::now());
+            if (left.count() <= 0)
+                return {};
+            pollfd pfd{fd_, POLLIN, 0};
+            int r = ::poll(
+                &pfd, 1,
+                int(std::min<std::int64_t>(left.count(), 100)));
+            if (r < 0 && errno != EINTR)
+                return {};
+            if (r <= 0)
                 continue;
-            return {}; // EOF before the newline: truncated.
+            char chunk[4096];
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) {
+                if (n < 0
+                    && (errno == EINTR || errno == EAGAIN))
+                    continue;
+                return {}; // EOF before the newline: truncated.
+            }
+            buf_.append(chunk, std::size_t(n));
         }
-        buf.append(chunk, std::size_t(n));
-        std::size_t nl = buf.find('\n');
-        if (nl != std::string::npos)
-            return buf.substr(0, nl);
-        if (buf.size() > (1u << 20))
-            return {};
     }
-}
+
+  private:
+    int fd_;
+    std::string buf_;
+};
 
 } // namespace
 
@@ -110,8 +129,59 @@ CampaignClient::roundTrip(const std::string &line,
     if (fd < 0)
         return {};
     std::string out;
-    if (sendAll(fd, line + "\n"))
-        out = recvLine(fd, timeout);
+    if (sendAll(fd, line + "\n")) {
+        LineReader reader(fd);
+        out = reader.next(timeout);
+    }
+    ::close(fd);
+    return out;
+}
+
+std::string
+CampaignClient::streamTrip(
+    const std::string &line, std::chrono::milliseconds lineTimeout,
+    std::chrono::steady_clock::time_point deadline)
+{
+    int fd = connectTo(params_.socketPath);
+    if (fd < 0)
+        return {};
+    std::string out;
+    if (sendAll(fd, line + "\n")) {
+        LineReader reader(fd);
+        for (;;) {
+            auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline
+                                           - Clock::now());
+            if (left.count() <= 0)
+                break;
+            // Each received frame re-arms the per-line wait, so a
+            // long-running streamed campaign is bounded by frame
+            // spacing, not by total runtime.
+            std::string l =
+                reader.next(std::min(left, lineTimeout));
+            if (l.empty())
+                break; // transport failure or silence: retry path
+            try {
+                Json j = Json::parse(l);
+                if (j.isObject()
+                    && j.getString("type", "") == "progress") {
+                    if (progressFn_)
+                        progressFn_(j);
+                    continue;
+                }
+                out = l; // terminal (result / shed / error)
+            } catch (const ProtocolError &) {
+                // A torn progress frame glued to its successor
+                // (injected truncation). Progress is best-effort:
+                // skip the garbage and keep reading. If the tear
+                // swallowed the terminal frame, the reader hits
+                // EOF, out stays empty, and the caller's retry of
+                // the same id replays the recorded verdict.
+                continue;
+            }
+            break;
+        }
+    }
     ::close(fd);
     return out;
 }
@@ -151,8 +221,13 @@ CampaignClient::submit(const Request &request)
 
         auto left = std::chrono::duration_cast<
             std::chrono::milliseconds>(deadline - Clock::now());
-        std::string respLine = roundTrip(
-            line, std::min(left, params_.responseTimeout));
+        std::string respLine =
+            request.stream
+                ? streamTrip(line, params_.responseTimeout,
+                             deadline)
+                : roundTrip(line,
+                            std::min(left,
+                                     params_.responseTimeout));
         if (respLine.empty()) {
             // Refused / dropped / truncated: same recovery — back
             // off and resubmit the identical id.
@@ -208,16 +283,14 @@ CampaignClient::submit(const Request &request)
 }
 
 CampaignClient::Reply
-CampaignClient::stats()
+CampaignClient::oneShot(const Json &request)
 {
     Reply reply;
-    Json req = Json::object();
-    req.set("type", Json::string("stats"));
     for (unsigned attempt = 0; attempt < params_.maxAttempts;
          ++attempt) {
         ++reply.attempts;
         std::string respLine =
-            roundTrip(req.dump(), params_.responseTimeout);
+            roundTrip(request.dump(), params_.responseTimeout);
         if (!respLine.empty()) {
             try {
                 reply.response = Json::parse(respLine);
@@ -231,6 +304,24 @@ CampaignClient::stats()
     }
     reply.outcome = Outcome::unreachable;
     return reply;
+}
+
+CampaignClient::Reply
+CampaignClient::stats()
+{
+    Json req = Json::object();
+    req.set("type", Json::string("stats"));
+    return oneShot(req);
+}
+
+CampaignClient::Reply
+CampaignClient::health(const std::string &format)
+{
+    Json req = Json::object();
+    req.set("type", Json::string("health"));
+    if (!format.empty())
+        req.set("format", Json::string(format));
+    return oneShot(req);
 }
 
 bool

@@ -30,6 +30,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "service/protocol.hh"
@@ -84,11 +85,25 @@ class CampaignClient
 
     explicit CampaignClient(const Params &params);
 
+    /**
+     * Called from submit(), on the calling thread, once per
+     * `progress` frame received for a stream=true request. Frames
+     * are best-effort telemetry: the wire (or the chaos plan) may
+     * drop or tear individual ones, so observers must tolerate seq
+     * gaps; the terminal result is unaffected either way.
+     */
+    using ProgressFn = std::function<void(const Json &frame)>;
+    void onProgress(ProgressFn fn) { progressFn_ = std::move(fn); }
+
     /** Submit @p request, retrying until answered or exhausted. */
     Reply submit(const Request &request);
 
     /** One stats round-trip (no retries beyond reconnects). */
     Reply stats();
+
+    /** One health round-trip; @p format "" for the JSON snapshot
+     *  or "prometheus" for the text exposition. */
+    Reply health(const std::string &format = "");
 
     /** @return true when the server answers a ping within
      *  @p timeout, polling through connection refusals. */
@@ -99,11 +114,19 @@ class CampaignClient
      *  any transport failure (caller backs off and retries). */
     std::string roundTrip(const std::string &line,
                           std::chrono::milliseconds timeout);
+    /** Like roundTrip, but consumes `progress` frames (feeding
+     *  progressFn_) until a terminal line, EOF or @p deadline. */
+    std::string streamTrip(const std::string &line,
+                           std::chrono::milliseconds lineTimeout,
+                           std::chrono::steady_clock::time_point
+                               deadline);
+    Reply oneShot(const Json &request);
     void backoff(unsigned attempt,
                  std::chrono::milliseconds atLeast);
 
     Params params_;
     Rng rng_;
+    ProgressFn progressFn_;
 };
 
 } // namespace contutto::service

@@ -34,6 +34,8 @@ Request::fromJson(const Json &j)
     if (const Json *p = j.find("priority"))
         r.priority = p->asI64();
     r.deadlineMs = j.getU64("deadlineMs", 0);
+    r.stream = j.getBool("stream", false);
+    r.traceId = j.getU64("traceId", 0);
     if (const Json *c = j.find("config")) {
         if (!c->isObject())
             throw ProtocolError("submit: config must be an object");
@@ -52,6 +54,12 @@ Request::toJson() const
     j.set("seed", Json::number(seed));
     j.set("priority", Json::number(priority));
     j.set("deadlineMs", Json::number(deadlineMs));
+    // Only when set: a non-streaming submit keeps the exact wire
+    // bytes it had before the telemetry plane existed.
+    if (stream)
+        j.set("stream", Json::boolean(true));
+    if (traceId != 0)
+        j.set("traceId", Json::number(traceId));
     j.set("config", config);
     return j;
 }
@@ -200,7 +208,8 @@ putCounter(Json &payload, const char *name, std::uint64_t v)
 } // namespace
 
 std::string
-CampaignJob::run(const std::atomic<bool> &cancel) const
+CampaignJob::run(const std::atomic<bool> &cancel,
+                 Progress *progress) const
 {
     Json payload = Json::object();
     payload.set("kind", Json::string(kind_));
@@ -208,15 +217,29 @@ CampaignJob::run(const std::atomic<bool> &cancel) const
     payload.set("configHash", Json::string(hashHex(configHash_)));
 
     if (kind_ == "spin") {
+        const auto started = std::chrono::steady_clock::now();
         const auto until =
-            std::chrono::steady_clock::now()
-            + std::chrono::milliseconds(spinMs_);
+            started + std::chrono::milliseconds(spinMs_);
+        if (progress)
+            progress->workTotal.store(spinMs_,
+                                      std::memory_order_relaxed);
         while (std::chrono::steady_clock::now() < until) {
             if (cancel.load(std::memory_order_relaxed))
                 throw Cancelled{};
+            if (progress) {
+                auto done = std::chrono::duration_cast<
+                    std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - started);
+                progress->workDone.store(
+                    std::uint64_t(done.count()),
+                    std::memory_order_relaxed);
+            }
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(1));
         }
+        if (progress)
+            progress->workDone.store(spinMs_,
+                                     std::memory_order_relaxed);
         // Deterministic by construction: wall time spent spinning
         // never leaks into the payload.
         putCounter(payload, "spinMs", spinMs_);
@@ -225,10 +248,19 @@ CampaignJob::run(const std::atomic<bool> &cancel) const
     }
 
     if (kind_ == "ras_soak") {
+        // The campaign bodies run opaque; the board still gets the
+        // planned work size up front and completion at the end, so
+        // a streamed frame can at least show scale and phase.
+        if (progress)
+            progress->workTotal.store(soak_.ops,
+                                      std::memory_order_relaxed);
         ras::SoakCampaign::Result r =
             ras::SoakCampaign::run(soak_, &cancel);
         if (r.cancelled)
             throw Cancelled{};
+        if (progress)
+            progress->workDone.store(soak_.ops,
+                                     std::memory_order_relaxed);
         payload.set("healthy", Json::boolean(r.healthy()));
         payload.set("fingerprint",
                     Json::string(hashHex(r.fingerprint())));
@@ -246,12 +278,18 @@ CampaignJob::run(const std::atomic<bool> &cancel) const
     }
 
     // kind_ == "crash" (the constructor admitted nothing else).
+    if (progress)
+        progress->workTotal.store(crash_.powerCuts,
+                                  std::memory_order_relaxed);
     storage::CrashRecoveryCampaign campaign(crash_);
     storage::CrashRecoveryCampaign::RunOptions opts;
     opts.cancel = &cancel;
     storage::CrashRecoveryCampaign::Result r = campaign.run(opts);
     if (campaign.cancelled())
         throw Cancelled{};
+    if (progress)
+        progress->workDone.store(crash_.powerCuts,
+                                 std::memory_order_relaxed);
     putCounter(payload, "cuts", r.cuts);
     putCounter(payload, "recoveries", r.recoveries);
     putCounter(payload, "failedRecoveries", r.failedRecoveries);
@@ -281,6 +319,39 @@ makeResult(const std::string &id, const std::string &status,
     if (!payloadText.empty())
         j.set("payload", Json::parse(payloadText));
     return j;
+}
+
+Json
+makeProgress(const std::string &id, const ProgressSample &sample)
+{
+    Json j = Json::object();
+    j.set("type", Json::string("progress"));
+    j.set("id", Json::string(id));
+    j.set("seq", Json::number(sample.seq));
+    j.set("state", Json::string(sample.state));
+    j.set("elapsedMs", Json::number(sample.elapsedMs));
+    j.set("queueDepth", Json::number(sample.queueDepth));
+    j.set("running", Json::number(sample.running));
+    j.set("workDone", Json::number(sample.workDone));
+    j.set("workTotal", Json::number(sample.workTotal));
+    j.set("heartbeats", Json::number(sample.heartbeats));
+    j.set("traceId", Json::number(sample.traceId));
+    return j;
+}
+
+void
+attachTrace(Json &result, std::uint64_t traceId,
+            std::uint64_t queueUs, std::uint64_t execUs,
+            std::uint64_t serializeUs)
+{
+    Json t = Json::object();
+    t.set("id", Json::number(traceId));
+    t.set("queueUs", Json::number(queueUs));
+    t.set("execUs", Json::number(execUs));
+    t.set("serializeUs", Json::number(serializeUs));
+    t.set("totalUs",
+          Json::number(queueUs + execUs + serializeUs));
+    result.set("trace", t);
 }
 
 Json

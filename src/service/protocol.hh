@@ -13,18 +13,30 @@
  *
  * Request lines:
  *   {"type":"submit","id":"...","kind":"ras_soak|crash|spin",
- *    "seed":N,"priority":N,"deadlineMs":N,"config":{...}}
+ *    "seed":N,"priority":N,"deadlineMs":N,"config":{...},
+ *    "stream":bool,"traceId":N}
  *   {"type":"stats"}           server counters (admission, memo, ...)
+ *   {"type":"health"}          full metrics-registry snapshot
+ *   {"type":"health","format":"prometheus"}
+ *                              same registry, text exposition
+ *                              wrapped in {"text":"..."}
  *   {"type":"ping"}            liveness probe
  *
  * Response lines:
  *   {"type":"result","id":"...","status":"ok|error|timeout|
  *    cancelled","outcome":"...","configHash":"hex","seed":N,
- *    "payload":{...}}          terminal answer for a submit
+ *    "payload":{...},"trace":{"id":N,"queueUs":N,"execUs":N,
+ *    "serializeUs":N}}         terminal answer for a submit
+ *   {"type":"progress","id":"...","seq":N,"state":"queued|
+ *    running","elapsedMs":N,...}
+ *                              streamed before the result when the
+ *                              submit carried stream:true; seq is
+ *                              strictly increasing per request and
+ *                              no frame ever follows the result
  *   {"type":"shed","id":"...","retryAfterMs":N,"reason":"..."}
  *                              admission refused; try again later
  *   {"type":"error","message":"..."}   malformed request
- *   {"type":"stats",...} / {"type":"pong"}
+ *   {"type":"stats",...} / {"type":"health",...} / {"type":"pong"}
  *
  * The campaign kinds:
  *   ras_soak  ras::SoakCampaign       (multi-fault soak, §4 RAS)
@@ -60,6 +72,11 @@ struct Request
     std::int64_t priority = 0;
     /** Wall budget from admission to answer (0: unlimited). */
     std::uint64_t deadlineMs = 0;
+    /** Subscribe to progress frames before the result frame. */
+    bool stream = false;
+    /** Client-chosen trace id threaded through admission, queue,
+     *  execution and respond (0: server assigns one). */
+    std::uint64_t traceId = 0;
     Json config = Json::object();
 
     /** Parse a submit line (already known to be type=submit). */
@@ -87,11 +104,30 @@ class CampaignJob
     std::uint64_t configHash() const { return configHash_; }
 
     /**
+     * Live progress board for one running campaign: the campaign
+     * body publishes work counts, the supervisor tick stamps
+     * heartbeats, and the streaming waiter samples all of it into
+     * progress frames. Atomics because the writer (worker thread),
+     * the ticker (watchdog thread) and the readers (connection
+     * threads) never share a lock.
+     */
+    struct Progress
+    {
+        std::atomic<std::uint64_t> workDone{0};
+        std::atomic<std::uint64_t> workTotal{0};
+        /** Supervisor watchdog ticks observed while running. */
+        std::atomic<std::uint64_t> heartbeats{0};
+    };
+
+    /**
      * Run the campaign to its deterministic payload. @p cancel is
      * the supervisor's cooperative token; a cancelled run throws
      * Cancelled (the supervisor then reports timedOut/cancelled).
+     * A non-null @p progress is updated as the campaign advances;
+     * it never influences the payload (determinism is untouched).
      */
-    std::string run(const std::atomic<bool> &cancel) const;
+    std::string run(const std::atomic<bool> &cancel,
+                    Progress *progress = nullptr) const;
 
     /** Thrown by run() when the cancel token stopped the work. */
     struct Cancelled
@@ -107,15 +143,43 @@ class CampaignJob
     std::uint64_t spinMs_ = 0;
 };
 
+/** One sampled point of a request's life, for a progress frame. */
+struct ProgressSample
+{
+    std::uint64_t seq = 0;
+    /** "queued" or "running". */
+    const char *state = "queued";
+    std::uint64_t elapsedMs = 0;
+    std::uint64_t queueDepth = 0;
+    std::uint64_t running = 0;
+    std::uint64_t workDone = 0;
+    std::uint64_t workTotal = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t traceId = 0;
+};
+
 /** @{ Response constructors (each dumps to one line, no '\n'). */
 Json makeResult(const std::string &id, const std::string &status,
                 const std::string &outcome,
                 std::uint64_t configHash, std::uint64_t seed,
                 const std::string &payloadText);
+Json makeProgress(const std::string &id,
+                  const ProgressSample &sample);
 Json makeShed(const std::string &id, std::uint64_t retryAfterMs,
               const std::string &reason);
 Json makeError(const std::string &message);
 /** @} */
+
+/**
+ * Attach the request-level trace attribution to a result frame:
+ * the trace id plus exact queue-wait, execution and serialization
+ * microseconds. The three stages partition the server-side life of
+ * the request, so their sum tracks the client-observed end-to-end
+ * latency to within scheduling noise.
+ */
+void attachTrace(Json &result, std::uint64_t traceId,
+                 std::uint64_t queueUs, std::uint64_t execUs,
+                 std::uint64_t serializeUs);
 
 /** 16-digit lower-case hex, the canonical hash spelling. */
 std::string hashHex(std::uint64_t h);

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sim/logging.hh"
+#include "sim/span.hh"
 #include "sim/supervisor.hh"
 
 namespace contutto::service
@@ -38,6 +40,16 @@ struct CampaignServer::Job
     std::string outcome; ///< supervisor taxonomy, or "memo"
     std::string payload; ///< deterministic result text (ok only)
     std::string error;
+    /** @} */
+    /** @{ Telemetry plane. The progress board is written by the
+     *  worker and the supervisor watchdog and read by streaming
+     *  waiters without the server lock; everything else follows
+     *  the state field's locking. */
+    CampaignJob::Progress progress;
+    std::uint64_t traceId = 0;
+    std::uint64_t queueUs = 0;     ///< admission -> dispatch
+    std::uint64_t execUs = 0;      ///< dispatch -> verdict
+    std::uint64_t serializeUs = 0; ///< last response rendering
     /** @} */
 };
 
@@ -76,6 +88,109 @@ CampaignServer::CampaignServer(const Params &params)
         throw std::runtime_error("campaign server: need >= 1 "
                                  "worker");
     liveSupervisors_.assign(params_.workers, nullptr);
+    liveJobs_.assign(params_.workers, nullptr);
+    epoch_ = std::chrono::steady_clock::now();
+
+    // Metric naming convention: campaignd_<noun>[_total|_ms|_us],
+    // counters carrying the Prometheus _total suffix in-name so
+    // the JSON snapshot and the exposition agree on spelling.
+    auto C = [this](const char *n, const char *h) {
+        return &registry_.counter(n, h);
+    };
+    mSubmitted_ = C("campaignd_submitted_total",
+                    "Submit requests received");
+    mAccepted_ = C("campaignd_accepted_total",
+                   "Requests admitted to the queue");
+    mCompleted_ = C("campaignd_completed_total",
+                    "Requests answered with a verdict");
+    mShed_ = C("campaignd_shed_total",
+               "Requests refused with a retry-after hint");
+    mDuplicates_ = C("campaignd_duplicates_total",
+                     "Duplicate ids coalesced or replayed");
+    mCoalesced_ = C("campaignd_coalesced_total",
+                    "Fresh ids served by a single-flight twin");
+    mMemoHits_ = C("campaignd_memo_hits_total",
+                   "Answers served from the memo cache");
+    mMemoMisses_ = C("campaignd_memo_misses_total",
+                     "Submits that missed the memo cache");
+    mExecutions_ = C("campaignd_executions_total",
+                     "Campaign executions started");
+    mFaults_ = C("campaignd_faults_injected_total",
+                 "Chaos-plan faults fired");
+    mProtocolErrors_ = C("campaignd_protocol_errors_total",
+                         "Malformed request lines");
+    mProgressFrames_ = C("campaignd_progress_frames_total",
+                         "Progress frames emitted (incl. dropped)");
+    mDrainCancelled_ = C("campaignd_drain_cancelled_total",
+                         "Stragglers cancelled by a blown drain");
+    mTimedOut_ = C("campaignd_timeouts_total",
+                   "Requests answered timeout");
+    mCancelled_ = C("campaignd_cancelled_total",
+                    "Requests answered cancelled");
+    mFailed_ = C("campaignd_failed_total",
+                 "Requests answered error");
+    mSamplerTicks_ = C("campaignd_sampler_ticks_total",
+                       "Telemetry sampler iterations");
+
+    gQueueDepth_ = &registry_.gauge("campaignd_queue_depth",
+                                    "Requests waiting in the "
+                                    "admission queue");
+    gRunning_ = &registry_.gauge("campaignd_running",
+                                 "Campaigns executing right now");
+    gInFlight_ = &registry_.gauge("campaignd_inflight",
+                                  "Admitted, not yet answered");
+    gDraining_ = &registry_.gauge("campaignd_draining",
+                                  "1 while admission is closed");
+
+    const std::vector<std::uint64_t> msEdges{
+        1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+        15000, 60000};
+    const std::vector<std::uint64_t> usEdges{
+        10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000,
+        250000};
+    const std::vector<std::uint64_t> depthEdges{
+        0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+    hQueueWaitMs_ = &registry_.histogram(
+        "campaignd_queue_wait_ms",
+        "Admission-to-dispatch wait per executed request", msEdges);
+    hExecMs_ = &registry_.histogram(
+        "campaignd_exec_ms", "Dispatch-to-verdict execution time",
+        msEdges);
+    hSerializeUs_ = &registry_.histogram(
+        "campaignd_serialize_us",
+        "Result-frame rendering time", usEdges);
+    hE2eMs_ = &registry_.histogram(
+        "campaignd_e2e_ms",
+        "Admission-to-answer latency per request", msEdges);
+    hQueueDepthSampled_ = &registry_.histogram(
+        "campaignd_queue_depth_sampled",
+        "Queue depth observed by the periodic sampler",
+        depthEdges);
+    hRunningSampled_ = &registry_.histogram(
+        "campaignd_running_sampled",
+        "In-execution count observed by the periodic sampler",
+        depthEdges);
+}
+
+std::uint64_t
+CampaignServer::nowUs() const
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+std::uint64_t
+CampaignServer::traceIdFor(std::uint64_t requested)
+{
+    if (requested != 0)
+        return requested;
+    // Server-assigned ids live in their own (epoch-salted) range
+    // so they cannot collide with small client-chosen ones.
+    return (std::uint64_t(1) << 48)
+           | (traceSeq_.fetch_add(1, std::memory_order_relaxed)
+              + 1);
 }
 
 CampaignServer::~CampaignServer()
@@ -125,6 +240,33 @@ CampaignServer::start()
     acceptThread_ = std::thread([this] { acceptLoop(); });
     for (unsigned i = 0; i < params_.workers; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
+    if (params_.samplePeriod.count() > 0)
+        samplerThread_ = std::thread([this] { samplerLoop(); });
+}
+
+void
+CampaignServer::samplerLoop()
+{
+    std::unique_lock<std::mutex> lk(samplerMtx_);
+    while (!samplerStop_) {
+        samplerCv_.wait_for(lk, params_.samplePeriod);
+        if (samplerStop_)
+            return;
+        std::size_t depth, running;
+        {
+            std::lock_guard<std::mutex> g(mtx_);
+            depth = queue_.size();
+            running = stats_.running;
+        }
+        // The gauges are also maintained at every mutation site;
+        // the sampler's job is the *trajectory*: histograms of
+        // depth and occupancy over time, so a health scrape after
+        // a burst still shows how deep the queue got and for how
+        // long, not just where it happens to be now.
+        hQueueDepthSampled_->observe(depth);
+        hRunningSampled_->observe(running);
+        mSamplerTicks_->inc();
+    }
 }
 
 void
@@ -198,6 +340,8 @@ CampaignServer::handleLine(int fd, const std::string &line)
         }
         if (type == "stats")
             return respond(fd, statsJson(), false);
+        if (type == "health")
+            return respond(fd, healthJson(doc), false);
         if (type == "submit")
             return handleSubmit(fd, doc);
         throw ProtocolError("unknown request type '" + type + "'");
@@ -206,19 +350,78 @@ CampaignServer::handleLine(int fd, const std::string &line)
             std::lock_guard<std::mutex> lk(mtx_);
             ++stats_.protocolErrors;
         }
+        mProtocolErrors_->inc();
         return respond(fd, makeError(e.what()), false);
     }
 }
 
 Json
-CampaignServer::resultFor(const Job &job) const
+CampaignServer::healthJson(const Json &doc)
 {
-    return makeResult(job.req.id,
-                      job.status,
-                      job.outcome,
-                      job.campaign->configHash(),
-                      job.req.seed,
-                      job.status == "ok" ? job.payload : "");
+    Json j = Json::object();
+    j.set("type", Json::string("health"));
+    if (doc.getString("format", "") == "prometheus") {
+        // The exposition is a multi-line text document; the wire is
+        // one JSON line per response, so it travels as a string.
+        j.set("format", Json::string("prometheus"));
+        j.set("text", Json::string(prometheusText()));
+        return j;
+    }
+    metrics::Snapshot snap = registry_.snapshot();
+    j.set("uptimeMs", Json::number(nowUs() / 1000));
+    Json counters = Json::object();
+    for (const auto &c : snap.counters)
+        counters.set(c.name, Json::number(c.value));
+    Json gauges = Json::object();
+    for (const auto &g : snap.gauges)
+        gauges.set(g.name, Json::number(g.value));
+    Json hists = Json::object();
+    for (const auto &h : snap.histograms) {
+        Json hj = Json::object();
+        Json le = Json::array();
+        for (std::uint64_t e : h.le)
+            le.append(Json::number(e));
+        le.append(Json::makeNull()); // the +Inf bucket
+        hj.set("le", std::move(le));
+        Json buckets = Json::array();
+        for (std::uint64_t b : h.buckets)
+            buckets.append(Json::number(b));
+        hj.set("buckets", std::move(buckets));
+        hj.set("count", Json::number(h.count));
+        hj.set("sum", Json::number(h.sum));
+        hists.set(h.name, std::move(hj));
+    }
+    Json m = Json::object();
+    m.set("counters", std::move(counters));
+    m.set("gauges", std::move(gauges));
+    m.set("histograms", std::move(hists));
+    j.set("metrics", std::move(m));
+    return j;
+}
+
+Json
+CampaignServer::resultFor(Job &job)
+{
+    const std::uint64_t t0 = nowUs();
+    span::open(job.traceId, "svc.serialize", t0);
+    Json res = makeResult(job.req.id,
+                          job.status,
+                          job.outcome,
+                          job.campaign->configHash(),
+                          job.req.seed,
+                          job.status == "ok" ? job.payload : "");
+    // The attribution must travel *inside* the frame, so what is
+    // timed is a full rendering of the frame without the trace
+    // object; attaching the O(1) trace afterwards does not move it.
+    volatile std::size_t rendered = res.dump().size();
+    (void)rendered;
+    const std::uint64_t t1 = nowUs();
+    job.serializeUs = t1 - t0;
+    span::close(job.traceId, "svc.serialize", t1);
+    hSerializeUs_->observe(job.serializeUs);
+    attachTrace(res, job.traceId, job.queueUs, job.execUs,
+                job.serializeUs);
+    return res;
 }
 
 bool
@@ -232,22 +435,26 @@ CampaignServer::handleSubmit(int fd, const Json &doc)
     if (req.deadlineMs == 0)
         req.deadlineMs = params_.defaultDeadlineMs;
 
+    // seq for this request's progress stream: strictly increasing
+    // across every wait this submit performs (duplicate coalesce,
+    // single-flight twin, own execution), so the client sees one
+    // monotone sequence however the answer was produced.
+    std::uint64_t progressSeq = 0;
+
     std::shared_ptr<Job> job;
     {
         std::unique_lock<std::mutex> lk(mtx_);
         ++stats_.submitted;
+        mSubmitted_->inc();
 
         // Idempotency: one execution per id, ever.
         auto inFlight = active_.find(req.id);
         if (inFlight != active_.end()) {
             ++stats_.duplicates;
+            mDuplicates_->inc();
             job = inFlight->second;
-            jobDone_.wait(lk, [&] {
-                return job->state == Job::State::done
-                       || stopping_.load(
-                           std::memory_order_relaxed);
-            });
-            if (job->state != Job::State::done)
+            if (!waitForJob(lk, fd, req, job, req.stream,
+                            progressSeq))
                 return false;
             Json res = resultFor(*job);
             lk.unlock();
@@ -256,6 +463,7 @@ CampaignServer::handleSubmit(int fd, const Json &doc)
         auto replay = done_.find(req.id);
         if (replay != done_.end()) {
             ++stats_.duplicates;
+            mDuplicates_->inc();
             // Refresh the replay window.
             doneLru_.splice(doneLru_.end(), doneLru_,
                             replay->second);
@@ -279,16 +487,24 @@ CampaignServer::handleSubmit(int fd, const Json &doc)
             ++stats_.memoHits;
             ++stats_.completed;
         }
-        return respond(fd,
-                       makeResult(req.id, "ok", "memo",
-                                  campaign->configHash(), req.seed,
-                                  hit),
-                       true);
+        mMemoHits_->inc();
+        mCompleted_->inc();
+        // A memo hit never queued and never executed: its trace
+        // attribution is (0, 0, measured serialization).
+        Job fast;
+        fast.req = req;
+        fast.campaign = campaign;
+        fast.status = "ok";
+        fast.outcome = "memo";
+        fast.payload = hit;
+        fast.traceId = traceIdFor(req.traceId);
+        return respond(fd, resultFor(fast), true);
     }
 
     {
         std::unique_lock<std::mutex> lk(mtx_);
         ++stats_.memoMisses;
+        mMemoMisses_->inc();
 
         // Single-flight per key: a fresh id whose (config hash,
         // seed) twin is already admitted waits for that twin
@@ -302,19 +518,23 @@ CampaignServer::handleSubmit(int fd, const Json &doc)
             if (twin == keyActive_.end())
                 break;
             std::shared_ptr<Job> lead = twin->second;
-            jobDone_.wait(lk, [&] {
-                return lead->state == Job::State::done
-                       || stopping_.load(
-                           std::memory_order_relaxed);
-            });
-            if (lead->state != Job::State::done)
+            if (!waitForJob(lk, fd, req, lead, req.stream,
+                            progressSeq))
                 return false;
             if (lead->status == "ok") {
                 ++stats_.memoHits;
                 ++stats_.completed;
-                Json res = makeResult(req.id, "ok", "memo",
-                                      campaign->configHash(),
-                                      req.seed, lead->payload);
+                mCoalesced_->inc();
+                mMemoHits_->inc();
+                mCompleted_->inc();
+                Job fast;
+                fast.req = req;
+                fast.campaign = campaign;
+                fast.status = "ok";
+                fast.outcome = "memo";
+                fast.payload = lead->payload;
+                fast.traceId = traceIdFor(req.traceId);
+                Json res = resultFor(fast);
                 lk.unlock();
                 return respond(fd, res, true);
             }
@@ -324,6 +544,7 @@ CampaignServer::handleSubmit(int fd, const Json &doc)
         // an explicit hint instead of queueing without bound.
         if (draining_) {
             ++stats_.shed;
+            mShed_->inc();
             std::uint64_t after = params_.shedRetryAfterMs * 4;
             lk.unlock();
             return respond(
@@ -331,6 +552,7 @@ CampaignServer::handleSubmit(int fd, const Json &doc)
         }
         if (queue_.size() >= params_.queueCap) {
             ++stats_.shed;
+            mShed_->inc();
             // Deeper backlog, longer hint: crude but monotonic.
             std::uint64_t after =
                 params_.shedRetryAfterMs
@@ -345,21 +567,22 @@ CampaignServer::handleSubmit(int fd, const Json &doc)
         job->campaign = campaign;
         job->seq = seq_++;
         job->admitted = std::chrono::steady_clock::now();
+        job->traceId = traceIdFor(req.traceId);
+        span::open(job->traceId, "svc.queue", nowUs());
         active_[req.id] = job;
         keyActive_[key] = job;
         queue_.emplace(std::make_pair(-req.priority, job->seq),
                        job);
         ++stats_.accepted;
+        mAccepted_->inc();
+        gInFlight_->add(1);
         stats_.queueDepth = queue_.size();
+        gQueueDepth_->set(std::int64_t(queue_.size()));
         stats_.queuePeak =
             std::max(stats_.queuePeak, queue_.size());
         workAvail_.notify_one();
 
-        jobDone_.wait(lk, [&] {
-            return job->state == Job::State::done
-                   || stopping_.load(std::memory_order_relaxed);
-        });
-        if (job->state != Job::State::done)
+        if (!waitForJob(lk, fd, req, job, req.stream, progressSeq))
             return false;
         Json res = resultFor(*job);
         lk.unlock();
@@ -367,11 +590,112 @@ CampaignServer::handleSubmit(int fd, const Json &doc)
     }
 }
 
+bool
+CampaignServer::waitForJob(std::unique_lock<std::mutex> &lk, int fd,
+                           const Request &req,
+                           const std::shared_ptr<Job> &watch,
+                           bool streaming, std::uint64_t &seq)
+{
+    auto donePred = [&] {
+        return watch->state == Job::State::done
+               || stopping_.load(std::memory_order_relaxed);
+    };
+    if (!streaming) {
+        jobDone_.wait(lk, donePred);
+        return watch->state == Job::State::done;
+    }
+
+    // Progress frames and the terminal result are written by this
+    // same thread, so "seq strictly increasing, nothing after the
+    // result" holds by construction, not by buffering discipline.
+    const auto t0 = std::chrono::steady_clock::now();
+    auto next = t0 + params_.progressPeriod;
+    for (;;) {
+        if (jobDone_.wait_until(lk, next, donePred))
+            break;
+        ProgressSample s;
+        s.seq = ++seq;
+        s.state = watch->state == Job::State::running ? "running"
+                                                      : "queued";
+        s.elapsedMs = std::uint64_t(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        s.queueDepth = queue_.size();
+        s.running = stats_.running;
+        s.workDone =
+            watch->progress.workDone.load(std::memory_order_relaxed);
+        s.workTotal = watch->progress.workTotal.load(
+            std::memory_order_relaxed);
+        s.heartbeats = watch->progress.heartbeats.load(
+            std::memory_order_relaxed);
+        s.traceId = watch->traceId;
+        Json frame = makeProgress(req.id, s);
+        lk.unlock();
+        mProgressFrames_->inc();
+        bool alive = respondProgress(fd, frame);
+        lk.lock();
+        if (!alive) {
+            // Peer is gone mid-stream. Still wait the job out: the
+            // execution must complete (exactly-once), and a client
+            // retry of this id will replay the recorded verdict.
+            jobDone_.wait(lk, donePred);
+            break;
+        }
+        // Keep the cadence: an injected delay (or a slow peer) must
+        // not produce a burst of catch-up frames afterwards.
+        next += params_.progressPeriod;
+        auto now = std::chrono::steady_clock::now();
+        if (next < now)
+            next = now + params_.progressPeriod;
+    }
+    return watch->state == Job::State::done;
+}
+
+bool
+CampaignServer::respondProgress(int fd, const Json &frame)
+{
+    std::string line = frame.dump();
+    line += '\n';
+
+    const FaultPlan &f = params_.faults;
+    std::uint64_t n = progressTick_.fetch_add(1) + 1;
+    auto fires = [n](unsigned every) {
+        return every != 0 && n % every == 0;
+    };
+    auto countFault = [this] {
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            ++stats_.faultsInjected;
+        }
+        mFaults_->inc();
+    };
+    // Progress is best-effort telemetry: an injected fault mangles
+    // THIS frame (the client sees a seq gap or a torn line) but
+    // never closes the stream — only the result frame owns the
+    // connection's fate.
+    if (fires(f.dropEveryN)) {
+        countFault();
+        return true;
+    }
+    if (fires(f.truncateEveryN)) {
+        countFault();
+        return writeAll(fd, line.data(), line.size() / 2);
+    }
+    if (fires(f.delayEveryN)) {
+        countFault();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(f.delayMs));
+    }
+    return writeAll(fd, line.data(), line.size());
+}
+
 void
 CampaignServer::workerLoop(unsigned index)
 {
     for (;;) {
         std::shared_ptr<Job> job;
+        std::chrono::steady_clock::time_point dispatched;
         {
             std::unique_lock<std::mutex> lk(mtx_);
             workAvail_.wait(lk, [&] {
@@ -386,23 +710,60 @@ CampaignServer::workerLoop(unsigned index)
             job = queue_.begin()->second;
             queue_.erase(queue_.begin());
             stats_.queueDepth = queue_.size();
+            gQueueDepth_->set(std::int64_t(queue_.size()));
             job->state = Job::State::running;
             ++stats_.running;
+            gRunning_->set(std::int64_t(stats_.running));
+            liveJobs_[index] = job;
+            // Dispatch closes the queue stage of the trace: the
+            // admission-to-here wait is the exact queueUs the
+            // result frame will report.
+            dispatched = std::chrono::steady_clock::now();
+            job->queueUs = std::uint64_t(
+                std::chrono::duration_cast<
+                    std::chrono::microseconds>(dispatched
+                                               - job->admitted)
+                    .count());
+            const std::uint64_t t = nowUs();
+            span::close(job->traceId, "svc.queue", t);
+            span::open(job->traceId, "svc.exec", t);
+            hQueueWaitMs_->observe(job->queueUs / 1000);
         }
 
         runJob(job, index);
 
         {
             std::lock_guard<std::mutex> lk(mtx_);
+            const auto finished = std::chrono::steady_clock::now();
+            job->execUs = std::uint64_t(
+                std::chrono::duration_cast<
+                    std::chrono::microseconds>(finished
+                                               - dispatched)
+                    .count());
+            span::close(job->traceId, "svc.exec", nowUs());
+            hExecMs_->observe(job->execUs / 1000);
+            hE2eMs_->observe(std::uint64_t(
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(finished
+                                               - job->admitted)
+                    .count()));
             job->state = Job::State::done;
             --stats_.running;
+            gRunning_->set(std::int64_t(stats_.running));
+            liveJobs_[index] = nullptr;
             ++stats_.completed;
-            if (job->status == "error")
+            mCompleted_->inc();
+            gInFlight_->sub(1);
+            if (job->status == "error") {
                 ++stats_.failed;
-            else if (job->status == "timeout")
+                mFailed_->inc();
+            } else if (job->status == "timeout") {
                 ++stats_.timedOut;
-            else if (job->status == "cancelled")
+                mTimedOut_->inc();
+            } else if (job->status == "cancelled") {
                 ++stats_.cancelled;
+                mCancelled_->inc();
+            }
             active_.erase(job->req.id);
             auto ka = keyActive_.find(std::make_pair(
                 job->campaign->configHash(), job->req.seed));
@@ -449,6 +810,7 @@ CampaignServer::runJob(const std::shared_ptr<Job> &job,
     std::string hit = memo_.lookup(job->campaign->configHash(),
                                    job->req.seed);
     if (!hit.empty()) {
+        mMemoHits_->inc();
         std::lock_guard<std::mutex> lk(mtx_);
         ++stats_.memoHits;
         job->status = "ok";
@@ -470,12 +832,23 @@ CampaignServer::runJob(const std::shared_ptr<Job> &job,
     sp.watchdogInterval = params_.watchdogInterval;
     sp.cancelGrace = params_.cancelGrace;
     sp.backoffSeed = job->req.seed;
+    // The watchdog tick doubles as the request's liveness signal:
+    // every scan stamps a heartbeat on the progress board, which
+    // streaming waiters forward in their frames. A stalled campaign
+    // shows heartbeats advancing while workDone does not.
+    sp.onTick = [job] {
+        job->progress.heartbeats.fetch_add(
+            1, std::memory_order_relaxed);
+    };
     CampaignSupervisor sup(sp);
     {
         std::lock_guard<std::mutex> lk(mtx_);
         ++stats_.executions;
-        if (params_.faults.crashEveryN != 0 && injectCrash)
+        mExecutions_->inc();
+        if (params_.faults.crashEveryN != 0 && injectCrash) {
             ++stats_.faultsInjected;
+            mFaults_->inc();
+        }
         liveSupervisors_[worker] = &sup;
         if (stopping_.load(std::memory_order_relaxed))
             sup.cancelAll();
@@ -493,7 +866,7 @@ CampaignServer::runJob(const std::shared_ptr<Job> &job,
             throw std::runtime_error(
                 "chaos: injected worker crash");
         }
-        payload = job->campaign->run(cancel);
+        payload = job->campaign->run(cancel, &job->progress);
     };
     auto farm = sup.run(tasks);
 
@@ -613,6 +986,33 @@ CampaignServer::requestDrain()
 {
     std::lock_guard<std::mutex> lk(mtx_);
     draining_ = true;
+    gDraining_->set(1);
+}
+
+void
+CampaignServer::logDrainCancel(const Job &job, const char *state)
+{
+    // One structured line per straggler a blown drain budget killed:
+    // enough to answer "which request, which work, how much deadline
+    // was left" from the log alone.
+    std::int64_t remainingMs = -1; // -1: request had no deadline
+    if (job.req.deadlineMs != 0) {
+        auto elapsed = std::chrono::duration_cast<
+            std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - job.admitted);
+        remainingMs = std::int64_t(job.req.deadlineMs)
+                      - std::int64_t(elapsed.count());
+    }
+    Json j = Json::object();
+    j.set("event", Json::string("drain-cancel"));
+    j.set("id", Json::string(job.req.id));
+    j.set("key",
+          Json::string(hashHex(job.campaign->configHash()) + ":"
+                       + std::to_string(job.req.seed)));
+    j.set("state", Json::string(state));
+    j.set("deadlineRemainingMs", Json::number(remainingMs));
+    contutto::warn("campaignd: %s", j.dump().c_str());
+    mDrainCancelled_->inc();
 }
 
 bool
@@ -638,12 +1038,16 @@ CampaignServer::stop()
             // explicit answer — cancellation, not silence.
             for (auto &entry : queue_) {
                 Job &job = *entry.second;
+                logDrainCancel(job, "queued");
                 job.state = Job::State::done;
                 job.status = "cancelled";
                 job.outcome = "cancelled";
                 job.error = "server shutting down";
                 ++stats_.completed;
                 ++stats_.cancelled;
+                mCompleted_->inc();
+                mCancelled_->inc();
+                gInFlight_->sub(1);
                 active_.erase(job.req.id);
                 auto ka = keyActive_.find(std::make_pair(
                     job.campaign->configHash(), job.req.seed));
@@ -653,9 +1057,14 @@ CampaignServer::stop()
             }
             queue_.clear();
             stats_.queueDepth = 0;
-            for (sim::CampaignSupervisor *sup : liveSupervisors_)
-                if (sup != nullptr)
-                    sup->cancelAll();
+            gQueueDepth_->set(0);
+            for (unsigned i = 0; i < params_.workers; ++i) {
+                if (liveSupervisors_[i] == nullptr)
+                    continue;
+                if (liveJobs_[i])
+                    logDrainCancel(*liveJobs_[i], "running");
+                liveSupervisors_[i]->cancelAll();
+            }
             jobDone_.notify_all();
             // Stragglers unwind within the cancel grace; their
             // waiters respond before we tear the threads down.
@@ -667,9 +1076,16 @@ CampaignServer::stop()
     stopping_.store(true);
     workAvail_.notify_all();
     jobDone_.notify_all();
+    {
+        std::lock_guard<std::mutex> lk(samplerMtx_);
+        samplerStop_ = true;
+    }
+    samplerCv_.notify_all();
 
     // Phase 2: tear down threads. Workers exit when the queue is
     // empty; connections notice stopping_ within one poll tick.
+    if (samplerThread_.joinable())
+        samplerThread_.join();
     for (std::thread &w : workers_)
         w.join();
     workers_.clear();

@@ -42,6 +42,21 @@
  *    truncated responses and worker crashes on a deterministic
  *    cadence, so the chaos harness can attack the service layer
  *    itself and assert the exactly-once contract end to end.
+ *
+ *  - *Live telemetry.* Every admission decision, queue wait, memo
+ *    probe, execution and response is mirrored into a lock-cheap
+ *    MetricsRegistry (sim/metrics.hh) that a `health` request can
+ *    snapshot at any moment — JSON or Prometheus text — without
+ *    perturbing the workload. A submit carrying `stream:true`
+ *    additionally receives rate-limited, seq-numbered `progress`
+ *    frames on its own connection while it waits (queued and
+ *    running states, work counts, supervisor heartbeats), always
+ *    strictly before its terminal `result` frame. Each request
+ *    carries a trace id; the server opens svc.queue / svc.exec /
+ *    svc.serialize spans against it (sim/span.hh), reports the
+ *    exact same microsecond attribution in the result frame, and
+ *    a periodic sampler thread records queue-depth and in-flight
+ *    trajectories between requests.
  */
 
 #ifndef CONTUTTO_SERVICE_SERVER_HH
@@ -62,6 +77,7 @@
 
 #include "service/memo_cache.hh"
 #include "service/protocol.hh"
+#include "sim/metrics.hh"
 
 namespace contutto::sim
 {
@@ -113,6 +129,11 @@ class CampaignServer
         std::chrono::milliseconds cancelGrace{2000};
         /** Drain budget before in-flight work is cancelled. */
         std::chrono::milliseconds drainTimeout{30000};
+        /** Rate limit between progress frames per streaming
+         *  request (the subscription knob is per-submit). */
+        std::chrono::milliseconds progressPeriod{100};
+        /** Telemetry sampler cadence (0 disables the sampler). */
+        std::chrono::milliseconds samplePeriod{50};
         FaultPlan faults;
     };
 
@@ -166,11 +187,24 @@ class CampaignServer
     }
     const MemoCache &memo() const { return memo_; }
 
+    /** Point-in-time read of the live metrics registry. */
+    metrics::Snapshot metricsSnapshot() const
+    {
+        return registry_.snapshot();
+    }
+
+    /** Prometheus text exposition of the registry. */
+    std::string prometheusText() const
+    {
+        return registry_.prometheusText();
+    }
+
   private:
     struct Job;
 
     void acceptLoop();
     void workerLoop(unsigned index);
+    void samplerLoop();
     void handleConnection(int fd);
     /** One request line -> one response line (or injected fault).
      *  @return false when the connection must close. */
@@ -178,8 +212,28 @@ class CampaignServer
     bool handleSubmit(int fd, const Json &doc);
     void runJob(const std::shared_ptr<Job> &job, unsigned worker);
     bool respond(int fd, const Json &response, bool faultable);
+    /** Emit one progress frame (never closes the stream on an
+     *  injected fault). @return false when the peer is gone. */
+    bool respondProgress(int fd, const Json &frame);
+    /**
+     * Wait (under @p lk) until @p watch completes or the server
+     * stops; when @p streaming, emits rate-limited seq-numbered
+     * progress frames for @p req to @p fd along the way.
+     * @return true when the job reached done.
+     */
+    bool waitForJob(std::unique_lock<std::mutex> &lk, int fd,
+                    const Request &req,
+                    const std::shared_ptr<Job> &watch,
+                    bool streaming, std::uint64_t &seq);
     Json statsJson();
-    Json resultFor(const Job &job) const;
+    Json healthJson(const Json &doc);
+    Json resultFor(Job &job);
+    /** Microseconds since the server epoch (span tick domain). */
+    std::uint64_t nowUs() const;
+    /** Assign/confirm a request trace id (0 -> fresh). */
+    std::uint64_t traceIdFor(std::uint64_t requested);
+    /** One structured drain-cancellation error-log line. */
+    void logDrainCancel(const Job &job, const char *state);
 
     Params params_;
     MemoCache memo_;
@@ -210,6 +264,8 @@ class CampaignServer
         done_;
     /** Per-worker live supervisor, for drain-timeout cancel. */
     std::vector<sim::CampaignSupervisor *> liveSupervisors_;
+    /** Per-worker job in execution, for drain straggler logging. */
+    std::vector<std::shared_ptr<Job>> liveJobs_;
     Stats stats_;
     std::uint64_t seq_ = 0;
     bool draining_ = false;
@@ -217,8 +273,46 @@ class CampaignServer
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> responseTick_{0};
     std::atomic<std::uint64_t> executionTick_{0};
+    std::atomic<std::uint64_t> progressTick_{0};
+    std::atomic<std::uint64_t> traceSeq_{0};
     bool started_ = false;
     bool stopped_ = false;
+
+    /** @{ Live telemetry plane. */
+    metrics::MetricsRegistry registry_;
+    metrics::Counter *mSubmitted_ = nullptr;
+    metrics::Counter *mAccepted_ = nullptr;
+    metrics::Counter *mCompleted_ = nullptr;
+    metrics::Counter *mShed_ = nullptr;
+    metrics::Counter *mDuplicates_ = nullptr;
+    metrics::Counter *mCoalesced_ = nullptr;
+    metrics::Counter *mMemoHits_ = nullptr;
+    metrics::Counter *mMemoMisses_ = nullptr;
+    metrics::Counter *mExecutions_ = nullptr;
+    metrics::Counter *mFaults_ = nullptr;
+    metrics::Counter *mProtocolErrors_ = nullptr;
+    metrics::Counter *mProgressFrames_ = nullptr;
+    metrics::Counter *mDrainCancelled_ = nullptr;
+    metrics::Counter *mTimedOut_ = nullptr;
+    metrics::Counter *mCancelled_ = nullptr;
+    metrics::Counter *mFailed_ = nullptr;
+    metrics::Counter *mSamplerTicks_ = nullptr;
+    metrics::Gauge *gQueueDepth_ = nullptr;
+    metrics::Gauge *gRunning_ = nullptr;
+    metrics::Gauge *gInFlight_ = nullptr;
+    metrics::Gauge *gDraining_ = nullptr;
+    metrics::Histogram *hQueueWaitMs_ = nullptr;
+    metrics::Histogram *hExecMs_ = nullptr;
+    metrics::Histogram *hSerializeUs_ = nullptr;
+    metrics::Histogram *hE2eMs_ = nullptr;
+    metrics::Histogram *hQueueDepthSampled_ = nullptr;
+    metrics::Histogram *hRunningSampled_ = nullptr;
+    std::chrono::steady_clock::time_point epoch_;
+    std::thread samplerThread_;
+    std::mutex samplerMtx_;
+    std::condition_variable samplerCv_;
+    bool samplerStop_ = false;
+    /** @} */
 };
 
 } // namespace contutto::service

@@ -217,7 +217,19 @@ Histogram::json(std::ostream &os) const
     jsonNumber(dist_.count() ? quantile(0.99) : NAN, os);
     os << ",\"bucketWidth\":";
     jsonNumber(width_, os);
-    os << ",\"buckets\":[";
+    // Explicit upper bucket edges, one per bucket, so stats-JSON
+    // consumers and the Prometheus exposition (sim/metrics.hh) agree
+    // on boundaries without re-deriving them from bucketWidth. The
+    // overflow bucket has no finite edge: null, the +Inf marker.
+    os << ",\"le\":[";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        os << (i ? "," : "");
+        if (i == buckets_.size() - 1)
+            os << "null";
+        else
+            jsonNumber(double(i + 1) * width_, os);
+    }
+    os << "],\"buckets\":[";
     for (std::size_t i = 0; i < buckets_.size(); ++i)
         os << (i ? "," : "") << buckets_[i];
     os << "]}";

@@ -75,6 +75,16 @@ CampaignSupervisor::watchdogLoop()
         cv_.wait_for(lk, params_.watchdogInterval);
         if (watchdogStop_)
             return;
+        if (params_.onTick) {
+            // Outside the lock: the tick callback may read slot-
+            // external state (progress boards, metric gauges) that
+            // its owner also touches while holding other locks.
+            lk.unlock();
+            params_.onTick();
+            lk.lock();
+            if (watchdogStop_)
+                return;
+        }
         const auto now = std::chrono::steady_clock::now();
         const bool global =
             globalCancel_.load(std::memory_order_relaxed);

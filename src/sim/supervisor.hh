@@ -108,6 +108,15 @@ class CampaignSupervisor
         std::chrono::milliseconds backoffBase{1};
         std::chrono::milliseconds backoffCap{250};
         /** @} */
+        /**
+         * Called once per watchdog scan (so roughly every
+         * watchdogInterval while run() is live), outside the
+         * supervisor lock. The campaign service hangs its periodic
+         * telemetry sampler here: progress heartbeats and live
+         * execution gauges tick at the same cadence that guards
+         * the deadlines, with no extra thread. Must not block.
+         */
+        std::function<void()> onTick;
     };
 
     /** Exactly one per task; the error taxonomy of the campaign. */

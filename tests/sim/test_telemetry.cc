@@ -129,6 +129,28 @@ TEST(StatsJson, SnapshotsTheWholeTree)
     EXPECT_NE(out.find("\"mean\":2"), std::string::npos);
 }
 
+TEST(StatsJson, HistogramCarriesExplicitLeEdges)
+{
+    stats::StatGroup g("g");
+    stats::Histogram h(&g, "h", "latency", 10.0, 4);
+    h.sample(5);
+    h.sample(15);
+    h.sample(1000); // overflow
+
+    std::ostringstream os;
+    stats::toJson(g, os);
+    std::string out = os.str();
+
+    EXPECT_TRUE(telemetry::jsonLint(out));
+    // One explicit edge per bucket — no consumer should have to
+    // re-derive boundaries from bucketWidth — and the overflow
+    // bucket's edge is null, the +Inf marker.
+    EXPECT_NE(out.find("\"le\":[10,20,30,40,null]"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"buckets\":[1,1,0,0,1]"),
+              std::string::npos);
+}
+
 TEST(StatsJson, NonFiniteValuesBecomeNull)
 {
     stats::StatGroup g("g");
