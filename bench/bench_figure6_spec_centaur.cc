@@ -30,7 +30,15 @@ main(int argc, char **argv)
     };
 
     auto profiles = specCint2006();
-    constexpr std::uint64_t instructions = 250000;
+    const std::uint64_t instructions =
+        bench::parseUnsigned(argc, argv, "--instructions", 250000);
+    const sim::SamplingConfig sampling = tm.samplingConfig();
+    if (sampling.enabled)
+        std::printf("sampled mode: warmup %llu window %llu period "
+                    "%llu (misses)\n",
+                    (unsigned long long)sampling.warmupUnits,
+                    (unsigned long long)sampling.windowUnits,
+                    (unsigned long long)sampling.periodUnits);
 
     // Column headers carry the measured latency of each config.
     double latency[4];
@@ -47,6 +55,7 @@ main(int argc, char **argv)
     bench::rule();
 
     double worst[4] = {1, 1, 1, 1};
+    std::uint64_t detailedMisses = 0, ffMisses = 0;
     for (const auto &prof : profiles) {
         double runtime[4];
         for (int c = 0; c < 4; ++c) {
@@ -54,9 +63,11 @@ main(int argc, char **argv)
                 bench::centaurSystem(configs[c]));
             if (!sys.train())
                 return 1;
-            runtime[c] =
-                runSpecProfile(sys, prof, instructions)
-                    .runtimeSeconds;
+            auto res =
+                runSpecProfile(sys, prof, instructions, sampling);
+            runtime[c] = res.runtimeSeconds;
+            detailedMisses += res.sampling.detailedUnits;
+            ffMisses += res.sampling.fastForwardUnits;
         }
         std::printf("%-16s", prof.name.c_str());
         for (int c = 0; c < 4; ++c) {
@@ -72,5 +83,12 @@ main(int argc, char **argv)
         std::printf(" %11.3f", worst[c]);
     std::printf("\n\npaper shape: modest drops even at 249 ns; the "
                 "miss-heavy pointer chasers lose the most\n");
+    if (sampling.enabled && detailedMisses + ffMisses > 0)
+        std::printf("sampled: %llu of %llu misses in detail "
+                    "(%.1f%%)\n",
+                    (unsigned long long)detailedMisses,
+                    (unsigned long long)(detailedMisses + ffMisses),
+                    100.0 * double(detailedMisses)
+                        / double(detailedMisses + ffMisses));
     return 0;
 }

@@ -23,7 +23,15 @@ main(int argc, char **argv)
                   "baseline = 1.0)");
 
     auto profiles = specCint2006();
-    constexpr std::uint64_t instructions = 250000;
+    const std::uint64_t instructions =
+        bench::parseUnsigned(argc, argv, "--instructions", 250000);
+    const sim::SamplingConfig sampling = tm.samplingConfig();
+    if (sampling.enabled)
+        std::printf("sampled mode: warmup %llu window %llu period "
+                    "%llu (misses)\n",
+                    (unsigned long long)sampling.warmupUnits,
+                    (unsigned long long)sampling.windowUnits,
+                    (unsigned long long)sampling.periodUnits);
     const unsigned knobs[] = {0, 2, 6, 7};
 
     std::printf("%-16s %9s", "benchmark", "centaur");
@@ -39,7 +47,8 @@ main(int argc, char **argv)
         if (!base.train())
             return 1;
         double base_runtime =
-            runSpecProfile(base, prof, instructions).runtimeSeconds;
+            runSpecProfile(base, prof, instructions, sampling)
+                .runtimeSeconds;
         if (&prof == &profiles.front())
             tm.capture("centaur-" + prof.name, base);
 
@@ -51,7 +60,7 @@ main(int argc, char **argv)
                 return 1;
             sys.card()->mbs().setKnobPosition(k);
             double runtime =
-                runSpecProfile(sys, prof, instructions)
+                runSpecProfile(sys, prof, instructions, sampling)
                     .runtimeSeconds;
             double ratio = base_runtime / runtime;
             worst = std::min(worst, ratio);

@@ -22,6 +22,7 @@
 
 #include "cpu/system.hh"
 #include "sim/checkpoint.hh"
+#include "sim/sampling.hh"
 #include "sim/span.hh"
 #include "sim/telemetry.hh"
 
@@ -111,6 +112,35 @@ parseUnsigned(int argc, char **argv, const char *name,
 }
 
 /**
+ * Parse the sampled-execution knobs shared by every bench binary:
+ *
+ *   --sample-mode         run in SMARTS-style sampled mode
+ *   --sample-warmup=N     detailed unmeasured misses per window
+ *   --sample-window=N     measured misses per window
+ *   --sample-period=N     misses between window starts
+ *
+ * The knob flags are part of the simulation-relevant command line,
+ * so Telemetry folds them into the stats-JSON configHash
+ * automatically — a sampled capture can never collide with a
+ * detailed one.
+ */
+inline contutto::sim::SamplingConfig
+parseSamplingConfig(int argc, char **argv)
+{
+    contutto::sim::SamplingConfig cfg;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--sample-mode") == 0)
+            cfg.enabled = true;
+    cfg.warmupUnits = parseUnsigned(argc, argv, "--sample-warmup",
+                                    cfg.warmupUnits);
+    cfg.windowUnits = parseUnsigned(argc, argv, "--sample-window",
+                                    cfg.windowUnits);
+    cfg.periodUnits = parseUnsigned(argc, argv, "--sample-period",
+                                    cfg.periodUnits);
+    return cfg;
+}
+
+/**
  * Uniform machine-readable telemetry for the experiment binaries.
  * Every bench accepts the same flags:
  *
@@ -152,6 +182,7 @@ class Telemetry
         // setConfigHash(spec.hash()): that pair (configHash, seed)
         // is exactly the campaign service's memo key.
         seed_ = parseSeed(argc, argv);
+        sampling_ = parseSamplingConfig(argc, argv);
         if (argc > 0) {
             const char *base = std::strrchr(argv[0], '/');
             binary_ = base ? base + 1 : argv[0];
@@ -193,6 +224,12 @@ class Telemetry
 
     std::uint64_t configHash() const { return configHash_; }
     std::uint64_t seed() const { return seed_; }
+
+    /** The sampled-execution knobs parsed from the command line. */
+    const contutto::sim::SamplingConfig &samplingConfig() const
+    {
+        return sampling_;
+    }
 
     /** Snapshot @p group's whole stats tree now, under @p label. */
     void
@@ -256,7 +293,14 @@ class Telemetry
         os << "{\"meta\": {\"binary\": ";
         stats::jsonEscape(binary_, os);
         os << ", \"configHash\": \"" << hash << "\", \"seed\": "
-           << seed_ << "}, \"captures\": [";
+           << seed_ << ", \"simMode\": \""
+           << (sampling_.enabled ? "sampled" : "detailed") << "\"";
+        if (sampling_.enabled)
+            os << ", \"sampling\": {\"warmupUnits\": "
+               << sampling_.warmupUnits << ", \"windowUnits\": "
+               << sampling_.windowUnits << ", \"periodUnits\": "
+               << sampling_.periodUnits << "}";
+        os << "}, \"captures\": [";
         const char *sep = "";
         for (const auto &c : captures_) {
             os << sep << "{\"label\": ";
@@ -294,6 +338,7 @@ class Telemetry
     std::string tracePath_;
     std::string binary_;
     std::uint64_t seed_ = 1;
+    contutto::sim::SamplingConfig sampling_{};
     std::uint64_t configHash_ = 0;
     std::uint64_t sample_ = 1;
     std::uint64_t intervalNs_ = 0;

@@ -21,8 +21,16 @@ With --check BASELINE the script gates:
     the baseline's, failing on > tolerance regression (default 15%),
     exactly like the event-core gate.
 
+With --write-baseline PATH the distilled trajectory is also written
+to PATH as the new checked-in baseline — but only when the fresh
+capture was recorded with hostCores >= 2.  A 1-core capture's
+SpeedupVsSerial ratios carry no parallel signal; committing them
+would bake meaningless numbers into the regression gate, so the
+script refuses and says why instead.
+
 Usage: parallel_trajectory.py STATS_JSON [--check BASELINE]
-           [--tolerance F] > BENCH_parallel.json
+           [--tolerance F] [--write-baseline PATH]
+           > BENCH_parallel.json
 """
 
 import json
@@ -79,6 +87,28 @@ def speedups(values):
     return out
 
 
+def write_baseline(trajectory, path):
+    """Persist the trajectory as a baseline; refuse 1-core captures."""
+    cores = int(flat(trajectory).get("parallelScaling.hostCores", 0))
+    if cores < 2:
+        sys.stderr.write(
+            "REFUSING --write-baseline %s: the fresh capture was "
+            "recorded on a %d-core host. SpeedupVsSerial measured "
+            "without real parallelism is noise, and committing it "
+            "as a baseline would make the regression gate compare "
+            "future runs against meaningless ratios. Re-capture on "
+            "a host with >= 2 cores.\n" % (path, cores))
+        return True
+    trajectory = dict(trajectory)
+    trajectory["capture"] = {"hostCores": cores}
+    with open(path, "w") as f:
+        json.dump(trajectory, f, indent=2, sort_keys=True)
+        f.write("\n")
+    sys.stderr.write("wrote baseline %s (hostCores %d)\n"
+                     % (path, cores))
+    return False
+
+
 def check(fresh, baseline_path, tolerance):
     with open(baseline_path) as f:
         base = json.load(f)
@@ -114,7 +144,8 @@ def check(fresh, baseline_path, tolerance):
             failed = True
 
     base_flat = flat(base)
-    base_cores = int(base_flat.get("parallelScaling.hostCores", 0))
+    base_cores = int(base.get("capture", {}).get(
+        "hostCores", base_flat.get("parallelScaling.hostCores", 0)))
     for shards, want in sorted(speedups(base_flat).items(),
                                key=lambda k: int(k[0])):
         if base_cores < int(shards) or cores < int(shards):
@@ -136,6 +167,7 @@ def main():
     args = sys.argv[1:]
     baseline = None
     tolerance = 0.15
+    baseline_out = None
     positional = []
     i = 0
     while i < len(args):
@@ -144,6 +176,9 @@ def main():
             i += 2
         elif args[i] == "--tolerance" and i + 1 < len(args):
             tolerance = float(args[i + 1])
+            i += 2
+        elif args[i] == "--write-baseline" and i + 1 < len(args):
+            baseline_out = args[i + 1]
             i += 2
         else:
             positional.append(args[i])
@@ -158,9 +193,12 @@ def main():
     json.dump(trajectory, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
 
-    if baseline is not None and check(trajectory, baseline, tolerance):
-        return 1
-    return 0
+    failed = False
+    if baseline is not None:
+        failed = check(trajectory, baseline, tolerance) or failed
+    if baseline_out is not None:
+        failed = write_baseline(trajectory, baseline_out) or failed
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

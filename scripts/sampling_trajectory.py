@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Distill a bench_sampling --stats-json capture into a trajectory.
+
+Reads the capture document bench_sampling wrote via --stats-json and
+emits a compact BENCH_sampling.json: per SPEC profile the detailed
+and sampled wall times, the speedup, the runtime-estimate relative
+error and whether the 95% confidence interval covered the full-detail
+runtime, plus the aggregate minSpeedup / maxRelError / allCovered
+rollups.  CI runs this on every push so the sampled-simulation
+trajectory is diffable across commits.
+
+With --check BASELINE the script gates:
+
+  - minSpeedup must be >= the speedup floor (the baseline's
+    "speedupFloor", default 5.0x).  The speedup is wall-clock of the
+    same single-threaded process in two modes, so it carries signal
+    on any host, including 1-core runners — there is no hostCores
+    skip here, unlike the parallel gate.
+  - maxRelError must be <= the error ceiling (the baseline's
+    "relErrorCeiling", default 0.05): a sampled run whose runtime
+    estimate drifts more than 5% from full detail is lying about
+    the memory subsystem it claims to model.
+  - allCovered must be 1: every profile's 95% confidence interval
+    must contain the full-detail runtime, or the reported error
+    bars are not error bars.
+
+Usage: sampling_trajectory.py STATS_JSON [--check BASELINE]
+           > BENCH_sampling.json
+"""
+
+import json
+import re
+import sys
+
+SPEEDUP_FLOOR = 5.0
+REL_ERROR_CEILING = 0.05
+
+WANTED = re.compile(
+    r"(WallDetailMs|WallSampledMs|Speedup|DetailSec|SampledSec"
+    r"|RelError|EstimateSec|CiHalfSec|CiCovers|Windows"
+    r"|minSpeedup|maxRelError|allCovered|instructions)$")
+
+
+def walk(group, prefix, out):
+    for name, stat in group.get("stats", {}).items():
+        if not isinstance(stat, dict):
+            continue
+        if not WANTED.search(name):
+            continue
+        if stat.get("value") is None:
+            continue
+        out[prefix + "." + name] = stat["value"]
+    for sub in group.get("groups", []):
+        walk(sub, prefix + "." + sub["name"], out)
+
+
+def distill(doc):
+    captures = []
+    for cap in doc.get("captures", []):
+        stats = {}
+        root = cap["stats"]
+        walk(root, root.get("name", "root"), stats)
+        captures.append({"label": cap["label"], "sampling": stats})
+    meta = doc.get("meta", {})
+    out = {"schema": "contutto-sampling-trajectory-v1",
+           "source": "bench_sampling --stats-json capture",
+           "speedupFloor": SPEEDUP_FLOOR,
+           "relErrorCeiling": REL_ERROR_CEILING,
+           "captures": captures}
+    if "sampling" in meta:
+        out["samplingKnobs"] = meta["sampling"]
+    return out
+
+
+def flat(trajectory):
+    out = {}
+    for cap in trajectory.get("captures", []):
+        for key, value in cap.get("sampling", {}).items():
+            out[key] = value
+    return out
+
+
+def check(fresh, baseline_path):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    now = flat(fresh)
+    failed = False
+
+    floor = float(base.get("speedupFloor", SPEEDUP_FLOOR))
+    ceiling = float(base.get("relErrorCeiling", REL_ERROR_CEILING))
+
+    speedup = now.get("samplingBench.minSpeedup")
+    if speedup is None:
+        sys.stderr.write("MISSING samplingBench.minSpeedup\n")
+        failed = True
+    else:
+        verdict = "FAIL" if speedup < floor else "ok"
+        sys.stderr.write("%-4s minSpeedup: %.2fx vs floor %.2fx\n"
+                         % (verdict, speedup, floor))
+        if speedup < floor:
+            failed = True
+
+    err = now.get("samplingBench.maxRelError")
+    if err is None:
+        sys.stderr.write("MISSING samplingBench.maxRelError\n")
+        failed = True
+    else:
+        verdict = "FAIL" if err > ceiling else "ok"
+        sys.stderr.write("%-4s maxRelError: %.4f vs ceiling %.4f\n"
+                         % (verdict, err, ceiling))
+        if err > ceiling:
+            failed = True
+
+    covered = now.get("samplingBench.allCovered")
+    if covered != 1:
+        sys.stderr.write("FAIL allCovered: %r (every profile's 95%% "
+                         "CI must contain the full-detail runtime)\n"
+                         % covered)
+        failed = True
+    else:
+        sys.stderr.write("ok   allCovered: every CI contains the "
+                         "detailed runtime\n")
+    return failed
+
+
+def main():
+    args = sys.argv[1:]
+    baseline = None
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--check" and i + 1 < len(args):
+            baseline = args[i + 1]
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 1:
+        sys.stderr.write(__doc__)
+        return 2
+
+    with open(positional[0]) as f:
+        doc = json.load(f)
+    trajectory = distill(doc)
+    json.dump(trajectory, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+    if baseline is not None and check(trajectory, baseline):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,13 +151,40 @@ CoreModel::issueMiss(MissKind kind)
     }
     ++missesIssued_;
 
-    auto completion = [this, kind](const HostOpResult &) {
+    // Sampled mode: the controller decides whether this miss runs
+    // in detail. The RNG draws above happen unconditionally, so the
+    // address/kind/write streams are identical in both regimes.
+    bool detailed = true;
+    bool measured = false;
+    if (params_.sampler) {
+        detailed = params_.sampler->beginMiss(instructionsDone_,
+                                              curTick());
+        measured = detailed && params_.sampler->measuring();
+    }
+    bool isWrite = rng_.chance(profile_.writeFraction);
+
+    if (!detailed) {
+        // Fast-forward: charge the calibrated estimate; stores still
+        // land in the memory image through the functional hook.
+        if (isWrite)
+            params_.sampler->warmWrite(addr, dmi::CacheLine{});
+        Tick charged = params_.sampler->chargedLatency()
+            + params_.nestOverhead;
+        OneShotEvent::schedule(eventq(), curTick() + charged,
+                               [this, kind] { missCompleted(kind); });
+        return;
+    }
+
+    auto completion = [this, kind,
+                       measured](const HostOpResult &r) {
+        if (measured && !r.failed)
+            params_.sampler->observeLatency(r.doneAt - r.issuedAt);
         // Processor-side miss handling outside the channel.
         OneShotEvent::schedule(eventq(),
                                curTick() + params_.nestOverhead,
                                [this, kind] { missCompleted(kind); });
     };
-    if (rng_.chance(profile_.writeFraction)) {
+    if (isWrite) {
         dmi::CacheLine line{};
         port_.write(addr, line, completion);
     } else {
@@ -210,6 +237,9 @@ CoreModel::maybeFinish()
         return;
 
     running_ = false;
+    if (params_.sampler)
+        params_.sampler->finishRun(instructionsDone_, curTick(),
+                                   instructionsDone_);
     result_.runtime = curTick() - startedAt_;
     result_.instructions = instructionsDone_;
     result_.misses = missesDone_;

@@ -22,6 +22,7 @@
 
 #include "cpu/host_port.hh"
 #include "sim/random.hh"
+#include "sim/sampling.hh"
 
 namespace contutto::cpu
 {
@@ -60,6 +61,13 @@ class CoreModel : public SimObject
         std::uint64_t seed = 42;
         /** Base of the memory region this core may touch. */
         Addr memoryBase = 0;
+        /**
+         * Sampled execution (sim/sampling.hh): when set, the
+         * controller decides per miss whether it travels the real
+         * channel or completes from the calibrated estimate. Null
+         * runs every miss in full detail, exactly as before.
+         */
+        sim::SamplingController *sampler = nullptr;
     };
 
     struct Result
@@ -84,6 +92,12 @@ class CoreModel : public SimObject
 
     bool running() const { return running_; }
     const Result &result() const { return result_; }
+
+    /** Instructions retired so far (live, for progress boards). */
+    std::uint64_t instructionsDone() const
+    {
+        return instructionsDone_;
+    }
 
   private:
     enum class MissKind

@@ -42,6 +42,7 @@
 #include "cpu/channel.hh"
 #include "sim/event_stats.hh"
 #include "sim/parallel.hh"
+#include "sim/sampling.hh"
 
 namespace contutto::cpu
 {
@@ -190,6 +191,18 @@ class MultiSlotSystem : public stats::StatGroup
     /** Max simulated time over all queues (sharded-aware). */
     Tick curTick() const;
 
+    /**
+     * Sampled execution for workload drivers on this socket: the
+     * functional-write hook routes each store to the owning
+     * channel's memory image through the socket interleave, so
+     * fast-forwarded stores land exactly where detailed ones would.
+     */
+    sim::SamplingController &
+    enableSampling(const sim::SamplingConfig &cfg, std::uint64_t seed);
+
+    /** The sampling controller; null when never enabled. */
+    sim::SamplingController *sampler() { return sampler_.get(); }
+
   private:
     /** Run @p fn on channel @p ch's shard (or inline when local). */
     void runOnChannel(unsigned ch, std::function<void()> fn);
@@ -216,6 +229,8 @@ class MultiSlotSystem : public stats::StatGroup
      *  completion may happen on different shards; only its settled
      *  value at barriers is ever observed. */
     std::atomic<std::uint64_t> pendingOps_{0};
+    std::unique_ptr<sim::SamplingController> sampler_;
+    std::unique_ptr<sim::SamplingStats> samplingStats_;
 };
 
 } // namespace contutto::cpu

@@ -15,6 +15,22 @@ Power8System::Power8System(const Params &params)
 
 Power8System::~Power8System() = default;
 
+sim::SamplingController &
+Power8System::enableSampling(const sim::SamplingConfig &cfg,
+                             std::uint64_t seed)
+{
+    ct_assert(!sampler_);
+    sampler_ = std::make_unique<sim::SamplingController>(cfg, seed);
+    sampler_->setFunctionalWrite(
+        [this](Addr addr, const dmi::CacheLine &line) {
+            channel_->functionalWrite(addr, line.size(),
+                                      line.data());
+        });
+    samplingStats_ =
+        std::make_unique<sim::SamplingStats>(this, *sampler_);
+    return *sampler_;
+}
+
 bool
 Power8System::train()
 {

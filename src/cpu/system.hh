@@ -14,6 +14,7 @@
 
 #include "cpu/channel.hh"
 #include "sim/event_stats.hh"
+#include "sim/sampling.hh"
 
 namespace contutto::cpu
 {
@@ -101,6 +102,19 @@ class Power8System : public stats::StatGroup
     /** The channel itself (for multi-client wiring). */
     MemoryChannel &channel() { return *channel_; }
 
+    /**
+     * Switch workload runs on this system to sampled execution
+     * (sim/sampling.hh): creates the per-run controller, wires its
+     * functional-write hook into this system's memory image, and
+     * publishes a "sampling" stats group. Hand the returned
+     * controller to the workload driver's Params.sampler.
+     */
+    sim::SamplingController &
+    enableSampling(const sim::SamplingConfig &cfg, std::uint64_t seed);
+
+    /** The sampling controller; null when never enabled. */
+    sim::SamplingController *sampler() { return sampler_.get(); }
+
     /** Clock domain getters for attaching extra components. */
     const ClockDomain &nestDomain() const { return clocks_.nest; }
     const ClockDomain &fabricDomain() const { return clocks_.fabric; }
@@ -111,6 +125,8 @@ class Power8System : public stats::StatGroup
     EventCoreStats eqStats_;
     SocketClocks clocks_;
     std::unique_ptr<MemoryChannel> channel_;
+    std::unique_ptr<sim::SamplingController> sampler_;
+    std::unique_ptr<sim::SamplingStats> samplingStats_;
 };
 
 } // namespace contutto::cpu

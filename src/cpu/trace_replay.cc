@@ -149,11 +149,7 @@ TraceReplayer::issueCurrent()
             // occupies a window slot until it lands.
             ++outstanding_;
             ++result_.writebacks;
-            dmi::CacheLine line{};
-            port_.write(*filtered.writeback, line,
-                        [this](const HostOpResult &) {
-                            accessDone();
-                        });
+            issueMemory(*filtered.writeback, true, 0);
         }
         if (filtered.servedBy != CacheHierarchy::Level::memory) {
             // On-chip hit: completes after the level's latency.
@@ -166,18 +162,50 @@ TraceReplayer::issueCurrent()
         }
     }
 
-    auto completion = [this](const HostOpResult &) {
-        OneShotEvent::schedule(eventq(),
-                               curTick() + params_.nestOverhead,
+    issueMemory(rec.addr, rec.isWrite, params_.nestOverhead);
+    advance();
+}
+
+void
+TraceReplayer::issueMemory(Addr addr, bool isWrite,
+                           Tick nestOverhead)
+{
+    // Sampled mode: one decision per channel trip, keyed on trace
+    // progress so the time-per-record estimator has its work axis.
+    bool detailed = true;
+    bool measured = false;
+    if (params_.sampler) {
+        detailed = params_.sampler->beginMiss(next_, curTick());
+        measured = detailed && params_.sampler->measuring();
+    }
+
+    if (!detailed) {
+        if (isWrite)
+            params_.sampler->warmWrite(addr, dmi::CacheLine{});
+        Tick charged =
+            params_.sampler->chargedLatency() + nestOverhead;
+        OneShotEvent::schedule(eventq(), curTick() + charged,
+                               [this] { accessDone(); });
+        return;
+    }
+
+    auto completion = [this, measured,
+                       nestOverhead](const HostOpResult &r) {
+        if (measured && !r.failed)
+            params_.sampler->observeLatency(r.doneAt - r.issuedAt);
+        if (nestOverhead == 0) {
+            accessDone();
+            return;
+        }
+        OneShotEvent::schedule(eventq(), curTick() + nestOverhead,
                                [this] { accessDone(); });
     };
-    if (rec.isWrite) {
+    if (isWrite) {
         dmi::CacheLine line{};
-        port_.write(rec.addr, line, completion);
+        port_.write(addr, line, completion);
     } else {
-        port_.read(rec.addr, completion);
+        port_.read(addr, completion);
     }
-    advance();
 }
 
 void
@@ -205,6 +233,9 @@ TraceReplayer::maybeFinish()
         || outstanding_ > 0)
         return;
     running_ = false;
+    if (params_.sampler)
+        params_.sampler->finishRun(trace_->records.size(), curTick(),
+                                   next_);
     result_.runtime = curTick() - startedAt_;
     if (done_)
         done_(result_);

@@ -30,6 +30,7 @@
 #include "cpu/cache_hierarchy.hh"
 #include "cpu/host_port.hh"
 #include "sim/random.hh"
+#include "sim/sampling.hh"
 
 namespace contutto::cpu
 {
@@ -82,6 +83,15 @@ class TraceReplayer : public SimObject
          * dirty writebacks) travel the channel.
          */
         CacheHierarchy *caches = nullptr;
+        /**
+         * Sampled execution (sim/sampling.hh): the controller is
+         * consulted once per channel trip (miss or writeback);
+         * fast-forwarded trips complete from the calibrated
+         * estimate. Cache probes still run functionally in both
+         * regimes, so the hierarchy's contents — and every
+         * hit/miss/writeback decision — are exact, not sampled.
+         */
+        sim::SamplingController *sampler = nullptr;
     };
 
     struct Result
@@ -113,6 +123,7 @@ class TraceReplayer : public SimObject
   private:
     void advance();
     void issueCurrent();
+    void issueMemory(Addr addr, bool isWrite, Tick nestOverhead);
     void accessDone();
     void maybeFinish();
 

@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <initializer_list>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "sim/checkpoint.hh"
+#include "workloads/spec.hh"
 
 namespace contutto::service
 {
@@ -178,6 +180,50 @@ CampaignJob::CampaignJob(const std::string &kind,
                 "config: region larger than the DIMM");
         crash_.seed = seed;
         configHash_ = crash_.hash();
+    } else if (kind == "spec") {
+        k.known({"benchmark", "buffer", "knob", "instructions",
+                 "sampleMode", "sampleWarmup", "sampleWindow",
+                 "samplePeriod"});
+        k.u32("benchmark", spec_.benchmark);
+        k.u32("buffer", spec_.buffer);
+        k.u32("knob", spec_.knob);
+        k.u64("instructions", spec_.instructions);
+        unsigned sampleMode = 0;
+        k.u32("sampleMode", sampleMode);
+        spec_.sampling.enabled = sampleMode != 0;
+        k.u64("sampleWarmup", spec_.sampling.warmupUnits);
+        k.u64("sampleWindow", spec_.sampling.windowUnits);
+        k.u64("samplePeriod", spec_.sampling.periodUnits);
+        k.finish();
+        if (spec_.benchmark >= 12)
+            throw ProtocolError(
+                "config: benchmark must be 0..11 (CINT2006)");
+        if (spec_.buffer > 1)
+            throw ProtocolError(
+                "config: buffer must be 0 (centaur) or 1 "
+                "(contutto)");
+        if (spec_.buffer == 0 ? spec_.knob > 3 : spec_.knob > 7)
+            throw ProtocolError(
+                "config: knob out of range for the buffer");
+        if (spec_.instructions == 0
+            || spec_.instructions > 20'000'000)
+            throw ProtocolError(
+                "config: instructions must be 1..20000000");
+        if (spec_.sampling.enabled && !spec_.sampling.valid())
+            throw ProtocolError(
+                "config: sampling knobs invalid (need window >= 1 "
+                "and warmup+window <= period)");
+        ckpt::Section s("spec");
+        s.putU64(spec_.benchmark);
+        s.putU64(spec_.buffer);
+        s.putU64(spec_.knob);
+        s.putU64(spec_.instructions);
+        // Domain-separate from the other kinds' hashes; the
+        // sampling knobs fold on top (disabled leaves the detailed
+        // hash — and its memo entries — untouched).
+        configHash_ = spec_.sampling.fold(
+            ckpt::fnv1a(s.bytes().data(), s.bytes().size(),
+                        0x53504543ull));
     } else if (kind == "spin") {
         k.known({"spinMs"});
         k.u64("spinMs", spinMs_);
@@ -208,6 +254,94 @@ putCounter(Json &payload, const char *name, std::uint64_t v)
 } // namespace
 
 std::string
+CampaignJob::runSpec(const std::atomic<bool> &cancel,
+                     Progress *progress, Json payload) const
+{
+    auto profiles = workloads::specCint2006();
+    const cpu::WorkloadProfile &prof =
+        profiles.at(spec_.benchmark);
+
+    cpu::Power8System::Params sp;
+    if (spec_.buffer == 0) {
+        const centaur::CentaurModel::Config configs[] = {
+            centaur::CentaurModel::optimized(),
+            centaur::CentaurModel::balanced(),
+            centaur::CentaurModel::conservative(),
+            centaur::CentaurModel::slowest(),
+        };
+        sp.buffer = cpu::BufferKind::centaur;
+        sp.centaurConfig = configs[spec_.knob];
+        sp.dimms = {cpu::DimmSpec{mem::MemTech::dram, 1 * GiB, {},
+                                  {}}};
+    } else {
+        sp.buffer = cpu::BufferKind::contutto;
+        sp.dimms = {
+            cpu::DimmSpec{mem::MemTech::dram, 512 * MiB, {}, {}},
+            cpu::DimmSpec{mem::MemTech::dram, 512 * MiB, {}, {}}};
+    }
+    cpu::Power8System sys(sp);
+    if (!sys.train())
+        throw std::runtime_error("spec: link training failed");
+    if (spec_.buffer == 1)
+        sys.card()->mbs().setKnobPosition(spec_.knob);
+
+    ClockDomain core("core", 250); // 4 GHz POWER8 core
+    cpu::CoreModel::Params cp;
+    cp.instructions = spec_.instructions;
+    cp.nestOverhead = sys.params().nestOverhead;
+    cp.seed = seed_;
+    if (spec_.sampling.enabled)
+        cp.sampler = &sys.enableSampling(spec_.sampling, seed_);
+    cpu::CoreModel model("core." + prof.name, sys.eventq(), core,
+                         &sys, prof, cp, sys.port());
+
+    if (progress)
+        progress->workTotal.store(spec_.instructions,
+                                  std::memory_order_relaxed);
+    bool finished = false;
+    cpu::CoreModel::Result r;
+    model.start([&](const cpu::CoreModel::Result &res) {
+        r = res;
+        finished = true;
+    });
+    std::uint64_t steps = 0;
+    while (!finished && sys.eventq().step()) {
+        if ((++steps & 0xfff) != 0)
+            continue;
+        if (cancel.load(std::memory_order_relaxed))
+            throw Cancelled{};
+        if (progress)
+            progress->workDone.store(model.instructionsDone(),
+                                     std::memory_order_relaxed);
+    }
+    if (progress)
+        progress->workDone.store(spec_.instructions,
+                                 std::memory_order_relaxed);
+
+    // All-integer payload: byte-identical whether computed fresh,
+    // replayed from the memo, or recomputed after a restart.
+    payload.set("benchmark", Json::string(prof.name));
+    putCounter(payload, "instructions", r.instructions);
+    putCounter(payload, "misses", r.misses);
+    putCounter(payload, "runtimeTicks", r.runtime);
+    payload.set("simMode",
+                Json::string(spec_.sampling.enabled ? "sampled"
+                                                    : "detailed"));
+    if (spec_.sampling.enabled) {
+        const sim::SamplingReport &rep = sys.sampler()->report();
+        putCounter(payload, "windows", rep.windows);
+        putCounter(payload, "detailedMisses", rep.detailedUnits);
+        putCounter(payload, "fastForwardMisses",
+                   rep.fastForwardUnits);
+        putCounter(payload, "estimateRuntimeTicks",
+                   std::uint64_t(rep.estimatedRuntimeTicks));
+        putCounter(payload, "ciHalfTicks",
+                   std::uint64_t(rep.ciHalfWidthTicks));
+    }
+    return payload.dump();
+}
+
+std::string
 CampaignJob::run(const std::atomic<bool> &cancel,
                  Progress *progress) const
 {
@@ -215,6 +349,9 @@ CampaignJob::run(const std::atomic<bool> &cancel,
     payload.set("kind", Json::string(kind_));
     payload.set("seed", Json::number(seed_));
     payload.set("configHash", Json::string(hashHex(configHash_)));
+
+    if (kind_ == "spec")
+        return runSpec(cancel, progress, std::move(payload));
 
     if (kind_ == "spin") {
         const auto started = std::chrono::steady_clock::now();
@@ -352,6 +489,21 @@ attachTrace(Json &result, std::uint64_t traceId,
     t.set("totalUs",
           Json::number(queueUs + execUs + serializeUs));
     result.set("trace", t);
+}
+
+void
+attachSimMode(Json &result, const CampaignJob &job)
+{
+    result.set("simMode", Json::string(job.sampled() ? "sampled"
+                                                     : "detailed"));
+    if (!job.sampled())
+        return;
+    const sim::SamplingConfig &c = job.samplingConfig();
+    Json s = Json::object();
+    s.set("warmupUnits", Json::number(c.warmupUnits));
+    s.set("windowUnits", Json::number(c.windowUnits));
+    s.set("periodUnits", Json::number(c.periodUnits));
+    result.set("sampling", s);
 }
 
 Json

@@ -12,7 +12,7 @@
  * recomputed by a restarted server after a drain.
  *
  * Request lines:
- *   {"type":"submit","id":"...","kind":"ras_soak|crash|spin",
+ *   {"type":"submit","id":"...","kind":"ras_soak|crash|spin|spec",
  *    "seed":N,"priority":N,"deadlineMs":N,"config":{...},
  *    "stream":bool,"traceId":N}
  *   {"type":"stats"}           server counters (admission, memo, ...)
@@ -46,6 +46,15 @@
  *             milliseconds, which makes backpressure and deadline
  *             behaviour testable without guessing how fast the
  *             simulator runs on this machine.
+ *   spec      one SPEC CINT2006 profile on a freshly built channel
+ *             (knobs: benchmark index, buffer 0=centaur/1=contutto,
+ *             knob = Centaur config index or ConTutto knob position,
+ *             instructions, and the sampled-execution knobs
+ *             sampleMode/sampleWarmup/sampleWindow/samplePeriod).
+ *             The sampling knobs fold into the config hash, so a
+ *             sampled run never shares a memo entry with a detailed
+ *             one; result frames carry "simMode" (and the knobs,
+ *             when sampled) for every kind.
  */
 
 #ifndef CONTUTTO_SERVICE_PROTOCOL_HH
@@ -57,6 +66,7 @@
 
 #include "ras/soak_campaign.hh"
 #include "service/json.hh"
+#include "sim/sampling.hh"
 #include "storage/crash_campaign.hh"
 
 namespace contutto::service
@@ -100,8 +110,17 @@ class CampaignJob
 
     const std::string &kind() const { return kind_; }
     std::uint64_t seed() const { return seed_; }
-    /** FNV-1a of (kind, knobs); seed deliberately excluded. */
+    /** FNV-1a of (kind, knobs); seed deliberately excluded. The
+     *  sampled-execution knobs are folded in when enabled. */
     std::uint64_t configHash() const { return configHash_; }
+
+    /** True when this job executes in SMARTS-sampled mode. */
+    bool sampled() const { return spec_.sampling.enabled; }
+    /** The sampled-execution knobs (disabled for non-spec kinds). */
+    const sim::SamplingConfig &samplingConfig() const
+    {
+        return spec_.sampling;
+    }
 
     /**
      * Live progress board for one running campaign: the campaign
@@ -135,12 +154,28 @@ class CampaignJob
     };
 
   private:
+    /** Knobs of the "spec" kind: one CINT2006 profile on a fresh
+     *  single-channel system, optionally sampled. */
+    struct SpecSpec
+    {
+        unsigned benchmark = 3; ///< index into specCint2006 (mcf)
+        unsigned buffer = 0;    ///< 0: Centaur, 1: ConTutto
+        /** Centaur config index (0-3) or ConTutto knob (0-7). */
+        unsigned knob = 0;
+        std::uint64_t instructions = 100000;
+        sim::SamplingConfig sampling{};
+    };
+
+    std::string runSpec(const std::atomic<bool> &cancel,
+                        Progress *progress, Json payload) const;
+
     std::string kind_;
     std::uint64_t seed_ = 1;
     std::uint64_t configHash_ = 0;
     ras::SoakCampaign::Spec soak_;
     storage::CrashRecoveryCampaign::Spec crash_;
     std::uint64_t spinMs_ = 0;
+    SpecSpec spec_;
 };
 
 /** One sampled point of a request's life, for a progress frame. */
@@ -180,6 +215,14 @@ Json makeError(const std::string &message);
 void attachTrace(Json &result, std::uint64_t traceId,
                  std::uint64_t queueUs, std::uint64_t execUs,
                  std::uint64_t serializeUs);
+
+/**
+ * Attach the execution-regime attribution to a result frame:
+ * "simMode" ("detailed" or "sampled") on every result, plus the
+ * sampling knobs when the job ran sampled — so a client can always
+ * tell which regime produced a payload, memoized or fresh.
+ */
+void attachSimMode(Json &result, const CampaignJob &job);
 
 /** 16-digit lower-case hex, the canonical hash spelling. */
 std::string hashHex(std::uint64_t h);

@@ -131,6 +131,8 @@ CampaignServer::CampaignServer(const Params &params)
                  "Requests answered error");
     mSamplerTicks_ = C("campaignd_sampler_ticks_total",
                        "Telemetry sampler iterations");
+    mSampledJobs_ = C("campaignd_sampled_jobs_total",
+                      "Executions run in SMARTS-sampled mode");
 
     gQueueDepth_ = &registry_.gauge("campaignd_queue_depth",
                                     "Requests waiting in the "
@@ -410,6 +412,7 @@ CampaignServer::resultFor(Job &job)
                           job.campaign->configHash(),
                           job.req.seed,
                           job.status == "ok" ? job.payload : "");
+    attachSimMode(res, *job.campaign);
     // The attribution must travel *inside* the frame, so what is
     // timed is a full rendering of the frame without the trace
     // object; attaching the O(1) trace afterwards does not move it.
@@ -845,6 +848,8 @@ CampaignServer::runJob(const std::shared_ptr<Job> &job,
         std::lock_guard<std::mutex> lk(mtx_);
         ++stats_.executions;
         mExecutions_->inc();
+        if (job->campaign->sampled())
+            mSampledJobs_->inc();
         if (params_.faults.crashEveryN != 0 && injectCrash) {
             ++stats_.faultsInjected;
             mFaults_->inc();

@@ -297,6 +297,7 @@ class CampaignServer
     metrics::Counter *mCancelled_ = nullptr;
     metrics::Counter *mFailed_ = nullptr;
     metrics::Counter *mSamplerTicks_ = nullptr;
+    metrics::Counter *mSampledJobs_ = nullptr;
     metrics::Gauge *gQueueDepth_ = nullptr;
     metrics::Gauge *gRunning_ = nullptr;
     metrics::Gauge *gInFlight_ = nullptr;

@@ -1,0 +1,160 @@
+#include "sim/sampling.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace contutto::sim
+{
+
+void
+SamplingConfig::serialize(ckpt::Section &out) const
+{
+    out.putU64(enabled ? 1 : 0);
+    out.putU64(warmupUnits);
+    out.putU64(windowUnits);
+    out.putU64(periodUnits);
+}
+
+std::uint64_t
+SamplingConfig::fold(std::uint64_t base) const
+{
+    if (!enabled)
+        return base;
+    ckpt::Section s("sampling");
+    serialize(s);
+    return ckpt::fnv1a(s.bytes().data(), s.bytes().size(), base);
+}
+
+SamplingController::SamplingController(const SamplingConfig &cfg,
+                                       std::uint64_t seed)
+    : cfg_(cfg),
+      // Domain-separate from the workload's own streams so enabling
+      // sampling never perturbs which addresses a profile touches.
+      rng_(seed ^ 0x5a4d9052u /* "SMpR" */)
+{
+    if (cfg_.enabled && !cfg_.valid())
+        fatal("sampling: invalid config (window %llu warmup %llu "
+              "period %llu)",
+              (unsigned long long)cfg_.windowUnits,
+              (unsigned long long)cfg_.warmupUnits,
+              (unsigned long long)cfg_.periodUnits);
+    // The first window is pinned to miss 0: it is the calibration
+    // window that seeds the latency estimate, so fast-forwarding
+    // can never run ahead of calibration. Subsequent windows are
+    // drawn with a seeded jitter inside each period (systematic
+    // sampling with a random phase), which keeps the schedule from
+    // beating against periodic program behaviour.
+    nextWindowStart_ = 0;
+    nextPeriodBase_ = cfg_.periodUnits;
+    phase_ = cfg_.warmupUnits > 0 ? Phase::warmup : Phase::measure;
+}
+
+void
+SamplingController::scheduleNextWindow()
+{
+    const std::uint64_t len = cfg_.warmupUnits + cfg_.windowUnits;
+    const std::uint64_t slack = cfg_.periodUnits - len;
+    std::uint64_t jitter = slack ? rng_.below(slack + 1) : 0;
+    nextWindowStart_ = nextPeriodBase_ + jitter;
+    nextPeriodBase_ += cfg_.periodUnits;
+}
+
+bool
+SamplingController::beginMiss(std::uint64_t workDone, Tick now)
+{
+    if (!cfg_.enabled) {
+        ++missIndex_;
+        ++detailed_;
+        return true;
+    }
+
+    if (phase_ == Phase::fastForward
+        && missIndex_ >= nextWindowStart_) {
+        phase_ = cfg_.warmupUnits > 0 ? Phase::warmup
+                                      : Phase::measure;
+        unitsIntoWindow_ = 0;
+    }
+
+    if (phase_ == Phase::warmup
+        && unitsIntoWindow_ >= cfg_.warmupUnits)
+        phase_ = Phase::measure;
+
+    if (phase_ == Phase::measure && !windowOpen_) {
+        windowOpen_ = true;
+        windowStartWork_ = workDone;
+        windowStartTick_ = now;
+    }
+
+    if (phase_ == Phase::measure
+        && unitsIntoWindow_ >= cfg_.warmupUnits + cfg_.windowUnits) {
+        closeWindow(workDone, now);
+        scheduleNextWindow();
+        phase_ = Phase::fastForward;
+        unitsIntoWindow_ = 0;
+        // The next window may abut this one (period == window+warmup
+        // with zero slack): re-enter immediately in that case.
+        if (missIndex_ >= nextWindowStart_) {
+            phase_ = cfg_.warmupUnits > 0 ? Phase::warmup
+                                          : Phase::measure;
+        }
+    }
+
+    ++missIndex_;
+    if (phase_ == Phase::fastForward) {
+        ++fastForwarded_;
+        return false;
+    }
+    ++unitsIntoWindow_;
+    ++detailed_;
+    return true;
+}
+
+void
+SamplingController::closeWindow(std::uint64_t workDone, Tick now)
+{
+    windowOpen_ = false;
+    if (workDone <= windowStartWork_ || now <= windowStartTick_)
+        return; // degenerate window: no work or no time elapsed
+    double obs = double(now - windowStartTick_)
+        / double(workDone - windowStartWork_);
+    ++windows_;
+    double delta = obs - obsMean_;
+    obsMean_ += delta / double(windows_);
+    obsM2_ += delta * (obs - obsMean_);
+}
+
+void
+SamplingController::finishRun(std::uint64_t totalWork, Tick now,
+                              std::uint64_t workDone)
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    // A measured window cut off by the end of the run still carries
+    // an unbiased observation over the work it did cover; fold it in
+    // rather than discarding the tail.
+    if (windowOpen_ && phase_ == Phase::measure)
+        closeWindow(workDone, now);
+
+    report_.enabled = cfg_.enabled;
+    report_.windows = windows_;
+    report_.detailedUnits = detailed_;
+    report_.fastForwardUnits = fastForwarded_;
+    report_.estimatePerMissNs = ticksToNs(estimate_.perMiss());
+    report_.meanTimePerWork = obsMean_;
+    if (windows_ >= 2) {
+        double var = obsM2_ / double(windows_ - 1);
+        report_.stddevTimePerWork = var > 0 ? std::sqrt(var) : 0.0;
+        report_.stderrTimePerWork =
+            report_.stddevTimePerWork / std::sqrt(double(windows_));
+    }
+    report_.estimatedRuntimeTicks = obsMean_ * double(totalWork);
+    // 95% CI, z = 1.96: window observations of a stationary stream
+    // are approximately independent, so the CLT half-width applies.
+    report_.ciHalfWidthTicks =
+        1.96 * report_.stderrTimePerWork * double(totalWork);
+}
+
+} // namespace contutto::sim

@@ -49,12 +49,15 @@ specCint2006()
 SpecRunResult
 runSpecProfile(cpu::Power8System &sys,
                const cpu::WorkloadProfile &profile,
-               std::uint64_t instructions)
+               std::uint64_t instructions,
+               const sim::SamplingConfig &sampling)
 {
     ClockDomain core("core", 250); // 4 GHz POWER8 core
     cpu::CoreModel::Params params;
     params.instructions = instructions;
     params.nestOverhead = sys.params().nestOverhead;
+    if (sampling.enabled)
+        params.sampler = &sys.enableSampling(sampling, params.seed);
     cpu::CoreModel model("core." + profile.name, sys.eventq(), core,
                          &sys, profile, params, sys.port());
 
@@ -72,6 +75,8 @@ runSpecProfile(cpu::Power8System &sys,
     out.runtimeSeconds = ticksToSeconds(result.runtime);
     out.cpi = result.cpi;
     out.misses = result.misses;
+    if (sys.sampler())
+        out.sampling = sys.sampler()->report();
     return out;
 }
 

@@ -34,6 +34,8 @@ struct SpecRunResult
     double runtimeSeconds = 0;
     double cpi = 0;
     std::uint64_t misses = 0;
+    /** Sampled-mode summary (enabled=false on detailed runs). */
+    sim::SamplingReport sampling{};
 };
 
 /**
@@ -41,10 +43,15 @@ struct SpecRunResult
  *
  * @param instructions synthetic instruction budget; runtimes scale
  *        linearly, ratios are budget-independent.
+ * @param sampling when enabled, the run executes in SMARTS-style
+ *        sampled mode (sim/sampling.hh) on a controller owned by
+ *        @p sys; a sampled run needs a fresh system (one sampler
+ *        per system lifetime).
  */
 SpecRunResult runSpecProfile(cpu::Power8System &sys,
                              const cpu::WorkloadProfile &profile,
-                             std::uint64_t instructions = 400000);
+                             std::uint64_t instructions = 400000,
+                             const sim::SamplingConfig &sampling = {});
 
 } // namespace contutto::workloads
 

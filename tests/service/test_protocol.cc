@@ -132,6 +132,114 @@ TEST(Protocol, PayloadIsDeterministic)
               hashHex(a.configHash()));
 }
 
+TEST(Protocol, SpecKindValidatesItsKnobs)
+{
+    EXPECT_THROW(
+        CampaignJob("spec", 1, parseConfig("{\"nope\":1}")),
+        ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("spec", 1, parseConfig("{\"benchmark\":12}")),
+        ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("spec", 1, parseConfig("{\"buffer\":2}")),
+        ProtocolError);
+    // Centaur allows knob 0-3; ConTutto 0-7.
+    EXPECT_THROW(
+        CampaignJob("spec", 1,
+                    parseConfig("{\"buffer\":0,\"knob\":4}")),
+        ProtocolError);
+    EXPECT_NO_THROW(
+        CampaignJob("spec", 1,
+                    parseConfig("{\"buffer\":1,\"knob\":7}")));
+    EXPECT_THROW(
+        CampaignJob("spec", 1, parseConfig("{\"instructions\":0}")),
+        ProtocolError);
+    // Sampled mode validates the window shape at admission.
+    EXPECT_THROW(
+        CampaignJob("spec", 1,
+                    parseConfig("{\"sampleMode\":1,"
+                                "\"sampleWindow\":0}")),
+        ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("spec", 1,
+                    parseConfig("{\"sampleMode\":1,"
+                                "\"samplePeriod\":8}")),
+        ProtocolError);
+}
+
+TEST(Protocol, SpecHashFoldsSamplingKnobs)
+{
+    Json detailed = parseConfig("{\"benchmark\":3}");
+    CampaignJob a("spec", 1, detailed);
+    CampaignJob b("spec", 999, detailed); // seed never in the hash
+    EXPECT_EQ(a.configHash(), b.configHash());
+    EXPECT_FALSE(a.sampled());
+
+    // Turning sampling on moves the hash: a sampled run must never
+    // share a memo entry with a detailed one.
+    CampaignJob s("spec", 1,
+                  parseConfig("{\"benchmark\":3,\"sampleMode\":1}"));
+    EXPECT_TRUE(s.sampled());
+    EXPECT_NE(a.configHash(), s.configHash());
+
+    // And so does each sampling knob.
+    CampaignJob s2("spec", 1,
+                   parseConfig("{\"benchmark\":3,\"sampleMode\":1,"
+                               "\"samplePeriod\":8192}"));
+    EXPECT_NE(s.configHash(), s2.configHash());
+}
+
+TEST(Protocol, SpecPayloadDeterministicInBothRegimes)
+{
+    std::atomic<bool> cancel{false};
+    Json cfg = parseConfig(
+        "{\"benchmark\":3,\"instructions\":20000,\"sampleMode\":1,"
+        "\"sampleWarmup\":8,\"sampleWindow\":32,"
+        "\"samplePeriod\":256}");
+    CampaignJob a("spec", 11, cfg);
+    CampaignJob b("spec", 11, cfg);
+    std::string pa = a.run(cancel);
+    EXPECT_EQ(pa, b.run(cancel));
+
+    Json p = Json::parse(pa);
+    EXPECT_EQ(p.at("kind").asString(), "spec");
+    EXPECT_EQ(p.at("benchmark").asString(), "429.mcf");
+    EXPECT_EQ(p.at("simMode").asString(), "sampled");
+    EXPECT_EQ(p.at("instructions").asU64(), 20000u);
+    EXPECT_GT(p.at("runtimeTicks").asU64(), 0u);
+    EXPECT_GT(p.at("windows").asU64(), 0u);
+    EXPECT_GT(p.at("fastForwardMisses").asU64(), 0u);
+
+    // Detailed regime: no sampling members, simMode says so.
+    CampaignJob d("spec", 11,
+                  parseConfig("{\"benchmark\":3,"
+                              "\"instructions\":20000}"));
+    Json pd = Json::parse(d.run(cancel));
+    EXPECT_EQ(pd.at("simMode").asString(), "detailed");
+    EXPECT_EQ(pd.find("windows"), nullptr);
+}
+
+TEST(Protocol, ResultFramesCarrySimMode)
+{
+    CampaignJob sampled(
+        "spec", 1,
+        parseConfig("{\"sampleMode\":1,\"sampleWindow\":32,"
+                    "\"sampleWarmup\":8,\"samplePeriod\":256}"));
+    Json res = makeResult("id1", "ok", "ok",
+                          sampled.configHash(), 1, "");
+    attachSimMode(res, sampled);
+    EXPECT_EQ(res.at("simMode").asString(), "sampled");
+    EXPECT_EQ(res.at("sampling").at("windowUnits").asU64(), 32u);
+    EXPECT_EQ(res.at("sampling").at("periodUnits").asU64(), 256u);
+
+    CampaignJob spin("spin", 1, Json::object());
+    Json res2 = makeResult("id2", "ok", "ok", spin.configHash(), 1,
+                           "");
+    attachSimMode(res2, spin);
+    EXPECT_EQ(res2.at("simMode").asString(), "detailed");
+    EXPECT_EQ(res2.find("sampling"), nullptr);
+}
+
 TEST(Protocol, SpinHonoursItsCancelToken)
 {
     std::atomic<bool> cancel{false};

@@ -1,0 +1,208 @@
+/** @file SamplingController unit tests: schedule, estimate, CI. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sampling.hh"
+
+using namespace contutto;
+using namespace contutto::sim;
+
+namespace
+{
+
+SamplingConfig
+smallConfig()
+{
+    SamplingConfig cfg;
+    cfg.enabled = true;
+    cfg.warmupUnits = 2;
+    cfg.windowUnits = 4;
+    cfg.periodUnits = 16;
+    return cfg;
+}
+
+TEST(SamplingConfig, Validity)
+{
+    SamplingConfig cfg = smallConfig();
+    EXPECT_TRUE(cfg.valid());
+    cfg.windowUnits = 0;
+    EXPECT_FALSE(cfg.valid());
+    cfg = smallConfig();
+    cfg.warmupUnits = 20; // warmup+window > period
+    EXPECT_FALSE(cfg.valid());
+    cfg = smallConfig();
+    cfg.periodUnits = cfg.warmupUnits + cfg.windowUnits; // abutting
+    EXPECT_TRUE(cfg.valid());
+}
+
+TEST(SamplingConfig, FoldLeavesDetailedHashUntouched)
+{
+    SamplingConfig off;
+    EXPECT_EQ(off.fold(0x1234u), 0x1234u);
+
+    SamplingConfig on = smallConfig();
+    EXPECT_NE(on.fold(0x1234u), 0x1234u);
+
+    // Different knobs, different hashes; same knobs, same hash.
+    SamplingConfig on2 = smallConfig();
+    EXPECT_EQ(on.fold(7), on2.fold(7));
+    on2.periodUnits = 32;
+    EXPECT_NE(on.fold(7), on2.fold(7));
+}
+
+TEST(SamplingController, EnabledInvalidConfigIsFatal)
+{
+    SamplingConfig cfg = smallConfig();
+    cfg.windowUnits = 0;
+    EXPECT_THROW(SamplingController(cfg, 1), FatalError);
+}
+
+TEST(SamplingController, DisabledRunsEverythingDetailed)
+{
+    SamplingConfig cfg; // enabled = false
+    SamplingController c(cfg, 1);
+    for (unsigned i = 0; i < 100; ++i) {
+        EXPECT_TRUE(c.beginMiss(i, Tick(i) * 100));
+        EXPECT_FALSE(c.measuring());
+    }
+    EXPECT_EQ(c.detailedUnits(), 100u);
+    EXPECT_EQ(c.fastForwardUnits(), 0u);
+    c.finishRun(100, 10000, 100);
+    EXPECT_FALSE(c.report().enabled);
+}
+
+TEST(SamplingController, BootstrapWindowIsPinnedAtMissZero)
+{
+    SamplingController c(smallConfig(), 9);
+    // Misses 0-1: warmup (detailed, unmeasured). Misses 2-5: the
+    // measured calibration body. Miss 6 onward: fast-forward.
+    for (unsigned i = 0; i < 6; ++i) {
+        EXPECT_TRUE(c.beginMiss(i * 10, Tick(i) * 1000)) << i;
+        if (i < 2)
+            EXPECT_FALSE(c.measuring()) << i;
+        else
+            EXPECT_TRUE(c.measuring()) << i;
+        if (c.measuring())
+            c.observeLatency(500);
+    }
+    EXPECT_FALSE(c.beginMiss(60, 6000));
+    // The calibration window fed the estimate before the first
+    // fast-forwarded miss was charged.
+    EXPECT_EQ(c.chargedLatency(), 500u);
+    EXPECT_EQ(c.windowsClosed(), 1u);
+}
+
+TEST(SamplingController, NextWindowLandsInsideItsPeriod)
+{
+    SamplingConfig cfg = smallConfig();
+    SamplingController c(cfg, 3);
+    std::vector<bool> detailed;
+    for (unsigned i = 0; i < 32; ++i)
+        detailed.push_back(c.beginMiss(i * 10, Tick(i) * 1000));
+
+    // Window 1 occupies misses [0, 6); then fast-forward until the
+    // second window opens somewhere in [16, 16 + slack], slack =
+    // period - (warmup + window) = 10.
+    unsigned second = 0;
+    for (unsigned i = 6; i < 32; ++i)
+        if (detailed[i]) {
+            second = i;
+            break;
+        }
+    EXPECT_GE(second, 16u);
+    EXPECT_LE(second, 26u);
+}
+
+TEST(SamplingController, SameSeedSameSchedule)
+{
+    SamplingController a(smallConfig(), 42);
+    SamplingController b(smallConfig(), 42);
+    for (unsigned i = 0; i < 500; ++i)
+        ASSERT_EQ(a.beginMiss(i, Tick(i) * 50),
+                  b.beginMiss(i, Tick(i) * 50))
+            << i;
+}
+
+TEST(SamplingController, IntegerMeanEstimate)
+{
+    SamplingController c(smallConfig(), 1);
+    c.observeLatency(100);
+    c.observeLatency(101);
+    // Integer mean (truncating): exactly reproducible everywhere.
+    EXPECT_EQ(c.chargedLatency(), 100u);
+    c.observeLatency(105);
+    EXPECT_EQ(c.chargedLatency(), 102u);
+}
+
+TEST(SamplingController, StitchedEstimateAndTightCi)
+{
+    // Drive a perfectly stationary run: 100 ticks of simulated time
+    // per unit of work, everywhere. Every window then observes the
+    // same time-per-work, the variance is zero, and the stitched
+    // estimate must be exact with a zero-width CI.
+    SamplingController c(smallConfig(), 5);
+    const std::uint64_t misses = 400;
+    for (std::uint64_t i = 0; i < misses; ++i) {
+        if (c.beginMiss(i * 10, Tick(i) * 1000) && c.measuring())
+            c.observeLatency(700);
+    }
+    c.finishRun(misses * 10, Tick(misses) * 1000, misses * 10);
+
+    const SamplingReport &r = c.report();
+    EXPECT_TRUE(r.enabled);
+    EXPECT_GE(r.windows, 2u);
+    EXPECT_DOUBLE_EQ(r.meanTimePerWork, 100.0);
+    EXPECT_DOUBLE_EQ(r.stddevTimePerWork, 0.0);
+    EXPECT_DOUBLE_EQ(r.estimatedRuntimeTicks,
+                     100.0 * double(misses * 10));
+    EXPECT_DOUBLE_EQ(r.ciHalfWidthTicks, 0.0);
+    EXPECT_EQ(r.detailedUnits + r.fastForwardUnits, misses);
+    EXPECT_GT(r.fastForwardUnits, r.detailedUnits);
+}
+
+TEST(SamplingController, FinishRunIsIdempotent)
+{
+    SamplingController c(smallConfig(), 5);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        if (c.beginMiss(i * 10, Tick(i) * 1000) && c.measuring())
+            c.observeLatency(700);
+    c.finishRun(1000, 100000, 1000);
+    SamplingReport first = c.report();
+    c.finishRun(2000, 999999, 2000); // must be ignored
+    EXPECT_DOUBLE_EQ(c.report().estimatedRuntimeTicks,
+                     first.estimatedRuntimeTicks);
+    EXPECT_EQ(c.report().windows, first.windows);
+}
+
+TEST(SamplingController, FunctionalWriteHookSeesFastForwardStores)
+{
+    SamplingController c(smallConfig(), 2);
+    std::vector<Addr> warmed;
+    c.setFunctionalWrite([&](Addr a, const dmi::CacheLine &) {
+        warmed.push_back(a);
+    });
+    // No hook crash before set; warmWrite routes through.
+    c.warmWrite(0x1000, dmi::CacheLine{});
+    c.warmWrite(0x2000, dmi::CacheLine{});
+    ASSERT_EQ(warmed.size(), 2u);
+    EXPECT_EQ(warmed[0], 0x1000u);
+    EXPECT_EQ(warmed[1], 0x2000u);
+}
+
+TEST(SamplingController, MidFlightWindowFoldsIntoTheEstimate)
+{
+    // End the run inside a measured window: the partial window's
+    // observation must still be counted.
+    SamplingConfig cfg = smallConfig();
+    SamplingController c(cfg, 1);
+    // Warmup misses 0-1, then 2 measured misses; stop mid-window.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        c.beginMiss(i * 10, Tick(i) * 1000);
+    c.finishRun(40, 4000, 40);
+    EXPECT_EQ(c.report().windows, 1u);
+    EXPECT_GT(c.report().estimatedRuntimeTicks, 0.0);
+}
+
+} // namespace
