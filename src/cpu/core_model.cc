@@ -162,6 +162,10 @@ CoreModel::issueMiss(MissKind kind)
         measured = detailed && params_.sampler->measuring();
     }
     bool isWrite = rng_.chance(profile_.writeFraction);
+    if (params_.capture)
+        params_.capture->record(
+            curTick(), addr,
+            trace::makeOp(isWrite, kind == MissKind::chase));
 
     if (!detailed) {
         // Fast-forward: charge the calibrated estimate; stores still

@@ -23,6 +23,7 @@
 #include "cpu/host_port.hh"
 #include "sim/random.hh"
 #include "sim/sampling.hh"
+#include "trace/capture.hh"
 
 namespace contutto::cpu
 {
@@ -68,6 +69,14 @@ class CoreModel : public SimObject
          * runs every miss in full detail, exactly as before.
          */
         sim::SamplingController *sampler = nullptr;
+        /**
+         * Optional capture hook (trace/capture.hh): every off-chip
+         * miss is appended to the sink as it issues — in both the
+         * detailed and fast-forwarded regimes, so a trace captured
+         * under sampling still holds the full logical access
+         * stream.
+         */
+        trace::CaptureSink *capture = nullptr;
     };
 
     struct Result

@@ -55,6 +55,23 @@ MemTrace::format() const
 }
 
 MemTrace
+MemTrace::fromBinary(const trace::MappedTrace &bin)
+{
+    MemTrace trace;
+    trace.records.reserve(bin.recordCount());
+    for (std::uint64_t i = 0; i < bin.recordCount(); ++i) {
+        trace::Record r = bin.record(i);
+        TraceRecord rec;
+        rec.delay = r.tickDelta;
+        rec.addr = r.addr & ~Addr(dmi::cacheLineSize - 1);
+        rec.isWrite = trace::opIsWrite(r.op);
+        rec.dependent = trace::opIsDependent(r.op);
+        trace.records.push_back(rec);
+    }
+    return trace;
+}
+
+MemTrace
 MemTrace::synthesize(std::size_t n, Tick mean_delay, Addr footprint,
                      double write_fraction,
                      double dependent_fraction, std::uint64_t seed)
@@ -149,6 +166,10 @@ TraceReplayer::issueCurrent()
             // occupies a window slot until it lands.
             ++outstanding_;
             ++result_.writebacks;
+            if (params_.capture)
+                params_.capture->record(curTick(),
+                                        *filtered.writeback,
+                                        trace::Op::write);
             issueMemory(*filtered.writeback, true, 0);
         }
         if (filtered.servedBy != CacheHierarchy::Level::memory) {
@@ -162,6 +183,10 @@ TraceReplayer::issueCurrent()
         }
     }
 
+    if (params_.capture)
+        params_.capture->record(
+            curTick(), rec.addr,
+            trace::makeOp(rec.isWrite, rec.dependent));
     issueMemory(rec.addr, rec.isWrite, params_.nestOverhead);
     advance();
 }
@@ -235,6 +260,145 @@ TraceReplayer::maybeFinish()
     running_ = false;
     if (params_.sampler)
         params_.sampler->finishRun(trace_->records.size(), curTick(),
+                                   next_);
+    result_.runtime = curTick() - startedAt_;
+    if (done_)
+        done_(result_);
+}
+
+TimedTraceReplayer::TimedTraceReplayer(
+    const std::string &name, EventQueue &eq,
+    const ClockDomain &domain, stats::StatGroup *parent,
+    const Params &params, HostMemPort &port)
+    : SimObject(name, eq, domain, parent), params_(params),
+      port_(port),
+      issueEvent_([this] { issueDue(); }, name + ".issue")
+{}
+
+TimedTraceReplayer::~TimedTraceReplayer()
+{
+    if (issueEvent_.scheduled())
+        eventq().deschedule(&issueEvent_);
+}
+
+void
+TimedTraceReplayer::start(const trace::MappedTrace &trace,
+                          std::function<void(const Result &)> done)
+{
+    ct_assert(!running_);
+    running_ = true;
+    trace_ = &trace;
+    next_ = 0;
+    outstanding_ = 0;
+    result_ = Result{};
+    startedAt_ = curTick();
+    done_ = std::move(done);
+    if (trace.recordCount() == 0) {
+        maybeFinish();
+        return;
+    }
+    // A trace whose origin is already behind us replays under a
+    // rigid shift; deltas — and therefore a recapture — are
+    // unchanged.
+    nextTick_ = trace.record(0).tickDelta;
+    shift_ = nextTick_ >= curTick() ? 0 : curTick() - nextTick_;
+    if (params_.capture)
+        params_.capture->setBase(shift_);
+    scheduleNext();
+}
+
+void
+TimedTraceReplayer::scheduleNext()
+{
+    if (next_ >= trace_->recordCount()) {
+        maybeFinish();
+        return;
+    }
+    eventq().schedule(&issueEvent_, nextTick_ + shift_);
+}
+
+void
+TimedTraceReplayer::issueDue()
+{
+    // Issue every record whose (shifted) tick is now; records are
+    // decoded straight off the mmap, one at a time.
+    Tick now = curTick();
+    while (next_ < trace_->recordCount()
+           && nextTick_ + shift_ == now) {
+        trace::Record rec = trace_->record(next_);
+        bool isWrite = trace::opIsWrite(rec.op);
+        if (isWrite)
+            ++result_.writes;
+        else
+            ++result_.reads;
+        ++result_.replayed;
+        ++outstanding_;
+        if (params_.capture)
+            params_.capture->record(now, rec.addr, rec.op,
+                                    rec.sizeLog2, rec.threadId);
+
+        bool detailed = true;
+        bool measured = false;
+        if (params_.sampler) {
+            detailed = params_.sampler->beginMiss(next_, now);
+            measured = detailed && params_.sampler->measuring();
+        }
+
+        if (!detailed) {
+            if (isWrite)
+                params_.sampler->warmWrite(rec.addr,
+                                           dmi::CacheLine{});
+            Tick charged = params_.sampler->chargedLatency()
+                + params_.nestOverhead;
+            OneShotEvent::schedule(eventq(), now + charged,
+                                   [this] { accessDone(); });
+        } else {
+            ++result_.detailed;
+            auto completion = [this,
+                               measured](const HostOpResult &r) {
+                if (measured && !r.failed)
+                    params_.sampler->observeLatency(r.doneAt
+                                                    - r.issuedAt);
+                if (params_.nestOverhead == 0) {
+                    accessDone();
+                    return;
+                }
+                OneShotEvent::schedule(
+                    eventq(), curTick() + params_.nestOverhead,
+                    [this] { accessDone(); });
+            };
+            if (isWrite) {
+                dmi::CacheLine line{};
+                port_.write(rec.addr, line, completion);
+            } else {
+                port_.read(rec.addr, completion);
+            }
+        }
+
+        ++next_;
+        if (next_ < trace_->recordCount())
+            nextTick_ += trace_->record(next_).tickDelta;
+    }
+    scheduleNext();
+}
+
+void
+TimedTraceReplayer::accessDone()
+{
+    ct_assert(outstanding_ > 0);
+    --outstanding_;
+    maybeFinish();
+}
+
+void
+TimedTraceReplayer::maybeFinish()
+{
+    if (!running_ || next_ < trace_->recordCount()
+        || outstanding_ > 0)
+        return;
+    running_ = false;
+    if (params_.sampler)
+        params_.sampler->finishRun(trace_->recordCount(), curTick(),
                                    next_);
     result_.runtime = curTick() - startedAt_;
     if (done_)

@@ -31,6 +31,8 @@
 #include "cpu/host_port.hh"
 #include "sim/random.hh"
 #include "sim/sampling.hh"
+#include "trace/capture.hh"
+#include "trace/reader.hh"
 
 namespace contutto::cpu
 {
@@ -65,6 +67,14 @@ struct MemTrace
                                Addr footprint, double write_fraction,
                                double dependent_fraction,
                                std::uint64_t seed);
+
+    /**
+     * Convert a validated binary trace (trace/reader.hh) to the
+     * in-memory form, so window-mode replay runs captured traces
+     * too: tickDelta maps to compute delay, dependent ops to the
+     * drain flag. Lossless, unlike the text round trip.
+     */
+    static MemTrace fromBinary(const trace::MappedTrace &bin);
 };
 
 /** Replays a trace through a host port. */
@@ -92,6 +102,13 @@ class TraceReplayer : public SimObject
          * hit/miss/writeback decision — are exact, not sampled.
          */
         sim::SamplingController *sampler = nullptr;
+        /**
+         * Optional capture hook (trace/capture.hh): every channel
+         * trip — post-cache miss or writeback — is appended to the
+         * sink as it issues, so replaying one trace can record
+         * another (e.g. a post-cache-filter trace).
+         */
+        trace::CaptureSink *capture = nullptr;
     };
 
     struct Result
@@ -120,6 +137,9 @@ class TraceReplayer : public SimObject
 
     bool running() const { return running_; }
 
+    /** Records issued so far (live, for progress boards). */
+    std::uint64_t issuedSoFar() const { return next_; }
+
   private:
     void advance();
     void issueCurrent();
@@ -138,6 +158,90 @@ class TraceReplayer : public SimObject
     Result result_;
     std::function<void(const Result &)> done_;
     EventFunctionWrapper advanceEvent_;
+};
+
+/**
+ * Replays a binary trace at its recorded issue times, streaming
+ * records straight off the mmap.
+ *
+ * Where TraceReplayer re-times a trace through a window model (so
+ * the runtime responds to the modelled latency), TimedTraceReplayer
+ * reproduces the captured stimulus exactly: every record issues at
+ * its recorded tick regardless of completions — which is what makes
+ * a capture→replay round trip drive the channel byte-identically to
+ * the run it was captured from. A trace whose origin is already in
+ * the past replays under a rigid time shift (deltas preserved), and
+ * an attached recapture sink is told the shift so re-captured files
+ * stay byte-identical to the input.
+ *
+ * Sampled mode composes the same way as everywhere else: the
+ * controller is consulted per record, and fast-forwarded records
+ * complete from the calibrated estimate without touching the
+ * channel — the path that streams millions of records per second.
+ */
+class TimedTraceReplayer : public SimObject
+{
+  public:
+    struct Params
+    {
+        /** Per-access processor-side overhead (completion side
+         *  only; never delays an issue). */
+        Tick nestOverhead = nanoseconds(44);
+        /** Sampled execution; see TraceReplayer::Params. */
+        sim::SamplingController *sampler = nullptr;
+        /** Optional recapture sink: every replayed record is
+         *  re-recorded at its (shifted) issue tick. */
+        trace::CaptureSink *capture = nullptr;
+    };
+
+    struct Result
+    {
+        /** Last completion minus first issue. */
+        Tick runtime = 0;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        /** Records replayed (== the trace's recordCount). */
+        std::uint64_t replayed = 0;
+        /** Records that travelled the channel in detail. */
+        std::uint64_t detailed = 0;
+    };
+
+    TimedTraceReplayer(const std::string &name, EventQueue &eq,
+                       const ClockDomain &domain,
+                       stats::StatGroup *parent,
+                       const Params &params, HostMemPort &port);
+
+    ~TimedTraceReplayer() override;
+
+    /** Start replaying @p trace; @p done fires at completion. */
+    void start(const trace::MappedTrace &trace,
+               std::function<void(const Result &)> done);
+
+    bool running() const { return running_; }
+    /** The rigid shift applied to recorded ticks this run. */
+    Tick shift() const { return shift_; }
+    /** Records issued so far (live, for progress boards). */
+    std::uint64_t replayedSoFar() const { return result_.replayed; }
+
+  private:
+    void issueDue();
+    void scheduleNext();
+    void accessDone();
+    void maybeFinish();
+
+    Params params_;
+    HostMemPort &port_;
+    const trace::MappedTrace *trace_ = nullptr;
+    std::uint64_t next_ = 0;
+    /** Absolute (unshifted) tick of record next_. */
+    Tick nextTick_ = 0;
+    Tick shift_ = 0;
+    std::uint64_t outstanding_ = 0;
+    bool running_ = false;
+    Tick startedAt_ = 0;
+    Result result_;
+    std::function<void(const Result &)> done_;
+    EventFunctionWrapper issueEvent_;
 };
 
 } // namespace contutto::cpu

@@ -7,7 +7,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "cpu/trace_replay.hh"
 #include "sim/checkpoint.hh"
+#include "trace/reader.hh"
 #include "workloads/spec.hh"
 
 namespace contutto::service
@@ -97,6 +99,15 @@ class KnobReader
     {
         if (const Json *v = config_.find(name)) {
             out = v->asU64();
+            ++consumed_;
+        }
+    }
+
+    void
+    str(const char *name, std::string &out)
+    {
+        if (const Json *v = config_.find(name)) {
+            out = v->asString();
             ++consumed_;
         }
     }
@@ -224,6 +235,60 @@ CampaignJob::CampaignJob(const std::string &kind,
         configHash_ = spec_.sampling.fold(
             ckpt::fnv1a(s.bytes().data(), s.bytes().size(),
                         0x53504543ull));
+    } else if (kind == "trace") {
+        k.known({"path", "buffer", "knob", "timed", "window",
+                 "sampleMode", "sampleWarmup", "sampleWindow",
+                 "samplePeriod"});
+        k.str("path", trace_.path);
+        k.u32("buffer", trace_.buffer);
+        k.u32("knob", trace_.knob);
+        k.u32("timed", trace_.timed);
+        k.u32("window", trace_.window);
+        unsigned sampleMode = 0;
+        k.u32("sampleMode", sampleMode);
+        trace_.sampling.enabled = sampleMode != 0;
+        k.u64("sampleWarmup", trace_.sampling.warmupUnits);
+        k.u64("sampleWindow", trace_.sampling.windowUnits);
+        k.u64("samplePeriod", trace_.sampling.periodUnits);
+        k.finish();
+        if (trace_.path.empty())
+            throw ProtocolError("config: path is required");
+        if (trace_.buffer > 1)
+            throw ProtocolError(
+                "config: buffer must be 0 (centaur) or 1 "
+                "(contutto)");
+        if (trace_.buffer == 0 ? trace_.knob > 3 : trace_.knob > 7)
+            throw ProtocolError(
+                "config: knob out of range for the buffer");
+        if (trace_.timed > 1)
+            throw ProtocolError("config: timed must be 0 or 1");
+        if (trace_.window == 0 || trace_.window > 1024)
+            throw ProtocolError("config: window must be 1..1024");
+        if (trace_.sampling.enabled && !trace_.sampling.valid())
+            throw ProtocolError(
+                "config: sampling knobs invalid (need window >= 1 "
+                "and warmup+window <= period)");
+        // Validate the file at admission; a corrupt or missing
+        // trace fails here, not after a queue wait.
+        try {
+            trace::MappedTrace bin(trace_.path);
+            trace_.checksum = bin.checksum();
+        } catch (const trace::Error &e) {
+            throw ProtocolError(std::string("config: ") + e.what());
+        }
+        ckpt::Section s("trace");
+        s.putU64(trace_.buffer);
+        s.putU64(trace_.knob);
+        s.putU64(trace_.timed);
+        s.putU64(trace_.window);
+        // The trace's content identity, not its path: the memo key
+        // must survive renames and reject edited files.
+        s.putU64(trace_.checksum);
+        // Domain-separate from the other kinds' hashes; sampling
+        // knobs fold on top, as for spec.
+        configHash_ = trace_.sampling.fold(
+            ckpt::fnv1a(s.bytes().data(), s.bytes().size(),
+                        0x54524143ull));
     } else if (kind == "spin") {
         k.known({"spinMs"});
         k.u64("spinMs", spinMs_);
@@ -342,6 +407,131 @@ CampaignJob::runSpec(const std::atomic<bool> &cancel,
 }
 
 std::string
+CampaignJob::runTrace(const std::atomic<bool> &cancel,
+                      Progress *progress, Json payload) const
+{
+    trace::MappedTrace bin(trace_.path);
+    if (bin.checksum() != trace_.checksum)
+        throw std::runtime_error(
+            "trace: file changed since admission (checksum "
+            + hashHex(bin.checksum()) + " != admitted "
+            + hashHex(trace_.checksum) + ")");
+
+    cpu::Power8System::Params sp;
+    if (trace_.buffer == 0) {
+        const centaur::CentaurModel::Config configs[] = {
+            centaur::CentaurModel::optimized(),
+            centaur::CentaurModel::balanced(),
+            centaur::CentaurModel::conservative(),
+            centaur::CentaurModel::slowest(),
+        };
+        sp.buffer = cpu::BufferKind::centaur;
+        sp.centaurConfig = configs[trace_.knob];
+        sp.dimms = {cpu::DimmSpec{mem::MemTech::dram, 1 * GiB, {},
+                                  {}}};
+    } else {
+        sp.buffer = cpu::BufferKind::contutto;
+        sp.dimms = {
+            cpu::DimmSpec{mem::MemTech::dram, 512 * MiB, {}, {}},
+            cpu::DimmSpec{mem::MemTech::dram, 512 * MiB, {}, {}}};
+    }
+    cpu::Power8System sys(sp);
+    if (!sys.train())
+        throw std::runtime_error("trace: link training failed");
+    if (trace_.buffer == 1)
+        sys.card()->mbs().setKnobPosition(trace_.knob);
+
+    ClockDomain core("core", 250);
+    sim::SamplingController *sampler = nullptr;
+    if (trace_.sampling.enabled)
+        sampler = &sys.enableSampling(trace_.sampling, seed_);
+
+    if (progress)
+        progress->workTotal.store(bin.recordCount(),
+                                  std::memory_order_relaxed);
+    bool finished = false;
+    std::uint64_t reads = 0, writes = 0, detailed = 0;
+    Tick runtime = 0;
+    auto pump = [&](auto &rep) {
+        std::uint64_t steps = 0;
+        while (!finished && sys.eventq().step()) {
+            if ((++steps & 0xfff) != 0)
+                continue;
+            if (cancel.load(std::memory_order_relaxed))
+                throw Cancelled{};
+            if (progress)
+                progress->workDone.store(
+                    rep.issuedSoFar(), std::memory_order_relaxed);
+        }
+    };
+    if (trace_.timed) {
+        cpu::TimedTraceReplayer::Params tp;
+        tp.nestOverhead = sys.params().nestOverhead;
+        tp.sampler = sampler;
+        cpu::TimedTraceReplayer rep("replay", sys.eventq(), core,
+                                    &sys, tp, sys.port());
+        rep.start(bin, [&](const auto &r) {
+            reads = r.reads;
+            writes = r.writes;
+            detailed = r.detailed;
+            runtime = r.runtime;
+            finished = true;
+        });
+        struct Adapter
+        {
+            cpu::TimedTraceReplayer &rep;
+            std::uint64_t issuedSoFar() const
+            {
+                return rep.replayedSoFar();
+            }
+        } adapter{rep};
+        pump(adapter);
+    } else {
+        cpu::MemTrace mem = cpu::MemTrace::fromBinary(bin);
+        cpu::TraceReplayer::Params tp;
+        tp.window = trace_.window;
+        tp.nestOverhead = sys.params().nestOverhead;
+        tp.sampler = sampler;
+        cpu::TraceReplayer rep("replay", sys.eventq(), core, &sys,
+                               tp, sys.port());
+        rep.start(mem, [&](const auto &r) {
+            reads = r.reads;
+            writes = r.writes;
+            detailed = r.reads + r.writes;
+            runtime = r.runtime;
+            finished = true;
+        });
+        pump(rep);
+    }
+    if (progress)
+        progress->workDone.store(bin.recordCount(),
+                                 std::memory_order_relaxed);
+
+    // All-integer payload, as everywhere: byte-identical fresh,
+    // memoized, or recomputed.
+    payload.set("traceChecksum",
+                Json::string(hashHex(trace_.checksum)));
+    putCounter(payload, "records", bin.recordCount());
+    putCounter(payload, "reads", reads);
+    putCounter(payload, "writes", writes);
+    putCounter(payload, "detailedTrips", detailed);
+    putCounter(payload, "runtimeTicks", runtime);
+    payload.set("replayMode", Json::string(trace_.timed ? "timed"
+                                                        : "window"));
+    payload.set("simMode",
+                Json::string(trace_.sampling.enabled ? "sampled"
+                                                     : "detailed"));
+    if (trace_.sampling.enabled) {
+        const sim::SamplingReport &rep = sys.sampler()->report();
+        putCounter(payload, "windows", rep.windows);
+        putCounter(payload, "detailedMisses", rep.detailedUnits);
+        putCounter(payload, "fastForwardMisses",
+                   rep.fastForwardUnits);
+    }
+    return payload.dump();
+}
+
+std::string
 CampaignJob::run(const std::atomic<bool> &cancel,
                  Progress *progress) const
 {
@@ -352,6 +542,8 @@ CampaignJob::run(const std::atomic<bool> &cancel,
 
     if (kind_ == "spec")
         return runSpec(cancel, progress, std::move(payload));
+    if (kind_ == "trace")
+        return runTrace(cancel, progress, std::move(payload));
 
     if (kind_ == "spin") {
         const auto started = std::chrono::steady_clock::now();

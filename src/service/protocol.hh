@@ -55,6 +55,15 @@
  *             sampled run never shares a memo entry with a detailed
  *             one; result frames carry "simMode" (and the knobs,
  *             when sampled) for every kind.
+ *   trace     replay one binary memory trace (src/trace) through a
+ *             freshly built channel (knobs: path, buffer/knob as
+ *             for spec, timed 1=recorded-time replay/0=window
+ *             replay, window, and the sampling knobs). The trace
+ *             file is validated at admission and its checksum —
+ *             not its path — folds into the config hash, so a memo
+ *             entry can only ever be satisfied by the exact trace
+ *             bytes that produced it; the file is re-validated
+ *             against the admitted checksum when the job runs.
  */
 
 #ifndef CONTUTTO_SERVICE_PROTOCOL_HH
@@ -115,11 +124,17 @@ class CampaignJob
     std::uint64_t configHash() const { return configHash_; }
 
     /** True when this job executes in SMARTS-sampled mode. */
-    bool sampled() const { return spec_.sampling.enabled; }
-    /** The sampled-execution knobs (disabled for non-spec kinds). */
-    const sim::SamplingConfig &samplingConfig() const
+    bool
+    sampled() const
     {
-        return spec_.sampling;
+        return samplingConfig().enabled;
+    }
+    /** The sampled-execution knobs (disabled for kinds without
+     *  them). */
+    const sim::SamplingConfig &
+    samplingConfig() const
+    {
+        return kind_ == "trace" ? trace_.sampling : spec_.sampling;
     }
 
     /**
@@ -166,8 +181,26 @@ class CampaignJob
         sim::SamplingConfig sampling{};
     };
 
+    /** Knobs of the "trace" kind: one binary trace replayed on a
+     *  fresh single-channel system. */
+    struct TraceSpec
+    {
+        std::string path;
+        unsigned buffer = 0; ///< 0: Centaur, 1: ConTutto
+        unsigned knob = 0;
+        /** 1: recorded-time replay, 0: window-model replay. */
+        unsigned timed = 1;
+        /** MLP window for window-model replay. */
+        unsigned window = 8;
+        /** The admitted trace file's validated checksum. */
+        std::uint64_t checksum = 0;
+        sim::SamplingConfig sampling{};
+    };
+
     std::string runSpec(const std::atomic<bool> &cancel,
                         Progress *progress, Json payload) const;
+    std::string runTrace(const std::atomic<bool> &cancel,
+                         Progress *progress, Json payload) const;
 
     std::string kind_;
     std::uint64_t seed_ = 1;
@@ -176,6 +209,7 @@ class CampaignJob
     storage::CrashRecoveryCampaign::Spec crash_;
     std::uint64_t spinMs_ = 0;
     SpecSpec spec_;
+    TraceSpec trace_;
 };
 
 /** One sampled point of a request's life, for a progress frame. */

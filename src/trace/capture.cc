@@ -1,0 +1,36 @@
+#include "trace/capture.hh"
+
+#include <unistd.h>
+
+#include "trace/reader.hh"
+
+namespace contutto::trace
+{
+
+ShardCapture::ShardCapture(std::string path, unsigned shards)
+    : path_(std::move(path))
+{
+    ct_assert(shards >= 1);
+    for (unsigned i = 0; i < shards; ++i) {
+        TraceWriter::Options options;
+        options.threadId = std::uint16_t(i);
+        sinks_.push_back(std::make_unique<CaptureSink>(
+            path_ + ".shard" + std::to_string(i), options));
+    }
+}
+
+std::uint64_t
+ShardCapture::finish()
+{
+    std::vector<std::string> shardPaths;
+    for (auto &sink : sinks_) {
+        sink->close();
+        shardPaths.push_back(sink->path());
+    }
+    std::uint64_t count = mergeShards(shardPaths, path_);
+    for (const auto &p : shardPaths)
+        ::unlink(p.c_str());
+    return count;
+}
+
+} // namespace contutto::trace

@@ -1,0 +1,118 @@
+#include "trace/format.hh"
+
+#include <cstring>
+
+namespace contutto::trace
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::ioError:
+        return "trace ioError";
+      case ErrorCode::tooShort:
+        return "trace tooShort";
+      case ErrorCode::badMagic:
+        return "trace badMagic";
+      case ErrorCode::badVersion:
+        return "trace badVersion";
+      case ErrorCode::badLength:
+        return "trace badLength";
+      case ErrorCode::badCount:
+        return "trace badCount";
+      case ErrorCode::badChecksum:
+        return "trace badChecksum";
+      case ErrorCode::badRecord:
+        return "trace badRecord";
+      case ErrorCode::shortWrite:
+        return "trace shortWrite";
+    }
+    return "trace unknownError";
+}
+
+namespace
+{
+
+void
+putU32(std::uint8_t *out, std::uint32_t v)
+{
+    std::memcpy(out, &v, sizeof(v));
+}
+
+void
+putU64(std::uint8_t *out, std::uint64_t v)
+{
+    std::memcpy(out, &v, sizeof(v));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *in)
+{
+    std::uint32_t v;
+    std::memcpy(&v, in, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *in)
+{
+    std::uint64_t v;
+    std::memcpy(&v, in, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+void
+encodeHeader(std::uint8_t out[headerBytes])
+{
+    std::memcpy(out, fileMagic, sizeof(fileMagic));
+    putU32(out + 8, formatVersion);
+    putU32(out + 12, 0);
+}
+
+void
+encodeRecord(const Record &rec, std::uint8_t out[recordBytes])
+{
+    putU64(out, rec.tickDelta);
+    putU64(out + 8, rec.addr);
+    out[16] = std::uint8_t(rec.op);
+    out[17] = rec.sizeLog2;
+    std::memcpy(out + 18, &rec.threadId, sizeof(rec.threadId));
+    putU32(out + 20, 0);
+}
+
+void
+encodeFooter(std::uint64_t recordCount, std::uint64_t checksum,
+             std::uint8_t out[footerBytes])
+{
+    putU64(out, recordCount);
+    putU64(out + 8, checksum);
+}
+
+Record
+decodeRecord(const std::uint8_t in[recordBytes])
+{
+    Record rec;
+    rec.tickDelta = getU64(in);
+    rec.addr = getU64(in + 8);
+    if (in[16] >= numOps)
+        throw Error(ErrorCode::badRecord,
+                    "op " + std::to_string(in[16])
+                        + " out of range");
+    rec.op = Op(in[16]);
+    rec.sizeLog2 = in[17];
+    if (rec.sizeLog2 > maxSizeLog2)
+        throw Error(ErrorCode::badRecord,
+                    "sizeLog2 " + std::to_string(rec.sizeLog2)
+                        + " above cap "
+                        + std::to_string(maxSizeLog2));
+    std::memcpy(&rec.threadId, in + 18, sizeof(rec.threadId));
+    if (getU32(in + 20) != 0)
+        throw Error(ErrorCode::badRecord,
+                    "reserved record bytes not zero");
+    return rec;
+}
+
+} // namespace contutto::trace

@@ -1,0 +1,181 @@
+#include "trace/generate.hh"
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "trace/writer.hh"
+
+namespace contutto::trace
+{
+
+Shape
+shapeFromName(const std::string &name)
+{
+    if (name == "uniform")
+        return Shape::uniform;
+    if (name == "qsort")
+        return Shape::qsort;
+    if (name == "matmul")
+        return Shape::matmul;
+    throw Error(ErrorCode::badRecord,
+                "unknown trace shape '" + name
+                    + "' (uniform, qsort, matmul)");
+}
+
+const char *
+shapeName(Shape shape)
+{
+    switch (shape) {
+      case Shape::uniform:
+        return "uniform";
+      case Shape::qsort:
+        return "qsort";
+      case Shape::matmul:
+        return "matmul";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** All shapes emit whole cache lines. */
+constexpr Addr lineBytes = 128;
+constexpr std::uint8_t lineLog2 = 7;
+
+/** Shared emit plumbing: delta-encodes and counts down records. */
+struct Emitter
+{
+    TraceWriter &writer;
+    const GenerateSpec &spec;
+    Rng &rng;
+    std::uint64_t left;
+
+    bool
+    emit(Addr line, Op op)
+    {
+        if (left == 0)
+            return false;
+        Record rec;
+        rec.tickDelta =
+            spec.meanDelay == 0
+                ? 0
+                : Tick(double(spec.meanDelay)
+                       * (0.5 + rng.uniform()));
+        rec.addr = spec.base + line * lineBytes;
+        rec.op = op;
+        rec.sizeLog2 = lineLog2;
+        rec.threadId = spec.threadId;
+        writer.append(rec);
+        --left;
+        return true;
+    }
+};
+
+void
+genUniform(Emitter &e, std::uint64_t lines)
+{
+    while (e.emit(e.rng.below(lines),
+                  e.rng.chance(0.3) ? Op::write : Op::read)) {}
+}
+
+/**
+ * Recursive partition passes: a dependent pivot read, then two
+ * pointers sweeping toward each other with swap writes, then the
+ * two halves. Iterative with an explicit worklist; wraps back to
+ * the full range until the record budget runs out.
+ */
+void
+genQsort(Emitter &e, std::uint64_t lines)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> work;
+    while (e.left > 0) {
+        if (work.empty())
+            work.emplace_back(0, lines);
+        auto [lo, hi] = work.back();
+        work.pop_back();
+        if (hi - lo < 2)
+            continue;
+        std::uint64_t pivot = lo + (hi - lo) / 2;
+        if (!e.emit(pivot, Op::depRead))
+            return;
+        std::uint64_t i = lo, j = hi - 1;
+        while (i < j) {
+            if (!e.emit(i, Op::read) || !e.emit(j, Op::read))
+                return;
+            if (e.rng.chance(0.5)
+                && (!e.emit(i, Op::write)
+                    || !e.emit(j, Op::write)))
+                return;
+            ++i;
+            --j;
+        }
+        work.emplace_back(lo, pivot);
+        work.emplace_back(pivot + 1, hi);
+    }
+}
+
+/**
+ * Blocked C = A*B inner loops: stream a row of A against a strided
+ * column walk of B, write back C once per dot product. The
+ * footprint splits into thirds for the three matrices.
+ */
+void
+genMatmul(Emitter &e, std::uint64_t lines)
+{
+    std::uint64_t third = lines / 3;
+    if (third == 0)
+        third = 1;
+    // Square-ish dimension so the B walk strides by a full row.
+    std::uint64_t n = 1;
+    while ((n + 1) * (n + 1) <= third)
+        ++n;
+    std::uint64_t aBase = 0, bBase = third, cBase = 2 * third;
+    for (;;) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            for (std::uint64_t j = 0; j < n; ++j) {
+                for (std::uint64_t k = 0; k < n; ++k) {
+                    if (!e.emit(aBase + i * n + k, Op::read)
+                        || !e.emit(bBase + k * n + j, Op::read))
+                        return;
+                }
+                if (!e.emit(cBase + i * n + j, Op::write))
+                    return;
+            }
+        }
+    }
+}
+
+} // namespace
+
+GenerateResult
+generate(const GenerateSpec &spec, const std::string &path)
+{
+    ct_assert(spec.records > 0);
+    Rng rng(spec.seed);
+    TraceWriter::Options options;
+    options.threadId = spec.threadId;
+    TraceWriter writer(path, options);
+    std::uint64_t lines = spec.footprint / lineBytes;
+    if (lines == 0)
+        lines = 1;
+    Emitter e{writer, spec, rng, spec.records};
+    switch (spec.shape) {
+      case Shape::uniform:
+        genUniform(e, lines);
+        break;
+      case Shape::qsort:
+        genQsort(e, lines);
+        break;
+      case Shape::matmul:
+        genMatmul(e, lines);
+        break;
+    }
+    GenerateResult result;
+    result.recordCount = writer.recordCount();
+    writer.close();
+    result.checksum = writer.checksum();
+    return result;
+}
+
+} // namespace contutto::trace

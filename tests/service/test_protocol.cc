@@ -9,9 +9,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "service/protocol.hh"
+#include "trace/generate.hh"
 
 using namespace contutto::service;
 
@@ -22,6 +25,30 @@ Json
 parseConfig(const char *text)
 {
     return Json::parse(text);
+}
+
+/** Generate a small deterministic binary trace for the "trace"
+ *  kind; returns its path. */
+std::string
+makeTrace(const std::string &leaf, std::uint64_t seed,
+          std::uint64_t records = 2000)
+{
+    contutto::trace::GenerateSpec spec;
+    spec.shape = contutto::trace::Shape::qsort;
+    spec.records = records;
+    spec.seed = seed;
+    spec.meanDelay = contutto::nanoseconds(50);
+    std::string path = ::testing::TempDir() + "proto_" + leaf;
+    contutto::trace::generate(spec, path);
+    return path;
+}
+
+Json
+traceConfig(const std::string &path, const char *extra = nullptr)
+{
+    Json cfg = extra ? Json::parse(extra) : Json::object();
+    cfg.set("path", Json::string(path));
+    return cfg;
 }
 
 TEST(Protocol, RequestRoundTrip)
@@ -238,6 +265,148 @@ TEST(Protocol, ResultFramesCarrySimMode)
     attachSimMode(res2, spin);
     EXPECT_EQ(res2.at("simMode").asString(), "detailed");
     EXPECT_EQ(res2.find("sampling"), nullptr);
+}
+
+TEST(Protocol, TraceKindValidatesKnobsAtAdmission)
+{
+    const std::string path = makeTrace("validate.bin", 1);
+
+    // No path, unknown knob, or a path that is not a valid trace:
+    // rejected at admission, before any queue wait.
+    EXPECT_THROW(CampaignJob("trace", 1, Json::object()),
+                 ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("trace", 1, traceConfig(path, "{\"nope\":1}")),
+        ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("trace", 1,
+                    traceConfig(path + ".does_not_exist")),
+        ProtocolError);
+
+    EXPECT_THROW(
+        CampaignJob("trace", 1, traceConfig(path, "{\"buffer\":2}")),
+        ProtocolError);
+    // Centaur allows knob 0-3; ConTutto 0-7.
+    EXPECT_THROW(
+        CampaignJob("trace", 1,
+                    traceConfig(path, "{\"buffer\":0,\"knob\":4}")),
+        ProtocolError);
+    EXPECT_NO_THROW(
+        CampaignJob("trace", 1,
+                    traceConfig(path, "{\"buffer\":1,\"knob\":7}")));
+    EXPECT_THROW(
+        CampaignJob("trace", 1, traceConfig(path, "{\"timed\":2}")),
+        ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("trace", 1, traceConfig(path, "{\"window\":0}")),
+        ProtocolError);
+    EXPECT_THROW(
+        CampaignJob("trace", 1,
+                    traceConfig(path, "{\"sampleMode\":1,"
+                                      "\"sampleWindow\":0}")),
+        ProtocolError);
+
+    // A structurally corrupt file is an admission failure too.
+    const std::string bad =
+        ::testing::TempDir() + "proto_corrupt.bin";
+    {
+        std::ofstream os(bad, std::ios::binary | std::ios::trunc);
+        os << "not a trace";
+    }
+    EXPECT_THROW(CampaignJob("trace", 1, traceConfig(bad)),
+                 ProtocolError);
+}
+
+TEST(Protocol, TraceHashKeyedByContentNotPath)
+{
+    // The same trace content at two different paths memoizes to the
+    // same key; different content (another seed) does not.
+    const std::string a = makeTrace("hash_a.bin", 7);
+    const std::string b = makeTrace("hash_b.bin", 7);
+    const std::string c = makeTrace("hash_c.bin", 8);
+
+    CampaignJob ja("trace", 1, traceConfig(a));
+    CampaignJob jb("trace", 999, traceConfig(b)); // seed-free too
+    CampaignJob jc("trace", 1, traceConfig(c));
+    EXPECT_EQ(ja.configHash(), jb.configHash());
+    EXPECT_NE(ja.configHash(), jc.configHash());
+
+    // Replay knobs move the hash: timed vs window mode, knob
+    // position, and sampling must never share a memo entry.
+    CampaignJob jw("trace", 1, traceConfig(a, "{\"timed\":0}"));
+    CampaignJob jk("trace", 1, traceConfig(a, "{\"knob\":2}"));
+    CampaignJob js("trace", 1,
+                   traceConfig(a, "{\"sampleMode\":1}"));
+    EXPECT_NE(ja.configHash(), jw.configHash());
+    EXPECT_NE(ja.configHash(), jk.configHash());
+    EXPECT_NE(ja.configHash(), js.configHash());
+    EXPECT_TRUE(js.sampled());
+    EXPECT_FALSE(ja.sampled());
+}
+
+TEST(Protocol, TracePayloadDeterministicBothReplayModes)
+{
+    std::atomic<bool> cancel{false};
+    const std::string path = makeTrace("payload.bin", 3);
+
+    CampaignJob a("trace", 11, traceConfig(path));
+    CampaignJob b("trace", 11, traceConfig(path));
+    std::string pa = a.run(cancel);
+    EXPECT_EQ(pa, b.run(cancel));
+
+    Json p = Json::parse(pa);
+    EXPECT_EQ(p.at("kind").asString(), "trace");
+    EXPECT_EQ(p.at("replayMode").asString(), "timed");
+    EXPECT_EQ(p.at("simMode").asString(), "detailed");
+    EXPECT_EQ(p.at("records").asU64(), 2000u);
+    EXPECT_EQ(p.at("reads").asU64() + p.at("writes").asU64(),
+              2000u);
+    EXPECT_EQ(p.at("detailedTrips").asU64(), 2000u);
+    EXPECT_GT(p.at("runtimeTicks").asU64(), 0u);
+
+    // Window mode replays the same records through the MLP-window
+    // model instead.
+    CampaignJob w("trace", 11,
+                  traceConfig(path, "{\"timed\":0,\"window\":4}"));
+    Json pw = Json::parse(w.run(cancel));
+    EXPECT_EQ(pw.at("replayMode").asString(), "window");
+    EXPECT_EQ(pw.at("records").asU64(), 2000u);
+    EXPECT_GT(pw.at("runtimeTicks").asU64(), 0u);
+
+    // Sampled timed replay reports its window counters.
+    CampaignJob s("trace", 11,
+                  traceConfig(path, "{\"sampleMode\":1,"
+                                    "\"sampleWarmup\":8,"
+                                    "\"sampleWindow\":32,"
+                                    "\"samplePeriod\":256}"));
+    Json ps = Json::parse(s.run(cancel));
+    EXPECT_EQ(ps.at("simMode").asString(), "sampled");
+    EXPECT_EQ(ps.at("traceChecksum").asString(),
+              p.at("traceChecksum").asString());
+    EXPECT_GT(ps.at("windows").asU64(), 0u);
+    EXPECT_GT(ps.at("fastForwardMisses").asU64(), 0u);
+    EXPECT_LT(ps.at("detailedTrips").asU64(), 2000u);
+}
+
+TEST(Protocol, TraceFileChangedAfterAdmissionIsRejected)
+{
+    std::atomic<bool> cancel{false};
+    const std::string path = makeTrace("swap.bin", 21);
+    CampaignJob job("trace", 1, traceConfig(path));
+
+    // Swap in different (but valid) content behind the admitted
+    // job's back: the run must refuse, not silently replay the
+    // wrong trace under the old memo key.
+    const std::string other = makeTrace("swap_other.bin", 22);
+    std::filesystem::rename(other, path);
+    try {
+        job.run(cancel);
+        FAIL() << "run accepted a swapped trace file";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("changed since "
+                                             "admission"),
+                  std::string::npos);
+    }
 }
 
 TEST(Protocol, SpinHonoursItsCancelToken)

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Record/header/footer codec unit tests: encode/decode round trips,
+ * op helpers, and the badRecord payload checks a matching checksum
+ * does not excuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "trace/format.hh"
+
+using namespace contutto;
+using namespace contutto::trace;
+
+namespace
+{
+
+TEST(TraceFormat, OpHelpers)
+{
+    EXPECT_FALSE(opIsWrite(Op::read));
+    EXPECT_TRUE(opIsWrite(Op::write));
+    EXPECT_FALSE(opIsWrite(Op::depRead));
+    EXPECT_TRUE(opIsWrite(Op::depWrite));
+
+    EXPECT_FALSE(opIsDependent(Op::read));
+    EXPECT_FALSE(opIsDependent(Op::write));
+    EXPECT_TRUE(opIsDependent(Op::depRead));
+    EXPECT_TRUE(opIsDependent(Op::depWrite));
+
+    EXPECT_EQ(makeOp(false, false), Op::read);
+    EXPECT_EQ(makeOp(true, false), Op::write);
+    EXPECT_EQ(makeOp(false, true), Op::depRead);
+    EXPECT_EQ(makeOp(true, true), Op::depWrite);
+}
+
+TEST(TraceFormat, RecordRoundTrip)
+{
+    for (std::uint8_t op = 0; op < numOps; ++op) {
+        Record rec;
+        rec.tickDelta = 0x0123456789abcdefull;
+        rec.addr = 0xfedcba9876543210ull;
+        rec.op = Op(op);
+        rec.sizeLog2 = 12;
+        rec.threadId = 0xbeef;
+
+        std::uint8_t buf[recordBytes];
+        encodeRecord(rec, buf);
+        Record back = decodeRecord(buf);
+        EXPECT_EQ(back, rec);
+    }
+}
+
+TEST(TraceFormat, HeaderLayout)
+{
+    std::uint8_t buf[headerBytes];
+    encodeHeader(buf);
+    EXPECT_EQ(std::memcmp(buf, fileMagic, sizeof(fileMagic)), 0);
+    std::uint32_t version = 0;
+    std::memcpy(&version, buf + 8, sizeof(version));
+    EXPECT_EQ(version, formatVersion);
+}
+
+TEST(TraceFormat, FooterLayout)
+{
+    std::uint8_t buf[footerBytes];
+    encodeFooter(42, 0x1122334455667788ull, buf);
+    std::uint64_t count = 0, sum = 0;
+    std::memcpy(&count, buf, sizeof(count));
+    std::memcpy(&sum, buf + 8, sizeof(sum));
+    EXPECT_EQ(count, 42u);
+    EXPECT_EQ(sum, 0x1122334455667788ull);
+}
+
+void
+expectBadRecord(const std::uint8_t buf[recordBytes])
+{
+    try {
+        decodeRecord(buf);
+        FAIL() << "decodeRecord accepted an invalid payload";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::badRecord);
+    }
+}
+
+TEST(TraceFormat, DecodeRejectsBadPayload)
+{
+    Record rec;
+    rec.tickDelta = 10;
+    rec.addr = 0x1000;
+    std::uint8_t buf[recordBytes];
+
+    // Out-of-range op.
+    encodeRecord(rec, buf);
+    buf[16] = numOps;
+    expectBadRecord(buf);
+
+    // sizeLog2 above the sane cap.
+    encodeRecord(rec, buf);
+    buf[17] = maxSizeLog2 + 1;
+    expectBadRecord(buf);
+
+    // Non-zero reserved bytes.
+    encodeRecord(rec, buf);
+    buf[20] = 1;
+    expectBadRecord(buf);
+
+    // Untampered payload decodes fine.
+    encodeRecord(rec, buf);
+    EXPECT_EQ(decodeRecord(buf), rec);
+}
+
+TEST(TraceFormat, ErrorCodeNamesAreStable)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::tooShort),
+                 "trace tooShort");
+    EXPECT_STREQ(errorCodeName(ErrorCode::badChecksum),
+                 "trace badChecksum");
+    EXPECT_STREQ(errorCodeName(ErrorCode::shortWrite),
+                 "trace shortWrite");
+
+    Error e(ErrorCode::badMagic, "nope");
+    EXPECT_EQ(e.code(), ErrorCode::badMagic);
+    EXPECT_NE(std::string(e.what()).find("badMagic"),
+              std::string::npos);
+}
+
+} // namespace

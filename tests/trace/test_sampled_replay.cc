@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Sampled traced replay: TimedTraceReplayer under SMARTS sampling
+ * must stay within the 5% error ceiling of the full-detail traced
+ * replay, with the reported 95% CI covering the detailed truth —
+ * the same regression pinning as tests/cpu/test_sampling.cc, on the
+ * binary-trace path campaigns use.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include "cpu/system.hh"
+#include "cpu/trace_replay.hh"
+#include "trace/generate.hh"
+#include "trace/reader.hh"
+
+using namespace contutto;
+using namespace contutto::cpu;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+Power8System::Params
+smallCard()
+{
+    Power8System::Params p;
+    p.dimms = {DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}},
+               DimmSpec{mem::MemTech::dram, 256 * MiB, {}, {}}};
+    return p;
+}
+
+sim::SamplingConfig
+testSampling()
+{
+    sim::SamplingConfig cfg;
+    cfg.enabled = true;
+    cfg.warmupUnits = 16;
+    cfg.windowUnits = 64;
+    cfg.periodUnits = 1024;
+    return cfg;
+}
+
+struct ReplayOutcome
+{
+    TimedTraceReplayer::Result result;
+    sim::SamplingReport sampling;
+};
+
+ReplayOutcome
+runReplay(const std::string &tracePath, bool sampled,
+          std::uint64_t seed)
+{
+    trace::MappedTrace bin(tracePath);
+    Power8System sys(smallCard());
+    EXPECT_TRUE(sys.train());
+    ClockDomain core("core", 250);
+    TimedTraceReplayer::Params rp;
+    sim::SamplingController *ctl = nullptr;
+    if (sampled) {
+        ctl = &sys.enableSampling(testSampling(), seed);
+        rp.sampler = ctl;
+    }
+    TimedTraceReplayer rep("replay", sys.eventq(), core, &sys, rp,
+                           sys.port());
+    ReplayOutcome out;
+    bool finished = false;
+    rep.start(bin,
+              [&](const TimedTraceReplayer::Result &r) {
+                  out.result = r;
+                  finished = true;
+              });
+    while (!finished && sys.eventq().step()) {
+    }
+    EXPECT_TRUE(finished);
+    if (ctl)
+        out.sampling = ctl->report();
+    return out;
+}
+
+/** The shared trace under test, generated once. */
+const std::string &
+tracePath()
+{
+    static const std::string path = [] {
+        std::string p =
+            ::testing::TempDir() + "trace_sampled_replay.bin";
+        trace::GenerateSpec spec;
+        spec.shape = trace::Shape::qsort;
+        spec.records = 30000;
+        spec.seed = 2026;
+        spec.meanDelay = nanoseconds(100);
+        spec.footprint = 64 * MiB;
+        trace::generate(spec, p);
+        return p;
+    }();
+    return path;
+}
+
+TEST(SampledTracedReplay, WithinErrorCeilingOfFullDetail)
+{
+    ReplayOutcome detail = runReplay(tracePath(), false, 5);
+    ReplayOutcome sampled = runReplay(tracePath(), true, 5);
+
+    // Both replayed the whole trace; sampling fast-forwarded most
+    // of it.
+    EXPECT_EQ(detail.result.replayed, 30000u);
+    EXPECT_EQ(sampled.result.replayed, 30000u);
+    EXPECT_EQ(detail.result.detailed, 30000u);
+    EXPECT_LT(sampled.result.detailed, 30000u / 2);
+    ASSERT_TRUE(sampled.sampling.enabled);
+    EXPECT_GE(sampled.sampling.windows, 2u);
+    EXPECT_GT(sampled.sampling.fastForwardUnits,
+              sampled.sampling.detailedUnits);
+
+    // The 5% error ceiling against the detailed truth.
+    ASSERT_GT(detail.result.runtime, Tick(0));
+    double relErr =
+        std::abs(double(sampled.result.runtime)
+                 - double(detail.result.runtime))
+        / double(detail.result.runtime);
+    EXPECT_LT(relErr, 0.05)
+        << "sampled " << sampled.result.runtime << " detail "
+        << detail.result.runtime;
+
+    // And the statistical estimate's 95% CI covers it.
+    double est = sampled.sampling.estimatedRuntimeTicks;
+    double ciHalf = sampled.sampling.ciHalfWidthTicks;
+    EXPECT_LE(std::abs(est - double(detail.result.runtime)), ciHalf)
+        << "estimate " << est << " ± " << ciHalf << " vs detail "
+        << detail.result.runtime;
+}
+
+TEST(SampledTracedReplay, SameSeedSameOutcome)
+{
+    ReplayOutcome a = runReplay(tracePath(), true, 17);
+    ReplayOutcome b = runReplay(tracePath(), true, 17);
+    EXPECT_EQ(a.result.runtime, b.result.runtime);
+    EXPECT_EQ(a.result.detailed, b.result.detailed);
+    EXPECT_EQ(a.sampling.windows, b.sampling.windows);
+
+    // A different sampling seed moves the window schedule but not
+    // the functional outcome.
+    ReplayOutcome c = runReplay(tracePath(), true, 18);
+    EXPECT_EQ(c.result.replayed, a.result.replayed);
+    EXPECT_EQ(c.result.reads, a.result.reads);
+    EXPECT_EQ(c.result.writes, a.result.writes);
+}
+
+TEST(SampledTracedReplay, ReadWriteCountsMatchDetail)
+{
+    ReplayOutcome detail = runReplay(tracePath(), false, 5);
+    ReplayOutcome sampled = runReplay(tracePath(), true, 5);
+    EXPECT_EQ(detail.result.reads, sampled.result.reads);
+    EXPECT_EQ(detail.result.writes, sampled.result.writes);
+}
+
+} // namespace
